@@ -1,0 +1,45 @@
+// Figure 11: writer-thread sensitivity. With many concurrent writers
+// the group-commit queue becomes the bottleneck and the WAL buffer's
+// benefit shrinks (paper: WAL-Buf gain drops from ~22% to ~1% at 8
+// writer threads).
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const int kWriterThreads[] = {1, 2, 4, 8};
+
+  PrintBenchHeader("Fig 11: writer threads (fillrandom, 16 bg jobs)",
+                   "WAL-Buf benefit fades as writers saturate the "
+                   "ingestion queue");
+
+  for (int threads : kWriterThreads) {
+    printf("\n-- %d writer thread(s) --\n", threads);
+    BenchResult unbuffered;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShield,
+                          Engine::kShieldWalBuf}) {
+      Options options = MonolithOptions();
+      options.max_background_jobs = 16;
+      ApplyEngine(engine, &options);
+      auto db = OpenFresh(options, "fig11");
+
+      WorkloadOptions workload;
+      workload.num_ops = DefaultOps();
+      workload.num_keys = DefaultKeys();
+      workload.num_threads = threads;
+      BenchResult result =
+          FillRandomSettled(db.get(), workload, EngineName(engine));
+      PrintResult(result);
+      if (engine == Engine::kShield) {
+        unbuffered = result;
+      } else if (engine == Engine::kShieldWalBuf) {
+        PrintPercentVs(unbuffered, result);
+      }
+      db.reset();
+      Cleanup(options, "fig11");
+    }
+  }
+  return 0;
+}

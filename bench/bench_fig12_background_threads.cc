@@ -1,0 +1,44 @@
+// Figure 12: background-thread sensitivity with 4 writer threads.
+// Flush/compaction (and under SHIELD, their encryption) are background
+// work: starving them throttles the whole pipeline, while enough
+// threads let SHIELD+WAL-Buf even beat the unbuffered baseline.
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const int kBackgroundJobs[] = {1, 2, 4, 8};
+
+  PrintBenchHeader("Fig 12: background jobs (fillrandom, 4 writers)",
+                   "SHIELD+WAL-Buf goes from -6% (2 jobs) to +10% "
+                   "(4 jobs) vs unbuffered baseline");
+
+  for (int jobs : kBackgroundJobs) {
+    printf("\n-- %d background job(s) --\n", jobs);
+    BenchResult baseline;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+      Options options = MonolithOptions();
+      options.max_background_jobs = jobs;
+      ApplyEngine(engine, &options);
+      auto db = OpenFresh(options, "fig12");
+
+      WorkloadOptions workload;
+      workload.num_ops = DefaultOps();
+      workload.num_keys = DefaultKeys();
+      workload.num_threads = 4;
+      BenchResult result =
+          FillRandomSettled(db.get(), workload, EngineName(engine));
+      PrintResult(result);
+      if (engine == Engine::kUnencrypted) {
+        baseline = result;
+      } else {
+        PrintPercentVs(baseline, result);
+      }
+      db.reset();
+      Cleanup(options, "fig12");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 14: WAL buffer size sensitivity. Bigger buffers amortize the
+// per-operation encryption initialization over more writes (paper:
+// EncFS overhead 32%->7% and SHIELD 36%->10% going from no buffer to
+// 2048 B).
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const size_t kBufferSizes[] = {0, 128, 256, 512, 1024, 2048};
+
+  PrintBenchHeader("Fig 14: WAL buffer sizes (fillrandom)",
+                   "overhead decreases monotonically with buffer "
+                   "size");
+
+  BenchResult baseline;
+  {
+    Options options = MonolithOptions();
+    auto db = OpenFresh(options, "fig14");
+    WorkloadOptions workload;
+    workload.num_ops = DefaultOps();
+    workload.num_keys = DefaultKeys();
+    baseline = FillRandomSettled(db.get(), workload, "unencrypted");
+    PrintResult(baseline);
+    db.reset();
+    Cleanup(options, "fig14");
+  }
+
+  for (Engine engine : {Engine::kEncFsWalBuf, Engine::kShieldWalBuf}) {
+    for (size_t buffer_size : kBufferSizes) {
+      Options options = MonolithOptions();
+      ApplyEngine(engine, &options, buffer_size);
+      auto db = OpenFresh(options, "fig14");
+      WorkloadOptions workload;
+      workload.num_ops = DefaultOps();
+      workload.num_keys = DefaultKeys();
+      char label[64];
+      snprintf(label, sizeof(label), "%s buf=%zuB",
+               engine == Engine::kEncFsWalBuf ? "encfs" : "shield",
+               buffer_size);
+      BenchResult result = FillRandomSettled(db.get(), workload, label);
+      PrintResult(result);
+      PrintPercentVs(baseline, result);
+      db.reset();
+      Cleanup(options, "fig14");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 15 + Table 3: SHIELD across compaction policies (leveled,
+// universal, FIFO) with offloaded compaction in the simulated DS, for
+// fillrandom and readrandom; plus the read/write I/O distribution per
+// server and storage medium (Table 3).
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+namespace {
+
+const char* StyleName(CompactionStyle style) {
+  switch (style) {
+    case CompactionStyle::kLeveled:
+      return "leveled";
+    case CompactionStyle::kUniversal:
+      return "universal";
+    case CompactionStyle::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const CompactionStyle kStyles[] = {CompactionStyle::kLeveled,
+                                     CompactionStyle::kUniversal,
+                                     CompactionStyle::kFifo};
+
+  printf("\n=== Fig 15 + Table 3: compaction policies with offloaded "
+         "compaction (simulated DS) ===\n");
+  printf("paper: SHIELD overhead 0-40%% on fillrandom, 0-11%% on "
+         "readrandom, consistent across policies\n");
+
+  for (CompactionStyle style : kStyles) {
+    printf("\n##### policy: %s #####\n", StyleName(style));
+    BenchResult write_baseline, read_baseline;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+      auto cluster = MakeDsCluster(/*rtt_us=*/200);
+      Options options = cluster->MakeDbOptions(engine, /*offload=*/true);
+      options.compaction_style = style;
+      options.fifo_max_table_files_size = 1ull << 30;
+      auto db = OpenDs(cluster.get(), options, "fig15");
+
+      WorkloadOptions workload;
+      workload.num_ops = DefaultDsOps();
+      workload.num_keys = DefaultDsOps();
+      BenchResult write_result =
+          FillRandomSettled(db.get(), workload, std::string(EngineName(engine)) +
+                                             " fillrandom");
+      db->WaitForIdle();
+      PrintResult(write_result);
+      WorkloadOptions reads = workload;
+      reads.num_ops = DefaultDsOps() / 2;
+      BenchResult read_result =
+          ReadRandom(db.get(), reads, std::string(EngineName(engine)) +
+                                          " readrandom");
+      if (style == CompactionStyle::kFifo) {
+        printf("   (fifo: early keys may have been evicted; readrandom "
+               "column is indicative only)\n");
+      }
+      PrintResult(read_result);
+      if (engine == Engine::kUnencrypted) {
+        write_baseline = write_result;
+        read_baseline = read_result;
+      } else {
+        PrintPercentVs(write_baseline, write_result);
+        PrintPercentVs(read_baseline, read_result);
+        // Table 3: I/O distribution for the SHIELD run.
+        printf("  [table 3] compute->storage traffic: %s\n",
+               cluster->compute_traffic.ToString().c_str());
+        printf("  [table 3] storage-media I/O:        %s\n",
+               cluster->storage->media_stats()->ToString().c_str());
+        const double compute_w =
+            cluster->compute_traffic.TotalWriteBytes() / 1048576.0;
+        const double media_w =
+            cluster->storage->media_stats()->TotalWriteBytes() / 1048576.0;
+        printf("  [table 3] compaction-server share of storage writes: "
+               "%.1f MiB of %.1f MiB (ratio 1:%.1f)\n",
+               media_w - compute_w, media_w,
+               compute_w > 0 ? media_w / compute_w : 0);
+      }
+      db.reset();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 16: sensitivity to KDS latency (offloaded compaction, DS).
+// SHIELD requests one DEK per file creation, so even multi-millisecond
+// KDS latency has bounded impact (paper: <=10% throughput, ~6% p99).
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const uint64_t kKdsLatenciesUs[] = {0, 1000, 2750, 5000, 10000};
+
+  PrintBenchHeader("Fig 16: KDS latency sensitivity (DS + offloaded "
+                   "compaction)",
+                   "<=10% throughput delta up to 10ms KDS latency; "
+                   "SSToolkit measures ~2750us");
+
+  BenchResult baseline;
+  for (uint64_t latency_us : kKdsLatenciesUs) {
+    auto cluster = MakeDsCluster(/*rtt_us=*/200,
+                                 /*bandwidth_bps=*/125ull * 1000 * 1000,
+                                 /*kds_latency_us=*/latency_us);
+    Options options =
+        cluster->MakeDbOptions(Engine::kShieldWalBuf, /*offload=*/true);
+    auto db = OpenDs(cluster.get(), options, "fig16");
+
+    WorkloadOptions workload;
+    workload.num_ops = DefaultDsOps();
+    workload.num_keys = DefaultDsOps();
+    char label[64];
+    snprintf(label, sizeof(label), "shield kds-latency=%lluus",
+             static_cast<unsigned long long>(latency_us));
+    BenchResult result = FillRandomSettled(db.get(), workload, label);
+    PrintResult(result);
+    printf("   KDS requests served: %llu\n",
+           static_cast<unsigned long long>(cluster->kds->num_requests()));
+    if (latency_us == 0) {
+      baseline = result;
+    } else {
+      PrintPercentVs(baseline, result);
+    }
+    db.reset();
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 17: increasing dataset sizes in the DS deployment (16 B keys,
+// 240 B values in the paper, 50M..1000M pairs). SHIELD's overhead
+// stays bounded (<10%) as the dataset grows; we sweep scaled-down
+// dataset sizes with the same key/value shape.
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const uint64_t base = EnvInt("SHIELD_BENCH_DATASET_BASE", 20'000);
+  const uint64_t kDatasetSizes[] = {base, base * 2, base * 5, base * 10};
+
+  PrintBenchHeader("Fig 17: dataset-size scaling (DS, 16B keys / 240B "
+                   "values)",
+                   "SHIELD overhead stays <10% from 50M to 1000M "
+                   "KV pairs");
+
+  for (uint64_t n : kDatasetSizes) {
+    printf("\n-- dataset: %llu KV pairs (~%.0f MiB) --\n",
+           static_cast<unsigned long long>(n), n * 256.0 / 1048576.0);
+    BenchResult baseline;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+      auto cluster = MakeDsCluster(/*rtt_us=*/200);
+      Options options = cluster->MakeDbOptions(engine, /*offload=*/false);
+      auto db = OpenDs(cluster.get(), options, "fig17");
+
+      WorkloadOptions workload;
+      workload.num_ops = n;
+      workload.num_keys = n;
+      workload.key_size = 16;
+      workload.value_size = 240;
+      BenchResult result =
+          FillRandomSettled(db.get(), workload, EngineName(engine));
+      PrintResult(result);
+      if (engine == Engine::kUnencrypted) {
+        baseline = result;
+      } else {
+        PrintPercentVs(baseline, result);
+      }
+      db.reset();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// See ds_suite.h — this binary regenerates the paper's fig19 ds micro series.
+
+#include "ds_suite.h"
+
+int main() {
+  shield::bench::RunDsMicro(false);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// See ds_suite.h — this binary regenerates the paper's fig20 ds mixed series.
+
+#include "ds_suite.h"
+
+int main() {
+  shield::bench::RunDsMixed(false);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// See ds_suite.h — this binary regenerates the paper's fig21 ds ycsb series.
+
+#include "ds_suite.h"
+
+int main() {
+  shield::bench::RunDsYcsb(false);
+  return 0;
+}

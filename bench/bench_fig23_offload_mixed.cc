@@ -1,0 +1,8 @@
+// See ds_suite.h — this binary regenerates the paper's fig23 offload mixed series.
+
+#include "ds_suite.h"
+
+int main() {
+  shield::bench::RunDsMixed(true);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// See ds_suite.h — this binary regenerates the paper's fig24 offload ycsb series.
+
+#include "ds_suite.h"
+
+int main() {
+  shield::bench::RunDsYcsb(true);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 8: throughput and p99 for different read:write ratios in the
+// monolith. The encryption overhead shrinks as the read share grows
+// (reads only pay decryption on block-cache misses).
+
+#include "bench_common.h"
+
+using namespace shield;
+using namespace shield::bench;
+
+int main() {
+  const int kReadPercents[] = {10, 25, 50, 75, 90};
+
+  PrintBenchHeader("Fig 8: mixed read/write ratios (monolith)",
+                   "overhead shrinks toward <1% as reads dominate");
+
+  for (int read_percent : kReadPercents) {
+    printf("\n-- %d%% reads / %d%% writes --\n", read_percent,
+           100 - read_percent);
+    BenchResult baseline;
+    for (Engine engine : CoreEngines()) {
+      Options options = MonolithOptions();
+      ApplyEngine(engine, &options);
+      auto db = OpenFresh(options, "fig8");
+
+      WorkloadOptions load;
+      load.num_ops = DefaultKeys() / 2;
+      load.num_keys = DefaultKeys();
+      FillRandom(db.get(), load, "load");
+      db->WaitForIdle();
+
+      WorkloadOptions mixed = load;
+      mixed.num_ops = DefaultReads();
+      mixed.read_percent = read_percent;
+      BenchResult result = ReadWriteMix(db.get(), mixed, EngineName(engine));
+      PrintResult(result);
+      if (engine == Engine::kUnencrypted) {
+        baseline = result;
+      } else {
+        PrintPercentVs(baseline, result);
+      }
+      db.reset();
+      Cleanup(options, "fig8");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+#ifndef SHIELD_BENCH_DS_SUITE_H_
+#define SHIELD_BENCH_DS_SUITE_H_
+
+// Shared drivers for the disaggregated-storage evaluation (Figs 19-24):
+// the same micro / mixed-ratio / YCSB suites as the monolith figures,
+// run over the simulated DS cluster, with or without offloaded
+// compaction. EncFS is excluded, as in the paper (incompatible with
+// the DS deployment path).
+
+#include "bench_common.h"
+
+namespace shield {
+namespace bench {
+
+inline void RunDsMicro(bool offload) {
+  PrintBenchHeader(
+      offload ? "DS + offloaded compaction: micro baselines (Fig 22)"
+              : "Disaggregated storage: micro baselines (Fig 19)",
+      offload ? "fillrandom gap ~17%; network hides most overhead"
+              : "fillrandom gap narrows to ~5% vs monolith");
+
+  BenchResult write_baseline, read_baseline, mix_baseline;
+  for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+    auto cluster = MakeDsCluster(/*rtt_us=*/200);
+    Options options = cluster->MakeDbOptions(engine, offload);
+    auto db = OpenDs(cluster.get(), options, "dsmicro");
+
+    WorkloadOptions workload;
+    workload.num_ops = DefaultDsOps();
+    workload.num_keys = DefaultDsOps();
+    BenchResult write_result = FillRandomSettled(
+        db.get(), workload, std::string(EngineName(engine)) + " fillrandom");
+    db->WaitForIdle();
+    PrintResult(write_result);
+
+    WorkloadOptions reads = workload;
+    reads.num_ops = DefaultDsOps() / 2;
+    BenchResult read_result = ReadRandom(
+        db.get(), reads, std::string(EngineName(engine)) + " readrandom");
+    PrintResult(read_result);
+
+    WorkloadOptions mix = reads;
+    BenchResult mix_result = RunMixgraph(db.get(), mix);
+    mix_result.label = std::string(EngineName(engine)) + " mixgraph";
+    PrintResult(mix_result);
+
+    if (engine == Engine::kUnencrypted) {
+      write_baseline = write_result;
+      read_baseline = read_result;
+      mix_baseline = mix_result;
+    } else {
+      PrintPercentVs(write_baseline, write_result);
+      PrintPercentVs(read_baseline, read_result);
+      PrintPercentVs(mix_baseline, mix_result);
+    }
+    db.reset();
+  }
+}
+
+inline void RunDsMixed(bool offload) {
+  PrintBenchHeader(
+      offload ? "DS + offloaded compaction: mixed ratios (Fig 23)"
+              : "Disaggregated storage: mixed ratios (Fig 20)",
+      "throughput and p99 for different read:write ratios; paper: 6-14% "
+      "gap in DS");
+
+  for (int read_percent : {10, 50, 90}) {
+    printf("\n-- %d%% reads --\n", read_percent);
+    BenchResult baseline;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+      auto cluster = MakeDsCluster(/*rtt_us=*/200);
+      Options options = cluster->MakeDbOptions(engine, offload);
+      auto db = OpenDs(cluster.get(), options, "dsmixed");
+
+      WorkloadOptions load;
+      load.num_ops = DefaultDsOps() / 2;
+      load.num_keys = DefaultDsOps() / 2;
+      FillRandom(db.get(), load, "load");
+      db->WaitForIdle();
+
+      WorkloadOptions mixed = load;
+      mixed.num_ops = DefaultDsOps() / 2;
+      mixed.read_percent = read_percent;
+      BenchResult result = ReadWriteMix(db.get(), mixed, EngineName(engine));
+      PrintResult(result);
+      if (engine == Engine::kUnencrypted) {
+        baseline = result;
+      } else {
+        PrintPercentVs(baseline, result);
+      }
+      db.reset();
+    }
+  }
+}
+
+inline void RunDsYcsb(bool offload) {
+  PrintBenchHeader(offload
+                       ? "DS + offloaded compaction: YCSB (Fig 24)"
+                       : "Disaggregated storage: YCSB (Fig 21)",
+                   "paper: ~8% (DS) / ~4% (offload) average YCSB gap");
+
+  const YcsbKind kKinds[] = {YcsbKind::kA, YcsbKind::kB, YcsbKind::kC,
+                             YcsbKind::kD, YcsbKind::kE, YcsbKind::kF};
+  for (YcsbKind kind : kKinds) {
+    printf("\n-- %s --\n", YcsbName(kind));
+    BenchResult baseline;
+    for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
+      auto cluster = MakeDsCluster(/*rtt_us=*/200);
+      Options options = cluster->MakeDbOptions(engine, offload);
+      auto db = OpenDs(cluster.get(), options, "dsycsb");
+
+      WorkloadOptions workload;
+      workload.num_keys = EnvInt("SHIELD_BENCH_DS_YCSB_KEYS", 8'000);
+      workload.value_size = 1024;
+      workload.num_ops = EnvInt("SHIELD_BENCH_DS_YCSB_OPS", 8'000);
+      if (kind == YcsbKind::kE) {
+        workload.num_ops /= 4;
+      }
+      YcsbLoad(db.get(), workload);
+      db->WaitForIdle();
+
+      BenchResult result = RunYcsb(db.get(), kind, workload);
+      result.label = EngineName(engine);
+      PrintResult(result);
+      if (engine == Engine::kUnencrypted) {
+        baseline = result;
+      } else {
+        PrintPercentVs(baseline, result);
+      }
+      db.reset();
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCH_DS_SUITE_H_

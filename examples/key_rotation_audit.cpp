@@ -1,0 +1,108 @@
+// Key-rotation & breach-response audit (paper Section 5.5 scenarios):
+//
+//  Scenario 1/2 — storage or filesystem compromise: show that no file
+//  contains plaintext.
+//  Scenario 3 — DEK compromise: "leak" one file's DEK, then run a
+//  compaction; the leaked key can no longer decrypt anything because
+//  the file it protected was rewritten under a new DEK and the old key
+//  destroyed at the KDS.
+//
+// Usage: key_rotation_audit
+
+#include <cstdio>
+#include <memory>
+
+#include "crypto/cipher.h"
+#include "env/env.h"
+#include "kds/local_kds.h"
+#include "lsm/db.h"
+#include "lsm/file_names.h"
+#include "shield/file_crypto.h"
+
+namespace {
+using namespace shield;  // example code; keep the demo readable
+}
+
+int main() {
+  auto env = NewMemEnv();
+  auto kds = std::make_shared<LocalKds>();
+
+  Options options;
+  options.env = env.get();
+  options.write_buffer_size = 32 * 1024;
+  options.encryption.mode = EncryptionMode::kShield;
+  options.encryption.kds = kds;
+
+  DB* raw_db = nullptr;
+  Status s = DB::Open(options, "/audit", &raw_db);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw_db);
+
+  for (int i = 0; i < 2000; i++) {
+    db->Put(WriteOptions(), "card:" + std::to_string(i),
+            "PAN-4111-1111-1111-" + std::to_string(1000 + i));
+  }
+  db->Flush();
+
+  // --- Scenario 1+2: inspect every raw file for plaintext.
+  std::vector<std::string> children;
+  env->GetChildren("/audit", &children);
+  bool leaked = false;
+  for (const auto& child : children) {
+    std::string raw;
+    if (ReadFileToString(env.get(), "/audit/" + child, &raw).ok() &&
+        raw.find("PAN-4111") != std::string::npos) {
+      leaked = true;
+    }
+  }
+  printf("scenario 1/2 (stolen media / fs access): plaintext found: %s\n",
+         leaked ? "YES — FAILURE" : "none");
+
+  // --- Scenario 3: a strong attacker steals ONE file's DEK.
+  ShieldFileHeader stolen_header;
+  std::string stolen_file;
+  for (const auto& child : children) {
+    if (child.find(".sst") != std::string::npos &&
+        ReadShieldFileHeader(env.get(), "/audit/" + child, &stolen_header)
+            .ok()) {
+      stolen_file = child;
+      break;
+    }
+  }
+  Dek stolen_dek;
+  if (stolen_file.empty() ||
+      !kds->GetDek("attacker", stolen_header.dek_id, &stolen_dek).ok()) {
+    fprintf(stderr, "demo setup failed\n");
+    return 1;
+  }
+  printf("scenario 3: attacker holds DEK %s... of %s\n",
+         stolen_header.dek_id.ToHex().substr(0, 12).c_str(),
+         stolen_file.c_str());
+  printf("  exposure is limited to that ONE file (unique DEK per file)\n");
+
+  // Operator response: rotate by compacting. Outputs get fresh DEKs;
+  // the stolen DEK is destroyed together with its file.
+  db->CompactRange(nullptr, nullptr);
+  db->WaitForIdle();
+
+  const bool file_gone = !env->FileExists("/audit/" + stolen_file);
+  Dek refetched;
+  const bool key_dead =
+      kds->GetDek("attacker", stolen_header.dek_id, &refetched).IsNotFound();
+  printf("  after compaction: stolen file deleted: %s, stolen DEK "
+         "destroyed at KDS: %s\n",
+         file_gone ? "yes" : "NO", key_dead ? "yes" : "NO");
+
+  // The data, under new keys, is still fully readable by the DB.
+  std::string value;
+  s = db->Get(ReadOptions(), "card:7", &value);
+  printf("  service still reads its data: %s\n",
+         s.ok() ? "yes" : s.ToString().c_str());
+
+  printf("\nkey_rotation_audit %s\n",
+         (!leaked && file_gone && key_dead && s.ok()) ? "OK" : "FAILED");
+  return (!leaked && file_gone && key_dead && s.ok()) ? 0 : 1;
+}

@@ -1,0 +1,227 @@
+// shield_dbbench — a db_bench-style CLI for this engine. Lets users
+// run the same workloads as the paper's evaluation against any engine
+// configuration without writing code.
+//
+// Usage:
+//   shield_dbbench [--db=/path] [--benchmarks=fillrandom,readrandom,...]
+//                  [--num=100000] [--reads=50000] [--key_size=16]
+//                  [--value_size=100] [--threads=1]
+//                  [--encryption=none|encfs|shield]
+//                  [--wal_buffer=512] [--encryption_threads=1]
+//                  [--compaction=leveled|universal|fifo]
+//                  [--write_buffer=4194304] [--sync] [--bloom_bits=0]
+//                  [--use_existing_db]
+//
+// Benchmarks: fillrandom, fillseq, readrandom, readwritemix (50/50),
+//             ycsb-a..ycsb-f, mixgraph, compact, stats
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/mixgraph.h"
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "benchutil/ycsb.h"
+#include "crypto/secure_random.h"
+#include "lsm/db.h"
+#include "lsm/filter_policy.h"
+
+namespace {
+
+using namespace shield;
+using namespace shield::bench;
+
+struct Flags {
+  std::string db = "/tmp/shield_dbbench";
+  std::string benchmarks = "fillrandom,readrandom,stats";
+  uint64_t num = 100'000;
+  uint64_t reads = 50'000;
+  size_t key_size = 16;
+  size_t value_size = 100;
+  int threads = 1;
+  std::string encryption = "none";
+  size_t wal_buffer = 512;
+  int encryption_threads = 1;
+  std::string compaction = "leveled";
+  size_t write_buffer = 4 << 20;
+  bool sync = false;
+  int bloom_bits = 0;
+  bool use_existing_db = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; i++) {
+    std::string value;
+    if (ParseFlag(argv[i], "db", &value)) {
+      flags.db = value;
+    } else if (ParseFlag(argv[i], "benchmarks", &value)) {
+      flags.benchmarks = value;
+    } else if (ParseFlag(argv[i], "num", &value)) {
+      flags.num = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "reads", &value)) {
+      flags.reads = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "key_size", &value)) {
+      flags.key_size = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "value_size", &value)) {
+      flags.value_size = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "threads", &value)) {
+      flags.threads = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "encryption", &value)) {
+      flags.encryption = value;
+    } else if (ParseFlag(argv[i], "wal_buffer", &value)) {
+      flags.wal_buffer = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "encryption_threads", &value)) {
+      flags.encryption_threads = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "compaction", &value)) {
+      flags.compaction = value;
+    } else if (ParseFlag(argv[i], "write_buffer", &value)) {
+      flags.write_buffer = strtoull(value.c_str(), nullptr, 10);
+    } else if (strcmp(argv[i], "--sync") == 0) {
+      flags.sync = true;
+    } else if (ParseFlag(argv[i], "bloom_bits", &value)) {
+      flags.bloom_bits = atoi(value.c_str());
+    } else if (strcmp(argv[i], "--use_existing_db") == 0) {
+      flags.use_existing_db = true;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  Options options;
+  options.write_buffer_size = flags.write_buffer;
+  if (flags.compaction == "universal") {
+    options.compaction_style = CompactionStyle::kUniversal;
+  } else if (flags.compaction == "fifo") {
+    options.compaction_style = CompactionStyle::kFifo;
+  } else if (flags.compaction != "leveled") {
+    fprintf(stderr, "bad --compaction=%s\n", flags.compaction.c_str());
+    return 1;
+  }
+  if (flags.encryption == "encfs") {
+    options.encryption.mode = EncryptionMode::kEncFS;
+    options.encryption.instance_key = crypto::SecureRandomString(16);
+    options.encryption.wal_buffer_size = flags.wal_buffer;
+  } else if (flags.encryption == "shield") {
+    options.encryption.mode = EncryptionMode::kShield;
+    options.encryption.wal_buffer_size = flags.wal_buffer;
+    options.encryption.encryption_threads = flags.encryption_threads;
+  } else if (flags.encryption != "none") {
+    fprintf(stderr, "bad --encryption=%s\n", flags.encryption.c_str());
+    return 1;
+  }
+  std::unique_ptr<const FilterPolicy> bloom;
+  if (flags.bloom_bits > 0) {
+    bloom.reset(NewBloomFilterPolicy(flags.bloom_bits));
+    options.filter_policy = bloom.get();
+  }
+
+  if (!flags.use_existing_db) {
+    DestroyDB(options, flags.db);
+  }
+  DB* raw_db = nullptr;
+  Status s = DB::Open(options, flags.db, &raw_db);
+  if (!s.ok()) {
+    fprintf(stderr, "open %s failed: %s\n", flags.db.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw_db);
+
+  WorkloadOptions workload;
+  workload.num_ops = flags.num;
+  workload.num_keys = flags.num;
+  workload.key_size = flags.key_size;
+  workload.value_size = flags.value_size;
+  workload.num_threads = flags.threads;
+  workload.sync_writes = flags.sync;
+
+  printf("%-40s %14s %12s %12s\n", "benchmark", "ops/sec", "avg(us)",
+         "p99(us)");
+  for (const std::string& name : Split(flags.benchmarks, ',')) {
+    if (name.empty()) {
+      continue;
+    }
+    BenchResult result;
+    if (name == "fillrandom") {
+      result = FillRandom(db.get(), workload, name);
+    } else if (name == "fillseq") {
+      result = FillSeq(db.get(), workload, name);
+    } else if (name == "readrandom") {
+      WorkloadOptions reads = workload;
+      reads.num_ops = flags.reads;
+      result = ReadRandom(db.get(), reads, name);
+    } else if (name == "readwritemix") {
+      WorkloadOptions mixed = workload;
+      mixed.num_ops = flags.reads;
+      mixed.read_percent = 50;
+      result = ReadWriteMix(db.get(), mixed, name);
+    } else if (name.rfind("ycsb-", 0) == 0 && name.size() == 6) {
+      const char which = name[5];
+      if (which < 'a' || which > 'f') {
+        fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
+        return 1;
+      }
+      WorkloadOptions ycsb = workload;
+      ycsb.num_ops = flags.reads;
+      result = RunYcsb(db.get(), static_cast<YcsbKind>(which - 'a'), ycsb);
+      result.label = name;
+    } else if (name == "mixgraph") {
+      WorkloadOptions mix = workload;
+      mix.num_ops = flags.reads;
+      result = RunMixgraph(db.get(), mix);
+      result.label = name;
+    } else if (name == "compact") {
+      db->CompactRange(nullptr, nullptr);
+      db->WaitForIdle();
+      printf("%-40s (done)\n", name.c_str());
+      continue;
+    } else if (name == "stats") {
+      std::string stats;
+      db->GetProperty("shield.stats", &stats);
+      printf("%s", stats.c_str());
+      std::string kds;
+      if (db->GetProperty("shield.kds-requests", &kds)) {
+        printf("kds-requests: %s\n", kds.c_str());
+      }
+      continue;
+    } else {
+      fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
+      return 1;
+    }
+    printf("%-40s %14.0f %12.1f %12.1f\n", result.label.c_str(),
+           result.ops_per_sec(), result.avg_micros(), result.p99_micros());
+    fflush(stdout);
+  }
+  return 0;
+}

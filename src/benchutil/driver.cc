@@ -1,0 +1,42 @@
+#include "benchutil/driver.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace shield {
+namespace bench {
+
+BenchResult RunOps(const std::string& label, uint64_t num_ops,
+                   int num_threads,
+                   const std::function<void(int, uint64_t)>& op) {
+  BenchResult result;
+  result.label = label;
+  result.ops = num_ops;
+  if (num_threads < 1) {
+    num_threads = 1;
+  }
+
+  const uint64_t start = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; t++) {
+    threads.emplace_back([&, t] {
+      // Interleave op indices so threads touch disjoint sequences.
+      for (uint64_t i = t; i < num_ops; i += num_threads) {
+        const uint64_t op_start = NowMicros();
+        op(t, i);
+        result.latency->Add(NowMicros() - op_start);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  result.elapsed_micros = static_cast<double>(NowMicros() - start);
+  return result;
+}
+
+}  // namespace bench
+}  // namespace shield

@@ -1,0 +1,22 @@
+#ifndef SHIELD_BENCHUTIL_DRIVER_H_
+#define SHIELD_BENCHUTIL_DRIVER_H_
+
+#include <functional>
+#include <string>
+
+#include "benchutil/report.h"
+
+namespace shield {
+namespace bench {
+
+/// Executes `op(thread_index, op_index)` `num_ops` times split across
+/// `num_threads` worker threads, measuring per-op latency and total
+/// wall time. `op_index` is globally unique in [0, num_ops).
+BenchResult RunOps(const std::string& label, uint64_t num_ops,
+                   int num_threads,
+                   const std::function<void(int, uint64_t)>& op);
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_DRIVER_H_

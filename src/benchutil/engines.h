@@ -1,0 +1,40 @@
+#ifndef SHIELD_BENCHUTIL_ENGINES_H_
+#define SHIELD_BENCHUTIL_ENGINES_H_
+
+#include <string>
+#include <vector>
+
+#include "lsm/options.h"
+
+namespace shield {
+namespace bench {
+
+/// The engine configurations the paper compares throughout its
+/// evaluation.
+enum class Engine {
+  kUnencrypted,    // out-of-box baseline ("unencrypted RocksDB")
+  kEncFs,          // instance-level encryption, per-write encryption
+  kEncFsWalBuf,    // instance-level + WAL-Buf optimization
+  kShield,         // SHIELD without the WAL buffer
+  kShieldWalBuf,   // SHIELD with the WAL buffer (the full design)
+};
+
+const char* EngineName(Engine engine);
+
+/// Applies the engine's encryption configuration onto `options`.
+/// SHIELD engines default to a private LocalKds unless
+/// options->encryption.kds was already set (DS benches inject a SimKds
+/// first).
+void ApplyEngine(Engine engine, Options* options,
+                 size_t wal_buffer_size = 512);
+
+/// The standard five-way comparison, in paper order.
+std::vector<Engine> AllEngines();
+/// Baseline + the two full designs (for benches where the unbuffered
+/// variants add nothing).
+std::vector<Engine> CoreEngines();
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_ENGINES_H_

@@ -1,0 +1,57 @@
+#include "benchutil/mixgraph.h"
+
+#include <memory>
+
+#include "util/random.h"
+
+namespace shield {
+namespace bench {
+
+BenchResult RunMixgraph(DB* db, const WorkloadOptions& opts) {
+  WriteOptions write_options;
+  write_options.sync = opts.sync_writes;
+  ReadOptions read_options;
+
+  struct ThreadState {
+    ZipfianGenerator zipf;
+    ParetoGenerator value_sizes;
+    Random rnd;
+    ThreadState(uint64_t n, uint64_t seed)
+        // Pareto(xm=16, alpha=1.6) capped at 1 KiB has mean ~= 37
+        // bytes, matching the FAST'20 value-size fit.
+        : zipf(n, 0.99, seed),
+          value_sizes(16.0, 1.6, 1024.0, seed + 1),
+          rnd(seed + 2) {}
+  };
+  std::vector<std::unique_ptr<ThreadState>> states;
+  for (int t = 0; t < opts.num_threads; t++) {
+    states.push_back(
+        std::make_unique<ThreadState>(opts.num_keys, opts.seed + 97 * t));
+  }
+
+  return RunOps(
+      "mixgraph", opts.num_ops, opts.num_threads, [&](int t, uint64_t) {
+        ThreadState* state = states[t].get();
+        const uint64_t k = state->zipf.NextScrambled();
+        const std::string key = MakeKey(k, opts.key_size);
+        const int op = static_cast<int>(state->rnd.Uniform(100));
+        if (op < 83) {
+          std::string value;
+          db->Get(read_options, key, &value);
+        } else if (op < 97) {
+          const size_t value_size =
+              static_cast<size_t>(state->value_sizes.Next());
+          std::string value(value_size, 'm');
+          db->Put(write_options, key, value);
+        } else {
+          std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
+          iter->Seek(key);
+          for (int j = 0; j < 10 && iter->Valid(); j++) {
+            iter->Next();
+          }
+        }
+      });
+}
+
+}  // namespace bench
+}  // namespace shield

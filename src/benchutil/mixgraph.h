@@ -1,0 +1,19 @@
+#ifndef SHIELD_BENCHUTIL_MIXGRAPH_H_
+#define SHIELD_BENCHUTIL_MIXGRAPH_H_
+
+#include "benchutil/workload.h"
+
+namespace shield {
+namespace bench {
+
+/// Approximation of db_bench's mixgraph workload, which models the
+/// Facebook production key-value traffic characterized in Cao et al.
+/// (FAST'20): highly skewed key popularity (Zipfian over a scrambled
+/// keyspace), small Pareto-distributed value sizes (mean ~= 37 bytes),
+/// and a GET/PUT/SEEK mix of roughly 0.83/0.14/0.03.
+BenchResult RunMixgraph(DB* db, const WorkloadOptions& opts);
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_MIXGRAPH_H_

@@ -1,0 +1,47 @@
+#include "benchutil/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shield {
+namespace bench {
+
+void PrintBenchHeader(const std::string& title,
+                      const std::string& paper_note) {
+  printf("\n=== %s ===\n", title.c_str());
+  if (!paper_note.empty()) {
+    printf("paper: %s\n", paper_note.c_str());
+  }
+  printf("%-40s %14s %12s %12s\n", "config", "ops/sec", "avg(us)",
+         "p99(us)");
+}
+
+void PrintResult(const BenchResult& r) {
+  printf("%-40s %14.0f %12.1f %12.1f\n", r.label.c_str(), r.ops_per_sec(),
+         r.avg_micros(), r.p99_micros());
+  fflush(stdout);
+}
+
+double PercentVs(const BenchResult& baseline, const BenchResult& x) {
+  if (baseline.ops_per_sec() == 0) {
+    return 0;
+  }
+  return (x.ops_per_sec() - baseline.ops_per_sec()) * 100.0 /
+         baseline.ops_per_sec();
+}
+
+void PrintPercentVs(const BenchResult& baseline, const BenchResult& x) {
+  printf("  -> %s vs %s: %+.1f%%\n", x.label.c_str(), baseline.label.c_str(),
+         PercentVs(baseline, x));
+}
+
+uint64_t EnvInt(const char* name, uint64_t default_value) {
+  const char* v = getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  return strtoull(v, nullptr, 10);
+}
+
+}  // namespace bench
+}  // namespace shield

@@ -1,0 +1,47 @@
+#ifndef SHIELD_BENCHUTIL_REPORT_H_
+#define SHIELD_BENCHUTIL_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace shield {
+namespace bench {
+
+/// Outcome of one benchmark run: operation count, wall time, and the
+/// per-operation latency distribution.
+struct BenchResult {
+  std::string label;
+  uint64_t ops = 0;
+  double elapsed_micros = 0;
+  std::shared_ptr<Histogram> latency = std::make_shared<Histogram>();
+
+  double ops_per_sec() const {
+    return elapsed_micros > 0 ? ops * 1e6 / elapsed_micros : 0;
+  }
+  double p99_micros() const { return latency->Percentile(99.0); }
+  double p50_micros() const { return latency->Percentile(50.0); }
+  double avg_micros() const { return latency->Average(); }
+};
+
+/// Prints a section header for a reproduced table/figure.
+void PrintBenchHeader(const std::string& title, const std::string& paper_note);
+
+/// Prints one "label throughput p99" row.
+void PrintResult(const BenchResult& r);
+
+/// Throughput delta of `x` vs `baseline` in percent (negative =
+/// slower than baseline).
+double PercentVs(const BenchResult& baseline, const BenchResult& x);
+void PrintPercentVs(const BenchResult& baseline, const BenchResult& x);
+
+/// Reads an integer knob from the environment (e.g. SHIELD_BENCH_OPS)
+/// with a default — benches scale to the machine without recompiling.
+uint64_t EnvInt(const char* name, uint64_t default_value);
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_REPORT_H_

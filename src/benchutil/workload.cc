@@ -1,0 +1,113 @@
+#include "benchutil/workload.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace shield {
+namespace bench {
+
+std::string MakeKey(uint64_t v, size_t key_size) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%020llu", static_cast<unsigned long long>(v));
+  std::string key(buf);
+  if (key.size() > key_size) {
+    key = key.substr(key.size() - key_size);
+  } else {
+    key.insert(0, key_size - key.size(), '0');
+  }
+  return key;
+}
+
+namespace {
+
+std::string MakeValue(Random* rnd, size_t size) {
+  std::string value(size, '\0');
+  for (size_t i = 0; i < size; i++) {
+    value[i] = static_cast<char>(' ' + rnd->Uniform(95));
+  }
+  return value;
+}
+
+}  // namespace
+
+BenchResult FillRandom(DB* db, const WorkloadOptions& opts,
+                       const std::string& label) {
+  WriteOptions write_options;
+  write_options.sync = opts.sync_writes;
+  std::vector<Random> rngs;
+  for (int t = 0; t < opts.num_threads; t++) {
+    rngs.emplace_back(opts.seed + t);
+  }
+  return RunOps(label, opts.num_ops, opts.num_threads,
+                [&](int t, uint64_t /*i*/) {
+                  Random& rnd = rngs[t];
+                  const std::string key =
+                      MakeKey(rnd.Uniform(opts.num_keys), opts.key_size);
+                  const std::string value = MakeValue(&rnd, opts.value_size);
+                  db->Put(write_options, key, value);
+                });
+}
+
+BenchResult FillSeq(DB* db, const WorkloadOptions& opts,
+                    const std::string& label) {
+  WriteOptions write_options;
+  write_options.sync = opts.sync_writes;
+  std::vector<Random> rngs;
+  for (int t = 0; t < opts.num_threads; t++) {
+    rngs.emplace_back(opts.seed + t);
+  }
+  return RunOps(label, opts.num_ops, opts.num_threads,
+                [&](int t, uint64_t i) {
+                  Random& rnd = rngs[t];
+                  const std::string key = MakeKey(i, opts.key_size);
+                  const std::string value = MakeValue(&rnd, opts.value_size);
+                  db->Put(write_options, key, value);
+                });
+}
+
+BenchResult ReadRandom(DB* db, const WorkloadOptions& opts,
+                       const std::string& label) {
+  ReadOptions read_options;
+  std::vector<Random> rngs;
+  for (int t = 0; t < opts.num_threads; t++) {
+    rngs.emplace_back(opts.seed + 1000 + t);
+  }
+  return RunOps(label, opts.num_ops, opts.num_threads,
+                [&](int t, uint64_t /*i*/) {
+                  Random& rnd = rngs[t];
+                  const std::string key =
+                      MakeKey(rnd.Uniform(opts.num_keys), opts.key_size);
+                  std::string value;
+                  db->Get(read_options, key, &value);
+                });
+}
+
+BenchResult ReadWriteMix(DB* db, const WorkloadOptions& opts,
+                         const std::string& label) {
+  WriteOptions write_options;
+  write_options.sync = opts.sync_writes;
+  ReadOptions read_options;
+  std::vector<Random> rngs;
+  for (int t = 0; t < opts.num_threads; t++) {
+    rngs.emplace_back(opts.seed + 2000 + t);
+  }
+  return RunOps(label, opts.num_ops, opts.num_threads,
+                [&](int t, uint64_t /*i*/) {
+                  Random& rnd = rngs[t];
+                  const std::string key =
+                      MakeKey(rnd.Uniform(opts.num_keys), opts.key_size);
+                  if (static_cast<int>(rnd.Uniform(100)) <
+                      opts.read_percent) {
+                    std::string value;
+                    db->Get(read_options, key, &value);
+                  } else {
+                    const std::string value =
+                        MakeValue(&rnd, opts.value_size);
+                    db->Put(write_options, key, value);
+                  }
+                });
+}
+
+}  // namespace bench
+}  // namespace shield

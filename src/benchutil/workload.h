@@ -1,0 +1,49 @@
+#ifndef SHIELD_BENCHUTIL_WORKLOAD_H_
+#define SHIELD_BENCHUTIL_WORKLOAD_H_
+
+#include <string>
+
+#include "benchutil/driver.h"
+#include "benchutil/report.h"
+#include "lsm/db.h"
+
+namespace shield {
+namespace bench {
+
+/// Common knobs for db_bench-style drivers. Defaults follow the
+/// paper's setup (16-byte keys, 100-byte values).
+struct WorkloadOptions {
+  uint64_t num_ops = 100'000;
+  uint64_t num_keys = 100'000;  // key-space size
+  size_t key_size = 16;
+  size_t value_size = 100;
+  int num_threads = 1;
+  int read_percent = 50;  // for mixed workloads
+  uint64_t seed = 42;
+  bool sync_writes = false;
+};
+
+/// Formats key index `v` as a zero-padded decimal of `key_size` bytes
+/// (db_bench key format).
+std::string MakeKey(uint64_t v, size_t key_size);
+
+/// db_bench fillrandom: random Puts over the keyspace.
+BenchResult FillRandom(DB* db, const WorkloadOptions& opts,
+                       const std::string& label);
+
+/// db_bench fillseq: sequential Puts (used to preload).
+BenchResult FillSeq(DB* db, const WorkloadOptions& opts,
+                    const std::string& label);
+
+/// db_bench readrandom: uniform random Gets.
+BenchResult ReadRandom(DB* db, const WorkloadOptions& opts,
+                       const std::string& label);
+
+/// db_bench readrandomwriterandom: opts.read_percent% Gets, rest Puts.
+BenchResult ReadWriteMix(DB* db, const WorkloadOptions& opts,
+                         const std::string& label);
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_WORKLOAD_H_

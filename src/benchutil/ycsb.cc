@@ -1,0 +1,143 @@
+#include "benchutil/ycsb.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/random.h"
+
+namespace shield {
+namespace bench {
+
+const char* YcsbName(YcsbKind kind) {
+  switch (kind) {
+    case YcsbKind::kA:
+      return "YCSB-A";
+    case YcsbKind::kB:
+      return "YCSB-B";
+    case YcsbKind::kC:
+      return "YCSB-C";
+    case YcsbKind::kD:
+      return "YCSB-D";
+    case YcsbKind::kE:
+      return "YCSB-E";
+    case YcsbKind::kF:
+      return "YCSB-F";
+  }
+  return "YCSB-?";
+}
+
+namespace {
+
+std::string YcsbValue(Random* rnd, size_t size) {
+  std::string value(size, '\0');
+  for (size_t i = 0; i < size; i++) {
+    value[i] = static_cast<char>(' ' + rnd->Uniform(95));
+  }
+  return value;
+}
+
+struct OpMix {
+  int read = 0;
+  int update = 0;
+  int insert = 0;
+  int scan = 0;
+  int rmw = 0;
+  bool latest = false;  // latest vs zipfian request distribution
+};
+
+OpMix MixFor(YcsbKind kind) {
+  switch (kind) {
+    case YcsbKind::kA:
+      return {50, 50, 0, 0, 0, false};
+    case YcsbKind::kB:
+      return {95, 5, 0, 0, 0, false};
+    case YcsbKind::kC:
+      return {100, 0, 0, 0, 0, false};
+    case YcsbKind::kD:
+      return {95, 0, 5, 0, 0, true};
+    case YcsbKind::kE:
+      return {0, 0, 5, 95, 0, false};
+    case YcsbKind::kF:
+      return {50, 0, 0, 0, 50, false};
+  }
+  return {};
+}
+
+}  // namespace
+
+BenchResult YcsbLoad(DB* db, const WorkloadOptions& opts) {
+  WorkloadOptions load = opts;
+  load.num_ops = opts.num_keys;
+  return FillSeq(db, load, "ycsb-load");
+}
+
+BenchResult RunYcsb(DB* db, YcsbKind kind, const WorkloadOptions& opts) {
+  const OpMix mix = MixFor(kind);
+  WriteOptions write_options;
+  write_options.sync = opts.sync_writes;
+  ReadOptions read_options;
+
+  struct ThreadState {
+    std::unique_ptr<ZipfianGenerator> zipf;
+    Random rnd;
+    ThreadState(uint64_t n, uint64_t seed)
+        : zipf(std::make_unique<ZipfianGenerator>(n, 0.99, seed)),
+          rnd(seed) {}
+  };
+  std::vector<std::unique_ptr<ThreadState>> states;
+  for (int t = 0; t < opts.num_threads; t++) {
+    states.push_back(
+        std::make_unique<ThreadState>(opts.num_keys, opts.seed + 31 * t));
+  }
+
+  // Inserts extend the keyspace; D's "latest" reads cluster near the
+  // newest inserted key.
+  std::atomic<uint64_t> insert_cursor{opts.num_keys};
+
+  auto pick_key = [&](ThreadState* state) -> uint64_t {
+    const uint64_t bound = insert_cursor.load(std::memory_order_relaxed);
+    if (mix.latest) {
+      // latest distribution: zipfian offset back from the newest key.
+      const uint64_t off = state->zipf->Next() % bound;
+      return bound - 1 - off;
+    }
+    return state->zipf->NextScrambled() % bound;
+  };
+
+  return RunOps(
+      YcsbName(kind), opts.num_ops, opts.num_threads,
+      [&](int t, uint64_t /*i*/) {
+        ThreadState* state = states[t].get();
+        int op = static_cast<int>(state->rnd.Uniform(100));
+        std::string value;
+        if (op < mix.read) {
+          db->Get(read_options, MakeKey(pick_key(state), opts.key_size),
+                  &value);
+        } else if (op < mix.read + mix.update) {
+          db->Put(write_options, MakeKey(pick_key(state), opts.key_size),
+                  YcsbValue(&state->rnd, opts.value_size));
+        } else if (op < mix.read + mix.update + mix.insert) {
+          const uint64_t k =
+              insert_cursor.fetch_add(1, std::memory_order_relaxed);
+          db->Put(write_options, MakeKey(k, opts.key_size),
+                  YcsbValue(&state->rnd, opts.value_size));
+        } else if (op < mix.read + mix.update + mix.insert + mix.scan) {
+          // Scan: seek + up to 100 Next()s (YCSB uniform scan length).
+          const uint64_t len = 1 + state->rnd.Uniform(100);
+          std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
+          iter->Seek(MakeKey(pick_key(state), opts.key_size));
+          for (uint64_t j = 0; j < len && iter->Valid(); j++) {
+            iter->Next();
+          }
+        } else {
+          // Read-modify-write.
+          const std::string key = MakeKey(pick_key(state), opts.key_size);
+          db->Get(read_options, key, &value);
+          db->Put(write_options, key,
+                  YcsbValue(&state->rnd, opts.value_size));
+        }
+      });
+}
+
+}  // namespace bench
+}  // namespace shield

@@ -1,0 +1,32 @@
+#ifndef SHIELD_BENCHUTIL_YCSB_H_
+#define SHIELD_BENCHUTIL_YCSB_H_
+
+#include "benchutil/workload.h"
+
+namespace shield {
+namespace bench {
+
+/// The six core YCSB workloads (Cooper et al., SoCC'10), as used in
+/// the paper's macro benchmarks (1 KiB values, Zipfian request
+/// distribution).
+enum class YcsbKind {
+  kA,  // 50% read / 50% update, zipfian
+  kB,  // 95% read / 5% update, zipfian
+  kC,  // 100% read, zipfian
+  kD,  // 95% read / 5% insert, latest
+  kE,  // 95% scan / 5% insert, zipfian
+  kF,  // 50% read / 50% read-modify-write, zipfian
+};
+
+const char* YcsbName(YcsbKind kind);
+
+/// Preloads num_keys records (the YCSB load phase).
+BenchResult YcsbLoad(DB* db, const WorkloadOptions& opts);
+
+/// Runs opts.num_ops operations of the given workload.
+BenchResult RunYcsb(DB* db, YcsbKind kind, const WorkloadOptions& opts);
+
+}  // namespace bench
+}  // namespace shield
+
+#endif  // SHIELD_BENCHUTIL_YCSB_H_

@@ -1,0 +1,44 @@
+#ifndef SHIELD_CRYPTO_AES_H_
+#define SHIELD_CRYPTO_AES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+namespace crypto {
+
+/// AES block cipher (FIPS-197), encryption direction only. The library
+/// uses AES exclusively in CTR mode, which never needs the inverse
+/// cipher. Supports 128/192/256-bit keys.
+///
+/// The implementation is a portable 32-bit T-table design (no AES-NI);
+/// see DESIGN.md for why a portable cipher preserves the paper's
+/// relative-cost phenomena.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  Aes() = default;
+
+  /// Expands the key schedule. `key` must be 16, 24 or 32 bytes.
+  Status Init(const Slice& key);
+
+  /// Encrypts exactly one 16-byte block: out = E_k(in). `in` and `out`
+  /// may alias.
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  bool initialized() const { return rounds_ != 0; }
+
+ private:
+  uint32_t round_keys_[60] = {};  // up to 14 rounds + 1, 4 words each
+  int rounds_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_AES_H_

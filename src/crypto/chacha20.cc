@@ -1,0 +1,84 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace shield {
+namespace crypto {
+
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = RotL(d, 16);
+  c += d;
+  b ^= c;
+  b = RotL(b, 12);
+  a += b;
+  d ^= a;
+  d = RotL(d, 8);
+  c += d;
+  b ^= c;
+  b = RotL(b, 7);
+}
+
+inline uint32_t Load32LE(const uint8_t* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);  // little-endian host
+  return v;
+}
+
+inline void Store32LE(uint8_t* p, uint32_t v) { memcpy(p, &v, 4); }
+
+}  // namespace
+
+Status ChaCha20::Init(const Slice& key, const Slice& nonce) {
+  if (key.size() != kKeySize) {
+    return Status::InvalidArgument("ChaCha20 key must be 32 bytes");
+  }
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("ChaCha20 nonce must be 12 bytes");
+  }
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  const uint8_t* k = reinterpret_cast<const uint8_t*>(key.data());
+  for (int i = 0; i < 8; i++) {
+    state_[4 + i] = Load32LE(k + 4 * i);
+  }
+  state_[12] = 0;  // counter, set per block
+  const uint8_t* n = reinterpret_cast<const uint8_t*>(nonce.data());
+  state_[13] = Load32LE(n);
+  state_[14] = Load32LE(n + 4);
+  state_[15] = Load32LE(n + 8);
+  initialized_ = true;
+  return Status::OK();
+}
+
+void ChaCha20::KeystreamBlock(uint32_t counter, uint8_t out[kBlockSize]) const {
+  uint32_t x[16];
+  memcpy(x, state_, sizeof(x));
+  x[12] = counter;
+  uint32_t w[16];
+  memcpy(w, x, sizeof(w));
+  for (int i = 0; i < 10; i++) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; i++) {
+    Store32LE(out + 4 * i, w[i] + x[i]);
+  }
+}
+
+}  // namespace crypto
+}  // namespace shield

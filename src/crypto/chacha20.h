@@ -1,0 +1,34 @@
+#ifndef SHIELD_CRYPTO_CHACHA20_H_
+#define SHIELD_CRYPTO_CHACHA20_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+namespace crypto {
+
+/// ChaCha20 stream cipher (RFC 7539). 32-byte key, 12-byte nonce,
+/// 32-bit block counter, 64-byte keystream blocks.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  Status Init(const Slice& key, const Slice& nonce);
+
+  /// Writes the 64-byte keystream block for `counter` into `out`.
+  void KeystreamBlock(uint32_t counter, uint8_t out[kBlockSize]) const;
+
+ private:
+  uint32_t state_[16] = {};
+  bool initialized_ = false;
+};
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_CHACHA20_H_

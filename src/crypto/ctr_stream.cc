@@ -1,0 +1,81 @@
+#include "crypto/ctr_stream.h"
+
+#include <cstring>
+
+namespace shield {
+namespace crypto {
+
+Status AesCtrCipher::Init(CipherKind kind, const Slice& key,
+                          const Slice& nonce) {
+  if (kind != CipherKind::kAes128Ctr && kind != CipherKind::kAes256Ctr) {
+    return Status::InvalidArgument("not an AES-CTR cipher kind");
+  }
+  if (nonce.size() != 16) {
+    return Status::InvalidArgument("AES-CTR nonce must be 16 bytes");
+  }
+  const size_t want = CipherKeySize(kind);
+  if (key.size() != want) {
+    return Status::InvalidArgument("AES key size mismatch for cipher kind");
+  }
+  Status s = aes_.Init(key);
+  if (!s.ok()) {
+    return s;
+  }
+  memcpy(nonce_, nonce.data(), 16);
+  kind_ = kind;
+  return Status::OK();
+}
+
+void AesCtrCipher::CounterBlock(uint64_t block_index, uint8_t out[16]) const {
+  memcpy(out, nonce_, 16);
+  // 128-bit big-endian addition of block_index.
+  uint64_t carry = block_index;
+  for (int i = 15; i >= 0 && carry != 0; i--) {
+    const uint64_t sum = static_cast<uint64_t>(out[i]) + (carry & 0xff);
+    out[i] = static_cast<uint8_t>(sum);
+    carry = (carry >> 8) + (sum >> 8);
+  }
+}
+
+void AesCtrCipher::CryptAt(uint64_t offset, char* data, size_t n) const {
+  uint8_t counter[16];
+  uint8_t keystream[16];
+  uint64_t block = offset / Aes::kBlockSize;
+  size_t in_block = offset % Aes::kBlockSize;
+  size_t i = 0;
+  while (i < n) {
+    CounterBlock(block, counter);
+    aes_.EncryptBlock(counter, keystream);
+    const size_t take = std::min(Aes::kBlockSize - in_block, n - i);
+    for (size_t j = 0; j < take; j++) {
+      data[i + j] ^= keystream[in_block + j];
+    }
+    i += take;
+    in_block = 0;
+    block++;
+  }
+}
+
+Status ChaCha20Cipher::Init(const Slice& key, const Slice& nonce) {
+  return chacha_.Init(key, nonce);
+}
+
+void ChaCha20Cipher::CryptAt(uint64_t offset, char* data, size_t n) const {
+  uint8_t keystream[ChaCha20::kBlockSize];
+  uint64_t block = offset / ChaCha20::kBlockSize;
+  size_t in_block = offset % ChaCha20::kBlockSize;
+  size_t i = 0;
+  while (i < n) {
+    chacha_.KeystreamBlock(static_cast<uint32_t>(block), keystream);
+    const size_t take = std::min(ChaCha20::kBlockSize - in_block, n - i);
+    for (size_t j = 0; j < take; j++) {
+      data[i + j] ^= keystream[in_block + j];
+    }
+    i += take;
+    in_block = 0;
+    block++;
+  }
+}
+
+}  // namespace crypto
+}  // namespace shield

@@ -1,0 +1,33 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace shield {
+namespace crypto {
+
+std::string HkdfSha256(const Slice& ikm, const Slice& salt, const Slice& info,
+                       size_t out_len) {
+  // Extract.
+  std::string default_salt(Sha256::kDigestSize, '\0');
+  const Slice effective_salt = salt.empty() ? Slice(default_salt) : salt;
+  const std::string prk = HmacSha256(effective_salt, ikm);
+
+  // Expand.
+  std::string okm;
+  std::string t;
+  uint8_t counter = 1;
+  while (okm.size() < out_len) {
+    std::string input = t;
+    input.append(info.data(), info.size());
+    input.push_back(static_cast<char>(counter));
+    t = HmacSha256(prk, input);
+    okm.append(t);
+    counter++;
+  }
+  okm.resize(out_len);
+  return okm;
+}
+
+}  // namespace crypto
+}  // namespace shield

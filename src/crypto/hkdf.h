@@ -1,0 +1,23 @@
+#ifndef SHIELD_CRYPTO_HKDF_H_
+#define SHIELD_CRYPTO_HKDF_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/slice.h"
+
+namespace shield {
+namespace crypto {
+
+/// HKDF-SHA256 (RFC 5869). Derives `out_len` bytes of key material from
+/// input keying material `ikm`, optional `salt`, and context `info`.
+/// Used by the secure DEK cache to derive its encryption and MAC keys
+/// from the user passkey, so the passkey itself is never used directly
+/// and never persisted.
+std::string HkdfSha256(const Slice& ikm, const Slice& salt, const Slice& info,
+                       size_t out_len);
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_HKDF_H_

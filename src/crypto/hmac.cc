@@ -1,0 +1,52 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace shield {
+namespace crypto {
+
+std::string HmacSha256(const Slice& key, const Slice& message) {
+  uint8_t key_block[Sha256::kBlockSize] = {};
+  if (key.size() > Sha256::kBlockSize) {
+    const std::string hashed = Sha256::Digest(key);
+    memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[Sha256::kBlockSize];
+  uint8_t opad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; i++) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(message);
+  uint8_t inner_digest[Sha256::kDigestSize];
+  inner.Final(inner_digest);
+
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest, sizeof(inner_digest));
+  uint8_t mac[Sha256::kDigestSize];
+  outer.Final(mac);
+  return std::string(reinterpret_cast<char*>(mac), sizeof(mac));
+}
+
+bool ConstantTimeEqual(const Slice& a, const Slice& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  unsigned char diff = 0;
+  for (size_t i = 0; i < a.size(); i++) {
+    diff |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace crypto
+}  // namespace shield

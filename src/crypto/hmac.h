@@ -1,0 +1,20 @@
+#ifndef SHIELD_CRYPTO_HMAC_H_
+#define SHIELD_CRYPTO_HMAC_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace shield {
+namespace crypto {
+
+/// HMAC-SHA256 (RFC 2104). Returns a 32-byte MAC.
+std::string HmacSha256(const Slice& key, const Slice& message);
+
+/// Constant-time comparison of two MACs. Returns true iff equal.
+bool ConstantTimeEqual(const Slice& a, const Slice& b);
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_HMAC_H_

@@ -1,0 +1,24 @@
+#include "crypto/secure_random.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shield {
+namespace crypto {
+
+void SecureRandomBytes(void* out, size_t n) {
+  static FILE* urandom = fopen("/dev/urandom", "rb");
+  if (urandom == nullptr || fread(out, 1, n, urandom) != n) {
+    fprintf(stderr, "FATAL: cannot read /dev/urandom for key material\n");
+    abort();
+  }
+}
+
+std::string SecureRandomString(size_t n) {
+  std::string out(n, '\0');
+  SecureRandomBytes(out.data(), n);
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace shield

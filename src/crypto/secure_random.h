@@ -1,0 +1,21 @@
+#ifndef SHIELD_CRYPTO_SECURE_RANDOM_H_
+#define SHIELD_CRYPTO_SECURE_RANDOM_H_
+
+#include <cstddef>
+#include <string>
+
+namespace shield {
+namespace crypto {
+
+/// Fills `out` with `n` bytes from the OS CSPRNG (/dev/urandom).
+/// Crashes the process if the entropy source is unavailable: key
+/// material must never silently degrade to a weak generator.
+void SecureRandomBytes(void* out, size_t n);
+
+/// Convenience: returns `n` random bytes as a string.
+std::string SecureRandomString(size_t n);
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_SECURE_RANDOM_H_

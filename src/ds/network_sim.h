@@ -1,0 +1,64 @@
+#ifndef SHIELD_DS_NETWORK_SIM_H_
+#define SHIELD_DS_NETWORK_SIM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace shield {
+
+/// Parameters of the simulated network between compute and storage
+/// servers. Defaults model the paper's testbed: servers on one rack
+/// behind a 1 Gbps switch, intra-datacenter RTT ~500 us.
+struct NetworkSimOptions {
+  uint64_t rtt_micros = 500;
+  /// Link bandwidth. 1 Gbps = 125 MB/s.
+  uint64_t bandwidth_bytes_per_sec = 125ull * 1000 * 1000;
+};
+
+/// Models a shared network link: every transfer pays serialization
+/// delay on a single shared pipe (token-bucket style: concurrent
+/// transfers queue behind each other) plus an optional round-trip
+/// latency. Thread safe.
+class NetworkSimulator {
+ public:
+  explicit NetworkSimulator(NetworkSimOptions options);
+
+  /// Blocks for the simulated duration of transferring `bytes` over
+  /// the shared link; adds one RTT when `pay_rtt` (new request) is
+  /// true. Streaming appends typically pay bandwidth only.
+  void SimulateTransfer(uint64_t bytes, bool pay_rtt);
+
+  void set_rtt_micros(uint64_t v) {
+    rtt_micros_.store(v, std::memory_order_relaxed);
+  }
+  uint64_t rtt_micros() const {
+    return rtt_micros_.load(std::memory_order_relaxed);
+  }
+  void set_bandwidth_bytes_per_sec(uint64_t v) {
+    bandwidth_.store(v == 0 ? 1 : v, std::memory_order_relaxed);
+  }
+  uint64_t bandwidth_bytes_per_sec() const {
+    return bandwidth_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_requests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> rtt_micros_;
+  std::atomic<uint64_t> bandwidth_;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_requests_{0};
+
+  std::mutex mu_;
+  uint64_t link_busy_until_micros_ = 0;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_DS_NETWORK_SIM_H_

@@ -1,0 +1,174 @@
+#include "ds/storage_service.h"
+
+namespace shield {
+
+StorageService::StorageService(Env* backing, NetworkSimOptions network_options)
+    : network_(network_options),
+      counting_env_(NewCountingEnv(backing, &media_stats_)) {}
+
+namespace {
+
+class RemoteSequentialFile final : public SequentialFile {
+ public:
+  RemoteSequentialFile(std::unique_ptr<SequentialFile> base,
+                       NetworkSimulator* net)
+      : base_(std::move(base)), net_(net) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) {
+      net_->SimulateTransfer(result->size(), /*pay_rtt=*/true);
+    }
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  NetworkSimulator* net_;
+};
+
+class RemoteRandomAccessFile final : public RandomAccessFile {
+ public:
+  RemoteRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                         NetworkSimulator* net)
+      : base_(std::move(base)), net_(net) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      net_->SimulateTransfer(result->size(), /*pay_rtt=*/true);
+    }
+    return s;
+  }
+  Status Size(uint64_t* size) const override { return base_->Size(size); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  NetworkSimulator* net_;
+};
+
+class RemoteWritableFile final : public WritableFile {
+ public:
+  RemoteWritableFile(std::unique_ptr<WritableFile> base,
+                     NetworkSimulator* net)
+      : base_(std::move(base)), net_(net) {}
+
+  Status Append(const Slice& data) override {
+    // Streaming write: pays link bandwidth but no per-append RTT
+    // (HDFS-style pipelined writes).
+    net_->SimulateTransfer(data.size(), /*pay_rtt=*/false);
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    // Durable ack requires a round trip.
+    net_->SimulateTransfer(0, /*pay_rtt=*/true);
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+  uint64_t GetFileSize() const override { return base_->GetFileSize(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  NetworkSimulator* net_;
+};
+
+class RemoteEnv final : public EnvWrapper {
+ public:
+  RemoteEnv(StorageService* service, IoStats* client_stats)
+      : EnvWrapper(service->server_env()),
+        service_(service),
+        client_env_(client_stats != nullptr
+                        ? NewCountingEnv(service->server_env(), client_stats)
+                        : nullptr) {}
+
+  Env* base() { return client_env_ ? client_env_.get() : target(); }
+
+  Status NewSequentialFile(const std::string& f,
+                           std::unique_ptr<SequentialFile>* r) override {
+    MetadataRoundTrip();
+    std::unique_ptr<SequentialFile> inner;
+    Status s = base()->NewSequentialFile(f, &inner);
+    if (!s.ok()) {
+      return s;
+    }
+    *r = std::make_unique<RemoteSequentialFile>(std::move(inner),
+                                                service_->network());
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& f,
+                             std::unique_ptr<RandomAccessFile>* r) override {
+    MetadataRoundTrip();
+    std::unique_ptr<RandomAccessFile> inner;
+    Status s = base()->NewRandomAccessFile(f, &inner);
+    if (!s.ok()) {
+      return s;
+    }
+    *r = std::make_unique<RemoteRandomAccessFile>(std::move(inner),
+                                                  service_->network());
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& f,
+                         std::unique_ptr<WritableFile>* r) override {
+    MetadataRoundTrip();
+    std::unique_ptr<WritableFile> inner;
+    Status s = base()->NewWritableFile(f, &inner);
+    if (!s.ok()) {
+      return s;
+    }
+    *r = std::make_unique<RemoteWritableFile>(std::move(inner),
+                                              service_->network());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& f) override {
+    MetadataRoundTrip();
+    return target()->FileExists(f);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* r) override {
+    MetadataRoundTrip();
+    return target()->GetChildren(dir, r);
+  }
+  Status RemoveFile(const std::string& f) override {
+    MetadataRoundTrip();
+    return target()->RemoveFile(f);
+  }
+  Status CreateDirIfMissing(const std::string& d) override {
+    MetadataRoundTrip();
+    return target()->CreateDirIfMissing(d);
+  }
+  Status RemoveDir(const std::string& d) override {
+    MetadataRoundTrip();
+    return target()->RemoveDir(d);
+  }
+  Status GetFileSize(const std::string& f, uint64_t* size) override {
+    MetadataRoundTrip();
+    return target()->GetFileSize(f, size);
+  }
+  Status RenameFile(const std::string& s, const std::string& t) override {
+    MetadataRoundTrip();
+    return target()->RenameFile(s, t);
+  }
+
+ private:
+  void MetadataRoundTrip() {
+    service_->network()->SimulateTransfer(0, /*pay_rtt=*/true);
+  }
+
+  StorageService* service_;
+  std::unique_ptr<Env> client_env_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewRemoteEnv(StorageService* service,
+                                  IoStats* client_stats) {
+  return std::make_unique<RemoteEnv>(service, client_stats);
+}
+
+}  // namespace shield

@@ -1,0 +1,49 @@
+#ifndef SHIELD_DS_STORAGE_SERVICE_H_
+#define SHIELD_DS_STORAGE_SERVICE_H_
+
+#include <memory>
+
+#include "ds/network_sim.h"
+#include "env/env.h"
+#include "env/io_stats.h"
+
+namespace shield {
+
+/// The disaggregated storage cluster, emulating the paper's
+/// HDFS-on-a-second-server setup: a shared file namespace that any
+/// number of compute-side RemoteEnv clients (primary instance,
+/// read-only instances, compaction workers) access over a simulated
+/// network. Server-side I/O is accounted separately from client
+/// traffic (paper Table 3 splits I/O by server and storage medium).
+class StorageService {
+ public:
+  /// `backing` is the storage server's local filesystem (a MemEnv or a
+  /// PosixEnv directory). Not owned.
+  StorageService(Env* backing, NetworkSimOptions network_options);
+
+  /// The server-side view of the namespace (no network cost); used by
+  /// services co-located with storage, e.g. the offloaded compaction
+  /// worker running on the storage server.
+  Env* server_env() { return counting_env_.get(); }
+
+  NetworkSimulator* network() { return &network_; }
+
+  /// Cumulative I/O performed on the storage medium itself.
+  IoStats* media_stats() { return &media_stats_; }
+
+ private:
+  NetworkSimulator network_;
+  IoStats media_stats_;
+  std::unique_ptr<Env> counting_env_;
+};
+
+/// Creates a compute-side client Env for the storage service: every
+/// operation pays simulated network cost. If `client_stats` is
+/// non-null, client-observed traffic is recorded there. The returned
+/// Env does not own the service.
+std::unique_ptr<Env> NewRemoteEnv(StorageService* service,
+                                  IoStats* client_stats);
+
+}  // namespace shield
+
+#endif  // SHIELD_DS_STORAGE_SERVICE_H_

@@ -1,0 +1,144 @@
+#ifndef SHIELD_ENV_ENV_H_
+#define SHIELD_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// A file read sequentially from the beginning (WAL/manifest replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes. `scratch` must have room for `n` bytes;
+  /// `*result` points either into scratch or into an internal buffer.
+  /// A short read (including empty) with OK status signals EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// A file supporting positional reads (SST block fetches).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+
+  virtual Status Size(uint64_t* size) const = 0;
+};
+
+/// An append-only writable file (WAL, SST, manifest).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  /// Pushes application buffers to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+  /// Durably persists all appended data.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+  /// Bytes appended so far (the logical write offset).
+  virtual uint64_t GetFileSize() const = 0;
+};
+
+/// Env abstracts the storage system underneath the LSM engine, in the
+/// style of rocksdb::Env. Implementations: PosixEnv (local disk),
+/// MemEnv (tests), EncryptedEnv (the paper's instance-level EncFS
+/// design), RemoteEnv (simulated disaggregated storage).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide local-disk environment (never deleted).
+  static Env* Default();
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  /// Lists the plain names (not paths) of entries in `dir`.
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+};
+
+/// Forwards all calls to a wrapped Env; subclass and override what you
+/// need (EncryptedEnv, RemoteEnv, counting wrappers).
+class EnvWrapper : public Env {
+ public:
+  explicit EnvWrapper(Env* target) : target_(target) {}
+
+  Env* target() const { return target_; }
+
+  Status NewSequentialFile(const std::string& f,
+                           std::unique_ptr<SequentialFile>* r) override {
+    return target_->NewSequentialFile(f, r);
+  }
+  Status NewRandomAccessFile(const std::string& f,
+                             std::unique_ptr<RandomAccessFile>* r) override {
+    return target_->NewRandomAccessFile(f, r);
+  }
+  Status NewWritableFile(const std::string& f,
+                         std::unique_ptr<WritableFile>* r) override {
+    return target_->NewWritableFile(f, r);
+  }
+  bool FileExists(const std::string& f) override {
+    return target_->FileExists(f);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* r) override {
+    return target_->GetChildren(dir, r);
+  }
+  Status RemoveFile(const std::string& f) override {
+    return target_->RemoveFile(f);
+  }
+  Status CreateDirIfMissing(const std::string& d) override {
+    return target_->CreateDirIfMissing(d);
+  }
+  Status RemoveDir(const std::string& d) override {
+    return target_->RemoveDir(d);
+  }
+  Status GetFileSize(const std::string& f, uint64_t* size) override {
+    return target_->GetFileSize(f, size);
+  }
+  Status RenameFile(const std::string& s, const std::string& t) override {
+    return target_->RenameFile(s, t);
+  }
+
+ private:
+  Env* target_;
+};
+
+/// Creates a fresh in-memory Env. The caller owns the result. All state
+/// lives in process memory; useful for tests and as the backing store
+/// of the simulated disaggregated storage service.
+std::unique_ptr<Env> NewMemEnv();
+
+// --- Convenience helpers (env.cc) ---
+
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool sync);
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+}  // namespace shield
+
+#endif  // SHIELD_ENV_ENV_H_

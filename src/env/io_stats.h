@@ -1,0 +1,69 @@
+#ifndef SHIELD_ENV_IO_STATS_H_
+#define SHIELD_ENV_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+
+namespace shield {
+
+/// File categories for I/O accounting (paper Table 3 reports read/write
+/// GiB split by operation type and target medium).
+enum class FileKind : int {
+  kWal = 0,
+  kSst = 1,
+  kManifest = 2,
+  kOther = 3,
+};
+constexpr int kNumFileKinds = 4;
+
+/// Classifies a file path by its suffix / basename, matching the naming
+/// scheme in lsm/file_names.h.
+FileKind ClassifyFile(const std::string& fname);
+
+/// Cumulative I/O counters, grouped by FileKind. Thread safe.
+class IoStats {
+ public:
+  void AddRead(FileKind kind, uint64_t bytes) {
+    read_bytes_[static_cast<int>(kind)].fetch_add(bytes,
+                                                  std::memory_order_relaxed);
+    read_ops_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddWrite(FileKind kind, uint64_t bytes) {
+    write_bytes_[static_cast<int>(kind)].fetch_add(bytes,
+                                                   std::memory_order_relaxed);
+    write_ops_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t ReadBytes(FileKind kind) const {
+    return read_bytes_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t WriteBytes(FileKind kind) const {
+    return write_bytes_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalReadBytes() const;
+  uint64_t TotalWriteBytes() const;
+
+  void Reset();
+
+  /// "wal r/w=..., sst r/w=..., manifest r/w=..." in MiB.
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> read_bytes_[kNumFileKinds] = {};
+  std::atomic<uint64_t> write_bytes_[kNumFileKinds] = {};
+  std::atomic<uint64_t> read_ops_[kNumFileKinds] = {};
+  std::atomic<uint64_t> write_ops_[kNumFileKinds] = {};
+};
+
+/// Wraps an Env and records all file I/O into an IoStats, classified by
+/// file kind. The stats object must outlive the wrapper and all files
+/// it creates.
+std::unique_ptr<Env> NewCountingEnv(Env* base, IoStats* stats);
+
+}  // namespace shield
+
+#endif  // SHIELD_ENV_IO_STATS_H_

@@ -1,0 +1,64 @@
+#include "kds/dek.h"
+
+#include <cstring>
+
+#include "crypto/secure_random.h"
+
+namespace shield {
+
+bool DekId::IsZero() const {
+  for (uint8_t b : bytes) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DekId::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(kSize * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+bool DekId::FromHex(const std::string& hex, DekId* out) {
+  if (hex.size() != kSize * 2) {
+    return false;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < kSize; i++) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+DekId DekId::FromSlice(const Slice& s) {
+  DekId id;
+  if (s.size() >= kSize) {
+    memcpy(id.bytes.data(), s.data(), kSize);
+  }
+  return id;
+}
+
+DekId DekId::Generate() {
+  DekId id;
+  crypto::SecureRandomBytes(id.bytes.data(), kSize);
+  return id;
+}
+
+}  // namespace shield

@@ -1,0 +1,49 @@
+#ifndef SHIELD_KDS_DEK_H_
+#define SHIELD_KDS_DEK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/cipher.h"
+#include "util/slice.h"
+
+namespace shield {
+
+/// A 16-byte globally unique Data-Encryption-Key identifier. DEK-IDs
+/// are embedded (in plaintext) in file metadata so any authorized
+/// server can resolve the DEK from the KDS — the paper's
+/// "metadata-enabled DEK sharing" (Section 5.4).
+struct DekId {
+  std::array<uint8_t, 16> bytes = {};
+
+  static constexpr size_t kSize = 16;
+
+  bool operator==(const DekId& other) const { return bytes == other.bytes; }
+  bool operator<(const DekId& other) const { return bytes < other.bytes; }
+
+  bool IsZero() const;
+
+  /// Lowercase hex, e.g. "1f0a...".
+  std::string ToHex() const;
+  static bool FromHex(const std::string& hex, DekId* out);
+
+  Slice AsSlice() const {
+    return Slice(reinterpret_cast<const char*>(bytes.data()), kSize);
+  }
+  static DekId FromSlice(const Slice& s);
+
+  /// A fresh random DEK-ID from the CSPRNG.
+  static DekId Generate();
+};
+
+/// A data encryption key with its identity and algorithm.
+struct Dek {
+  DekId id;
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128Ctr;
+  std::string key;  // CipherKeySize(cipher) bytes of secret key material
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_DEK_H_

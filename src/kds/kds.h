@@ -1,0 +1,42 @@
+#ifndef SHIELD_KDS_KDS_H_
+#define SHIELD_KDS_KDS_H_
+
+#include <string>
+
+#include "kds/dek.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// Key Distribution Service interface. SHIELD requires a KDS that is
+/// (1) decentralized / highly available and (2) provisions DEKs with
+/// unique identifiers (paper Section 5.2). The paper uses the Secure
+/// Swarm Toolkit; this repo provides LocalKds (monolith, zero latency)
+/// and SimKds (emulates SSToolkit service latency, server
+/// authorization, revocation, and one-time provisioning policies).
+///
+/// All methods identify the caller by `server_id` so the KDS can apply
+/// per-server authorization, mirroring how SSToolkit authenticates
+/// entities.
+class Kds {
+ public:
+  virtual ~Kds() = default;
+
+  /// Issues a brand-new DEK of the given cipher kind to `server_id`.
+  virtual Status CreateDek(const std::string& server_id,
+                           crypto::CipherKind kind, Dek* out) = 0;
+
+  /// Resolves an existing DEK by id, subject to the KDS policy
+  /// (authorization, one-time provisioning). Returns PermissionDenied
+  /// when policy blocks the request and NotFound for unknown ids.
+  virtual Status GetDek(const std::string& server_id, const DekId& id,
+                        Dek* out) = 0;
+
+  /// Permanently destroys a DEK (called when the file it protects is
+  /// deleted, completing DEK rotation).
+  virtual Status DeleteDek(const std::string& server_id, const DekId& id) = 0;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_KDS_H_

@@ -1,0 +1,48 @@
+#include "kds/local_kds.h"
+
+#include "crypto/secure_random.h"
+
+namespace shield {
+
+Status LocalKds::CreateDek(const std::string& server_id,
+                           crypto::CipherKind kind, Dek* out) {
+  (void)server_id;  // no policy at this layer
+  Dek dek;
+  dek.id = DekId::Generate();
+  dek.cipher = kind;
+  dek.key = crypto::SecureRandomString(crypto::CipherKeySize(kind));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deks_[dek.id] = dek;
+  }
+  *out = std::move(dek);
+  return Status::OK();
+}
+
+Status LocalKds::GetDek(const std::string& server_id, const DekId& id,
+                        Dek* out) {
+  (void)server_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deks_.find(id);
+  if (it == deks_.end()) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+Status LocalKds::DeleteDek(const std::string& server_id, const DekId& id) {
+  (void)server_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deks_.erase(id) == 0) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  return Status::OK();
+}
+
+size_t LocalKds::NumDeks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deks_.size();
+}
+
+}  // namespace shield

@@ -1,0 +1,32 @@
+#ifndef SHIELD_KDS_LOCAL_KDS_H_
+#define SHIELD_KDS_LOCAL_KDS_H_
+
+#include <map>
+#include <mutex>
+
+#include "kds/kds.h"
+
+namespace shield {
+
+/// An in-process KDS with no latency and no policy: every caller is
+/// authorized, DEKs can be fetched any number of times. Suitable for
+/// monolithic deployments and as the storage backend of SimKds.
+class LocalKds : public Kds {
+ public:
+  Status CreateDek(const std::string& server_id, crypto::CipherKind kind,
+                   Dek* out) override;
+  Status GetDek(const std::string& server_id, const DekId& id,
+                Dek* out) override;
+  Status DeleteDek(const std::string& server_id, const DekId& id) override;
+
+  /// Number of DEKs currently held.
+  size_t NumDeks() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<DekId, Dek> deks_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_LOCAL_KDS_H_

@@ -1,0 +1,67 @@
+#ifndef SHIELD_KDS_SECURE_DEK_CACHE_H_
+#define SHIELD_KDS_SECURE_DEK_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "kds/dek.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// SHIELD's secure on-disk DEK cache (paper Section 5.2, "On-Demand Key
+/// Retrieval with Secure Caching"). DEKs fetched from the KDS are
+/// cached in a local file so database restarts do not pay a KDS
+/// round-trip per file. The cache file is encrypted with keys derived
+/// from a user passkey via HKDF-SHA256 and authenticated with
+/// HMAC-SHA256; the passkey itself is never persisted. Multiple
+/// LSM-KVS instances on the same server may share one cache as long as
+/// they hold the passkey.
+///
+/// On-disk layout:
+///   magic(8) | salt(16) | nonce(16) | ciphertext | hmac(32)
+/// ciphertext = AES-256-CTR(serialized entries), HMAC over everything
+/// before it.
+class SecureDekCache {
+ public:
+  /// Opens (or creates) the cache at `path` using `passkey`. Fails with
+  /// PermissionDenied if an existing cache does not authenticate under
+  /// this passkey.
+  static Status Open(Env* env, const std::string& path,
+                     const std::string& passkey,
+                     std::unique_ptr<SecureDekCache>* out);
+
+  /// Looks up a DEK. Returns NotFound if absent.
+  Status Get(const DekId& id, Dek* out);
+
+  /// Inserts or overwrites a DEK and persists the cache.
+  Status Put(const Dek& dek);
+
+  /// Removes a DEK (its file was deleted / rotated away) and persists.
+  Status Erase(const DekId& id);
+
+  size_t NumDeks() const;
+
+ private:
+  SecureDekCache(Env* env, std::string path, std::string passkey);
+
+  Status Load();
+  Status Persist();  // mu_ held
+
+  std::string Serialize() const;  // mu_ held
+  Status Deserialize(const Slice& data);
+
+  Env* env_;
+  const std::string path_;
+  const std::string passkey_;
+  std::string salt_;
+
+  mutable std::mutex mu_;
+  std::map<DekId, Dek> deks_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_SECURE_DEK_CACHE_H_

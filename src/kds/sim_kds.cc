@@ -1,0 +1,105 @@
+#include "kds/sim_kds.h"
+
+#include "crypto/secure_random.h"
+#include "util/clock.h"
+
+namespace shield {
+
+SimKds::SimKds(SimKdsOptions options)
+    : options_(options), latency_us_(options.request_latency_us) {}
+
+void SimKds::SimulateLatency() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  SleepForMicros(latency_us_.load(std::memory_order_relaxed));
+}
+
+Status SimKds::CheckAuthorized(const std::string& server_id) {
+  // mu_ held by caller.
+  if (revoked_.count(server_id) > 0) {
+    return Status::PermissionDenied("server revoked", server_id);
+  }
+  if (options_.require_authorization && authorized_.count(server_id) == 0) {
+    return Status::PermissionDenied("server not authorized", server_id);
+  }
+  return Status::OK();
+}
+
+Status SimKds::CreateDek(const std::string& server_id,
+                         crypto::CipherKind kind, Dek* out) {
+  SimulateLatency();
+  Dek dek;
+  dek.id = DekId::Generate();
+  dek.cipher = kind;
+  dek.key = crypto::SecureRandomString(crypto::CipherKeySize(kind));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = CheckAuthorized(server_id);
+    if (!s.ok()) {
+      return s;
+    }
+    deks_[dek.id] = dek;
+    // The creator implicitly holds the key; record it as provisioned to
+    // that server so a one-time policy lets the creator re-fetch after
+    // a restart be denied (it must use its secure cache instead).
+    provisioned_[dek.id].insert(server_id);
+  }
+  *out = std::move(dek);
+  return Status::OK();
+}
+
+Status SimKds::GetDek(const std::string& server_id, const DekId& id,
+                      Dek* out) {
+  SimulateLatency();
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = CheckAuthorized(server_id);
+  if (!s.ok()) {
+    return s;
+  }
+  auto it = deks_.find(id);
+  if (it == deks_.end()) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  if (options_.one_time_provisioning) {
+    auto& servers = provisioned_[id];
+    if (servers.count(server_id) > 0) {
+      return Status::PermissionDenied("DEK already provisioned to server",
+                                      server_id);
+    }
+    servers.insert(server_id);
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+Status SimKds::DeleteDek(const std::string& server_id, const DekId& id) {
+  SimulateLatency();
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = CheckAuthorized(server_id);
+  if (!s.ok()) {
+    return s;
+  }
+  if (deks_.erase(id) == 0) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  provisioned_.erase(id);
+  return Status::OK();
+}
+
+void SimKds::AuthorizeServer(const std::string& server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  authorized_.insert(server_id);
+  revoked_.erase(server_id);
+}
+
+void SimKds::RevokeServer(const std::string& server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revoked_.insert(server_id);
+  authorized_.erase(server_id);
+}
+
+size_t SimKds::NumDeks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deks_.size();
+}
+
+}  // namespace shield

@@ -1,0 +1,82 @@
+#ifndef SHIELD_KDS_SIM_KDS_H_
+#define SHIELD_KDS_SIM_KDS_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "kds/kds.h"
+
+namespace shield {
+
+/// Configuration of the simulated Secure-Swarm-Toolkit-style KDS.
+struct SimKdsOptions {
+  /// Service latency applied to every request (generation + network).
+  /// The paper measures SSToolkit at ~2750 us per DEK on a LAN.
+  uint64_t request_latency_us = 2750;
+
+  /// When true, a DEK may be fetched by GetDek at most once per server;
+  /// later requests are denied even with a valid DEK-ID (the paper's
+  /// one-time provisioning safeguard, Section 5.4). The creating
+  /// server's CreateDek does not count as a fetch.
+  bool one_time_provisioning = false;
+
+  /// When true, only servers in the authorized set may talk to the
+  /// KDS. Servers are added with AuthorizeServer().
+  bool require_authorization = false;
+};
+
+/// SimKds emulates a decentralized KDS for disaggregated deployments:
+/// per-request latency, per-server authorization with revocation, and
+/// one-time DEK provisioning. Thread safe.
+class SimKds : public Kds {
+ public:
+  explicit SimKds(SimKdsOptions options = {});
+
+  Status CreateDek(const std::string& server_id, crypto::CipherKind kind,
+                   Dek* out) override;
+  Status GetDek(const std::string& server_id, const DekId& id,
+                Dek* out) override;
+  Status DeleteDek(const std::string& server_id, const DekId& id) override;
+
+  /// Grants `server_id` access to the KDS.
+  void AuthorizeServer(const std::string& server_id);
+  /// Revokes a (possibly breached) server; its future requests fail
+  /// with PermissionDenied.
+  void RevokeServer(const std::string& server_id);
+
+  /// Changes the simulated service latency at runtime (Fig. 16 sweep).
+  void set_request_latency_us(uint64_t us) {
+    latency_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t request_latency_us() const {
+    return latency_us_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t num_requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  size_t NumDeks() const;
+
+ private:
+  Status CheckAuthorized(const std::string& server_id);
+  void SimulateLatency();
+
+  SimKdsOptions options_;
+  std::atomic<uint64_t> latency_us_;
+  std::atomic<uint64_t> requests_{0};
+
+  mutable std::mutex mu_;
+  std::map<DekId, Dek> deks_;
+  std::set<std::string> authorized_;
+  std::set<std::string> revoked_;
+  // dek id -> set of servers that already fetched it (for one-time
+  // provisioning).
+  std::map<DekId, std::set<std::string>> provisioned_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_SIM_KDS_H_

@@ -1,0 +1,46 @@
+#ifndef SHIELD_LSM_BLOCK_BUILDER_H_
+#define SHIELD_LSM_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace shield {
+
+class Comparator;
+
+/// Builds a prefix-compressed key/value block with restart points
+/// (LevelDB block format). Keys must be added in sorted order.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart array and returns the complete block
+  /// contents. The returned slice is valid until Reset().
+  Slice Finish();
+
+  /// Current (uncompressed) size estimate including the trailer.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_BLOCK_BUILDER_H_

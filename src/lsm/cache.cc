@@ -1,0 +1,249 @@
+#include "lsm/cache.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace shield {
+
+namespace {
+
+// An entry is a variable length heap-allocated structure. Entries are
+// kept in a circular doubly linked list ordered by access time.
+struct LRUHandle {
+  void* value;
+  void (*deleter)(const Slice&, void* value);
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  size_t key_length;
+  bool in_cache;     // whether the cache has a reference on the entry
+  uint32_t refs;     // references, including the cache's own if in_cache
+  char key_data[1];  // beginning of key
+
+  Slice key() const { return Slice(key_data, key_length); }
+};
+
+class LRUCacheShard {
+ public:
+  LRUCacheShard() {
+    // Empty circular linked lists.
+    lru_.next = &lru_;
+    lru_.prev = &lru_;
+    in_use_.next = &in_use_;
+    in_use_.prev = &in_use_;
+  }
+
+  ~LRUCacheShard() {
+    assert(in_use_.next == &in_use_);  // all handles released
+    for (LRUHandle* e = lru_.next; e != &lru_;) {
+      LRUHandle* next = e->next;
+      assert(e->in_cache);
+      e->in_cache = false;
+      assert(e->refs == 1);
+      Unref(e);
+      e = next;
+    }
+  }
+
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+
+  Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
+                        void (*deleter)(const Slice& key, void* value)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    LRUHandle* e = reinterpret_cast<LRUHandle*>(
+        malloc(sizeof(LRUHandle) - 1 + key.size()));
+    e->value = value;
+    e->deleter = deleter;
+    e->charge = charge;
+    e->key_length = key.size();
+    e->in_cache = false;
+    e->refs = 1;  // for the returned handle
+    memcpy(e->key_data, key.data(), key.size());
+
+    if (capacity_ > 0) {
+      e->refs++;  // for the cache's reference
+      e->in_cache = true;
+      LRU_Append(&in_use_, e);
+      usage_ += charge;
+      FinishErase(FindAndRemove(key));
+    }  // else: caching disabled; still return a handle
+
+    while (usage_ > capacity_ && lru_.next != &lru_) {
+      LRUHandle* old = lru_.next;
+      assert(old->refs == 1);
+      table_.erase(std::string(old->key_data, old->key_length));
+      FinishErase(old);
+    }
+    if (e->in_cache) {
+      table_[std::string(key.data(), key.size())] = e;
+    }
+
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  Cache::Handle* Lookup(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(std::string(key.data(), key.size()));
+    if (it == table_.end()) {
+      return nullptr;
+    }
+    LRUHandle* e = it->second;
+    Ref(e);
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  void Release(Cache::Handle* handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Unref(reinterpret_cast<LRUHandle*>(handle));
+  }
+
+  void Erase(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FinishErase(FindAndRemove(key));
+  }
+
+  size_t TotalCharge() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return usage_;
+  }
+
+ private:
+  // Removes from hash table and returns the entry (or nullptr).
+  LRUHandle* FindAndRemove(const Slice& key) {
+    auto it = table_.find(std::string(key.data(), key.size()));
+    if (it == table_.end()) {
+      return nullptr;
+    }
+    LRUHandle* e = it->second;
+    table_.erase(it);
+    return e;
+  }
+
+  // Finalizes removal of *e from the cache (already removed from the
+  // hash table).
+  void FinishErase(LRUHandle* e) {
+    if (e != nullptr) {
+      assert(e->in_cache);
+      LRU_Remove(e);
+      e->in_cache = false;
+      usage_ -= e->charge;
+      Unref(e);
+    }
+  }
+
+  void Ref(LRUHandle* e) {
+    if (e->refs == 1 && e->in_cache) {  // on lru_; move to in_use_
+      LRU_Remove(e);
+      LRU_Append(&in_use_, e);
+    }
+    e->refs++;
+  }
+
+  void Unref(LRUHandle* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      assert(!e->in_cache);
+      (*e->deleter)(e->key(), e->value);
+      free(e);
+    } else if (e->in_cache && e->refs == 1) {
+      // No longer in use; move to lru_ (evictable).
+      LRU_Remove(e);
+      LRU_Append(&lru_, e);
+    }
+  }
+
+  static void LRU_Remove(LRUHandle* e) {
+    e->next->prev = e->prev;
+    e->prev->next = e->next;
+  }
+
+  static void LRU_Append(LRUHandle* list, LRUHandle* e) {
+    // Make e the newest entry by inserting just before *list.
+    e->next = list;
+    e->prev = list->prev;
+    e->prev->next = e;
+    e->next->prev = e;
+  }
+
+  mutable std::mutex mutex_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+
+  // lru_: entries with refs==1 and in_cache (evictable), oldest first.
+  LRUHandle lru_;
+  // in_use_: entries the client holds references to.
+  LRUHandle in_use_;
+
+  std::unordered_map<std::string, LRUHandle*> table_;
+};
+
+constexpr int kNumShardBits = 4;
+constexpr int kNumShards = 1 << kNumShardBits;
+
+class ShardedLRUCache final : public Cache {
+ public:
+  explicit ShardedLRUCache(size_t capacity) {
+    const size_t per_shard = (capacity + (kNumShards - 1)) / kNumShards;
+    for (auto& shard : shards_) {
+      shard.SetCapacity(per_shard);
+    }
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 void (*deleter)(const Slice& key, void* value)) override {
+    return shards_[Shard(key)].Insert(key, value, charge, deleter);
+  }
+  Handle* Lookup(const Slice& key) override {
+    return shards_[Shard(key)].Lookup(key);
+  }
+  void Release(Handle* handle) override {
+    LRUHandle* h = reinterpret_cast<LRUHandle*>(handle);
+    shards_[Shard(h->key())].Release(handle);
+  }
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUHandle*>(handle)->value;
+  }
+  void Erase(const Slice& key) override { shards_[Shard(key)].Erase(key); }
+  uint64_t NewId() override {
+    std::lock_guard<std::mutex> lock(id_mutex_);
+    return ++last_id_;
+  }
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.TotalCharge();
+    }
+    return total;
+  }
+
+ private:
+  static uint32_t HashSlice(const Slice& s) {
+    // FNV-1a.
+    uint32_t h = 2166136261u;
+    for (size_t i = 0; i < s.size(); i++) {
+      h ^= static_cast<uint8_t>(s[i]);
+      h *= 16777619u;
+    }
+    return h;
+  }
+
+  static uint32_t Shard(const Slice& key) {
+    return HashSlice(key) >> (32 - kNumShardBits);
+  }
+
+  LRUCacheShard shards_[kNumShards];
+  std::mutex id_mutex_;
+  uint64_t last_id_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<Cache> NewLRUCache(size_t capacity) {
+  return std::make_shared<ShardedLRUCache>(capacity);
+}
+
+}  // namespace shield

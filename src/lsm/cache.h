@@ -1,0 +1,47 @@
+#ifndef SHIELD_LSM_CACHE_H_
+#define SHIELD_LSM_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "util/slice.h"
+
+namespace shield {
+
+/// A sharded LRU cache with reference-counted handles (LevelDB Cache
+/// interface). Used for decrypted data blocks and open table readers.
+/// Thread safe.
+class Cache {
+ public:
+  Cache() = default;
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  struct Handle {};
+
+  /// Inserts key->value with the given charge. The returned handle is
+  /// referenced; callers must Release() it. `deleter` runs when the
+  /// entry is evicted and unreferenced.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  /// Returns a referenced handle or nullptr.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+  virtual void Erase(const Slice& key) = 0;
+
+  /// A unique id for key-space partitioning among cache clients.
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+};
+
+std::shared_ptr<Cache> NewLRUCache(size_t capacity);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_CACHE_H_

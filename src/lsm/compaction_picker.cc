@@ -1,0 +1,267 @@
+#include <algorithm>
+
+#include "lsm/version_set.h"
+
+namespace shield {
+
+// Compaction-picking policies (paper Fig. 15 evaluates SHIELD across
+// RocksDB's leveled, universal, and FIFO styles; the pickers below
+// implement the corresponding behaviours on this engine).
+
+Compaction* VersionSet::PickCompaction() {
+  switch (options_.compaction_style) {
+    case CompactionStyle::kLeveled:
+      return PickLeveledCompaction();
+    case CompactionStyle::kUniversal:
+      return PickUniversalCompaction();
+    case CompactionStyle::kFifo:
+      return PickFifoCompaction();
+  }
+  return nullptr;
+}
+
+Compaction* VersionSet::PickLeveledCompaction() {
+  if (current_->compaction_score_ < 1) {
+    return nullptr;
+  }
+  const int level = current_->compaction_level_;
+  assert(level >= 0);
+  assert(level + 1 < num_levels_);
+
+  Compaction* c = new Compaction(options_, level, level + 1);
+
+  // Pick the first file past compact_pointer_[level] (round-robin over
+  // the keyspace so every file is eventually compacted — and under
+  // SHIELD, eventually re-keyed).
+  for (FileMetaData* f : current_->files_[level]) {
+    if (compact_pointer_[level].empty() ||
+        icmp_->Compare(f->largest.Encode(),
+                       Slice(compact_pointer_[level])) > 0) {
+      c->inputs_[0].push_back(f);
+      break;
+    }
+  }
+  if (c->inputs_[0].empty() && !current_->files_[level].empty()) {
+    // Wrap around.
+    c->inputs_[0].push_back(current_->files_[level][0]);
+  }
+  if (c->inputs_[0].empty()) {
+    delete c;
+    return nullptr;
+  }
+
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+
+  if (level == 0) {
+    // Level-0 files may overlap each other; pull in all overlapping
+    // ones.
+    InternalKey smallest, largest;
+    GetRange(c->inputs_[0], &smallest, &largest);
+    current_->GetOverlappingInputs(0, &smallest, &largest, &c->inputs_[0]);
+    assert(!c->inputs_[0].empty());
+  }
+
+  SetupOtherInputs(c);
+  return c;
+}
+
+void VersionSet::SetupOtherInputs(Compaction* c) {
+  const int level = c->level();
+  InternalKey smallest, largest;
+  GetRange(c->inputs_[0], &smallest, &largest);
+
+  current_->GetOverlappingInputs(level + 1, &smallest, &largest,
+                                 &c->inputs_[1]);
+
+  InternalKey all_start, all_limit;
+  GetRange2(c->inputs_[0], c->inputs_[1], &all_start, &all_limit);
+
+  // Try to grow the level-`level` inputs without changing the
+  // level+1 inputs (pulls more work into one pass when free).
+  if (!c->inputs_[1].empty()) {
+    std::vector<FileMetaData*> expanded0;
+    current_->GetOverlappingInputs(level, &all_start, &all_limit, &expanded0);
+    int64_t inputs0_size = 0, inputs1_size = 0, expanded0_size = 0;
+    for (FileMetaData* f : c->inputs_[0]) inputs0_size += f->file_size;
+    for (FileMetaData* f : c->inputs_[1]) inputs1_size += f->file_size;
+    for (FileMetaData* f : expanded0) expanded0_size += f->file_size;
+    const int64_t expansion_limit =
+        25 * static_cast<int64_t>(options_.target_file_size_base);
+    if (expanded0.size() > c->inputs_[0].size() &&
+        inputs1_size + expanded0_size < expansion_limit) {
+      InternalKey new_start, new_limit;
+      GetRange(expanded0, &new_start, &new_limit);
+      std::vector<FileMetaData*> expanded1;
+      current_->GetOverlappingInputs(level + 1, &new_start, &new_limit,
+                                     &expanded1);
+      if (expanded1.size() == c->inputs_[1].size()) {
+        c->inputs_[0] = expanded0;
+        c->inputs_[1] = expanded1;
+        GetRange2(c->inputs_[0], c->inputs_[1], &all_start, &all_limit);
+      }
+    }
+  }
+
+  // Mark bottommost: no data below the output level within the key
+  // range means tombstones can be dropped.
+  bool data_below = false;
+  for (int lvl = c->output_level() + 1; lvl < num_levels_ && !data_below;
+       lvl++) {
+    Slice start_key = all_start.user_key();
+    Slice limit_key = all_limit.user_key();
+    data_below = SomeOverlap(lvl, start_key, limit_key);
+  }
+  c->bottommost_ = !data_below;
+
+  GetRange(c->inputs_[0], &smallest, &largest);
+  compact_pointer_[level] = largest.Encode().ToString();
+  c->edit_.Clear();
+}
+
+bool VersionSet::SomeOverlap(int level, const Slice& smallest_user_key,
+                             const Slice& largest_user_key) {
+  return current_->OverlapInLevel(level, &smallest_user_key,
+                                  &largest_user_key);
+}
+
+Compaction* VersionSet::PickUniversalCompaction() {
+  // All sorted runs live in level 0 (each file is one run). When the
+  // number of runs reaches the trigger, merge a prefix of the NEWEST
+  // runs selected by the size-ratio rule into a single run — fewer,
+  // larger I/Os than leveled (tiered compaction). Merging an
+  // age-contiguous newest prefix preserves the level-0 recency
+  // invariant: the merged output receives a fresh (highest) file
+  // number and indeed holds the newest data.
+  const std::vector<FileMetaData*>& files = current_->files_[0];
+  const int trigger = options_.level0_file_num_compaction_trigger;
+  if (static_cast<int>(files.size()) < trigger) {
+    return nullptr;
+  }
+
+  std::vector<FileMetaData*> newest_first = files;
+  std::sort(newest_first.begin(), newest_first.end(),
+            [](FileMetaData* a, FileMetaData* b) {
+              if (a->largest_seq != b->largest_seq) {
+                return a->largest_seq > b->largest_seq;
+              }
+              return a->number > b->number;
+            });
+
+  std::vector<FileMetaData*> picked;
+  int64_t accumulated = 0;
+  for (FileMetaData* f : newest_first) {
+    if (picked.empty()) {
+      picked.push_back(f);
+      accumulated = static_cast<int64_t>(f->file_size);
+      continue;
+    }
+    const int64_t limit =
+        accumulated * (100 + options_.universal_size_ratio_percent) / 100;
+    if (static_cast<int64_t>(f->file_size) > limit) {
+      break;  // next (older) run is too large relative to the prefix
+    }
+    picked.push_back(f);
+    accumulated += static_cast<int64_t>(f->file_size);
+  }
+
+  // Bound the number of outstanding sorted runs: extend the merge past
+  // the ratio rule until the post-merge run count fits.
+  while (static_cast<int>(newest_first.size() - picked.size()) + 1 >
+             options_.universal_max_sorted_runs &&
+         picked.size() < newest_first.size()) {
+    picked.push_back(newest_first[picked.size()]);
+  }
+
+  // Guarantee progress whenever the trigger fired (a null pick here
+  // with NeedsCompaction() still true would spin the scheduler).
+  if (picked.size() < 2) {
+    picked.assign(newest_first.begin(), newest_first.begin() + 2);
+  }
+
+  Compaction* c = new Compaction(options_, 0, 0);
+  // Universal outputs one large run; do not cap output file size.
+  c->max_output_file_size_ = UINT64_MAX;
+  c->inputs_[0] = picked;
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  // Dropping tombstones is safe only when every run participates.
+  c->bottommost_ = picked.size() == files.size();
+  return c;
+}
+
+Compaction* VersionSet::PickFifoCompaction() {
+  // FIFO: never merge; evict the oldest files once the total size
+  // exceeds the budget.
+  const std::vector<FileMetaData*>& files = current_->files_[0];
+  int64_t total = 0;
+  for (const FileMetaData* f : files) {
+    total += static_cast<int64_t>(f->file_size);
+  }
+  if (total <= static_cast<int64_t>(options_.fifo_max_table_files_size) ||
+      files.empty()) {
+    return nullptr;
+  }
+
+  std::vector<FileMetaData*> sorted = files;
+  std::sort(sorted.begin(), sorted.end(),
+            [](FileMetaData* a, FileMetaData* b) {
+              if (a->largest_seq != b->largest_seq) {
+                return a->largest_seq < b->largest_seq;
+              }
+              return a->number < b->number;
+            });
+
+  Compaction* c = new Compaction(options_, 0, 0);
+  c->deletion_only_ = true;
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  for (FileMetaData* f : sorted) {
+    if (total <= static_cast<int64_t>(options_.fifo_max_table_files_size)) {
+      break;
+    }
+    c->inputs_[0].push_back(f);
+    total -= static_cast<int64_t>(f->file_size);
+  }
+  return c;
+}
+
+Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
+                                     const InternalKey* end) {
+  std::vector<FileMetaData*> inputs;
+  current_->GetOverlappingInputs(level, begin, end, &inputs);
+  if (inputs.empty()) {
+    return nullptr;
+  }
+
+  // Avoid one compaction rewriting too much at once for levels > 0.
+  if (level > 0) {
+    const uint64_t limit = 25 * options_.target_file_size_base;
+    uint64_t total = 0;
+    for (size_t i = 0; i < inputs.size(); i++) {
+      total += inputs[i]->file_size;
+      if (total >= limit) {
+        inputs.resize(i + 1);
+        break;
+      }
+    }
+  }
+
+  const int output_level =
+      options_.compaction_style == CompactionStyle::kLeveled
+          ? std::min(level + 1, num_levels_ - 1)
+          : 0;
+  Compaction* c = new Compaction(options_, level, output_level);
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  c->inputs_[0] = inputs;
+  if (options_.compaction_style == CompactionStyle::kLeveled) {
+    SetupOtherInputs(c);
+  } else {
+    c->max_output_file_size_ = UINT64_MAX;
+    c->bottommost_ = inputs.size() == current_->files_[0].size();
+  }
+  return c;
+}
+
+}  // namespace shield

@@ -1,0 +1,32 @@
+#ifndef SHIELD_LSM_COMPARATOR_H_
+#define SHIELD_LSM_COMPARATOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace shield {
+
+/// User-key ordering. The DB persists the comparator name in the
+/// manifest and refuses to open with a mismatched comparator.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+  virtual const char* Name() const = 0;
+
+  /// If *start < limit, change *start to a short string in
+  /// [start, limit). Used to shrink index-block keys.
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+  /// Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// The default lexicographic byte-wise comparator (never deleted).
+const Comparator* BytewiseComparator();
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_COMPARATOR_H_

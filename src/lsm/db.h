@@ -1,0 +1,89 @@
+#ifndef SHIELD_LSM_DB_H_
+#define SHIELD_LSM_DB_H_
+
+#include <string>
+
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/snapshot.h"
+#include "lsm/write_batch.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// The public LSM-KVS interface. Thread safe: concurrent reads and
+/// writes from any number of threads.
+///
+/// Encryption is selected via Options::encryption:
+///  * kNone   — plaintext baseline ("unencrypted RocksDB" in the paper)
+///  * kEncFS  — instance-level transparent encryption (Section 4)
+///  * kShield — SHIELD embedded encryption with per-file DEKs,
+///              compaction-driven rotation, buffered WAL encryption and
+///              metadata DEK sharing (Section 5)
+class DB {
+ public:
+  /// Opens (creating if configured) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  /// Opens a read-only instance over an existing database directory —
+  /// the disaggregated-storage read-only-instance mechanism. No WAL is
+  /// written, no compaction runs; Put/Delete/Write return
+  /// NotSupported. Call TryCatchUp() to pick up new state persisted by
+  /// the primary.
+  static Status OpenReadOnly(const Options& options, const std::string& name,
+                             DB** dbptr);
+
+  DB() = default;
+  virtual ~DB() = default;
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  /// Fills *value; NotFound if the key does not exist.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Heap-allocated iterator over the whole keyspace (caller deletes
+  /// before closing the DB).
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  /// Forces the current memtable to be flushed to an SST and waits.
+  virtual Status Flush() = 0;
+
+  /// Compacts the key range [begin, end]; nullptr means open-ended.
+  /// Under SHIELD this re-encrypts the range under fresh DEKs.
+  virtual Status CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  /// DB introspection. Supported properties:
+  ///   "shield.num-files-at-level<N>", "shield.stats",
+  ///   "shield.sstables", "shield.kds-requests",
+  ///   "shield.dek-cache-hits", "shield.approximate-memtable-bytes"
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// Read-only instances: re-reads the manifest/WALs to observe the
+  /// primary's latest persisted state. Primary instances return OK
+  /// without doing anything.
+  virtual Status TryCatchUp() = 0;
+
+  /// Blocks until all scheduled background flushes and compactions
+  /// have drained (including work they cascade into). Useful for
+  /// tests and benchmarks that need a quiesced LSM shape.
+  virtual void WaitForIdle() = 0;
+};
+
+/// Deletes all files of the database at `name`. Use with care.
+Status DestroyDB(const Options& options, const std::string& name);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_DB_H_

@@ -1,0 +1,480 @@
+#include "lsm/db_impl.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "encfs/encrypted_env.h"
+#include "kds/local_kds.h"
+#include "lsm/db_iter.h"
+#include "lsm/file_names.h"
+#include "lsm/merger.h"
+#include "util/clock.h"
+
+namespace shield {
+
+namespace {
+
+Options SanitizeOptions(const Options& src) {
+  Options result = src;
+  if (result.comparator == nullptr) {
+    result.comparator = BytewiseComparator();
+  }
+  if (result.env == nullptr) {
+    result.env = Env::Default();
+  }
+  result.num_levels = std::max(1, std::min(result.num_levels, kMaxNumLevels));
+  if (result.max_background_jobs < 1) {
+    result.max_background_jobs = 1;
+  }
+  if (result.encryption.encryption_threads < 1) {
+    result.encryption.encryption_threads = 1;
+  }
+  // Keep the stall ladder consistent: writers must never stop on a
+  // level-0 count that compaction is not even trying to reduce.
+  if (result.level0_slowdown_writes_trigger <
+      result.level0_file_num_compaction_trigger) {
+    result.level0_slowdown_writes_trigger =
+        result.level0_file_num_compaction_trigger + 4;
+  }
+  if (result.level0_stop_writes_trigger <=
+      result.level0_slowdown_writes_trigger) {
+    result.level0_stop_writes_trigger =
+        result.level0_slowdown_writes_trigger + 4;
+  }
+  return result;
+}
+
+}  // namespace
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
+               bool read_only)
+    : dbname_(dbname),
+      options_(SanitizeOptions(raw_options)),
+      read_only_(read_only),
+      internal_comparator_(options_.comparator) {}
+
+DBImpl::~DBImpl() {
+  // Wait for background work, then tear down.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_.store(true, std::memory_order_release);
+    background_work_finished_signal_.wait(lock, [this] {
+      return !flush_scheduled_ && !compaction_scheduled_;
+    });
+  }
+  bg_pool_.reset();  // joins workers
+
+  {
+    // Fail any queued writers.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Writer* w : writers_) {
+      w->status = Status::IOError("db closed");
+      w->done = true;
+      w->cv.notify_one();
+    }
+    writers_.clear();
+  }
+
+  if (mem_ != nullptr) {
+    mem_->Unref();
+  }
+  if (imm_ != nullptr) {
+    imm_->Unref();
+  }
+  log_.reset();
+  if (logfile_ != nullptr) {
+    logfile_->Close();
+    logfile_.reset();
+  }
+  versions_.reset();
+  table_cache_.reset();
+}
+
+Status DBImpl::SetupEncryption() {
+  const EncryptionOptions& enc = options_.encryption;
+  switch (enc.mode) {
+    case EncryptionMode::kNone:
+      files_ = NewPlainFileFactory(options_.env);
+      return Status::OK();
+
+    case EncryptionMode::kEncFS: {
+      if (enc.instance_key.size() != crypto::CipherKeySize(enc.cipher)) {
+        return Status::InvalidArgument(
+            "EncFS requires an instance_key matching the cipher key size");
+      }
+      Status s = NewEncryptedEnv(options_.env, enc.cipher, enc.instance_key,
+                                 &owned_encrypted_env_, enc.wal_buffer_size);
+      if (!s.ok()) {
+        return s;
+      }
+      options_.env = owned_encrypted_env_.get();
+      files_ = NewPlainFileFactory(options_.env);
+      return Status::OK();
+    }
+
+    case EncryptionMode::kShield: {
+      kds_ = enc.kds;
+      if (kds_ == nullptr) {
+        // Monolithic deployment without an external KDS.
+        kds_ = std::make_shared<LocalKds>();
+      }
+      if (enc.use_secure_dek_cache) {
+        Status s = SecureDekCache::Open(options_.env,
+                                        DekCacheFileName(dbname_),
+                                        enc.passkey, &secure_dek_cache_);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      dek_manager_ = std::make_unique<DekManager>(kds_.get(), enc.server_id,
+                                                  secure_dek_cache_.get());
+      if (enc.encryption_threads > 1) {
+        encryption_pool_ =
+            std::make_unique<ThreadPool>(enc.encryption_threads);
+      }
+      files_ = NewShieldFileFactory(options_.env, dek_manager_.get(), enc,
+                                    encryption_pool_.get());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown encryption mode");
+}
+
+Status DBImpl::NewDb() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = files_->NewWritableFile(manifest, FileKind::kManifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    s = SetCurrentFile(options_.env, dbname_, 1);
+  } else {
+    files_->DeleteFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // mutex_ held.
+  if (!bg_error_.ok()) {
+    // Uncertain state; do not GC.
+    return;
+  }
+
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  options_.env->GetChildren(dbname_, &filenames);  // ignore errors
+  uint64_t number;
+  DbFileType type;
+  std::vector<std::string> files_to_delete;
+  for (const std::string& filename : filenames) {
+    if (!ParseFileName(filename, &number, &type)) {
+      continue;
+    }
+    bool keep = true;
+    switch (type) {
+      case DbFileType::kLogFile:
+        keep = (number >= versions_->LogNumber());
+        break;
+      case DbFileType::kDescriptorFile:
+        keep = (number >= versions_->ManifestFileNumber());
+        break;
+      case DbFileType::kTableFile:
+        keep = (live.find(number) != live.end());
+        break;
+      case DbFileType::kTempFile:
+        keep = (live.find(number) != live.end());
+        break;
+      case DbFileType::kCurrentFile:
+      case DbFileType::kDekCacheFile:
+        keep = true;
+        break;
+    }
+    if (!keep) {
+      files_to_delete.push_back(filename);
+      if (type == DbFileType::kTableFile) {
+        table_cache_->Evict(number);
+      }
+    }
+  }
+
+  // Delete outside the lock: file deletion under SHIELD talks to the
+  // KDS (DEK destruction) and may block.
+  mutex_.unlock();
+  for (const std::string& filename : files_to_delete) {
+    files_->DeleteFile(dbname_ + "/" + filename);
+  }
+  mutex_.lock();
+}
+
+Status DBImpl::Recover() {
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  Status s = options_.env->CreateDirIfMissing(dbname_);
+  if (!s.ok()) {
+    return s;
+  }
+  s = SetupEncryption();
+  if (!s.ok()) {
+    return s;
+  }
+
+  block_cache_ = options_.block_cache_size > 0
+                     ? NewLRUCache(options_.block_cache_size)
+                     : nullptr;
+  table_cache_ = std::make_unique<TableCache>(
+      dbname_, options_, &internal_comparator_, files_.get(), block_cache_,
+      /*max_open_tables=*/1000);
+  versions_ = std::make_unique<VersionSet>(dbname_, options_,
+                                           &internal_comparator_,
+                                           table_cache_.get(), files_.get());
+
+  if (!options_.env->FileExists(CurrentFileName(dbname_))) {
+    if (read_only_) {
+      return Status::NotFound("database does not exist", dbname_);
+    }
+    if (options_.create_if_missing) {
+      s = NewDb();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(dbname_,
+                                     "does not exist (create_if_missing=false)");
+    }
+  } else if (options_.error_if_exists && !read_only_) {
+    return Status::InvalidArgument(dbname_, "exists (error_if_exists=true)");
+  }
+
+  s = versions_->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Replay WALs newer than the manifest state.
+  SequenceNumber max_sequence = 0;
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = options_.env->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<uint64_t> logs;
+  uint64_t number;
+  DbFileType type;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type) &&
+        type == DbFileType::kLogFile && number >= min_log) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  VersionEdit edit;
+  for (uint64_t log_number : logs) {
+    s = RecoverLogFile(log_number, &max_sequence, &edit);
+    if (!s.ok()) {
+      return s;
+    }
+    versions_->MarkFileNumberUsed(log_number);
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  if (read_only_) {
+    if (mem_ == nullptr) {
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+    }
+    return Status::OK();
+  }
+
+  // Start a fresh WAL and persist the recovery edit.
+  const uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  s = files_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                              FileKind::kWal, &lfile);
+  if (!s.ok()) {
+    return s;
+  }
+  logfile_ = std::move(lfile);
+  logfile_number_ = new_log_number;
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  edit.SetLogNumber(new_log_number);
+
+  s = versions_->LogAndApply(&edit, &mutex_);
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (mem_ == nullptr) {
+    mem_ = new MemTable(internal_comparator_);
+    mem_->Ref();
+  }
+
+  bg_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.max_background_jobs));
+
+  RemoveObsoleteFiles();
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+Status DB::Open(const Options& options, const std::string& name, DB** dbptr) {
+  *dbptr = nullptr;
+  auto impl = std::make_unique<DBImpl>(options, name, /*read_only=*/false);
+  Status s = impl->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = impl.release();
+  return Status::OK();
+}
+
+Status DB::OpenReadOnly(const Options& options, const std::string& name,
+                        DB** dbptr) {
+  *dbptr = nullptr;
+  auto impl = std::make_unique<DBImpl>(options, name, /*read_only=*/true);
+  Status s = impl->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = impl.release();
+  return Status::OK();
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+void DBImpl::WaitForIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (!bg_error_.ok() || shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (imm_ != nullptr || flush_scheduled_ || compaction_scheduled_) {
+      background_work_finished_signal_.wait(lock);
+      continue;
+    }
+    if (versions_ != nullptr && versions_->NeedsCompaction() &&
+        !manual_compaction_running_ && bg_pool_ != nullptr) {
+      MaybeScheduleCompaction();
+      if (!compaction_scheduled_) {
+        return;  // could not schedule (shutdown)
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  Slice in = property;
+  const Slice prefix("shield.");
+  if (!in.starts_with(prefix)) {
+    return false;
+  }
+  in.remove_prefix(prefix.size());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    const int level = atoi(in.ToString().c_str());
+    if (level < 0 || level >= versions_->num_levels()) {
+      return false;
+    }
+    *value = std::to_string(versions_->NumLevelFiles(level));
+    return true;
+  }
+  if (in == Slice("stats")) {
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "level  files  size(MB)  time(s)  read(MB)  write(MB)\n"
+             "-----------------------------------------------------\n");
+    value->append(buf);
+    for (int level = 0; level < versions_->num_levels(); level++) {
+      const int files = versions_->NumLevelFiles(level);
+      if (stats_[level].micros > 0 || files > 0) {
+        snprintf(buf, sizeof(buf), "%3d %8d %8.1f %8.1f %9.1f %9.1f\n", level,
+                 files, versions_->NumLevelBytes(level) / 1048576.0,
+                 stats_[level].micros / 1e6,
+                 stats_[level].bytes_read / 1048576.0,
+                 stats_[level].bytes_written / 1048576.0);
+        value->append(buf);
+      }
+    }
+    return true;
+  }
+  if (in == Slice("sstables")) {
+    *value = versions_->current()->DebugString();
+    return true;
+  }
+  if (in == Slice("kds-requests")) {
+    *value = std::to_string(dek_manager_ ? dek_manager_->kds_requests() : 0);
+    return true;
+  }
+  if (in == Slice("dek-cache-hits")) {
+    *value = std::to_string(dek_manager_ ? dek_manager_->cache_hits() : 0);
+    return true;
+  }
+  if (in == Slice("approximate-memtable-bytes")) {
+    size_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+    if (imm_ != nullptr) {
+      total += imm_->ApproximateMemoryUsage();
+    }
+    *value = std::to_string(total);
+    return true;
+  }
+  if (in == Slice("stall-micros")) {
+    *value = std::to_string(stall_micros_.load(std::memory_order_relaxed));
+    return true;
+  }
+  return false;
+}
+
+Status DestroyDB(const Options& options, const std::string& name) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  std::vector<std::string> filenames;
+  Status s = env->GetChildren(name, &filenames);
+  if (!s.ok()) {
+    return Status::OK();  // nothing to destroy
+  }
+  for (const std::string& filename : filenames) {
+    env->RemoveFile(name + "/" + filename);
+  }
+  env->RemoveDir(name);
+  return Status::OK();
+}
+
+}  // namespace shield

@@ -1,0 +1,181 @@
+#ifndef SHIELD_LSM_DB_IMPL_H_
+#define SHIELD_LSM_DB_IMPL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "lsm/compaction_service.h"
+#include "lsm/db.h"
+#include "lsm/log_writer.h"
+#include "lsm/memtable.h"
+#include "lsm/snapshot.h"
+#include "lsm/version_set.h"
+#include "shield/dek_manager.h"
+#include "shield/file_crypto.h"
+#include "util/histogram.h"
+#include "util/thread_pool.h"
+
+namespace shield {
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& raw_options, const std::string& dbname,
+         bool read_only);
+  ~DBImpl() override;
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  // DB interface.
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status Flush() override;
+  Status CompactRange(const Slice* begin, const Slice* end) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  Status TryCatchUp() override;
+  void WaitForIdle() override;
+
+  /// Startup: recover manifest + WALs. Called by DB::Open.
+  Status Recover();
+
+  DekManager* dek_manager() { return dek_manager_.get(); }
+
+ private:
+  friend class DB;
+
+  struct CompactionState;
+  struct LogWriterBatch;
+
+  // A queued writer (group commit).
+  struct Writer {
+    explicit Writer(std::mutex* mu) : cv(), mu_(mu) {}
+    Status status;
+    WriteBatch* batch = nullptr;
+    bool sync = false;
+    bool done = false;
+    std::condition_variable cv;
+    std::mutex* mu_;
+  };
+
+  struct CompactionStats {
+    int64_t micros = 0;
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+    int64_t count = 0;
+
+    void Add(const CompactionStats& c) {
+      micros += c.micros;
+      bytes_read += c.bytes_read;
+      bytes_written += c.bytes_written;
+      count += c.count;
+    }
+  };
+
+  // Setup helpers (db_impl.cc).
+  Status SetupEncryption();
+  Status NewDb();
+  void RemoveObsoleteFiles();  // mutex_ held
+
+  // Write path (db_write.cc).
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+
+  // Read path (db_read.cc).
+  Iterator* NewInternalIterator(const ReadOptions& options,
+                                SequenceNumber* latest_snapshot);
+
+  // Recovery (db_recovery.cc).
+  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
+                        VersionEdit* edit);
+  /// On success with a non-empty output, *pending_output is the new
+  /// file's number, still registered in pending_outputs_: the caller
+  /// must erase it only AFTER the edit has been installed, or a
+  /// concurrent RemoveObsoleteFiles from another background job could
+  /// delete the not-yet-referenced file.
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit,
+                          uint64_t* pending_output);
+
+  // Background work (db_compaction.cc).
+  void MaybeScheduleFlush();    // mutex_ held
+  void MaybeScheduleCompaction();  // mutex_ held
+  void BackgroundFlush();
+  void BackgroundCompaction();
+  Status CompactMemTable();  // mutex_ held
+  Status DoCompactionWork(CompactionState* compact);
+  Status DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
+                               CompactionStats* stats);
+  Status OpenCompactionOutputFile(CompactionState* compact);
+  Status FinishCompactionOutputFile(CompactionState* compact,
+                                    Iterator* input);
+  Status InstallCompactionResults(CompactionState* compact);
+  void RecordBackgroundError(const Status& s);
+  Status RunManualCompaction(int level, const InternalKey* begin,
+                             const InternalKey* end);
+
+  // State below.
+  const std::string dbname_;
+  Options options_;  // env_ may be rewritten to the EncFS wrapper
+  bool read_only_;
+  const InternalKeyComparator internal_comparator_;
+
+  // Encryption plumbing. Order matters for destruction: factory before
+  // dek manager before cache/kds.
+  std::unique_ptr<Env> owned_encrypted_env_;  // EncFS wrapper, if any
+  std::shared_ptr<Kds> kds_;                  // SHIELD (owned or shared)
+  std::unique_ptr<SecureDekCache> secure_dek_cache_;
+  std::unique_ptr<DekManager> dek_manager_;
+  std::unique_ptr<ThreadPool> encryption_pool_;
+  std::unique_ptr<DataFileFactory> files_;
+
+  std::shared_ptr<Cache> block_cache_;
+  std::unique_ptr<TableCache> table_cache_;
+
+  std::mutex mutex_;
+  std::atomic<bool> shutting_down_{false};
+  std::condition_variable background_work_finished_signal_;
+
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;  // being flushed
+  std::atomic<bool> has_imm_{false};
+
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_ = 0;
+  std::unique_ptr<log::Writer> log_;
+
+  std::deque<Writer*> writers_;
+  WriteBatch tmp_batch_;
+
+  SnapshotList snapshots_;
+  std::set<uint64_t> pending_outputs_;
+  // Output numbers of the in-flight offloaded compaction; unpinned by
+  // DoCompactionWork after the edit is installed.
+  std::vector<uint64_t> offload_pending_outputs_;
+
+  std::unique_ptr<ThreadPool> bg_pool_;
+  bool flush_scheduled_ = false;
+  bool compaction_scheduled_ = false;
+  bool manual_compaction_running_ = false;
+
+  std::unique_ptr<VersionSet> versions_;
+
+  Status bg_error_;
+  CompactionStats stats_[kMaxNumLevels];
+  std::atomic<uint64_t> stall_micros_{0};
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_DB_IMPL_H_

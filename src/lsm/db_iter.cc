@@ -1,0 +1,250 @@
+#include "lsm/db_iter.h"
+
+#include <memory>
+#include <string>
+
+namespace shield {
+
+namespace {
+
+// Translates the multi-version internal representation into a
+// single-version user view as of `sequence_`: the newest visible
+// version of each user key wins, and deletion tombstones hide older
+// versions.
+class DBIter final : public Iterator {
+ public:
+  DBIter(const Comparator* user_comparator, Iterator* internal_iter,
+         SequenceNumber sequence, std::function<void()> cleanup)
+      : user_comparator_(user_comparator),
+        iter_(internal_iter),
+        sequence_(sequence),
+        cleanup_(std::move(cleanup)) {}
+
+  ~DBIter() override {
+    iter_.reset();
+    if (cleanup_) {
+      cleanup_();
+    }
+  }
+
+  bool Valid() const override { return valid_; }
+
+  Slice key() const override {
+    assert(valid_);
+    return direction_ == kForward ? ExtractUserKey(iter_->key())
+                                  : Slice(saved_key_);
+  }
+  Slice value() const override {
+    assert(valid_);
+    return direction_ == kForward ? iter_->value() : Slice(saved_value_);
+  }
+  Status status() const override {
+    if (status_.ok()) {
+      return iter_->status();
+    }
+    return status_;
+  }
+
+  void Next() override {
+    assert(valid_);
+    if (direction_ == kReverse) {
+      direction_ = kForward;
+      if (!iter_->Valid()) {
+        iter_->SeekToFirst();
+      } else {
+        iter_->Next();
+      }
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+    } else {
+      // Save current key so FindNextUserEntry skips its other
+      // versions.
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      iter_->Next();
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+    }
+    FindNextUserEntry(true, &saved_key_);
+  }
+
+  void Prev() override {
+    assert(valid_);
+    if (direction_ == kForward) {
+      // iter_ points at the current entry; back up to before all
+      // entries for the current user key.
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      while (true) {
+        iter_->Prev();
+        if (!iter_->Valid()) {
+          valid_ = false;
+          saved_key_.clear();
+          ClearSavedValue();
+          return;
+        }
+        if (user_comparator_->Compare(ExtractUserKey(iter_->key()),
+                                      saved_key_) < 0) {
+          break;
+        }
+      }
+      direction_ = kReverse;
+    }
+    FindPrevUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    direction_ = kForward;
+    ClearSavedValue();
+    saved_key_.clear();
+    AppendInternalKey(&saved_key_,
+                      ParsedInternalKey(target, sequence_, kValueTypeForSeek));
+    iter_->Seek(saved_key_);
+    if (iter_->Valid()) {
+      FindNextUserEntry(false, &saved_key_);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToFirst() override {
+    direction_ = kForward;
+    ClearSavedValue();
+    iter_->SeekToFirst();
+    if (iter_->Valid()) {
+      FindNextUserEntry(false, &saved_key_);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToLast() override {
+    direction_ = kReverse;
+    ClearSavedValue();
+    iter_->SeekToLast();
+    FindPrevUserEntry();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  bool ParseKey(ParsedInternalKey* ikey) {
+    if (!ParseInternalKey(iter_->key(), ikey)) {
+      status_ = Status::Corruption("corrupted internal key in DBIter");
+      return false;
+    }
+    return true;
+  }
+
+  static void SaveKey(const Slice& k, std::string* dst) {
+    dst->assign(k.data(), k.size());
+  }
+
+  void ClearSavedValue() {
+    saved_value_.clear();
+    saved_value_.shrink_to_fit();
+  }
+
+  // Positions at the first visible entry at or after the current
+  // position. If skipping, entries with user key <= *skip are passed
+  // over.
+  void FindNextUserEntry(bool skipping, std::string* skip) {
+    assert(iter_->Valid());
+    assert(direction_ == kForward);
+    do {
+      ParsedInternalKey ikey;
+      if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
+        switch (ikey.type) {
+          case kTypeDeletion:
+            // All older versions of this key are shadowed.
+            SaveKey(ikey.user_key, skip);
+            skipping = true;
+            break;
+          case kTypeValue:
+            if (skipping &&
+                user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
+              // Older version of a key we already emitted (or a
+              // deleted key); skip.
+            } else {
+              valid_ = true;
+              saved_key_.clear();
+              return;
+            }
+            break;
+        }
+      }
+      iter_->Next();
+    } while (iter_->Valid());
+    saved_key_.clear();
+    valid_ = false;
+  }
+
+  // Positions at the newest visible entry for the greatest user key at
+  // or before the current position (reverse scan).
+  void FindPrevUserEntry() {
+    assert(direction_ == kReverse);
+    ValueType value_type = kTypeDeletion;
+    if (iter_->Valid()) {
+      do {
+        ParsedInternalKey ikey;
+        if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
+          if ((value_type != kTypeDeletion) &&
+              user_comparator_->Compare(ikey.user_key, saved_key_) < 0) {
+            // We found a non-deleted value for saved_key_; done.
+            break;
+          }
+          value_type = ikey.type;
+          if (value_type == kTypeDeletion) {
+            saved_key_.clear();
+            ClearSavedValue();
+          } else {
+            const Slice raw_value = iter_->value();
+            if (saved_value_.capacity() > raw_value.size() + 1048576) {
+              std::string empty;
+              swap(empty, saved_value_);
+            }
+            SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+            saved_value_.assign(raw_value.data(), raw_value.size());
+          }
+        }
+        iter_->Prev();
+      } while (iter_->Valid());
+    }
+
+    if (value_type == kTypeDeletion) {
+      // End of iteration.
+      valid_ = false;
+      saved_key_.clear();
+      ClearSavedValue();
+      direction_ = kForward;
+    } else {
+      valid_ = true;
+    }
+  }
+
+  const Comparator* const user_comparator_;
+  std::unique_ptr<Iterator> iter_;
+  SequenceNumber const sequence_;
+  std::function<void()> cleanup_;
+
+  Status status_;
+  std::string saved_key_;    // == current key when direction_==kReverse
+  std::string saved_value_;  // == current value when direction_==kReverse
+  Direction direction_ = kForward;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+Iterator* NewDBIterator(const Comparator* user_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        std::function<void()> cleanup) {
+  return new DBIter(user_comparator, internal_iter, sequence,
+                    std::move(cleanup));
+}
+
+}  // namespace shield

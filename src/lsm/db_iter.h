@@ -1,0 +1,22 @@
+#ifndef SHIELD_LSM_DB_ITER_H_
+#define SHIELD_LSM_DB_ITER_H_
+
+#include <functional>
+
+#include "lsm/format.h"
+#include "lsm/iterator.h"
+
+namespace shield {
+
+/// Wraps an internal-key iterator (merged memtables + SSTs) into a
+/// user-facing iterator at a given sequence: hides tombstones,
+/// collapses duplicate versions, strips internal key trailers. Takes
+/// ownership of `internal_iter`; invokes `cleanup` on destruction (may
+/// be null).
+Iterator* NewDBIterator(const Comparator* user_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        std::function<void()> cleanup);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_DB_ITER_H_

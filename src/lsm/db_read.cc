@@ -1,0 +1,93 @@
+#include "lsm/db_impl.h"
+#include "lsm/db_iter.h"
+#include "lsm/merger.h"
+
+namespace shield {
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) {
+    imm->Ref();
+  }
+  current->Ref();
+
+  {
+    // Release the lock while probing files.
+    lock.unlock();
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Served from the memtable.
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Served from the immutable memtable.
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+    lock.lock();
+  }
+
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  current->Unref();
+  return s;
+}
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *latest_snapshot = versions_->LastSequence();
+
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  MemTable* imm = imm_;
+  if (imm != nullptr) {
+    list.push_back(imm->NewIterator());
+    imm->Ref();
+  }
+  Version* current = versions_->current();
+  current->AddIterators(options, &list);
+  current->Ref();
+
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(),
+                         static_cast<int>(list.size()));
+
+  // The cleanup callback drops the references the iterator pinned.
+  MemTable* mem = mem_;
+  DBImpl* db = this;
+  return NewDBIterator(
+      internal_comparator_.user_comparator(), internal_iter,
+      options.snapshot != nullptr
+          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+          : *latest_snapshot,
+      [db, mem, imm, current] {
+        std::lock_guard<std::mutex> inner_lock(db->mutex_);
+        mem->Unref();
+        if (imm != nullptr) {
+          imm->Unref();
+        }
+        current->Unref();
+      });
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  return NewInternalIterator(options, &latest_snapshot);
+}
+
+}  // namespace shield

@@ -1,0 +1,235 @@
+#include "lsm/db_impl.h"
+#include "lsm/file_names.h"
+#include "util/clock.h"
+
+namespace shield {
+
+Status DBImpl::Put(const WriteOptions& options, const Slice& key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (read_only_) {
+    return Status::NotSupported("read-only instance");
+  }
+
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync || options_.sync_wal;
+  w.done = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  writers_.push_back(&w);
+  w.cv.wait(lock, [&w, this] { return w.done || &w == writers_.front(); });
+  if (w.done) {
+    return w.status;
+  }
+
+  // We are the group leader.
+  Status status = MakeRoomForWrite(lock, updates == nullptr);
+  SequenceNumber last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    write_batch->SetSequence(last_sequence + 1);
+    last_sequence += write_batch->Count();
+
+    // Append to the WAL and apply to the memtable. The mutex can be
+    // released: &w is the only awake writer, and memtable inserts are
+    // only performed by the group leader.
+    {
+      mutex_.unlock();
+      status = log_->AddRecord(write_batch->Contents());
+      if (status.ok() && w.sync) {
+        status = logfile_->Sync();
+      }
+      if (status.ok()) {
+        status = write_batch->InsertInto(mem_);
+      }
+      mutex_.lock();
+    }
+    if (write_batch == &tmp_batch_) {
+      tmp_batch_.Clear();
+    }
+
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) {
+      break;
+    }
+  }
+
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+
+  return status;
+}
+
+// REQUIRES: mutex held, this thread is at the front of writers_.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = first->batch->ApproximateSize();
+
+  // Allow the group to grow to a maximum, but limit growth when the
+  // first batch is small so small writes keep low latency.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  for (auto iter = writers_.begin() + 1; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a
+      // non-sync write.
+      break;
+    }
+    if (w->batch == nullptr) {
+      break;  // a force-compaction marker; handle separately
+    }
+    size += w->batch->ApproximateSize();
+    if (size > max_size) {
+      break;
+    }
+    if (result == first->batch) {
+      // Switch to the scratch batch instead of disturbing the caller's.
+      result = &tmp_batch_;
+      assert(result->Count() == 0);
+      result->Append(*first->batch);
+    }
+    result->Append(*w->batch);
+    *last_writer = w;
+  }
+  return result;
+}
+
+// REQUIRES: mutex held, this thread is at the front of writers_.
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                                bool force) {
+  assert(!writers_.empty());
+  bool allow_delay = !force;
+  Status s;
+  const bool stalls_apply =
+      options_.compaction_style != CompactionStyle::kFifo;
+  while (true) {
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (allow_delay && stalls_apply &&
+        versions_->NumLevelFiles(0) >=
+            options_.level0_slowdown_writes_trigger) {
+      // Soft limit: back off 1ms to let compaction catch up, at most
+      // once per write.
+      mutex_.unlock();
+      SleepForMicros(1000);
+      stall_micros_.fetch_add(1000, std::memory_order_relaxed);
+      allow_delay = false;
+      mutex_.lock();
+    } else if (!force &&
+               mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      break;  // room available
+    } else if (imm_ != nullptr) {
+      // Previous memtable still flushing: wait.
+      const uint64_t t0 = NowMicros();
+      background_work_finished_signal_.wait(lock,
+                                            [this] { return imm_ == nullptr ||
+                                                            !bg_error_.ok(); });
+      stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    } else if (stalls_apply && versions_->NumLevelFiles(0) >=
+                                   options_.level0_stop_writes_trigger) {
+      // Hard limit.
+      const uint64_t t0 = NowMicros();
+      background_work_finished_signal_.wait(lock, [this] {
+        return versions_->NumLevelFiles(0) <
+                   options_.level0_stop_writes_trigger ||
+               !bg_error_.ok();
+      });
+      stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    } else {
+      // Switch to a new memtable and WAL.
+      s = SwitchMemTable(lock);
+      if (!s.ok()) {
+        break;
+      }
+      force = false;
+    }
+  }
+  return s;
+}
+
+// REQUIRES: mutex held.
+Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  assert(imm_ == nullptr);
+  const uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  Status s = files_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                     FileKind::kWal, &lfile);
+  if (!s.ok()) {
+    // Avoid chewing through file numbers in a tight loop on errors.
+    versions_->MarkFileNumberUsed(new_log_number);
+    return s;
+  }
+  log_.reset();
+  if (logfile_ != nullptr) {
+    logfile_->Close();  // drains any SHIELD WAL buffer
+  }
+  logfile_ = std::move(lfile);
+  logfile_number_ = new_log_number;
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  imm_ = mem_;
+  has_imm_.store(true, std::memory_order_release);
+  mem_ = new MemTable(internal_comparator_);
+  mem_->Ref();
+  MaybeScheduleFlush();
+  return Status::OK();
+}
+
+Status DBImpl::Flush() {
+  if (read_only_) {
+    return Status::NotSupported("read-only instance");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (mem_->NumEntries() == 0 && imm_ == nullptr && !flush_scheduled_) {
+      return Status::OK();  // nothing to flush
+    }
+  }
+  // A null batch forces a memtable switch via MakeRoomForWrite.
+  Status s = Write(WriteOptions(), nullptr);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  background_work_finished_signal_.wait(lock, [this] {
+    return (imm_ == nullptr && !flush_scheduled_) || !bg_error_.ok();
+  });
+  return bg_error_;
+}
+
+}  // namespace shield

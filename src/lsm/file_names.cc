@@ -1,0 +1,105 @@
+#include "lsm/file_names.h"
+
+#include <cstdio>
+
+namespace shield {
+
+namespace {
+
+std::string MakeFileName(const std::string& dbname, uint64_t number,
+                         const char* suffix) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/%06llu.%s",
+           static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+
+}  // namespace
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "sst");
+}
+
+std::string DescriptorFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "dbtmp");
+}
+
+std::string DekCacheFileName(const std::string& dbname) {
+  return dbname + "/DEK_CACHE";
+}
+
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   DbFileType* type) {
+  if (filename == "CURRENT") {
+    *number = 0;
+    *type = DbFileType::kCurrentFile;
+    return true;
+  }
+  if (filename == "DEK_CACHE" || filename == "DEK_CACHE.tmp") {
+    *number = 0;
+    *type = DbFileType::kDekCacheFile;
+    return true;
+  }
+  if (filename.compare(0, 9, "MANIFEST-") == 0) {
+    const char* p = filename.c_str() + 9;
+    char* end = nullptr;
+    const unsigned long long num = strtoull(p, &end, 10);
+    if (end == p || *end != '\0') {
+      return false;
+    }
+    *number = num;
+    *type = DbFileType::kDescriptorFile;
+    return true;
+  }
+  // <number>.<suffix>
+  char* end = nullptr;
+  const unsigned long long num = strtoull(filename.c_str(), &end, 10);
+  if (end == filename.c_str() || *end != '.') {
+    return false;
+  }
+  const std::string suffix = end + 1;
+  if (suffix == "log") {
+    *type = DbFileType::kLogFile;
+  } else if (suffix == "sst") {
+    *type = DbFileType::kTableFile;
+  } else if (suffix == "dbtmp") {
+    *type = DbFileType::kTempFile;
+  } else {
+    return false;
+  }
+  *number = num;
+  return true;
+}
+
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number) {
+  std::string contents = DescriptorFileName("", descriptor_number);
+  // Strip the leading '/' that MakeFileName-style helpers add.
+  contents = contents.substr(1) + "\n";
+  const std::string tmp = TempFileName(dbname, descriptor_number);
+  Status s = WriteStringToFile(env, contents, tmp, /*sync=*/true);
+  if (s.ok()) {
+    s = env->RenameFile(tmp, CurrentFileName(dbname));
+  }
+  if (!s.ok()) {
+    env->RemoveFile(tmp);
+  }
+  return s;
+}
+
+}  // namespace shield

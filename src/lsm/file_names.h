@@ -1,0 +1,39 @@
+#ifndef SHIELD_LSM_FILE_NAMES_H_
+#define SHIELD_LSM_FILE_NAMES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace shield {
+
+enum class DbFileType {
+  kLogFile,        // <number>.log — write-ahead log
+  kTableFile,      // <number>.sst
+  kDescriptorFile, // MANIFEST-<number>
+  kCurrentFile,    // CURRENT
+  kTempFile,       // <number>.dbtmp
+  kDekCacheFile,   // DEK_CACHE (SHIELD secure DEK cache)
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+std::string DekCacheFileName(const std::string& dbname);
+
+/// Parses the plain (directory-less) file name. Returns false if the
+/// name is not one of ours.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   DbFileType* type);
+
+/// Atomically points CURRENT at the descriptor with this number.
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_FILE_NAMES_H_

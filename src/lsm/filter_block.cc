@@ -1,0 +1,96 @@
+#include "lsm/filter_block.h"
+
+#include "util/coding.h"
+
+namespace shield {
+
+FilterBlockBuilder::FilterBlockBuilder(const FilterPolicy* policy)
+    : policy_(policy) {}
+
+void FilterBlockBuilder::StartBlock(uint64_t block_offset) {
+  const uint64_t filter_index = block_offset / kFilterBase;
+  assert(filter_index >= filter_offsets_.size());
+  while (filter_index > filter_offsets_.size()) {
+    GenerateFilter();
+  }
+}
+
+void FilterBlockBuilder::AddKey(const Slice& key) {
+  start_.push_back(keys_.size());
+  keys_.append(key.data(), key.size());
+}
+
+Slice FilterBlockBuilder::Finish() {
+  if (!start_.empty()) {
+    GenerateFilter();
+  }
+  const uint32_t array_offset = static_cast<uint32_t>(result_.size());
+  for (uint32_t offset : filter_offsets_) {
+    PutFixed32(&result_, offset);
+  }
+  PutFixed32(&result_, array_offset);
+  result_.push_back(kFilterBaseLg);
+  return Slice(result_);
+}
+
+void FilterBlockBuilder::GenerateFilter() {
+  const size_t num_keys = start_.size();
+  if (num_keys == 0) {
+    // No keys for this window: reuse the previous filter position
+    // (an empty filter).
+    filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
+    return;
+  }
+
+  start_.push_back(keys_.size());  // sentinel for the last key's length
+  tmp_keys_.resize(num_keys);
+  for (size_t i = 0; i < num_keys; i++) {
+    tmp_keys_[i] =
+        Slice(keys_.data() + start_[i], start_[i + 1] - start_[i]);
+  }
+
+  filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
+  policy_->CreateFilter(tmp_keys_.data(), static_cast<int>(num_keys),
+                        &result_);
+
+  tmp_keys_.clear();
+  keys_.clear();
+  start_.clear();
+}
+
+FilterBlockReader::FilterBlockReader(const FilterPolicy* policy,
+                                     const Slice& contents)
+    : policy_(policy) {
+  const size_t n = contents.size();
+  if (n < 5) {
+    return;  // 1-byte base_lg + 4-byte array offset minimum
+  }
+  base_lg_ = static_cast<uint8_t>(contents[n - 1]);
+  const uint32_t last_word = DecodeFixed32(contents.data() + n - 5);
+  if (last_word > n - 5) {
+    return;
+  }
+  data_ = contents.data();
+  offset_ = data_ + last_word;
+  num_ = (n - 5 - last_word) / 4;
+}
+
+bool FilterBlockReader::KeyMayMatch(uint64_t block_offset, const Slice& key) {
+  const uint64_t index = block_offset >> base_lg_;
+  if (index < num_) {
+    const uint32_t start = DecodeFixed32(offset_ + index * 4);
+    const uint32_t limit = DecodeFixed32(offset_ + index * 4 + 4);
+    if (start <= limit &&
+        limit <= static_cast<size_t>(offset_ - data_)) {
+      const Slice filter(data_ + start, limit - start);
+      return policy_->KeyMayMatch(key, filter);
+    }
+    if (start == limit) {
+      return false;  // empty filter: no keys in this window
+    }
+  }
+  // Malformed or out of range: do not claim absence.
+  return true;
+}
+
+}  // namespace shield

@@ -1,0 +1,68 @@
+#ifndef SHIELD_LSM_FILTER_BLOCK_H_
+#define SHIELD_LSM_FILTER_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/filter_policy.h"
+#include "util/slice.h"
+
+namespace shield {
+
+/// Builds the filter block of an SST: one filter per 2 KiB window of
+/// data-block file offsets (LevelDB filter-block format).
+///
+/// Layout: [filter 0] .. [filter N-1]
+///         [offset of filter 0 : fixed32] .. [offset of filter N-1]
+///         [offset of offset array : fixed32]
+///         [lg(base) : 1 byte]
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  /// Called when a data block starts at `block_offset`.
+  void StartBlock(uint64_t block_offset);
+  /// Adds a (user) key belonging to the current data block.
+  void AddKey(const Slice& key);
+  /// Finalizes and returns the filter block contents.
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  static constexpr int kFilterBaseLg = 11;  // one filter per 2 KiB
+  static constexpr size_t kFilterBase = 1 << kFilterBaseLg;
+
+  const FilterPolicy* policy_;
+  std::string keys_;
+  std::vector<size_t> start_;
+  std::string result_;
+  std::vector<Slice> tmp_keys_;
+  std::vector<uint32_t> filter_offsets_;
+};
+
+/// Reads a filter block and answers per-data-block membership queries.
+class FilterBlockReader {
+ public:
+  /// `contents` must outlive the reader (it points into the pinned
+  /// filter block).
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+
+  /// May the data block starting at `block_offset` contain `key`?
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key);
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_ = nullptr;    // filter data start
+  const char* offset_ = nullptr;  // offset array start
+  size_t num_ = 0;                // number of filters
+  size_t base_lg_ = 0;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_FILTER_BLOCK_H_

@@ -1,0 +1,37 @@
+#ifndef SHIELD_LSM_FILTER_POLICY_H_
+#define SHIELD_LSM_FILTER_POLICY_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace shield {
+
+/// Filter policy for SST data blocks (extension beyond the paper's
+/// prototype; mirrors the RocksDB/LevelDB feature). A filter summarises
+/// the user keys of a block range so point lookups can skip block
+/// fetches — under SHIELD this also skips the block's decryption.
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Name persisted in table properties; readers ignore filters built
+  /// by a policy with a different name.
+  virtual const char* Name() const = 0;
+
+  /// Appends a filter summarising keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  /// Must return true if `key` was in the filter's key set; may return
+  /// true for other keys with some false-positive probability.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+/// A Bloom filter with approximately `bits_per_key` bits per key
+/// (~1% false positives at 10). Caller owns the result.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_FILTER_POLICY_H_

@@ -1,0 +1,139 @@
+#ifndef SHIELD_LSM_FORMAT_H_
+#define SHIELD_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/comparator.h"
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace shield {
+
+using SequenceNumber = uint64_t;
+
+/// Sequence numbers are packed with a value type into the trailing 8
+/// bytes of an internal key, so the top 8 bits must stay free.
+static constexpr SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+/// kValueTypeForSeek must be the highest-numbered type so Seek() on an
+/// internal key positions at the newest entry for a user key.
+static constexpr ValueType kValueTypeForSeek = kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+/// internal_key := user_key | fixed64(seq << 8 | type)
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key);
+
+/// Returns false on malformed input.
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  const uint64_t num =
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return num >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  const uint64_t num =
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return static_cast<ValueType>(num & 0xff);
+}
+
+/// Orders internal keys by increasing user key, then decreasing
+/// sequence, then decreasing type — so the newest entry for a user key
+/// sorts first.
+class InternalKeyComparator final : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* user_comparator)
+      : user_comparator_(user_comparator) {}
+
+  int Compare(const Slice& a, const Slice& b) const override;
+  const char* Name() const override {
+    return "shield.InternalKeyComparator";
+  }
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override;
+  void FindShortSuccessor(std::string* key) const override;
+
+  const Comparator* user_comparator() const { return user_comparator_; }
+
+ private:
+  const Comparator* user_comparator_;
+};
+
+/// An owned internal key (used in file metadata).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  bool Valid() const { return rep_.size() >= 8; }
+
+  void DecodeFrom(const Slice& s) { rep_.assign(s.data(), s.size()); }
+  Slice Encode() const { return rep_; }
+
+  Slice user_key() const { return ExtractUserKey(rep_); }
+
+  void SetFrom(const ParsedInternalKey& p) {
+    rep_.clear();
+    AppendInternalKey(&rep_, p);
+  }
+
+  void Clear() { rep_.clear(); }
+
+ private:
+  std::string rep_;
+};
+
+/// A helper for DB Get lookups: wraps a user key into the formats
+/// needed by memtable lookups (length-prefixed) and SST lookups
+/// (internal key).
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  /// varint32(klen+8) | user_key | fixed64(seq|type) — the memtable
+  /// entry key format.
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  /// user_key | fixed64(seq|type)
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // avoids allocation for short keys
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_FORMAT_H_

@@ -1,0 +1,38 @@
+#ifndef SHIELD_LSM_ITERATOR_H_
+#define SHIELD_LSM_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// Iterator interface shared by memtable, block, table and DB
+/// iterators. Same contract as leveldb::Iterator: position with one of
+/// the Seek functions, then key()/value() are valid while Valid().
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// An iterator that is empty (Valid() always false) with the given
+/// status.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_ITERATOR_H_

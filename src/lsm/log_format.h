@@ -1,0 +1,26 @@
+#ifndef SHIELD_LSM_LOG_FORMAT_H_
+#define SHIELD_LSM_LOG_FORMAT_H_
+
+namespace shield {
+namespace log {
+
+// The WAL/manifest record-block format, identical to LevelDB/RocksDB:
+// the file is a sequence of 32 KiB blocks; each record fragment carries
+// a 7-byte header: crc32c(4) | length(2) | type(1).
+
+enum RecordType {
+  kZeroType = 0,  // reserved for preallocated files
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static constexpr int kMaxRecordType = kLastType;
+
+static constexpr int kBlockSize = 32768;
+static constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace shield
+
+#endif  // SHIELD_LSM_LOG_FORMAT_H_

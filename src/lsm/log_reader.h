@@ -1,0 +1,59 @@
+#ifndef SHIELD_LSM_LOG_READER_H_
+#define SHIELD_LSM_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+namespace log {
+
+/// Replays records written by log::Writer, skipping corrupted tails
+/// (crash recovery tolerates a torn final record).
+class Reader {
+ public:
+  /// Interface for reporting corruption during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// `file` must remain live; does not take ownership. If
+  /// `checksum` is true, verifies CRCs.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next complete record into *record (may point into
+  /// *scratch). Returns false at EOF.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  enum {
+    kEof = kMaxRecordType + 1,
+    kBadRecord = kMaxRecordType + 2,
+  };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  char* const backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace log
+}  // namespace shield
+
+#endif  // SHIELD_LSM_LOG_READER_H_

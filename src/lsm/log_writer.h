@@ -1,0 +1,45 @@
+#ifndef SHIELD_LSM_LOG_WRITER_H_
+#define SHIELD_LSM_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "env/env.h"
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+namespace log {
+
+/// Appends length-prefixed, checksummed records to a WritableFile.
+/// Encryption is layered *under* this writer: SHIELD wraps the
+/// destination file in a ShieldWritableFile, so the log format itself
+/// is unchanged whether the bytes on disk are plaintext or ciphertext.
+class Writer {
+ public:
+  /// `dest` must remain live; does not take ownership.
+  explicit Writer(WritableFile* dest);
+  /// Resume appending to a file with `dest_length` bytes already
+  /// written.
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_ = 0;
+
+  // crc32c values for all supported record types, pre-computed over the
+  // type byte to reduce overhead.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace shield
+
+#endif  // SHIELD_LSM_LOG_WRITER_H_

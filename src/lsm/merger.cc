@@ -1,0 +1,152 @@
+#include "lsm/merger.h"
+
+#include <cassert>
+#include <vector>
+
+namespace shield {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), children_(children, children + n) {}
+
+  ~MergingIterator() override {
+    for (Iterator* child : children_) {
+      delete child;
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (Iterator* child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (Iterator* child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (Iterator* child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+    if (direction_ != kForward) {
+      // Position all non-current children after key().
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    if (direction_ != kReverse) {
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            child->Prev();
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (Iterator* child : children_) {
+      if (!child->status().ok()) {
+        return child->status();
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (Iterator* child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child;
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (Iterator* child : children_) {
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<Iterator*> children_;
+  Iterator* current_ = nullptr;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             Iterator** children, int n) {
+  assert(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  }
+  if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace shield

@@ -1,0 +1,16 @@
+#ifndef SHIELD_LSM_MERGER_H_
+#define SHIELD_LSM_MERGER_H_
+
+#include "lsm/comparator.h"
+#include "lsm/iterator.h"
+
+namespace shield {
+
+/// Merges `n` sorted children into one sorted stream (duplicates
+/// preserved). Takes ownership of the child iterators.
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             Iterator** children, int n);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_MERGER_H_

@@ -1,0 +1,169 @@
+#ifndef SHIELD_LSM_OPTIONS_H_
+#define SHIELD_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crypto/cipher.h"
+#include "kds/kds.h"
+
+namespace shield {
+
+class Comparator;
+class Env;
+class FilterPolicy;
+class Snapshot;
+class CompactionService;
+
+/// How on-disk data files are protected.
+enum class EncryptionMode {
+  /// Plaintext files (baseline "unencrypted RocksDB" in the paper).
+  kNone,
+  /// Instance-level encryption (paper Section 4): a transparent Env
+  /// wrapper encrypts every file with one instance-wide DEK.
+  kEncFS,
+  /// SHIELD (paper Section 5): encryption embedded in the write path;
+  /// unique DEK per file from the KDS, DEK rotation via compaction,
+  /// buffered WAL encryption, chunked multi-threaded SST encryption,
+  /// metadata-embedded DEK-IDs.
+  kShield,
+};
+
+/// Compaction policies (paper Fig. 15 compares RocksDB's leveled,
+/// universal and FIFO styles).
+enum class CompactionStyle {
+  kLeveled,
+  kUniversal,
+  kFifo,
+};
+
+struct EncryptionOptions {
+  EncryptionMode mode = EncryptionMode::kNone;
+
+  /// Cipher used for file payloads.
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128Ctr;
+
+  /// EncFS only: the instance DEK (CipherKeySize(cipher) bytes),
+  /// supplied by the operator or a KDS at startup, held only in memory.
+  std::string instance_key;
+
+  /// SHIELD only: the key-distribution service. When null, DB::Open
+  /// creates a private LocalKds (monolithic deployment).
+  std::shared_ptr<Kds> kds;
+
+  /// Identity this instance presents to the KDS (authorization unit).
+  std::string server_id = "compute-1";
+
+  /// SHIELD only: when true, DEKs retrieved from the KDS are cached in
+  /// an encrypted on-disk cache inside the DB directory (requires
+  /// `passkey`). Eliminates KDS round-trips on restart.
+  bool use_secure_dek_cache = false;
+
+  /// Passkey protecting the secure DEK cache. Never persisted.
+  std::string passkey;
+
+  /// Evaluation-only knob (paper Table 2, "Encrypted SST" row): when
+  /// false, SHIELD leaves WAL files in plaintext while still
+  /// encrypting SSTs and the manifest. Never disable this in a real
+  /// deployment — an unencrypted WAL exposes every recent write.
+  bool encrypt_wal = true;
+
+  /// SHIELD WAL optimization (paper Section 5.3): size of the
+  /// application-managed WAL encryption buffer in bytes. Writes
+  /// accumulate in plaintext in memory and are encrypted + appended
+  /// once the buffer fills (or on sync). 0 disables the buffer:
+  /// every WAL write is encrypted individually (the paper's
+  /// non-optimized SHIELD / EncFS behaviour).
+  size_t wal_buffer_size = 512;
+
+  /// SHIELD compaction encryption: data produced by flush/compaction
+  /// is encrypted in chunks of this size (paper Section 5.2 /
+  /// Fig. 13).
+  size_t sst_chunk_size = 4096;
+
+  /// Number of threads used to encrypt a chunk in parallel during
+  /// compaction. 1 = synchronous single-threaded encryption.
+  int encryption_threads = 1;
+};
+
+struct Options {
+  /// Ordering of user keys. Default: bytewise.
+  const Comparator* comparator = nullptr;
+
+  /// Storage environment. Default: Env::Default() (local Posix disk).
+  Env* env = nullptr;
+
+  /// Create the database if missing / error if it exists.
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  /// Memtable size before a flush is scheduled.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Approximate SST data-block payload size.
+  size_t block_size = 4096;
+
+  /// Capacity of the (decrypted) block cache in bytes. 0 disables it.
+  size_t block_cache_size = 8 * 1024 * 1024;
+
+  /// If non-null, SSTs carry per-block filters (e.g. from
+  /// NewBloomFilterPolicy(10)) so point lookups skip block fetches —
+  /// and, under SHIELD, their decryption. Not owned; must outlive the
+  /// DB.
+  const FilterPolicy* filter_policy = nullptr;
+
+  /// Number of levels for leveled compaction.
+  int num_levels = 7;
+
+  /// Leveled compaction triggers.
+  int level0_file_num_compaction_trigger = 4;
+  int level0_slowdown_writes_trigger = 8;
+  int level0_stop_writes_trigger = 12;
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  double max_bytes_for_level_multiplier = 10.0;
+  uint64_t target_file_size_base = 2 * 1024 * 1024;
+
+  CompactionStyle compaction_style = CompactionStyle::kLeveled;
+
+  /// Universal compaction: merge when the newest run is at least
+  /// 1/size_ratio of the accumulated older runs; bounded by
+  /// max_sorted_runs outstanding runs.
+  int universal_size_ratio_percent = 100;
+  int universal_max_sorted_runs = 8;
+
+  /// FIFO compaction: drop oldest files once total size exceeds this.
+  uint64_t fifo_max_table_files_size = 256 * 1024 * 1024;
+
+  /// Background flush+compaction worker threads.
+  int max_background_jobs = 2;
+
+  /// fsync the WAL on every write (durability vs throughput).
+  bool sync_wal = false;
+
+  /// If set, compactions are shipped to this service instead of
+  /// running locally (offloaded compaction in disaggregated storage;
+  /// paper Section 5.6). Not owned.
+  CompactionService* compaction_service = nullptr;
+
+  EncryptionOptions encryption;
+};
+
+struct ReadOptions {
+  /// If non-null, read as of this snapshot.
+  const Snapshot* snapshot = nullptr;
+  /// Verify block checksums on read.
+  bool verify_checksums = false;
+  /// Whether fetched blocks populate the block cache.
+  bool fill_cache = true;
+};
+
+struct WriteOptions {
+  /// fsync the WAL before acknowledging this write.
+  bool sync = false;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_OPTIONS_H_

@@ -1,0 +1,73 @@
+#ifndef SHIELD_LSM_SNAPSHOT_H_
+#define SHIELD_LSM_SNAPSHOT_H_
+
+#include <cassert>
+
+#include "lsm/format.h"
+
+namespace shield {
+
+/// Opaque handle to a consistent read view. Obtained from
+/// DB::GetSnapshot(), released with DB::ReleaseSnapshot().
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+};
+
+class SnapshotList;
+
+class SnapshotImpl final : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence) : sequence_(sequence) {}
+
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class SnapshotList;
+
+  SequenceNumber sequence_;
+  SnapshotImpl* prev_ = nullptr;
+  SnapshotImpl* next_ = nullptr;
+};
+
+/// Doubly-linked list of snapshots, oldest first. Guarded by the DB
+/// mutex.
+class SnapshotList {
+ public:
+  SnapshotList() : head_(0) {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  SnapshotImpl* oldest() const {
+    assert(!empty());
+    return head_.next_;
+  }
+  SnapshotImpl* newest() const {
+    assert(!empty());
+    return head_.prev_;
+  }
+
+  SnapshotImpl* New(SequenceNumber sequence) {
+    SnapshotImpl* snapshot = new SnapshotImpl(sequence);
+    snapshot->next_ = &head_;
+    snapshot->prev_ = head_.prev_;
+    snapshot->prev_->next_ = snapshot;
+    snapshot->next_->prev_ = snapshot;
+    return snapshot;
+  }
+
+  void Delete(const SnapshotImpl* snapshot) {
+    snapshot->prev_->next_ = snapshot->next_;
+    snapshot->next_->prev_ = snapshot->prev_;
+    delete snapshot;
+  }
+
+ private:
+  SnapshotImpl head_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_SNAPSHOT_H_

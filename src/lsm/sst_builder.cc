@@ -1,0 +1,169 @@
+#include "lsm/sst_builder.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace shield {
+
+TableBuilder::TableBuilder(const Options& options,
+                           const InternalKeyComparator* icmp,
+                           WritableFile* file)
+    : options_(options), icmp_(icmp), file_(file) {
+  if (options_.filter_policy != nullptr) {
+    filter_block_ =
+        std::make_unique<FilterBlockBuilder>(options_.filter_policy);
+    filter_block_->StartBlock(0);
+  }
+}
+
+TableBuilder::~TableBuilder() { assert(closed_); }
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!closed_);
+  if (!status_.ok()) {
+    return;
+  }
+  if (num_entries_ > 0) {
+    assert(icmp_->Compare(key, Slice(last_key_)) > 0);
+  }
+
+  if (pending_index_entry_) {
+    assert(data_block_.empty());
+    icmp_->FindShortestSeparator(&last_key_, key);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+
+  if (filter_block_ != nullptr) {
+    filter_block_->AddKey(ExtractUserKey(key));
+  }
+
+  last_key_.assign(key.data(), key.size());
+  num_entries_++;
+  raw_key_bytes_ += key.size();
+  raw_value_bytes_ += value.size();
+  data_block_.Add(key, value);
+
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    WriteDataBlock();
+  }
+}
+
+void TableBuilder::WriteDataBlock() {
+  assert(!closed_);
+  if (!status_.ok() || data_block_.empty()) {
+    return;
+  }
+  assert(!pending_index_entry_);
+  const Slice raw = data_block_.Finish();
+  status_ = WriteRawBlock(raw, &pending_handle_);
+  data_block_.Reset();
+  if (status_.ok()) {
+    pending_index_entry_ = true;
+    status_ = file_->Flush();
+  }
+  if (filter_block_ != nullptr) {
+    filter_block_->StartBlock(offset_);
+  }
+}
+
+Status TableBuilder::WriteRawBlock(const Slice& contents,
+                                   BlockHandle* handle) {
+  handle->set_offset(offset_);
+  handle->set_size(contents.size());
+  Status s = file_->Append(contents);
+  if (s.ok()) {
+    char trailer[kBlockTrailerSize];
+    trailer[0] = 0;  // raw, uncompressed
+    uint32_t crc = crc32c::Value(contents.data(), contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    s = file_->Append(Slice(trailer, kBlockTrailerSize));
+    if (s.ok()) {
+      offset_ += contents.size() + kBlockTrailerSize;
+    }
+  }
+  return s;
+}
+
+void TableBuilder::SetProperty(const std::string& key,
+                               const std::string& value) {
+  properties_[key] = value;
+}
+
+Status TableBuilder::Finish() {
+  assert(!closed_);
+  WriteDataBlock();
+  closed_ = true;
+  if (!status_.ok()) {
+    return status_;
+  }
+
+  if (pending_index_entry_) {
+    icmp_->FindShortSuccessor(&last_key_);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+
+  // Filter block (if configured); its handle travels via properties.
+  BlockHandle filter_handle;
+  bool has_filter = false;
+  if (filter_block_ != nullptr) {
+    status_ = WriteRawBlock(filter_block_->Finish(), &filter_handle);
+    if (!status_.ok()) {
+      return status_;
+    }
+    has_filter = true;
+  }
+
+  // Properties block.
+  BlockHandle properties_handle;
+  {
+    TableProperties props = properties_;
+    if (has_filter) {
+      std::string encoded;
+      filter_handle.EncodeTo(&encoded);
+      props[kPropFilterHandle] = encoded;
+      props[kPropFilterPolicy] = options_.filter_policy->Name();
+    }
+    props[kPropNumEntries] = std::to_string(num_entries_);
+    props[kPropRawKeyBytes] = std::to_string(raw_key_bytes_);
+    props[kPropRawValueBytes] = std::to_string(raw_value_bytes_);
+    status_ = WriteRawBlock(EncodeTableProperties(props), &properties_handle);
+    if (!status_.ok()) {
+      return status_;
+    }
+  }
+
+  // Index block.
+  BlockHandle index_handle;
+  status_ = WriteRawBlock(index_block_.Finish(), &index_handle);
+  if (!status_.ok()) {
+    return status_;
+  }
+
+  // Footer.
+  Footer footer;
+  footer.set_properties_handle(properties_handle);
+  footer.set_index_handle(index_handle);
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  status_ = file_->Append(footer_encoding);
+  if (status_.ok()) {
+    offset_ += footer_encoding.size();
+  }
+  return status_;
+}
+
+void TableBuilder::Abandon() {
+  assert(!closed_);
+  closed_ = true;
+}
+
+}  // namespace shield

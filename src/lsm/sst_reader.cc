@@ -1,0 +1,243 @@
+#include "lsm/sst_reader.h"
+
+#include "lsm/block.h"
+#include "lsm/two_level_iterator.h"
+#include "util/coding.h"
+
+namespace shield {
+
+namespace {
+
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete reinterpret_cast<Block*>(value);
+}
+
+void ReleaseBlockHandle(void* arg1, void* arg2) {
+  Cache* cache = reinterpret_cast<Cache*>(arg1);
+  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(arg2);
+  cache->Release(handle);
+}
+
+// An iterator wrapper that releases a cache handle (or deletes an
+// owned block) when destroyed.
+class BlockIterCleanup final : public Iterator {
+ public:
+  BlockIterCleanup(Iterator* iter, Block* owned_block, Cache* cache,
+                   Cache::Handle* handle)
+      : iter_(iter), owned_block_(owned_block), cache_(cache),
+        handle_(handle) {}
+
+  ~BlockIterCleanup() override {
+    delete iter_;
+    if (handle_ != nullptr) {
+      ReleaseBlockHandle(cache_, handle_);
+    } else {
+      delete owned_block_;
+    }
+  }
+
+  bool Valid() const override { return iter_->Valid(); }
+  void Seek(const Slice& t) override { iter_->Seek(t); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void SeekToLast() override { iter_->SeekToLast(); }
+  void Next() override { iter_->Next(); }
+  void Prev() override { iter_->Prev(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  Iterator* iter_;
+  Block* owned_block_;
+  Cache* cache_;
+  Cache::Handle* handle_;
+};
+
+Status ReadBlockObject(RandomAccessFile* file, const ReadOptions& options,
+                       const BlockHandle& handle, Block** block) {
+  BlockContents contents;
+  Status s = ReadBlock(file, options, handle, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (!contents.heap_allocated) {
+    // The block must own stable storage (the cache may outlive the
+    // read buffer); copy.
+    char* buf = new char[contents.data.size()];
+    memcpy(buf, contents.data.data(), contents.data.size());
+    contents.data = Slice(buf, contents.data.size());
+    contents.heap_allocated = true;
+  }
+  *block = new Block(contents.data.data(), contents.data.size(),
+                     /*owned=*/true);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Table::Open(const Options& options, const InternalKeyComparator* icmp,
+                   std::unique_ptr<RandomAccessFile> file, uint64_t file_size,
+                   std::shared_ptr<Cache> block_cache,
+                   std::unique_ptr<Table>* table) {
+  table->reset();
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(file_size - Footer::kEncodedLength,
+                        Footer::kEncodedLength, &footer_input, footer_space);
+  if (!s.ok()) {
+    return s;
+  }
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Index block.
+  ReadOptions opt;
+  opt.verify_checksums = true;
+  Block* index_block = nullptr;
+  s = ReadBlockObject(file.get(), opt, footer.index_handle(), &index_block);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Properties block.
+  TableProperties props;
+  BlockContents prop_contents;
+  s = ReadBlock(file.get(), opt, footer.properties_handle(), &prop_contents);
+  if (s.ok()) {
+    s = DecodeTableProperties(prop_contents.data, &props);
+    if (prop_contents.heap_allocated) {
+      delete[] prop_contents.data.data();
+    }
+  }
+  if (!s.ok()) {
+    delete index_block;
+    return s;
+  }
+
+  std::unique_ptr<Table> t(new Table());
+  t->options_ = options;
+  t->icmp_ = icmp;
+  t->file_ = std::move(file);
+  t->index_block_.reset(index_block);
+  t->properties_ = std::move(props);
+  t->block_cache_ = std::move(block_cache);
+  t->cache_id_ = t->block_cache_ ? t->block_cache_->NewId() : 0;
+
+  // Attach the bloom filter when the table carries one built by the
+  // same policy the reader is configured with.
+  if (options.filter_policy != nullptr) {
+    auto handle_it = t->properties_.find(kPropFilterHandle);
+    auto name_it = t->properties_.find(kPropFilterPolicy);
+    if (handle_it != t->properties_.end() &&
+        name_it != t->properties_.end() &&
+        name_it->second == options.filter_policy->Name()) {
+      BlockHandle filter_handle;
+      Slice handle_input(handle_it->second);
+      if (filter_handle.DecodeFrom(&handle_input).ok()) {
+        BlockContents filter_contents;
+        if (ReadBlock(t->file_.get(), opt, filter_handle, &filter_contents)
+                .ok()) {
+          t->filter_data_.assign(filter_contents.data.data(),
+                                 filter_contents.data.size());
+          if (filter_contents.heap_allocated) {
+            delete[] filter_contents.data.data();
+          }
+          t->filter_ = std::make_unique<FilterBlockReader>(
+              options.filter_policy, t->filter_data_);
+        }
+      }
+    }
+  }
+
+  *table = std::move(t);
+  return Status::OK();
+}
+
+Table::~Table() = default;
+
+Iterator* Table::BlockReader(const ReadOptions& options,
+                             const Slice& index_value) const {
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+  if (block_cache_ != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, cache_id_);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    const Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+    cache_handle = block_cache_->Lookup(key);
+    if (cache_handle != nullptr) {
+      block = reinterpret_cast<Block*>(block_cache_->Value(cache_handle));
+    } else {
+      s = ReadBlockObject(file_.get(), options, handle, &block);
+      if (s.ok() && options.fill_cache) {
+        cache_handle = block_cache_->Insert(key, block, block->size(),
+                                            &DeleteCachedBlock);
+      }
+    }
+  } else {
+    s = ReadBlockObject(file_.get(), options, handle, &block);
+  }
+
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+  Iterator* iter = block->NewIterator(icmp_);
+  const bool cached = cache_handle != nullptr;
+  return new BlockIterCleanup(iter, cached ? nullptr : block,
+                              block_cache_.get(), cache_handle);
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(
+      index_block_->NewIterator(icmp_),
+      [this, options](const Slice& index_value) {
+        return BlockReader(options, index_value);
+      });
+}
+
+Status Table::InternalGet(const ReadOptions& options, const Slice& key,
+                          void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(icmp_));
+  index_iter->Seek(key);
+  Status s;
+  if (index_iter->Valid()) {
+    if (filter_ != nullptr) {
+      BlockHandle handle;
+      Slice handle_value = index_iter->value();
+      if (handle.DecodeFrom(&handle_value).ok() &&
+          !filter_->KeyMayMatch(handle.offset(), ExtractUserKey(key))) {
+        // Filter proves absence: skip the block fetch (and its
+        // decryption).
+        return Status::OK();
+      }
+    }
+    std::unique_ptr<Iterator> block_iter(
+        BlockReader(options, index_iter->value()));
+    block_iter->Seek(key);
+    if (block_iter->Valid()) {
+      (*handle_result)(arg, block_iter->key(), block_iter->value());
+    }
+    s = block_iter->status();
+  }
+  if (s.ok()) {
+    s = index_iter->status();
+  }
+  return s;
+}
+
+}  // namespace shield

@@ -1,0 +1,68 @@
+#ifndef SHIELD_LSM_SST_READER_H_
+#define SHIELD_LSM_SST_READER_H_
+
+#include <memory>
+
+#include "env/env.h"
+#include "lsm/cache.h"
+#include "lsm/filter_block.h"
+#include "lsm/format.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/table_format.h"
+
+namespace shield {
+
+class Block;
+
+/// An open, immutable SST file. Thread safe after Open.
+class Table {
+ public:
+  /// Opens a table over `file` (logical, i.e. already-decrypted view)
+  /// whose logical length is `file_size`. On success takes ownership
+  /// of the file.
+  static Status Open(const Options& options, const InternalKeyComparator* icmp,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, std::shared_ptr<Cache> block_cache,
+                     std::unique_ptr<Table>* table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Iterator over internal keys (caller deletes; must not outlive the
+  /// table).
+  Iterator* NewIterator(const ReadOptions& options) const;
+
+  /// Seeks internal_key and invokes handle_result(arg, key, value) on
+  /// the first entry at or after it, if any.
+  Status InternalGet(const ReadOptions& options, const Slice& internal_key,
+                     void* arg,
+                     void (*handle_result)(void*, const Slice&, const Slice&));
+
+  const TableProperties& properties() const { return properties_; }
+
+ private:
+  Table() = default;
+
+  Iterator* BlockReader(const ReadOptions& options,
+                        const Slice& index_value) const;
+
+  Options options_;
+  const InternalKeyComparator* icmp_ = nullptr;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<Block> index_block_;
+  TableProperties properties_;
+  std::shared_ptr<Cache> block_cache_;
+  uint64_t cache_id_ = 0;
+
+  // Bloom-filter support (present when the table was built with a
+  // filter policy matching options_.filter_policy).
+  std::string filter_data_;
+  std::unique_ptr<FilterBlockReader> filter_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_SST_READER_H_

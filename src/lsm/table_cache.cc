@@ -1,0 +1,126 @@
+#include "lsm/table_cache.h"
+
+#include "lsm/file_names.h"
+#include "util/coding.h"
+
+namespace shield {
+
+namespace {
+
+void DeleteTableEntry(const Slice& /*key*/, void* value) {
+  delete reinterpret_cast<Table*>(value);
+}
+
+}  // namespace
+
+TableCache::TableCache(std::string dbname, const Options& options,
+                       const InternalKeyComparator* icmp,
+                       DataFileFactory* files,
+                       std::shared_ptr<Cache> block_cache,
+                       int max_open_tables)
+    : dbname_(std::move(dbname)),
+      options_(options),
+      icmp_(icmp),
+      files_(files),
+      block_cache_(std::move(block_cache)),
+      cache_(NewLRUCache(static_cast<size_t>(max_open_tables))) {}
+
+TableCache::~TableCache() = default;
+
+Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
+                             Cache::Handle** handle) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  const Slice key(buf, sizeof(buf));
+  *handle = cache_->Lookup(key);
+  if (*handle != nullptr) {
+    return Status::OK();
+  }
+
+  const std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = files_->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<Table> table;
+  s = Table::Open(options_, icmp_, std::move(file), file_size, block_cache_,
+                  &table);
+  if (!s.ok()) {
+    return s;
+  }
+  *handle = cache_->Insert(key, table.release(), 1, &DeleteTableEntry);
+  return Status::OK();
+}
+
+Iterator* TableCache::NewIterator(const ReadOptions& options,
+                                  uint64_t file_number, uint64_t file_size,
+                                  Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Table* table = reinterpret_cast<Table*>(cache_->Value(handle));
+  Iterator* result = table->NewIterator(options);
+
+  // Tie the cache handle's lifetime to the iterator via a wrapper.
+  class HandleReleasingIterator final : public Iterator {
+   public:
+    HandleReleasingIterator(Iterator* iter, Cache* cache,
+                            Cache::Handle* handle)
+        : iter_(iter), cache_(cache), handle_(handle) {}
+    ~HandleReleasingIterator() override {
+      delete iter_;
+      cache_->Release(handle_);
+    }
+    bool Valid() const override { return iter_->Valid(); }
+    void Seek(const Slice& t) override { iter_->Seek(t); }
+    void SeekToFirst() override { iter_->SeekToFirst(); }
+    void SeekToLast() override { iter_->SeekToLast(); }
+    void Next() override { iter_->Next(); }
+    void Prev() override { iter_->Prev(); }
+    Slice key() const override { return iter_->key(); }
+    Slice value() const override { return iter_->value(); }
+    Status status() const override { return iter_->status(); }
+
+   private:
+    Iterator* iter_;
+    Cache* cache_;
+    Cache::Handle* handle_;
+  };
+
+  if (tableptr != nullptr) {
+    *tableptr = table;
+  }
+  return new HandleReleasingIterator(result, cache_.get(), handle);
+}
+
+Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
+                       uint64_t file_size, const Slice& internal_key,
+                       void* arg,
+                       void (*handle_result)(void*, const Slice&,
+                                             const Slice&)) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return s;
+  }
+  Table* table = reinterpret_cast<Table*>(cache_->Value(handle));
+  s = table->InternalGet(options, internal_key, arg, handle_result);
+  cache_->Release(handle);
+  return s;
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+}  // namespace shield

@@ -1,0 +1,89 @@
+#ifndef SHIELD_LSM_TABLE_FORMAT_H_
+#define SHIELD_LSM_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// Location of a block within an SST file.
+class BlockHandle {
+ public:
+  static constexpr uint64_t kMaxEncodedLength = 10 + 10;
+
+  uint64_t offset() const { return offset_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  uint64_t size() const { return size_; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  uint64_t offset_ = 0;
+  uint64_t size_ = 0;
+};
+
+/// Fixed-size footer at the end of every SST file:
+///   properties_handle | index_handle | padding | magic(8)
+class Footer {
+ public:
+  static constexpr size_t kEncodedLength =
+      2 * BlockHandle::kMaxEncodedLength + 8;
+
+  const BlockHandle& properties_handle() const { return properties_handle_; }
+  void set_properties_handle(const BlockHandle& h) { properties_handle_ = h; }
+  const BlockHandle& index_handle() const { return index_handle_; }
+  void set_index_handle(const BlockHandle& h) { index_handle_ = h; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  BlockHandle properties_handle_;
+  BlockHandle index_handle_;
+};
+
+static constexpr uint64_t kTableMagicNumber = 0x5348494c44535354ull;  // "SHILDSST"
+
+/// Per-block trailer: 1-byte type (0 = raw) + 4-byte masked crc32c.
+static constexpr size_t kBlockTrailerSize = 5;
+
+struct BlockContents {
+  Slice data;
+  bool heap_allocated = false;  // caller must delete[] data.data()
+};
+
+/// Reads and verifies one block (payload + trailer) from a file.
+Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
+                 const BlockHandle& handle, BlockContents* result);
+
+/// Table properties: free-form string key/values persisted in the
+/// properties block. SHIELD stores the DEK-ID and cipher here as well,
+/// making the DEK resolvable from the file alone (Section 5.4). Note
+/// the SST payload is encrypted underneath this layer, so on disk these
+/// properties are only plaintext inside the dedicated 64-byte file
+/// header, not in the properties block.
+using TableProperties = std::map<std::string, std::string>;
+
+std::string EncodeTableProperties(const TableProperties& props);
+Status DecodeTableProperties(const Slice& data, TableProperties* props);
+
+// Well-known property keys.
+inline constexpr char kPropNumEntries[] = "shield.num-entries";
+inline constexpr char kPropRawKeyBytes[] = "shield.raw-key-bytes";
+inline constexpr char kPropRawValueBytes[] = "shield.raw-value-bytes";
+inline constexpr char kPropDekId[] = "shield.dek-id";
+inline constexpr char kPropCipher[] = "shield.cipher";
+inline constexpr char kPropFilterHandle[] = "shield.filter-handle";
+inline constexpr char kPropFilterPolicy[] = "shield.filter-policy";
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_TABLE_FORMAT_H_

@@ -1,0 +1,150 @@
+#include "lsm/two_level_iterator.h"
+
+#include <memory>
+#include <string>
+
+namespace shield {
+
+namespace {
+
+class TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter,
+                   std::function<Iterator*(const Slice&)> block_function)
+      : index_iter_(index_iter), block_function_(std::move(block_function)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->Seek(target);
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToFirst();
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToLast();
+    }
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return data_iter_->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return data_iter_->value();
+  }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) {
+      return index_iter_->status();
+    }
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void SaveError(const Status& s) {
+    if (status_.ok() && !s.ok()) {
+      status_ = s;
+    }
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToLast();
+      }
+    }
+  }
+
+  void SetDataIterator(Iterator* data_iter) {
+    if (data_iter_ != nullptr) {
+      SaveError(data_iter_->status());
+    }
+    data_iter_.reset(data_iter);
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SetDataIterator(nullptr);
+      return;
+    }
+    const Slice handle = index_iter_->value();
+    if (data_iter_ != nullptr && handle.compare(Slice(data_block_handle_)) == 0) {
+      // Already at the right block.
+      return;
+    }
+    Iterator* iter = block_function_(handle);
+    data_block_handle_.assign(handle.data(), handle.size());
+    SetDataIterator(iter);
+  }
+
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Iterator> data_iter_;
+  std::function<Iterator*(const Slice&)> block_function_;
+  std::string data_block_handle_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> block_function) {
+  return new TwoLevelIterator(index_iter, std::move(block_function));
+}
+
+}  // namespace shield

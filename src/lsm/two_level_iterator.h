@@ -1,0 +1,20 @@
+#ifndef SHIELD_LSM_TWO_LEVEL_ITERATOR_H_
+#define SHIELD_LSM_TWO_LEVEL_ITERATOR_H_
+
+#include <functional>
+
+#include "lsm/iterator.h"
+
+namespace shield {
+
+/// Returns an iterator over the concatenation of the data produced by
+/// `block_function(index_value)` for each entry of `index_iter`. Used
+/// for SST (index block -> data blocks) and for level files (file list
+/// -> table iterators). Takes ownership of `index_iter`.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> block_function);
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_TWO_LEVEL_ITERATOR_H_

@@ -1,0 +1,44 @@
+#include "shield/chunk_encryptor.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace shield {
+
+ChunkEncryptor::ChunkEncryptor(const crypto::StreamCipher* cipher,
+                               ThreadPool* pool, int threads)
+    : cipher_(cipher), pool_(pool), threads_(threads) {}
+
+void ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
+  if (pool_ == nullptr || threads_ <= 1 || n < 2 * kMinShardBytes) {
+    cipher_->CryptAt(offset, data, n);
+    return;
+  }
+
+  size_t shards = static_cast<size_t>(threads_);
+  if (n / shards < kMinShardBytes) {
+    shards = n / kMinShardBytes;
+  }
+  const size_t shard_size = (n + shards - 1) / shards;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = shards;
+
+  for (size_t i = 0; i < shards; i++) {
+    const size_t begin = i * shard_size;
+    const size_t len = std::min(shard_size, n - begin);
+    pool_->Schedule([this, offset, data, begin, len, &mu, &cv, &remaining] {
+      cipher_->CryptAt(offset + begin, data + begin, len);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) {
+        cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+}  // namespace shield

@@ -1,0 +1,38 @@
+#ifndef SHIELD_SHIELD_CHUNK_ENCRYPTOR_H_
+#define SHIELD_SHIELD_CHUNK_ENCRYPTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/cipher.h"
+#include "util/thread_pool.h"
+
+namespace shield {
+
+/// Encrypts a buffer at a file offset, optionally splitting the work
+/// across a thread pool (paper Section 5.2: multi-threaded encryption
+/// of compaction chunks). CTR keystreams are offset-addressable, so
+/// sub-ranges encrypt independently.
+class ChunkEncryptor {
+ public:
+  /// `cipher` must outlive the encryptor. `pool` may be null (or
+  /// `threads` <= 1) for synchronous encryption.
+  ChunkEncryptor(const crypto::StreamCipher* cipher, ThreadPool* pool,
+                 int threads);
+
+  /// XORs keystream over data[0, n) positioned at `offset` in the
+  /// logical file. Blocking: returns when all bytes are processed.
+  void Encrypt(uint64_t offset, char* data, size_t n);
+
+ private:
+  // Sub-ranges smaller than this are not worth a task dispatch.
+  static constexpr size_t kMinShardBytes = 16 * 1024;
+
+  const crypto::StreamCipher* cipher_;
+  ThreadPool* pool_;
+  int threads_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_SHIELD_CHUNK_ENCRYPTOR_H_

@@ -1,0 +1,77 @@
+#include "shield/dek_manager.h"
+
+namespace shield {
+
+DekManager::DekManager(Kds* kds, std::string server_id,
+                       SecureDekCache* secure_cache)
+    : kds_(kds), server_id_(std::move(server_id)),
+      secure_cache_(secure_cache) {}
+
+Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
+  kds_requests_.fetch_add(1, std::memory_order_relaxed);
+  Status s = kds_->CreateDek(server_id_, kind, out);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_[out->id] = *out;
+  }
+  if (secure_cache_ != nullptr) {
+    // Best effort: a failed cache write costs a KDS round-trip later
+    // but is not fatal.
+    secure_cache_->Put(*out);
+  }
+  return Status::OK();
+}
+
+Status DekManager::ResolveDek(const DekId& id, Dek* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memory_.find(id);
+    if (it != memory_.end()) {
+      *out = it->second;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  if (secure_cache_ != nullptr && secure_cache_->Get(id, out).ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_[id] = *out;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  kds_requests_.fetch_add(1, std::memory_order_relaxed);
+  Status s = kds_->GetDek(server_id_, id, out);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_[id] = *out;
+  }
+  if (secure_cache_ != nullptr) {
+    secure_cache_->Put(*out);
+  }
+  return Status::OK();
+}
+
+Status DekManager::ForgetDek(const DekId& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_.erase(id);
+  }
+  if (secure_cache_ != nullptr) {
+    secure_cache_->Erase(id);
+  }
+  kds_requests_.fetch_add(1, std::memory_order_relaxed);
+  Status s = kds_->DeleteDek(server_id_, id);
+  if (s.IsNotFound()) {
+    // Another server (e.g. the compaction worker) may have owned the
+    // deletion; dropping a missing DEK is success.
+    return Status::OK();
+  }
+  return s;
+}
+
+}  // namespace shield

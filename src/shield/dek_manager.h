@@ -1,0 +1,60 @@
+#ifndef SHIELD_SHIELD_DEK_MANAGER_H_
+#define SHIELD_SHIELD_DEK_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "kds/kds.h"
+#include "kds/secure_dek_cache.h"
+
+namespace shield {
+
+/// Per-instance DEK resolution chain (paper Section 5.2): DEKs live in
+/// memory while the instance runs; on restart they are resolved from
+/// the secure on-disk cache (if configured) before falling back to a
+/// KDS round-trip. Newly created and newly fetched DEKs are written
+/// through to the secure cache. Thread safe.
+class DekManager {
+ public:
+  /// `kds` must outlive the manager. `secure_cache` may be null.
+  DekManager(Kds* kds, std::string server_id, SecureDekCache* secure_cache);
+
+  /// Requests a brand-new DEK from the KDS (one per file created).
+  Status CreateDek(crypto::CipherKind kind, Dek* out);
+
+  /// Resolves a DEK by id: memory -> secure cache -> KDS.
+  Status ResolveDek(const DekId& id, Dek* out);
+
+  /// Drops a DEK everywhere (memory, secure cache, KDS). Called when
+  /// the file it protected is deleted; after this the old key can no
+  /// longer decrypt anything (completing rotation).
+  Status ForgetDek(const DekId& id);
+
+  /// KDS round-trips performed (creates + fetches + deletes).
+  uint64_t kds_requests() const {
+    return kds_requests_.load(std::memory_order_relaxed);
+  }
+  /// Resolutions served from memory or the secure cache.
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& server_id() const { return server_id_; }
+
+ private:
+  Kds* const kds_;
+  const std::string server_id_;
+  SecureDekCache* const secure_cache_;
+
+  std::atomic<uint64_t> kds_requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+
+  std::mutex mu_;
+  std::map<DekId, Dek> memory_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_SHIELD_DEK_MANAGER_H_

@@ -1,0 +1,52 @@
+#ifndef SHIELD_UTIL_ARENA_H_
+#define SHIELD_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace shield {
+
+/// Arena allocates memory in large blocks and hands out bump-pointer
+/// chunks. Used by the memtable: all skiplist nodes and entries live in
+/// the arena and are freed together when the memtable is dropped.
+/// Allocate/AllocateAligned must be externally synchronized (the
+/// memtable holds the DB write mutex); MemoryUsage is safe to read
+/// concurrently.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  /// Allocation aligned for pointer-sized access (skiplist nodes).
+  char* AllocateAligned(size_t bytes);
+
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  // Small enough that a freshly-created memtable (which allocates one
+  // block for the skiplist head) stays far below any reasonable
+  // write_buffer_size; the DB compares arena usage against that limit
+  // to decide when to flush.
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_ARENA_H_

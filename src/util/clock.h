@@ -1,0 +1,35 @@
+#ifndef SHIELD_UTIL_CLOCK_H_
+#define SHIELD_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace shield {
+
+/// Monotonic time in microseconds. All latency measurement in the
+/// library and benchmarks goes through these helpers so the time source
+/// is swappable in one place.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline void SleepForMicros(uint64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_CLOCK_H_

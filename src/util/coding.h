@@ -1,0 +1,60 @@
+#ifndef SHIELD_UTIL_CODING_H_
+#define SHIELD_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace shield {
+
+// Little-endian fixed-width and LEB128 varint encodings, used by the
+// WAL, SST, and manifest file formats.
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // Little-endian hosts only.
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint32 length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+
+/// Parses a varint32 from [p, limit); returns pointer past the varint or
+/// nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Slice-consuming variants: advance `input` past the parsed value.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+int VarintLength(uint64_t v);
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_CODING_H_

@@ -1,0 +1,283 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace shield {
+
+// Bucket upper bounds: 1,2,...,10, then +~12% geometric steps up to ~1e12.
+const uint64_t Histogram::kBucketLimits[kNumBuckets] = {
+    1,
+    2,
+    3,
+    4,
+    5,
+    6,
+    7,
+    8,
+    9,
+    10,
+    12,
+    14,
+    16,
+    18,
+    20,
+    25,
+    30,
+    35,
+    40,
+    45,
+    50,
+    60,
+    70,
+    80,
+    90,
+    100,
+    120,
+    140,
+    160,
+    180,
+    200,
+    250,
+    300,
+    350,
+    400,
+    450,
+    500,
+    600,
+    700,
+    800,
+    900,
+    1000,
+    1200,
+    1400,
+    1600,
+    1800,
+    2000,
+    2500,
+    3000,
+    3500,
+    4000,
+    4500,
+    5000,
+    6000,
+    7000,
+    8000,
+    9000,
+    10000,
+    12000,
+    14000,
+    16000,
+    18000,
+    20000,
+    25000,
+    30000,
+    35000,
+    40000,
+    45000,
+    50000,
+    60000,
+    70000,
+    80000,
+    90000,
+    100000,
+    120000,
+    140000,
+    160000,
+    180000,
+    200000,
+    250000,
+    300000,
+    350000,
+    400000,
+    450000,
+    500000,
+    600000,
+    700000,
+    800000,
+    900000,
+    1000000,
+    1200000,
+    1400000,
+    1600000,
+    1800000,
+    2000000,
+    2500000,
+    3000000,
+    3500000,
+    4000000,
+    4500000,
+    5000000,
+    6000000,
+    7000000,
+    8000000,
+    9000000,
+    10000000,
+    12000000,
+    14000000,
+    16000000,
+    18000000,
+    20000000,
+    25000000,
+    30000000,
+    35000000,
+    40000000,
+    45000000,
+    50000000,
+    60000000,
+    70000000,
+    80000000,
+    90000000,
+    100000000,
+    120000000,
+    140000000,
+    160000000,
+    180000000,
+    200000000,
+    250000000,
+    300000000,
+    350000000,
+    400000000,
+    450000000,
+    500000000,
+    600000000,
+    700000000,
+    800000000,
+    900000000,
+    1000000000,
+    1200000000,
+    1400000000,
+    1600000000,
+    1800000000,
+    2000000000,
+    2500000000ull,
+    3000000000ull,
+    3500000000ull,
+    4000000000ull,
+    4500000000ull,
+    5000000000ull,
+    6000000000ull,
+    7000000000ull,
+    8000000000ull,
+    9000000000ull,
+    10000000000ull,
+    100000000000ull,
+    1000000000000ull,
+};
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  // Binary search over static limits.
+  int lo = 0, hi = kNumBuckets - 1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (kBucketLimits[mid] >= value) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  uint64_t omin = other.Min();
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (omin < prev_min &&
+         !min_.compare_exchange_weak(prev_min, omin,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t omax = other.Max();
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (omax > prev_max &&
+         !max_.compare_exchange_weak(prev_max, omax,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Average() const {
+  const uint64_t c = Count();
+  if (c == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(c);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = Count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double threshold = static_cast<double>(total) * (p / 100.0);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    cumulative += static_cast<double>(b);
+    if (cumulative >= threshold) {
+      // Linear interpolation inside the bucket.
+      const double left = (i == 0) ? 0.0 : static_cast<double>(kBucketLimits[i - 1]);
+      const double right = static_cast<double>(kBucketLimits[i]);
+      const double left_count = cumulative - static_cast<double>(b);
+      double pos = 0.0;
+      if (b > 0) {
+        pos = (threshold - left_count) / static_cast<double>(b);
+      }
+      double r = left + (right - left) * pos;
+      const double mn = static_cast<double>(Min());
+      const double mx = static_cast<double>(Max());
+      if (r < mn) r = mn;
+      if (r > mx) r = mx;
+      return r;
+    }
+  }
+  return static_cast<double>(Max());
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.1f min=%llu max=%llu p50=%.1f p99=%.1f p999=%.1f",
+           static_cast<unsigned long long>(Count()), Average(),
+           static_cast<unsigned long long>(Count() ? Min() : 0),
+           static_cast<unsigned long long>(Max()), Percentile(50),
+           Percentile(99), Percentile(99.9));
+  return buf;
+}
+
+}  // namespace shield

@@ -1,0 +1,47 @@
+#ifndef SHIELD_UTIL_HISTOGRAM_H_
+#define SHIELD_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shield {
+
+/// A log-bucketed latency histogram (values in microseconds). Thread
+/// safe: Add() takes a lightweight per-bucket atomic increment, so it
+/// can be called from benchmark worker threads concurrently.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Average() const;
+  uint64_t Min() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  /// Percentile in [0, 100], e.g. Percentile(99.0) for p99.
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 156;
+  static const uint64_t kBucketLimits[kNumBuckets];
+
+  static int BucketFor(uint64_t value);
+
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+  std::atomic<uint64_t> buckets_[kNumBuckets];
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace shield {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rnd_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // O(n) harmonic sum; fine for the key counts used in benchmarks.
+  // For very large n, sample the tail: the sum converges slowly but a
+  // partial sum with a continuous correction keeps error under 1%.
+  constexpr uint64_t kExactLimit = 10'000'000;
+  double sum = 0;
+  const uint64_t exact = n < kExactLimit ? n : kExactLimit;
+  for (uint64_t i = 1; i <= exact; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // Integral approximation of the remaining tail.
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(static_cast<double>(exact), 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rnd_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ZipfianGenerator::NextScrambled() {
+  const uint64_t v = Next();
+  // FNV-style scatter.
+  uint64_t h = v * 0xc6a4a7935bd1e995ull;
+  h ^= h >> 47;
+  h *= 0xc6a4a7935bd1e995ull;
+  return h % n_;
+}
+
+ParetoGenerator::ParetoGenerator(double xm, double alpha, double cap,
+                                 uint64_t seed)
+    : xm_(xm), alpha_(alpha), cap_(cap), rnd_(seed) {}
+
+double ParetoGenerator::Next() {
+  double u = rnd_.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  const double v = xm_ / std::pow(u, 1.0 / alpha_);
+  return v > cap_ ? cap_ : v;
+}
+
+}  // namespace shield

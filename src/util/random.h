@@ -1,0 +1,91 @@
+#ifndef SHIELD_UTIL_RANDOM_H_
+#define SHIELD_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shield {
+
+/// A simple xorshift-based pseudo-random generator. Deterministic given
+/// a seed; used by tests and workload generators (never for key
+/// material — see crypto/secure_random.h for that).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed) {}
+
+  uint64_t Next64() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next64() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Skewed: pick base uniformly from [0, max_log], then return a
+  /// uniform number in [0, 2^base).
+  uint64_t Skewed(int max_log) { return Uniform(uint64_t{1} << Uniform(max_log + 1)); }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian distribution over [0, n) using the Gray et al. algorithm
+/// (same as YCSB's ZipfianGenerator). theta defaults to 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 301);
+
+  uint64_t Next();
+
+  /// Draws a value and scatters it with a multiplicative hash so that
+  /// hot keys are spread over the keyspace (YCSB scrambled-zipfian).
+  uint64_t NextScrambled();
+
+  uint64_t num_items() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rnd_;
+};
+
+/// Bounded Pareto distribution for value sizes (used by the mixgraph
+/// workload approximation; the Facebook characterization fits value
+/// sizes to a generalized Pareto).
+class ParetoGenerator {
+ public:
+  /// xm: scale (minimum), alpha: shape, cap: maximum returned value.
+  ParetoGenerator(double xm, double alpha, double cap, uint64_t seed = startSeed());
+
+  double Next();
+
+ private:
+  static uint64_t startSeed() { return 12345; }
+  double xm_;
+  double alpha_;
+  double cap_;
+  Random rnd_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_RANDOM_H_

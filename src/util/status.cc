@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+namespace shield {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  const char* type;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument: ";
+      break;
+    case Code::kIOError:
+      type = "IOError: ";
+      break;
+    case Code::kPermissionDenied:
+      type = "PermissionDenied: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+    default:
+      type = "Unknown: ";
+      break;
+  }
+  return std::string(type) + msg_;
+}
+
+}  // namespace shield

@@ -1,0 +1,178 @@
+#include <atomic>
+#include <set>
+
+#include "benchutil/driver.h"
+#include "benchutil/engines.h"
+#include "benchutil/mixgraph.h"
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "benchutil/ycsb.h"
+#include "gtest/gtest.h"
+#include "lsm/db.h"
+#include "test_util.h"
+
+namespace shield {
+namespace bench {
+namespace {
+
+TEST(MakeKeyTest, FixedWidthSortable) {
+  EXPECT_EQ(16u, MakeKey(0, 16).size());
+  EXPECT_EQ(16u, MakeKey(12345678, 16).size());
+  EXPECT_LT(MakeKey(1, 16), MakeKey(2, 16));
+  EXPECT_LT(MakeKey(99, 16), MakeKey(100, 16));
+  // Wider than the natural number: left-padded.
+  EXPECT_EQ(24u, MakeKey(7, 24).size());
+  // Narrower: truncated from the left, still unique within range.
+  EXPECT_EQ(8u, MakeKey(7, 8).size());
+}
+
+TEST(DriverTest, RunsExactOpCount) {
+  std::atomic<uint64_t> count{0};
+  BenchResult result =
+      RunOps("test", 1000, 4, [&](int, uint64_t) { count.fetch_add(1); });
+  EXPECT_EQ(1000u, count.load());
+  EXPECT_EQ(1000u, result.ops);
+  EXPECT_EQ(1000u, result.latency->Count());
+  EXPECT_GT(result.ops_per_sec(), 0);
+}
+
+TEST(DriverTest, OpIndicesAreDisjointAndComplete) {
+  std::mutex mu;
+  std::set<uint64_t> seen;
+  RunOps("test", 500, 3, [&](int, uint64_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+  });
+  EXPECT_EQ(500u, seen.size());
+  EXPECT_EQ(0u, *seen.begin());
+  EXPECT_EQ(499u, *seen.rbegin());
+}
+
+TEST(ReportTest, PercentVs) {
+  BenchResult baseline, half;
+  baseline.ops = 1000;
+  baseline.elapsed_micros = 1e6;
+  half.ops = 500;
+  half.elapsed_micros = 1e6;
+  EXPECT_NEAR(-50.0, PercentVs(baseline, half), 0.01);
+  EXPECT_NEAR(100.0, PercentVs(half, baseline), 0.01);
+}
+
+TEST(ReportTest, EnvInt) {
+  unsetenv("SHIELD_TEST_ENVINT");
+  EXPECT_EQ(42u, EnvInt("SHIELD_TEST_ENVINT", 42));
+  setenv("SHIELD_TEST_ENVINT", "100", 1);
+  EXPECT_EQ(100u, EnvInt("SHIELD_TEST_ENVINT", 42));
+  unsetenv("SHIELD_TEST_ENVINT");
+}
+
+TEST(EnginesTest, ApplyEngineConfigures) {
+  Options options;
+  ApplyEngine(Engine::kUnencrypted, &options);
+  EXPECT_EQ(EncryptionMode::kNone, options.encryption.mode);
+
+  ApplyEngine(Engine::kEncFs, &options);
+  EXPECT_EQ(EncryptionMode::kEncFS, options.encryption.mode);
+  EXPECT_EQ(16u, options.encryption.instance_key.size());
+  EXPECT_EQ(0u, options.encryption.wal_buffer_size);
+
+  ApplyEngine(Engine::kEncFsWalBuf, &options, 768);
+  EXPECT_EQ(768u, options.encryption.wal_buffer_size);
+
+  ApplyEngine(Engine::kShield, &options);
+  EXPECT_EQ(EncryptionMode::kShield, options.encryption.mode);
+  EXPECT_EQ(0u, options.encryption.wal_buffer_size);
+
+  ApplyEngine(Engine::kShieldWalBuf, &options);
+  EXPECT_EQ(512u, options.encryption.wal_buffer_size);
+}
+
+TEST(EnginesTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (Engine engine : AllEngines()) {
+    names.insert(EngineName(engine));
+  }
+  EXPECT_EQ(5u, names.size());
+}
+
+class WorkloadDriverTest : public ::testing::Test {
+ protected:
+  WorkloadDriverTest() : env_(NewMemEnv()) {
+    Options options;
+    options.env = env_.get();
+    DB* raw_db = nullptr;
+    EXPECT_TRUE(DB::Open(options, "/db", &raw_db).ok());
+    db_.reset(raw_db);
+  }
+
+  uint64_t CountKeys() {
+    std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+    uint64_t n = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      n++;
+    }
+    return n;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(WorkloadDriverTest, FillSeqWritesDistinctKeys) {
+  WorkloadOptions workload;
+  workload.num_ops = 500;
+  workload.num_keys = 500;
+  const BenchResult result = FillSeq(db_.get(), workload, "fillseq");
+  EXPECT_EQ(500u, result.ops);
+  EXPECT_EQ(500u, CountKeys());
+}
+
+TEST_F(WorkloadDriverTest, FillRandomStaysInKeySpace) {
+  WorkloadOptions workload;
+  workload.num_ops = 1000;
+  workload.num_keys = 100;
+  FillRandom(db_.get(), workload, "fillrandom");
+  EXPECT_LE(CountKeys(), 100u);
+  // Key format check.
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(workload.key_size, iter->key().size());
+}
+
+TEST_F(WorkloadDriverTest, ReadWriteMixDoesBoth) {
+  WorkloadOptions workload;
+  workload.num_ops = 500;
+  workload.num_keys = 200;
+  workload.read_percent = 50;
+  FillSeq(db_.get(), workload, "load");
+  const BenchResult result = ReadWriteMix(db_.get(), workload, "mix");
+  EXPECT_EQ(500u, result.ops);
+}
+
+TEST_F(WorkloadDriverTest, YcsbWorkloadsRun) {
+  WorkloadOptions workload;
+  workload.num_keys = 300;
+  workload.num_ops = 300;
+  workload.value_size = 128;
+  YcsbLoad(db_.get(), workload);
+  for (YcsbKind kind : {YcsbKind::kA, YcsbKind::kB, YcsbKind::kC,
+                        YcsbKind::kD, YcsbKind::kE, YcsbKind::kF}) {
+    const BenchResult result = RunYcsb(db_.get(), kind, workload);
+    EXPECT_EQ(workload.num_ops, result.ops) << YcsbName(kind);
+  }
+}
+
+TEST_F(WorkloadDriverTest, MixgraphRuns) {
+  WorkloadOptions workload;
+  workload.num_keys = 300;
+  workload.num_ops = 500;
+  FillSeq(db_.get(), workload, "load");
+  const BenchResult result = RunMixgraph(db_.get(), workload);
+  EXPECT_EQ(500u, result.ops);
+  EXPECT_GT(result.p99_micros(), 0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace shield

@@ -1,0 +1,323 @@
+#include <memory>
+
+#include "ds/compaction_worker.h"
+#include "ds/network_sim.h"
+#include "ds/storage_service.h"
+#include "gtest/gtest.h"
+#include "kds/sim_kds.h"
+#include "lsm/db.h"
+#include "test_util.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace shield {
+namespace {
+
+// --- NetworkSimulator --------------------------------------------------------
+
+TEST(NetworkSimTest, RttApplied) {
+  NetworkSimOptions options;
+  options.rtt_micros = 2000;
+  options.bandwidth_bytes_per_sec = 1'000'000'000;
+  NetworkSimulator net(options);
+
+  const uint64_t t0 = NowMicros();
+  net.SimulateTransfer(0, /*pay_rtt=*/true);
+  EXPECT_GE(NowMicros() - t0, 1500u);
+  EXPECT_EQ(1u, net.total_requests());
+}
+
+TEST(NetworkSimTest, BandwidthSerialization) {
+  NetworkSimOptions options;
+  options.rtt_micros = 0;
+  options.bandwidth_bytes_per_sec = 10'000'000;  // 10 MB/s
+  NetworkSimulator net(options);
+
+  // 100 KB at 10 MB/s = 10ms.
+  const uint64_t t0 = NowMicros();
+  net.SimulateTransfer(100'000, /*pay_rtt=*/false);
+  const uint64_t elapsed = NowMicros() - t0;
+  EXPECT_GE(elapsed, 8000u);
+  EXPECT_EQ(100'000u, net.total_bytes());
+}
+
+TEST(NetworkSimTest, RuntimeReconfiguration) {
+  NetworkSimOptions options;
+  options.rtt_micros = 0;
+  options.bandwidth_bytes_per_sec = 1'000'000'000;
+  NetworkSimulator net(options);
+  net.set_rtt_micros(3000);
+  EXPECT_EQ(3000u, net.rtt_micros());
+  net.set_bandwidth_bytes_per_sec(0);  // clamped, no div-by-zero
+  EXPECT_EQ(1u, net.bandwidth_bytes_per_sec());
+}
+
+// --- RemoteEnv over StorageService --------------------------------------------
+
+class RemoteEnvTest : public ::testing::Test {
+ protected:
+  RemoteEnvTest() : backing_(NewMemEnv()) {
+    NetworkSimOptions net;
+    net.rtt_micros = 0;  // keep tests fast
+    net.bandwidth_bytes_per_sec = 10ull << 30;
+    service_ = std::make_unique<StorageService>(backing_.get(), net);
+    remote_ = NewRemoteEnv(service_.get(), &client_stats_);
+  }
+
+  std::unique_ptr<Env> backing_;
+  std::unique_ptr<StorageService> service_;
+  IoStats client_stats_;
+  std::unique_ptr<Env> remote_;
+};
+
+TEST_F(RemoteEnvTest, SharedNamespace) {
+  ASSERT_TRUE(
+      WriteStringToFile(remote_.get(), "remote data", "/shared/f", true).ok());
+  // Visible from the storage server side and from another client.
+  std::string contents;
+  ASSERT_TRUE(
+      ReadFileToString(service_->server_env(), "/shared/f", &contents).ok());
+  EXPECT_EQ("remote data", contents);
+
+  auto second_client = NewRemoteEnv(service_.get(), nullptr);
+  contents.clear();
+  ASSERT_TRUE(
+      ReadFileToString(second_client.get(), "/shared/f", &contents).ok());
+  EXPECT_EQ("remote data", contents);
+}
+
+TEST_F(RemoteEnvTest, TrafficAccounted) {
+  ASSERT_TRUE(WriteStringToFile(remote_.get(), std::string(5000, 'x'),
+                                "/d/000001.sst", false)
+                  .ok());
+  EXPECT_EQ(5000u, client_stats_.WriteBytes(FileKind::kSst));
+  EXPECT_EQ(5000u, service_->media_stats()->WriteBytes(FileKind::kSst));
+  EXPECT_EQ(5000u, service_->network()->total_bytes());
+}
+
+TEST_F(RemoteEnvTest, DbRunsOverRemoteStorage) {
+  Options options;
+  options.env = remote_.get();
+  options.write_buffer_size = 64 * 1024;
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/dsdb", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "key" + std::to_string(i),
+                        std::string(100, 'd'))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key123", &value).ok());
+  EXPECT_EQ(std::string(100, 'd'), value);
+  EXPECT_GT(service_->network()->total_bytes(), 0u);
+}
+
+// --- Offloaded compaction -------------------------------------------------------
+
+class OffloadTest : public ::testing::Test {
+ protected:
+  OffloadTest() : backing_(NewMemEnv()) {
+    NetworkSimOptions net;
+    net.rtt_micros = 0;
+    net.bandwidth_bytes_per_sec = 10ull << 30;
+    service_ = std::make_unique<StorageService>(backing_.get(), net);
+    compute_env_ = NewRemoteEnv(service_.get(), nullptr);
+
+    kds_ = std::make_shared<SimKds>(SimKdsOptions{
+        .request_latency_us = 0,
+        .one_time_provisioning = false,
+        .require_authorization = true});
+    kds_->AuthorizeServer("primary");
+    kds_->AuthorizeServer("worker");
+  }
+
+  Options DbOptions() {
+    Options options;
+    options.env = compute_env_.get();
+    options.write_buffer_size = 32 * 1024;
+    options.encryption.mode = EncryptionMode::kShield;
+    options.encryption.kds = kds_;
+    options.encryption.server_id = "primary";
+    return options;
+  }
+
+  void StartWorker(const Options& db_options) {
+    RemoteCompactionWorker::WorkerOptions worker_options;
+    // The worker runs on the storage server: direct (no network) env.
+    worker_options.env = service_->server_env();
+    worker_options.db_options = db_options;
+    worker_options.db_options.env = service_->server_env();
+    worker_options.db_options.encryption.server_id = "worker";
+    worker_options.server_id = "worker";
+    worker_ = std::make_unique<RemoteCompactionWorker>(worker_options);
+  }
+
+  std::unique_ptr<Env> backing_;
+  std::unique_ptr<StorageService> service_;
+  std::unique_ptr<Env> compute_env_;
+  std::shared_ptr<SimKds> kds_;
+  std::unique_ptr<RemoteCompactionWorker> worker_;
+};
+
+TEST_F(OffloadTest, CompactionRunsOnWorker) {
+  Options options = DbOptions();
+  StartWorker(options);
+  options.compaction_service = worker_.get();
+
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/dsdb", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+
+  std::map<std::string, std::string> model;
+  Random rnd(13);
+  for (int i = 0; i < 4000; i++) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(1200));
+    const std::string value = "value" + std::to_string(i) + std::string(80, 'o');
+    model[key] = value;
+    ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+  }
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
+  db->WaitForIdle();
+
+  EXPECT_GT(worker_->jobs_run(), 0u);
+  // The worker resolved input DEKs + created output DEKs via the KDS.
+  EXPECT_GT(worker_->kds_requests(), 0u);
+
+  // The primary reads the worker's outputs (resolving their DEK-IDs
+  // through the KDS).
+  for (const auto& [key, value] : model) {
+    std::string got;
+    ASSERT_TRUE(db->Get(ReadOptions(), key, &got).ok()) << key;
+    EXPECT_EQ(value, got);
+  }
+}
+
+TEST_F(OffloadTest, UnauthorizedWorkerFails) {
+  Options options = DbOptions();
+  // Keep background compaction out of the way so the revocation only
+  // affects the manual compaction below.
+  options.level0_file_num_compaction_trigger = 1000;
+  StartWorker(options);
+  options.compaction_service = worker_.get();
+
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/dsdb", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "key" + std::to_string(i % 500),
+                        std::string(100, 'u'))
+                    .ok());
+  }
+  // Breach detected: the KDS revokes the worker. The offloaded
+  // compaction must fail — the worker can no longer resolve or create
+  // DEKs.
+  kds_->RevokeServer("worker");
+  Status s = db->CompactRange(nullptr, nullptr);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(OffloadTest, WorkerOnPlaintextDb) {
+  // Offloaded compaction also works without encryption.
+  Options options;
+  options.env = compute_env_.get();
+  options.write_buffer_size = 32 * 1024;
+  RemoteCompactionWorker::WorkerOptions worker_options;
+  worker_options.env = service_->server_env();
+  worker_options.db_options = options;
+  worker_options.db_options.env = service_->server_env();
+  worker_ = std::make_unique<RemoteCompactionWorker>(worker_options);
+  options.compaction_service = worker_.get();
+
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/plaindb", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "key" + std::to_string(i % 700),
+                        std::string(90, 'p'))
+                    .ok());
+  }
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
+  EXPECT_GT(worker_->jobs_run(), 0u);
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key69", &value).ok());
+}
+
+// --- Read-only instances ----------------------------------------------------------
+
+TEST_F(OffloadTest, ReadOnlyInstanceSharesStorage) {
+  Options options = DbOptions();
+  DB* raw_primary = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/dsdb", &raw_primary).ok());
+  std::unique_ptr<DB> primary(raw_primary);
+
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(primary->Put(WriteOptions(), "key" + std::to_string(i),
+                             "generation-1")
+                    .ok());
+  }
+  ASSERT_TRUE(primary->Flush().ok());
+
+  // A read-only instance on another "server" (its own remote env and
+  // KDS identity).
+  auto reader_env = NewRemoteEnv(service_.get(), nullptr);
+  kds_->AuthorizeServer("reader");
+  Options reader_options = options;
+  reader_options.env = reader_env.get();
+  reader_options.encryption.server_id = "reader";
+  DB* raw_reader = nullptr;
+  ASSERT_TRUE(DB::OpenReadOnly(reader_options, "/dsdb", &raw_reader).ok());
+  std::unique_ptr<DB> reader(raw_reader);
+
+  std::string value;
+  ASSERT_TRUE(reader->Get(ReadOptions(), "key7", &value).ok());
+  EXPECT_EQ("generation-1", value);
+
+  // Writes are rejected.
+  EXPECT_TRUE(reader->Put(WriteOptions(), "x", "y").IsNotSupported());
+
+  // Primary keeps writing; reader catches up on demand.
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(primary->Put(WriteOptions(), "key" + std::to_string(i),
+                             "generation-2")
+                    .ok());
+  }
+  ASSERT_TRUE(primary->Flush().ok());
+  ASSERT_TRUE(reader->TryCatchUp().ok());
+  ASSERT_TRUE(reader->Get(ReadOptions(), "key7", &value).ok());
+  EXPECT_EQ("generation-2", value);
+}
+
+TEST(ReadOnlyTest, OpenMissingDbFails) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  DB* db = nullptr;
+  EXPECT_FALSE(DB::OpenReadOnly(options, "/missing", &db).ok());
+  EXPECT_EQ(nullptr, db);
+}
+
+TEST(ReadOnlyTest, SeesWalTailOfPrimary) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  DB* raw_primary = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw_primary).ok());
+  std::unique_ptr<DB> primary(raw_primary);
+  // Unflushed data living only in the (synced) WAL.
+  WriteOptions sync_options;
+  sync_options.sync = true;
+  ASSERT_TRUE(primary->Put(sync_options, "wal-only", "visible").ok());
+
+  DB* raw_reader = nullptr;
+  ASSERT_TRUE(DB::OpenReadOnly(options, "/db", &raw_reader).ok());
+  std::unique_ptr<DB> reader(raw_reader);
+  std::string value;
+  ASSERT_TRUE(reader->Get(ReadOptions(), "wal-only", &value).ok());
+  EXPECT_EQ("visible", value);
+}
+
+}  // namespace
+}  // namespace shield

@@ -1,0 +1,203 @@
+#include "env/env.h"
+#include "env/io_stats.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace shield {
+namespace {
+
+class EnvTest : public ::testing::TestWithParam<bool> {
+ protected:
+  EnvTest() : scratch_("env") {
+    if (GetParam()) {
+      owned_ = NewMemEnv();
+      env_ = owned_.get();
+      root_ = "/db";
+      env_->CreateDirIfMissing(root_);
+    } else {
+      env_ = Env::Default();
+      root_ = scratch_.path();
+    }
+  }
+
+  std::string P(const std::string& name) { return root_ + "/" + name; }
+
+  test::ScratchDir scratch_;
+  std::unique_ptr<Env> owned_;
+  Env* env_;
+  std::string root_;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "hello world", P("f"), true).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_, P("f"), &contents).ok());
+  EXPECT_EQ("hello world", contents);
+}
+
+TEST_P(EnvTest, FileExistsAndRemove) {
+  EXPECT_FALSE(env_->FileExists(P("g")));
+  ASSERT_TRUE(WriteStringToFile(env_, "x", P("g"), false).ok());
+  EXPECT_TRUE(env_->FileExists(P("g")));
+  ASSERT_TRUE(env_->RemoveFile(P("g")).ok());
+  EXPECT_FALSE(env_->FileExists(P("g")));
+  EXPECT_FALSE(env_->RemoveFile(P("g")).ok());
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  ASSERT_TRUE(WriteStringToFile(env_, std::string(12345, 'z'), P("big"),
+                                false)
+                  .ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(P("big"), &size).ok());
+  EXPECT_EQ(12345u, size);
+}
+
+TEST_P(EnvTest, Rename) {
+  ASSERT_TRUE(WriteStringToFile(env_, "data", P("a"), false).ok());
+  ASSERT_TRUE(env_->RenameFile(P("a"), P("b")).ok());
+  EXPECT_FALSE(env_->FileExists(P("a")));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_, P("b"), &contents).ok());
+  EXPECT_EQ("data", contents);
+}
+
+TEST_P(EnvTest, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", P("one"), false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", P("two"), false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(root_, &children).ok());
+  EXPECT_NE(children.end(),
+            std::find(children.begin(), children.end(), "one"));
+  EXPECT_NE(children.end(),
+            std::find(children.begin(), children.end(), "two"));
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  ASSERT_TRUE(
+      WriteStringToFile(env_, "0123456789abcdef", P("ra"), false).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile(P("ra"), &file).ok());
+
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(4, 6, &result, scratch).ok());
+  EXPECT_EQ("456789", result.ToString());
+
+  // Read past EOF returns short.
+  ASSERT_TRUE(file->Read(14, 10, &result, scratch).ok());
+  EXPECT_EQ("ef", result.ToString());
+
+  uint64_t size;
+  ASSERT_TRUE(file->Size(&size).ok());
+  EXPECT_EQ(16u, size);
+}
+
+TEST_P(EnvTest, SequentialReadAndSkip) {
+  ASSERT_TRUE(
+      WriteStringToFile(env_, "0123456789", P("seq"), false).ok());
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(env_->NewSequentialFile(P("seq"), &file).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ("012", result.ToString());
+  ASSERT_TRUE(file->Skip(4).ok());
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ("789", result.ToString());
+  // EOF.
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_P(EnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(P("nope"), &file);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST_P(EnvTest, OverwriteTruncates) {
+  ASSERT_TRUE(WriteStringToFile(env_, "long-old-content", P("t"), false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "new", P("t"), false).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_, P("t"), &contents).ok());
+  EXPECT_EQ("new", contents);
+}
+
+TEST_P(EnvTest, LargeAppends) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(P("large"), &file).ok());
+  std::string chunk(100 * 1024, 'q');
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(file->Append(chunk).ok());
+  }
+  EXPECT_EQ(5 * chunk.size(), file->GetFileSize());
+  ASSERT_TRUE(file->Close().ok());
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(P("large"), &size).ok());
+  EXPECT_EQ(5 * chunk.size(), size);
+}
+
+INSTANTIATE_TEST_SUITE_P(PosixAndMem, EnvTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "MemEnv" : "PosixEnv";
+                         });
+
+// --- File classification & I/O accounting --------------------------------
+
+TEST(IoStatsTest, ClassifyFile) {
+  EXPECT_EQ(FileKind::kWal, ClassifyFile("/db/000012.log"));
+  EXPECT_EQ(FileKind::kSst, ClassifyFile("/db/000013.sst"));
+  EXPECT_EQ(FileKind::kManifest, ClassifyFile("/db/MANIFEST-000001"));
+  EXPECT_EQ(FileKind::kManifest, ClassifyFile("/db/CURRENT"));
+  EXPECT_EQ(FileKind::kOther, ClassifyFile("/db/LOCK"));
+  EXPECT_EQ(FileKind::kWal, ClassifyFile("000012.log"));
+}
+
+TEST(IoStatsTest, CountingEnvAccounting) {
+  auto mem = NewMemEnv();
+  IoStats stats;
+  auto counting = NewCountingEnv(mem.get(), &stats);
+
+  ASSERT_TRUE(WriteStringToFile(counting.get(), std::string(1000, 'w'),
+                                "/db/000001.log", false)
+                  .ok());
+  EXPECT_EQ(1000u, stats.WriteBytes(FileKind::kWal));
+  EXPECT_EQ(0u, stats.WriteBytes(FileKind::kSst));
+
+  ASSERT_TRUE(WriteStringToFile(counting.get(), std::string(500, 's'),
+                                "/db/000002.sst", false)
+                  .ok());
+  EXPECT_EQ(500u, stats.WriteBytes(FileKind::kSst));
+
+  std::string contents;
+  ASSERT_TRUE(
+      ReadFileToString(counting.get(), "/db/000002.sst", &contents).ok());
+  EXPECT_EQ(500u, stats.ReadBytes(FileKind::kSst));
+  EXPECT_EQ(1500u, stats.TotalWriteBytes());
+  EXPECT_EQ(500u, stats.TotalReadBytes());
+
+  stats.Reset();
+  EXPECT_EQ(0u, stats.TotalWriteBytes());
+}
+
+TEST(MemEnvTest, ConcurrentReadOfGrowingFile) {
+  // A reader opened before appends must observe appended data — the
+  // read-only-instance catch-up path depends on this.
+  auto mem = NewMemEnv();
+  std::unique_ptr<WritableFile> writer;
+  ASSERT_TRUE(mem->NewWritableFile("/f", &writer).ok());
+  ASSERT_TRUE(writer->Append("aaa").ok());
+
+  std::unique_ptr<RandomAccessFile> reader;
+  ASSERT_TRUE(mem->NewRandomAccessFile("/f", &reader).ok());
+
+  ASSERT_TRUE(writer->Append("bbb").ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(reader->Read(0, 6, &result, scratch).ok());
+  EXPECT_EQ("aaabbb", result.ToString());
+}
+
+}  // namespace
+}  // namespace shield

@@ -1,0 +1,209 @@
+#include "lsm/filter_block.h"
+#include "lsm/filter_policy.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "lsm/db.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace shield {
+namespace {
+
+// --- Bloom filter policy ------------------------------------------------
+
+class BloomTest : public ::testing::Test {
+ protected:
+  BloomTest() : policy_(NewBloomFilterPolicy(10)) {}
+
+  void Build(const std::vector<std::string>& keys) {
+    std::vector<Slice> slices;
+    for (const auto& key : keys) {
+      slices.emplace_back(key);
+    }
+    filter_.clear();
+    policy_->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                          &filter_);
+  }
+
+  bool Matches(const Slice& key) {
+    return policy_->KeyMayMatch(key, filter_);
+  }
+
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::string filter_;
+};
+
+TEST_F(BloomTest, EmptyFilter) {
+  Build({});
+  EXPECT_FALSE(Matches("hello"));
+}
+
+TEST_F(BloomTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; i++) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  Build(keys);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(Matches(key)) << key;
+  }
+}
+
+TEST_F(BloomTest, FalsePositiveRateBounded) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; i++) {
+    keys.push_back("present" + std::to_string(i));
+  }
+  Build(keys);
+  int false_positives = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; i++) {
+    if (Matches("absent" + std::to_string(i))) {
+      false_positives++;
+    }
+  }
+  // 10 bits/key => ~1%; allow generous slack.
+  EXPECT_LT(false_positives, kProbes / 25) << "FP rate too high";
+}
+
+TEST_F(BloomTest, VaryingLengths) {
+  // Sweep filter sizes like LevelDB's bloom_test.
+  for (int len : {1, 10, 100, 1000, 10000}) {
+    std::vector<std::string> keys;
+    for (int i = 0; i < len; i++) {
+      keys.push_back(std::to_string(i));
+    }
+    Build(keys);
+    for (int i = 0; i < len; i++) {
+      EXPECT_TRUE(Matches(std::to_string(i))) << "len=" << len << " i=" << i;
+    }
+  }
+}
+
+// --- Filter block --------------------------------------------------------
+
+TEST(FilterBlockTest, SingleChunk) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  FilterBlockBuilder builder(policy.get());
+  builder.StartBlock(100);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  const Slice block = builder.Finish();
+
+  FilterBlockReader reader(policy.get(), block);
+  EXPECT_TRUE(reader.KeyMayMatch(100, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "bar"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "box"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "missing"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "other"));
+}
+
+TEST(FilterBlockTest, MultiChunk) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  FilterBlockBuilder builder(policy.get());
+
+  // First filter window (offsets 0..2047).
+  builder.StartBlock(0);
+  builder.AddKey("first");
+  builder.StartBlock(1500);
+  builder.AddKey("second");
+  // Third window (offset 4096+).
+  builder.StartBlock(4100);
+  builder.AddKey("third");
+  // Much later window.
+  builder.StartBlock(9000);
+  builder.AddKey("fourth");
+
+  const Slice block = builder.Finish();
+  FilterBlockReader reader(policy.get(), block);
+
+  EXPECT_TRUE(reader.KeyMayMatch(0, "first"));
+  EXPECT_TRUE(reader.KeyMayMatch(1500, "second"));
+  EXPECT_FALSE(reader.KeyMayMatch(0, "third"));
+  EXPECT_TRUE(reader.KeyMayMatch(4100, "third"));
+  EXPECT_TRUE(reader.KeyMayMatch(9000, "fourth"));
+  EXPECT_FALSE(reader.KeyMayMatch(9000, "first"));
+}
+
+TEST(FilterBlockTest, EmptyBuilder) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  FilterBlockBuilder builder(policy.get());
+  const Slice block = builder.Finish();
+  FilterBlockReader reader(policy.get(), block);
+  // Nothing was added; out-of-range windows err toward "may match".
+  EXPECT_TRUE(reader.KeyMayMatch(0, "whatever"));
+}
+
+// --- End-to-end with the DB ------------------------------------------------
+
+TEST(DbFilterTest, LookupsWorkWithFilters) {
+  auto env = NewMemEnv();
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  Options options;
+  options.env = env.get();
+  options.filter_policy = policy.get();
+  options.write_buffer_size = 32 * 1024;
+  options.encryption.mode = EncryptionMode::kShield;
+
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+
+  std::map<std::string, std::string> model;
+  Random rnd(4);
+  for (int i = 0; i < 3000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value = "v" + std::to_string(rnd.Next());
+    model[key] = value;
+    ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+  }
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
+
+  // All present keys found (no false negatives end-to-end).
+  for (const auto& [key, value] : model) {
+    std::string got;
+    ASSERT_TRUE(db->Get(ReadOptions(), key, &got).ok()) << key;
+    EXPECT_EQ(value, got);
+  }
+  // Absent keys are NotFound.
+  for (int i = 0; i < 500; i++) {
+    std::string got;
+    EXPECT_TRUE(
+        db->Get(ReadOptions(), "absent" + std::to_string(i), &got)
+            .IsNotFound());
+  }
+}
+
+TEST(DbFilterTest, FilterlessReaderStillWorks) {
+  // A table built WITH filters must remain readable by a DB opened
+  // WITHOUT a filter policy (and vice versa).
+  auto env = NewMemEnv();
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  Options with_filter;
+  with_filter.env = env.get();
+  with_filter.filter_policy = policy.get();
+  {
+    DB* raw_db = nullptr;
+    ASSERT_TRUE(DB::Open(with_filter, "/db", &raw_db).ok());
+    std::unique_ptr<DB> db(raw_db);
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE(
+          db->Put(WriteOptions(), "key" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  Options without_filter = with_filter;
+  without_filter.filter_policy = nullptr;
+  DB* raw_db = nullptr;
+  ASSERT_TRUE(DB::Open(without_filter, "/db", &raw_db).ok());
+  std::unique_ptr<DB> db(raw_db);
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key123", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+}  // namespace
+}  // namespace shield

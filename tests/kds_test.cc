@@ -1,0 +1,331 @@
+#include "crypto/secure_random.h"
+#include "kds/dek.h"
+#include "kds/local_kds.h"
+#include "kds/secure_dek_cache.h"
+#include "kds/sim_kds.h"
+#include "shield/dek_manager.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/clock.h"
+
+namespace shield {
+namespace {
+
+// --- DekId ------------------------------------------------------------
+
+TEST(DekIdTest, HexRoundTrip) {
+  const DekId id = DekId::Generate();
+  const std::string hex = id.ToHex();
+  EXPECT_EQ(32u, hex.size());
+  DekId parsed;
+  ASSERT_TRUE(DekId::FromHex(hex, &parsed));
+  EXPECT_EQ(id, parsed);
+}
+
+TEST(DekIdTest, FromHexRejectsBadInput) {
+  DekId id;
+  EXPECT_FALSE(DekId::FromHex("short", &id));
+  EXPECT_FALSE(DekId::FromHex(std::string(32, 'z'), &id));
+}
+
+TEST(DekIdTest, GenerateIsUnique) {
+  EXPECT_NE(DekId::Generate(), DekId::Generate());
+}
+
+TEST(DekIdTest, SliceRoundTrip) {
+  const DekId id = DekId::Generate();
+  EXPECT_EQ(id, DekId::FromSlice(id.AsSlice()));
+  EXPECT_FALSE(id.IsZero());
+  EXPECT_TRUE(DekId().IsZero());
+}
+
+// --- LocalKds -----------------------------------------------------------
+
+TEST(LocalKdsTest, CreateGetDelete) {
+  LocalKds kds;
+  Dek dek;
+  ASSERT_TRUE(
+      kds.CreateDek("s1", crypto::CipherKind::kAes128Ctr, &dek).ok());
+  EXPECT_EQ(16u, dek.key.size());
+  EXPECT_EQ(1u, kds.NumDeks());
+
+  Dek fetched;
+  ASSERT_TRUE(kds.GetDek("s2", dek.id, &fetched).ok());
+  EXPECT_EQ(dek.key, fetched.key);
+  EXPECT_EQ(dek.cipher, fetched.cipher);
+
+  ASSERT_TRUE(kds.DeleteDek("s1", dek.id).ok());
+  EXPECT_TRUE(kds.GetDek("s1", dek.id, &fetched).IsNotFound());
+  EXPECT_TRUE(kds.DeleteDek("s1", dek.id).IsNotFound());
+}
+
+TEST(LocalKdsTest, UniqueKeysPerDek) {
+  LocalKds kds;
+  Dek a, b;
+  ASSERT_TRUE(kds.CreateDek("s", crypto::CipherKind::kAes128Ctr, &a).ok());
+  ASSERT_TRUE(kds.CreateDek("s", crypto::CipherKind::kAes128Ctr, &b).ok());
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.key, b.key);
+}
+
+// --- SimKds --------------------------------------------------------------
+
+TEST(SimKdsTest, LatencyIsApplied) {
+  SimKdsOptions options;
+  options.request_latency_us = 3000;
+  SimKds kds(options);
+  Dek dek;
+  const uint64_t t0 = NowMicros();
+  ASSERT_TRUE(kds.CreateDek("s", crypto::CipherKind::kAes128Ctr, &dek).ok());
+  const uint64_t elapsed = NowMicros() - t0;
+  EXPECT_GE(elapsed, 2500u);  // allow scheduler slop downward
+  EXPECT_EQ(1u, kds.num_requests());
+}
+
+TEST(SimKdsTest, AuthorizationEnforced) {
+  SimKdsOptions options;
+  options.request_latency_us = 0;
+  options.require_authorization = true;
+  SimKds kds(options);
+
+  Dek dek;
+  EXPECT_TRUE(kds.CreateDek("rogue", crypto::CipherKind::kAes128Ctr, &dek)
+                  .IsPermissionDenied());
+
+  kds.AuthorizeServer("compute-1");
+  ASSERT_TRUE(
+      kds.CreateDek("compute-1", crypto::CipherKind::kAes128Ctr, &dek).ok());
+
+  // Another authorized server can fetch by DEK-ID.
+  kds.AuthorizeServer("worker-1");
+  Dek fetched;
+  ASSERT_TRUE(kds.GetDek("worker-1", dek.id, &fetched).ok());
+  EXPECT_EQ(dek.key, fetched.key);
+
+  // Unauthorized server cannot, even with the DEK-ID (the paper's
+  // Section 5.4 safeguard).
+  EXPECT_TRUE(kds.GetDek("attacker", dek.id, &fetched).IsPermissionDenied());
+}
+
+TEST(SimKdsTest, RevocationBlocksBreachedServer) {
+  SimKdsOptions options;
+  options.request_latency_us = 0;
+  options.require_authorization = true;
+  SimKds kds(options);
+  kds.AuthorizeServer("w");
+  Dek dek;
+  ASSERT_TRUE(kds.CreateDek("w", crypto::CipherKind::kAes128Ctr, &dek).ok());
+
+  kds.RevokeServer("w");
+  Dek fetched;
+  EXPECT_TRUE(kds.GetDek("w", dek.id, &fetched).IsPermissionDenied());
+  EXPECT_TRUE(kds.CreateDek("w", crypto::CipherKind::kAes128Ctr, &dek)
+                  .IsPermissionDenied());
+}
+
+TEST(SimKdsTest, OneTimeProvisioning) {
+  SimKdsOptions options;
+  options.request_latency_us = 0;
+  options.one_time_provisioning = true;
+  SimKds kds(options);
+
+  Dek dek;
+  ASSERT_TRUE(kds.CreateDek("a", crypto::CipherKind::kAes128Ctr, &dek).ok());
+
+  // First fetch by another server succeeds; the second is denied — a
+  // stolen DEK-ID alone cannot re-obtain the key.
+  Dek fetched;
+  ASSERT_TRUE(kds.GetDek("b", dek.id, &fetched).ok());
+  EXPECT_TRUE(kds.GetDek("b", dek.id, &fetched).IsPermissionDenied());
+
+  // The creator is also considered provisioned.
+  EXPECT_TRUE(kds.GetDek("a", dek.id, &fetched).IsPermissionDenied());
+
+  // A third server still gets its first (and only) fetch.
+  ASSERT_TRUE(kds.GetDek("c", dek.id, &fetched).ok());
+}
+
+TEST(SimKdsTest, RuntimeLatencyAdjustment) {
+  SimKdsOptions options;
+  options.request_latency_us = 0;
+  SimKds kds(options);
+  kds.set_request_latency_us(2000);
+  Dek dek;
+  const uint64_t t0 = NowMicros();
+  ASSERT_TRUE(kds.CreateDek("s", crypto::CipherKind::kAes128Ctr, &dek).ok());
+  EXPECT_GE(NowMicros() - t0, 1500u);
+}
+
+// --- SecureDekCache ---------------------------------------------------------
+
+class SecureDekCacheTest : public ::testing::Test {
+ protected:
+  SecureDekCacheTest() : env_(NewMemEnv()) {}
+
+  Dek MakeDek() {
+    Dek dek;
+    dek.id = DekId::Generate();
+    dek.cipher = crypto::CipherKind::kAes128Ctr;
+    dek.key = crypto::SecureRandomString(16);
+    return dek;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(SecureDekCacheTest, PutGetErase) {
+  std::unique_ptr<SecureDekCache> cache;
+  ASSERT_TRUE(SecureDekCache::Open(env_.get(), "/cache", "pass", &cache).ok());
+
+  const Dek dek = MakeDek();
+  ASSERT_TRUE(cache->Put(dek).ok());
+  Dek out;
+  ASSERT_TRUE(cache->Get(dek.id, &out).ok());
+  EXPECT_EQ(dek.key, out.key);
+  EXPECT_EQ(dek.cipher, out.cipher);
+
+  ASSERT_TRUE(cache->Erase(dek.id).ok());
+  EXPECT_TRUE(cache->Get(dek.id, &out).IsNotFound());
+  // Erasing again is idempotent.
+  EXPECT_TRUE(cache->Erase(dek.id).ok());
+}
+
+TEST_F(SecureDekCacheTest, PersistsAcrossReopen) {
+  const Dek dek = MakeDek();
+  {
+    std::unique_ptr<SecureDekCache> cache;
+    ASSERT_TRUE(
+        SecureDekCache::Open(env_.get(), "/cache", "pass", &cache).ok());
+    ASSERT_TRUE(cache->Put(dek).ok());
+  }
+  std::unique_ptr<SecureDekCache> cache;
+  ASSERT_TRUE(SecureDekCache::Open(env_.get(), "/cache", "pass", &cache).ok());
+  EXPECT_EQ(1u, cache->NumDeks());
+  Dek out;
+  ASSERT_TRUE(cache->Get(dek.id, &out).ok());
+  EXPECT_EQ(dek.key, out.key);
+}
+
+TEST_F(SecureDekCacheTest, WrongPasskeyRejected) {
+  {
+    std::unique_ptr<SecureDekCache> cache;
+    ASSERT_TRUE(
+        SecureDekCache::Open(env_.get(), "/cache", "correct", &cache).ok());
+    ASSERT_TRUE(cache->Put(MakeDek()).ok());
+  }
+  std::unique_ptr<SecureDekCache> cache;
+  Status s = SecureDekCache::Open(env_.get(), "/cache", "wrong", &cache);
+  EXPECT_TRUE(s.IsPermissionDenied()) << s.ToString();
+}
+
+TEST_F(SecureDekCacheTest, TamperingDetected) {
+  {
+    std::unique_ptr<SecureDekCache> cache;
+    ASSERT_TRUE(
+        SecureDekCache::Open(env_.get(), "/cache", "pass", &cache).ok());
+    ASSERT_TRUE(cache->Put(MakeDek()).ok());
+  }
+  // Flip one ciphertext byte.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/cache", &contents).ok());
+  contents[contents.size() / 2] ^= 0x1;
+  ASSERT_TRUE(
+      WriteStringToFile(env_.get(), contents, "/cache", false).ok());
+
+  std::unique_ptr<SecureDekCache> cache;
+  Status s = SecureDekCache::Open(env_.get(), "/cache", "pass", &cache);
+  EXPECT_TRUE(s.IsPermissionDenied()) << s.ToString();
+}
+
+TEST_F(SecureDekCacheTest, KeysNotPlaintextOnDisk) {
+  Dek dek = MakeDek();
+  dek.key = "VERYSECRETKEY16B";
+  std::unique_ptr<SecureDekCache> cache;
+  ASSERT_TRUE(SecureDekCache::Open(env_.get(), "/cache", "pass", &cache).ok());
+  ASSERT_TRUE(cache->Put(dek).ok());
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/cache", &contents).ok());
+  EXPECT_EQ(std::string::npos, contents.find("VERYSECRETKEY16B"));
+}
+
+TEST_F(SecureDekCacheTest, RequiresPasskey) {
+  std::unique_ptr<SecureDekCache> cache;
+  EXPECT_TRUE(SecureDekCache::Open(env_.get(), "/cache", "", &cache)
+                  .IsInvalidArgument());
+}
+
+TEST_F(SecureDekCacheTest, SharedBetweenInstances) {
+  // Two cache objects over the same file (two LSM-KVS instances on one
+  // server sharing the cache, per the paper): writes by one are
+  // visible to a later-opened other.
+  std::unique_ptr<SecureDekCache> first;
+  ASSERT_TRUE(SecureDekCache::Open(env_.get(), "/cache", "pass", &first).ok());
+  const Dek dek = MakeDek();
+  ASSERT_TRUE(first->Put(dek).ok());
+
+  std::unique_ptr<SecureDekCache> second;
+  ASSERT_TRUE(
+      SecureDekCache::Open(env_.get(), "/cache", "pass", &second).ok());
+  Dek out;
+  EXPECT_TRUE(second->Get(dek.id, &out).ok());
+}
+
+// --- DekManager ------------------------------------------------------------
+
+TEST(DekManagerTest, ResolutionChain) {
+  auto kds = std::make_shared<LocalKds>();
+  auto env = NewMemEnv();
+  std::unique_ptr<SecureDekCache> cache;
+  ASSERT_TRUE(SecureDekCache::Open(env.get(), "/c", "pk", &cache).ok());
+
+  DekManager manager(kds.get(), "s1", cache.get());
+  Dek dek;
+  ASSERT_TRUE(manager.CreateDek(crypto::CipherKind::kAes128Ctr, &dek).ok());
+  EXPECT_EQ(1u, manager.kds_requests());
+
+  // Memory hit: no extra KDS request.
+  Dek out;
+  ASSERT_TRUE(manager.ResolveDek(dek.id, &out).ok());
+  EXPECT_EQ(1u, manager.kds_requests());
+  EXPECT_EQ(1u, manager.cache_hits());
+
+  // A fresh manager (simulating restart) hits the secure cache, not
+  // the KDS.
+  DekManager restarted(kds.get(), "s1", cache.get());
+  ASSERT_TRUE(restarted.ResolveDek(dek.id, &out).ok());
+  EXPECT_EQ(0u, restarted.kds_requests());
+  EXPECT_EQ(dek.key, out.key);
+
+  // Without the cache, resolution goes to the KDS.
+  DekManager uncached(kds.get(), "s2", nullptr);
+  ASSERT_TRUE(uncached.ResolveDek(dek.id, &out).ok());
+  EXPECT_EQ(1u, uncached.kds_requests());
+}
+
+TEST(DekManagerTest, ForgetDekRemovesEverywhere) {
+  auto kds = std::make_shared<LocalKds>();
+  auto env = NewMemEnv();
+  std::unique_ptr<SecureDekCache> cache;
+  ASSERT_TRUE(SecureDekCache::Open(env.get(), "/c", "pk", &cache).ok());
+
+  DekManager manager(kds.get(), "s1", cache.get());
+  Dek dek;
+  ASSERT_TRUE(manager.CreateDek(crypto::CipherKind::kAes128Ctr, &dek).ok());
+  ASSERT_TRUE(manager.ForgetDek(dek.id).ok());
+
+  EXPECT_EQ(0u, kds->NumDeks());
+  EXPECT_EQ(0u, cache->NumDeks());
+  Dek out;
+  EXPECT_FALSE(manager.ResolveDek(dek.id, &out).ok());
+}
+
+TEST(DekManagerTest, ForgetUnknownDekIsOk) {
+  auto kds = std::make_shared<LocalKds>();
+  DekManager manager(kds.get(), "s1", nullptr);
+  EXPECT_TRUE(manager.ForgetDek(DekId::Generate()).ok());
+}
+
+}  // namespace
+}  // namespace shield

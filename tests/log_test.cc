@@ -1,0 +1,163 @@
+#include "lsm/log_reader.h"
+#include "lsm/log_writer.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace shield {
+namespace log {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : env_(NewMemEnv()) { Reset(); }
+
+  void Reset() {
+    env_->NewWritableFile("/log", &dest_);
+    writer_ = std::make_unique<Writer>(dest_.get());
+  }
+
+  void Write(const std::string& record) {
+    ASSERT_TRUE(writer_->AddRecord(record).ok());
+  }
+
+  struct CountingReporter : public Reader::Reporter {
+    size_t dropped_bytes = 0;
+    int corruptions = 0;
+    void Corruption(size_t bytes, const Status&) override {
+      dropped_bytes += bytes;
+      corruptions++;
+    }
+  };
+
+  std::vector<std::string> ReadAll(CountingReporter* reporter = nullptr) {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_->NewSequentialFile("/log", &file).ok());
+    Reader reader(file.get(), reporter, /*checksum=*/true);
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    return records;
+  }
+
+  // Direct byte-level tampering of the backing file.
+  void CorruptByte(size_t offset) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(env_.get(), "/log", &contents).ok());
+    ASSERT_LT(offset, contents.size());
+    contents[offset] ^= 0x7f;
+    ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/log", false).ok());
+  }
+
+  void TruncateTo(size_t size) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(env_.get(), "/log", &contents).ok());
+    contents.resize(size);
+    ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/log", false).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<WritableFile> dest_;
+  std::unique_ptr<Writer> writer_;
+};
+
+TEST_F(LogTest, EmptyLog) { EXPECT_TRUE(ReadAll().empty()); }
+
+TEST_F(LogTest, SmallRecords) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  const auto records = ReadAll();
+  ASSERT_EQ(4u, records.size());
+  EXPECT_EQ("foo", records[0]);
+  EXPECT_EQ("bar", records[1]);
+  EXPECT_EQ("", records[2]);
+  EXPECT_EQ("xxxx", records[3]);
+}
+
+TEST_F(LogTest, RecordSpanningBlocks) {
+  // Larger than one 32 KiB block: forces FIRST/MIDDLE/LAST fragments.
+  const std::string big(100000, 'A');
+  const std::string small = "small";
+  Write(big);
+  Write(small);
+  const auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(big, records[0]);
+  EXPECT_EQ(small, records[1]);
+}
+
+TEST_F(LogTest, ManyRandomRecords) {
+  Random rnd(301);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 500; i++) {
+    std::string record(rnd.Skewed(12), static_cast<char>('a' + i % 26));
+    expected.push_back(record);
+    Write(record);
+  }
+  EXPECT_EQ(expected, ReadAll());
+}
+
+TEST_F(LogTest, BlockBoundaryHeaderPadding) {
+  // Fill so that < 7 bytes remain in the block; the writer must pad
+  // and move to the next block.
+  const std::string just_under(kBlockSize - kHeaderSize - 3, 'x');
+  Write(just_under);
+  Write("next");
+  const auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(just_under, records[0]);
+  EXPECT_EQ("next", records[1]);
+}
+
+TEST_F(LogTest, ChecksumMismatchDropsRecord) {
+  Write("payload-one");
+  Write("payload-two");
+  CorruptByte(kHeaderSize + 2);  // inside the first record's payload
+
+  CountingReporter reporter;
+  const auto records = ReadAll(&reporter);
+  // First record dropped, second (same block, also dropped since the
+  // whole block is skipped on checksum failure) — at minimum the
+  // corruption was noticed and no garbage surfaced.
+  EXPECT_GE(reporter.corruptions, 1);
+  for (const auto& record : records) {
+    EXPECT_TRUE(record == "payload-one" || record == "payload-two");
+  }
+}
+
+TEST_F(LogTest, TruncatedTailIsCleanEof) {
+  Write("complete");
+  Write("this-record-will-be-torn-apart-by-a-crash");
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/log", &contents).ok());
+  TruncateTo(contents.size() - 10);
+
+  CountingReporter reporter;
+  const auto records = ReadAll(&reporter);
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("complete", records[0]);
+  // A torn tail is an expected crash artifact, not a corruption.
+  EXPECT_EQ(0, reporter.corruptions);
+}
+
+TEST_F(LogTest, ResumeAppendPosition) {
+  Write("first");
+  uint64_t size = dest_->GetFileSize();
+  // Simulate reopening the log for append.
+  writer_ = std::make_unique<Writer>(dest_.get(), size);
+  Write("second");
+  const auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ("first", records[0]);
+  EXPECT_EQ("second", records[1]);
+}
+
+}  // namespace
+}  // namespace log
+}  // namespace shield

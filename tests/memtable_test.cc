@@ -1,0 +1,304 @@
+#include "lsm/memtable.h"
+
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "lsm/format.h"
+#include "lsm/skiplist.h"
+#include "lsm/write_batch.h"
+#include "util/random.h"
+
+namespace shield {
+namespace {
+
+// --- SkipList ----------------------------------------------------------
+
+struct IntComparator {
+  int operator()(const uint64_t& a, const uint64_t& b) const {
+    if (a < b) return -1;
+    if (a > b) return +1;
+    return 0;
+  }
+};
+
+TEST(SkipListTest, InsertAndLookup) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  Random rnd(2000);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t key = rnd.Uniform(5000);
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+  for (uint64_t i = 0; i < 5000; i++) {
+    EXPECT_EQ(keys.count(i) > 0, list.Contains(i));
+  }
+
+  // Forward iteration yields sorted order.
+  SkipList<uint64_t, IntComparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(key, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+
+  // Seek positions at the first key >= target.
+  iter.Seek(2500);
+  auto expected = keys.lower_bound(2500);
+  if (expected == keys.end()) {
+    EXPECT_FALSE(iter.Valid());
+  } else {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*expected, iter.key());
+  }
+
+  // Backward iteration.
+  iter.SeekToLast();
+  for (auto rit = keys.rbegin(); rit != keys.rend(); ++rit) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*rit, iter.key());
+    iter.Prev();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+// --- Internal key format -------------------------------------------------
+
+TEST(FormatTest, InternalKeyEncodeDecode) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey("userkey", 42, kTypeValue));
+  EXPECT_EQ(7u + 8u, encoded.size());
+
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ("userkey", parsed.user_key.ToString());
+  EXPECT_EQ(42u, parsed.sequence);
+  EXPECT_EQ(kTypeValue, parsed.type);
+
+  EXPECT_EQ("userkey", ExtractUserKey(encoded).ToString());
+  EXPECT_EQ(42u, ExtractSequence(encoded));
+  EXPECT_EQ(kTypeValue, ExtractValueType(encoded));
+}
+
+TEST(FormatTest, InternalKeyOrdering) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // Same user key: higher sequence sorts first.
+  InternalKey newer("k", 10, kTypeValue);
+  InternalKey older("k", 5, kTypeValue);
+  EXPECT_LT(icmp.Compare(newer.Encode(), older.Encode()), 0);
+  // Different user keys: lexicographic.
+  InternalKey a("a", 1, kTypeValue);
+  InternalKey b("b", 100, kTypeValue);
+  EXPECT_LT(icmp.Compare(a.Encode(), b.Encode()), 0);
+  // Deletion sorts after value at same (key, seq).
+  InternalKey del("k", 10, kTypeDeletion);
+  EXPECT_LT(icmp.Compare(newer.Encode(), del.Encode()), 0);
+}
+
+TEST(FormatTest, ParseRejectsGarbage) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+}
+
+TEST(FormatTest, LookupKeyViews) {
+  LookupKey lkey("thekey", 99);
+  EXPECT_EQ("thekey", lkey.user_key().ToString());
+  EXPECT_EQ("thekey", ExtractUserKey(lkey.internal_key()).ToString());
+  EXPECT_EQ(99u, ExtractSequence(lkey.internal_key()));
+  // memtable key = varint length prefix + internal key.
+  EXPECT_GT(lkey.memtable_key().size(), lkey.internal_key().size());
+}
+
+TEST(FormatTest, LookupKeyLongKeyHeapPath) {
+  const std::string long_key(5000, 'k');
+  LookupKey lkey(long_key, 7);
+  EXPECT_EQ(long_key, lkey.user_key().ToString());
+}
+
+// --- MemTable --------------------------------------------------------------
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  bool Get(const std::string& key, SequenceNumber seq, std::string* value,
+           Status* s) {
+    LookupKey lkey(key, seq);
+    return mem_->Get(lkey, value, s);
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "key1", "value1");
+  mem_->Add(2, kTypeValue, "key2", "value2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("key1", 10, &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("value1", value);
+
+  EXPECT_FALSE(Get("key3", 10, &value, &s));
+  EXPECT_EQ(2u, mem_->NumEntries());
+}
+
+TEST_F(MemTableTest, SequenceVisibility) {
+  mem_->Add(5, kTypeValue, "k", "v5");
+  mem_->Add(10, kTypeValue, "k", "v10");
+
+  std::string value;
+  Status s;
+  // Snapshot at seq 7 sees v5.
+  ASSERT_TRUE(Get("k", 7, &value, &s));
+  EXPECT_EQ("v5", value);
+  // Snapshot at 20 sees the newest.
+  ASSERT_TRUE(Get("k", 20, &value, &s));
+  EXPECT_EQ("v10", value);
+  // Snapshot at 3 predates the key entirely.
+  EXPECT_FALSE(Get("k", 3, &value, &s));
+}
+
+TEST_F(MemTableTest, DeletionTombstone) {
+  mem_->Add(1, kTypeValue, "k", "v");
+  mem_->Add(2, kTypeDeletion, "k", "");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k", 10, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  // But the old version remains visible to older snapshots.
+  ASSERT_TRUE(Get("k", 1, &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(MemTableTest, IteratorSortedOrder) {
+  mem_->Add(3, kTypeValue, "c", "3");
+  mem_->Add(1, kTypeValue, "a", "1");
+  mem_->Add(2, kTypeValue, "b", "2");
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+  std::vector<std::string> keys;
+  while (iter->Valid()) {
+    keys.push_back(ExtractUserKey(iter->key()).ToString());
+    iter->Next();
+  }
+  EXPECT_EQ((std::vector<std::string>{"a", "b", "c"}), keys);
+}
+
+TEST_F(MemTableTest, EmptyValue) {
+  mem_->Add(1, kTypeValue, "k", "");
+  std::string value = "sentinel";
+  Status s;
+  ASSERT_TRUE(Get("k", 10, &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("", value);
+}
+
+TEST_F(MemTableTest, MemoryGrowsWithInserts) {
+  const size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+// --- WriteBatch --------------------------------------------------------------
+
+TEST(WriteBatchTest, CountAndSequence) {
+  WriteBatch batch;
+  EXPECT_EQ(0, batch.Count());
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  EXPECT_EQ(3, batch.Count());
+  batch.SetSequence(100);
+  EXPECT_EQ(100u, batch.Sequence());
+}
+
+TEST(WriteBatchTest, InsertIntoMemTable) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+
+  WriteBatch batch;
+  batch.Put("a", "va");
+  batch.Put("b", "vb");
+  batch.Delete("a");
+  batch.SetSequence(10);
+  ASSERT_TRUE(batch.InsertInto(mem).ok());
+
+  std::string value;
+  Status s;
+  LookupKey la("a", 100);
+  ASSERT_TRUE(mem->Get(la, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());  // deleted at seq 12
+  LookupKey lb("b", 100);
+  ASSERT_TRUE(mem->Get(lb, &value, &s));
+  EXPECT_EQ("vb", value);
+
+  mem->Unref();
+}
+
+TEST(WriteBatchTest, AppendMergesBatches) {
+  WriteBatch a, b;
+  a.Put("x", "1");
+  b.Put("y", "2");
+  b.Delete("z");
+  a.Append(b);
+  EXPECT_EQ(3, a.Count());
+
+  struct Collector : public WriteBatch::Handler {
+    std::vector<std::string> ops;
+    void Put(const Slice& key, const Slice& value) override {
+      ops.push_back("put:" + key.ToString() + "=" + value.ToString());
+    }
+    void Delete(const Slice& key) override {
+      ops.push_back("del:" + key.ToString());
+    }
+  };
+  Collector collector;
+  ASSERT_TRUE(a.Iterate(&collector).ok());
+  EXPECT_EQ((std::vector<std::string>{"put:x=1", "put:y=2", "del:z"}),
+            collector.ops);
+}
+
+TEST(WriteBatchTest, CorruptContentsRejected) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  std::string contents = batch.Contents().ToString();
+  contents[12] = '\x7f';  // invalid record tag
+  WriteBatch corrupt;
+  corrupt.SetContents(contents);
+  struct NullHandler : public WriteBatch::Handler {
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+  };
+  NullHandler handler;
+  // Either a parse failure or a count mismatch — must not be OK.
+  EXPECT_FALSE(corrupt.Iterate(&handler).ok());
+}
+
+TEST(WriteBatchTest, ClearResets) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  batch.Clear();
+  EXPECT_EQ(0, batch.Count());
+  EXPECT_EQ(12u, batch.ApproximateSize());  // header only
+}
+
+}  // namespace
+}  // namespace shield

@@ -1,0 +1,303 @@
+#include "shield/file_crypto.h"
+
+#include "crypto/secure_random.h"
+#include "gtest/gtest.h"
+#include "kds/local_kds.h"
+#include "shield/chunk_encryptor.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace shield {
+namespace {
+
+// --- File header -------------------------------------------------------
+
+TEST(ShieldHeaderTest, EncodeParseRoundTrip) {
+  ShieldFileHeader header;
+  header.cipher = crypto::CipherKind::kAes128Ctr;
+  header.dek_id = DekId::Generate();
+  header.nonce = crypto::SecureRandomString(16);
+
+  const std::string encoded = EncodeShieldFileHeader(header);
+  EXPECT_EQ(kShieldHeaderSize, encoded.size());
+
+  ShieldFileHeader parsed;
+  ASSERT_TRUE(ParseShieldFileHeader(encoded, &parsed).ok());
+  EXPECT_EQ(header.cipher, parsed.cipher);
+  EXPECT_EQ(header.dek_id, parsed.dek_id);
+  EXPECT_EQ(header.nonce, parsed.nonce);
+}
+
+TEST(ShieldHeaderTest, ChaChaNonceLength) {
+  ShieldFileHeader header;
+  header.cipher = crypto::CipherKind::kChaCha20;
+  header.dek_id = DekId::Generate();
+  header.nonce = crypto::SecureRandomString(12);
+  ShieldFileHeader parsed;
+  ASSERT_TRUE(
+      ParseShieldFileHeader(EncodeShieldFileHeader(header), &parsed).ok());
+  EXPECT_EQ(12u, parsed.nonce.size());
+}
+
+TEST(ShieldHeaderTest, RejectsGarbage) {
+  ShieldFileHeader parsed;
+  EXPECT_TRUE(ParseShieldFileHeader(Slice("too short"), &parsed)
+                  .IsCorruption());
+  std::string not_magic(kShieldHeaderSize, 'x');
+  EXPECT_TRUE(ParseShieldFileHeader(not_magic, &parsed).IsCorruption());
+}
+
+TEST(ShieldHeaderTest, ReadFromFile) {
+  auto env = NewMemEnv();
+  ShieldFileHeader header;
+  header.cipher = crypto::CipherKind::kAes256Ctr;
+  header.dek_id = DekId::Generate();
+  header.nonce = crypto::SecureRandomString(16);
+  ASSERT_TRUE(WriteStringToFile(env.get(),
+                                EncodeShieldFileHeader(header) + "payload",
+                                "/f", false)
+                  .ok());
+  ShieldFileHeader parsed;
+  ASSERT_TRUE(ReadShieldFileHeader(env.get(), "/f", &parsed).ok());
+  EXPECT_EQ(header.dek_id, parsed.dek_id);
+}
+
+// --- ChunkEncryptor -------------------------------------------------------
+
+TEST(ChunkEncryptorTest, ParallelMatchesSerial) {
+  std::unique_ptr<crypto::StreamCipher> cipher;
+  ASSERT_TRUE(crypto::NewStreamCipher(crypto::CipherKind::kAes128Ctr,
+                                      crypto::SecureRandomString(16),
+                                      crypto::SecureRandomString(16), &cipher)
+                  .ok());
+
+  Random rnd(77);
+  std::string data(512 * 1024, '\0');
+  for (auto& c : data) {
+    c = static_cast<char>(rnd.Uniform(256));
+  }
+
+  std::string serial = data;
+  ChunkEncryptor serial_encryptor(cipher.get(), nullptr, 1);
+  serial_encryptor.Encrypt(1000, serial.data(), serial.size());
+
+  ThreadPool pool(4);
+  std::string parallel = data;
+  ChunkEncryptor parallel_encryptor(cipher.get(), &pool, 4);
+  parallel_encryptor.Encrypt(1000, parallel.data(), parallel.size());
+
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ChunkEncryptorTest, SmallBuffersStaySerial) {
+  std::unique_ptr<crypto::StreamCipher> cipher;
+  ASSERT_TRUE(crypto::NewStreamCipher(crypto::CipherKind::kAes128Ctr,
+                                      crypto::SecureRandomString(16),
+                                      crypto::SecureRandomString(16), &cipher)
+                  .ok());
+  ThreadPool pool(2);
+  ChunkEncryptor encryptor(cipher.get(), &pool, 2);
+  std::string tiny(100, 't');
+  const std::string original = tiny;
+  encryptor.Encrypt(0, tiny.data(), tiny.size());  // must not deadlock
+  EXPECT_NE(original, tiny);
+}
+
+// --- ShieldFileFactory -----------------------------------------------------
+
+class ShieldFactoryTest : public ::testing::Test {
+ protected:
+  ShieldFactoryTest()
+      : env_(NewMemEnv()),
+        kds_(std::make_shared<LocalKds>()),
+        dek_manager_(kds_.get(), "test-server", nullptr) {}
+
+  std::unique_ptr<DataFileFactory> MakeFactory(EncryptionOptions opts = {}) {
+    opts.mode = EncryptionMode::kShield;
+    return NewShieldFileFactory(env_.get(), &dek_manager_, opts, nullptr);
+  }
+
+  std::unique_ptr<Env> env_;
+  std::shared_ptr<LocalKds> kds_;
+  DekManager dek_manager_;
+};
+
+TEST_F(ShieldFactoryTest, WriteReadRoundTrip) {
+  auto factory = MakeFactory();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(
+        factory->NewWritableFile("/000001.sst", FileKind::kSst, &file).ok());
+    ASSERT_TRUE(file->Append("hello encrypted world").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  {
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(factory->NewRandomAccessFile("/000001.sst", &file).ok());
+    char scratch[64];
+    Slice result;
+    ASSERT_TRUE(file->Read(6, 9, &result, scratch).ok());
+    EXPECT_EQ("encrypted", result.ToString());
+    uint64_t size;
+    ASSERT_TRUE(file->Size(&size).ok());
+    EXPECT_EQ(strlen("hello encrypted world"), size);
+  }
+  {
+    std::unique_ptr<SequentialFile> file;
+    ASSERT_TRUE(factory->NewSequentialFile("/000001.sst", &file).ok());
+    char scratch[64];
+    Slice result;
+    ASSERT_TRUE(file->Read(5, &result, scratch).ok());
+    EXPECT_EQ("hello", result.ToString());
+  }
+}
+
+TEST_F(ShieldFactoryTest, CiphertextOnDisk) {
+  auto factory = MakeFactory();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000002.sst", FileKind::kSst, &file).ok());
+  ASSERT_TRUE(file->Append("SUPER_SECRET_PAYLOAD").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  std::string raw;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/000002.sst", &raw).ok());
+  EXPECT_EQ(std::string::npos, raw.find("SUPER_SECRET_PAYLOAD"));
+  EXPECT_EQ(kShieldHeaderSize + strlen("SUPER_SECRET_PAYLOAD"), raw.size());
+}
+
+TEST_F(ShieldFactoryTest, WalBufferSemantics) {
+  EncryptionOptions opts;
+  opts.wal_buffer_size = 512;
+  auto factory = MakeFactory(opts);
+
+  std::unique_ptr<WritableFile> wal;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000003.log", FileKind::kWal, &wal).ok());
+  ASSERT_TRUE(wal->Append("record-1").ok());
+  ASSERT_TRUE(wal->Flush().ok());
+
+  // Below threshold + not synced: only the header is on storage.
+  uint64_t raw_size;
+  ASSERT_TRUE(env_->GetFileSize("/000003.log", &raw_size).ok());
+  EXPECT_EQ(kShieldHeaderSize, raw_size);
+  // But the logical size includes the buffered bytes.
+  EXPECT_EQ(strlen("record-1"), wal->GetFileSize());
+
+  // Sync drains the buffer (encrypted).
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(env_->GetFileSize("/000003.log", &raw_size).ok());
+  EXPECT_EQ(kShieldHeaderSize + strlen("record-1"), raw_size);
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST_F(ShieldFactoryTest, WalBufferDrainsAtThreshold) {
+  EncryptionOptions opts;
+  opts.wal_buffer_size = 64;
+  auto factory = MakeFactory(opts);
+  std::unique_ptr<WritableFile> wal;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000004.log", FileKind::kWal, &wal).ok());
+  ASSERT_TRUE(wal->Append(std::string(100, 'r')).ok());
+  uint64_t raw_size;
+  ASSERT_TRUE(env_->GetFileSize("/000004.log", &raw_size).ok());
+  EXPECT_EQ(kShieldHeaderSize + 100, raw_size);
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST_F(ShieldFactoryTest, EachFileUniqueDek) {
+  auto factory = MakeFactory();
+  for (int i = 0; i < 3; i++) {
+    std::unique_ptr<WritableFile> file;
+    const std::string name = "/00000" + std::to_string(i) + ".sst";
+    ASSERT_TRUE(factory->NewWritableFile(name, FileKind::kSst, &file).ok());
+    ASSERT_TRUE(file->Append("x").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  std::set<std::string> ids;
+  for (int i = 0; i < 3; i++) {
+    ShieldFileHeader header;
+    const std::string name = "/00000" + std::to_string(i) + ".sst";
+    ASSERT_TRUE(ReadShieldFileHeader(env_.get(), name, &header).ok());
+    ids.insert(header.dek_id.ToHex());
+  }
+  EXPECT_EQ(3u, ids.size());
+  EXPECT_EQ(3u, kds_->NumDeks());
+}
+
+TEST_F(ShieldFactoryTest, DeleteFileDestroysDek) {
+  auto factory = MakeFactory();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000009.sst", FileKind::kSst, &file).ok());
+  ASSERT_TRUE(file->Append("doomed").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  ShieldFileHeader header;
+  ASSERT_TRUE(ReadShieldFileHeader(env_.get(), "/000009.sst", &header).ok());
+  ASSERT_TRUE(factory->DeleteFile("/000009.sst").ok());
+
+  Dek dek;
+  EXPECT_TRUE(kds_->GetDek("anyone", header.dek_id, &dek).IsNotFound());
+  EXPECT_FALSE(env_->FileExists("/000009.sst"));
+}
+
+TEST_F(ShieldFactoryTest, PlaintextWalKnob) {
+  EncryptionOptions opts;
+  opts.encrypt_wal = false;
+  auto factory = MakeFactory(opts);
+
+  std::unique_ptr<WritableFile> wal;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000010.log", FileKind::kWal, &wal).ok());
+  ASSERT_TRUE(wal->Append("PLAINTEXT_WAL_RECORD").ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  std::string raw;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/000010.log", &raw).ok());
+  EXPECT_NE(std::string::npos, raw.find("PLAINTEXT_WAL_RECORD"));
+
+  // Readers transparently fall back to plaintext.
+  std::unique_ptr<SequentialFile> reader;
+  ASSERT_TRUE(factory->NewSequentialFile("/000010.log", &reader).ok());
+  char scratch[64];
+  Slice result;
+  ASSERT_TRUE(reader->Read(20, &result, scratch).ok());
+  EXPECT_EQ("PLAINTEXT_WAL_RECORD", result.ToString());
+
+  // SSTs are still encrypted under the knob.
+  std::unique_ptr<WritableFile> sst;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000011.sst", FileKind::kSst, &sst).ok());
+  ASSERT_TRUE(sst->Append("SST_SECRET").ok());
+  ASSERT_TRUE(sst->Close().ok());
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/000011.sst", &raw).ok());
+  EXPECT_EQ(std::string::npos, raw.find("SST_SECRET"));
+}
+
+TEST_F(ShieldFactoryTest, CrossManagerSharing) {
+  // Worker resolves a file written by the primary purely from the
+  // header DEK-ID (metadata-enabled sharing).
+  auto factory = MakeFactory();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(
+      factory->NewWritableFile("/000012.sst", FileKind::kSst, &file).ok());
+  ASSERT_TRUE(file->Append("shared across servers").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  DekManager worker_manager(kds_.get(), "worker", nullptr);
+  EncryptionOptions opts;
+  opts.mode = EncryptionMode::kShield;
+  auto worker_factory =
+      NewShieldFileFactory(env_.get(), &worker_manager, opts, nullptr);
+  std::unique_ptr<SequentialFile> reader;
+  ASSERT_TRUE(worker_factory->NewSequentialFile("/000012.sst", &reader).ok());
+  char scratch[64];
+  Slice result;
+  ASSERT_TRUE(reader->Read(21, &result, scratch).ok());
+  EXPECT_EQ("shared across servers", result.ToString());
+  EXPECT_EQ(1u, worker_manager.kds_requests());
+}
+
+}  // namespace
+}  // namespace shield

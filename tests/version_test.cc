@@ -1,0 +1,111 @@
+#include "lsm/version_edit.h"
+
+#include "gtest/gtest.h"
+#include "lsm/file_names.h"
+
+namespace shield {
+namespace {
+
+void CheckRoundTrip(const VersionEdit& edit) {
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string encoded2;
+  parsed.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EmptyEdit) {
+  VersionEdit edit;
+  CheckRoundTrip(edit);
+}
+
+TEST(VersionEditTest, FullEdit) {
+  VersionEdit edit;
+  edit.SetComparatorName("shield.BytewiseComparator");
+  edit.SetLogNumber(7);
+  edit.SetNextFile(42);
+  edit.SetLastSequence(123456789);
+  edit.AddFile(1, 10, 2048, InternalKey("aaa", 5, kTypeValue),
+               InternalKey("zzz", 1, kTypeValue), 5);
+  edit.AddFile(2, 11, 4096, InternalKey("bbb", 9, kTypeValue),
+               InternalKey("ccc", 3, kTypeDeletion), 9);
+  edit.RemoveFile(0, 8);
+  edit.RemoveFile(3, 9);
+  CheckRoundTrip(edit);
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\xff\xff\xff garbage")).ok());
+}
+
+TEST(VersionEditTest, DebugStringMentionsFields) {
+  VersionEdit edit;
+  edit.SetLogNumber(99);
+  edit.AddFile(1, 10, 2048, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 1, kTypeValue), 1);
+  const std::string debug = edit.DebugString();
+  EXPECT_NE(std::string::npos, debug.find("99"));
+  EXPECT_NE(std::string::npos, debug.find("AddFile"));
+}
+
+// --- File names --------------------------------------------------------------
+
+TEST(FileNamesTest, Construction) {
+  EXPECT_EQ("/db/000007.log", LogFileName("/db", 7));
+  EXPECT_EQ("/db/000042.sst", TableFileName("/db", 42));
+  EXPECT_EQ("/db/MANIFEST-000003", DescriptorFileName("/db", 3));
+  EXPECT_EQ("/db/CURRENT", CurrentFileName("/db"));
+  EXPECT_EQ("/db/DEK_CACHE", DekCacheFileName("/db"));
+}
+
+TEST(FileNamesTest, ParseRoundTrip) {
+  uint64_t number;
+  DbFileType type;
+
+  ASSERT_TRUE(ParseFileName("000007.log", &number, &type));
+  EXPECT_EQ(7u, number);
+  EXPECT_EQ(DbFileType::kLogFile, type);
+
+  ASSERT_TRUE(ParseFileName("000042.sst", &number, &type));
+  EXPECT_EQ(42u, number);
+  EXPECT_EQ(DbFileType::kTableFile, type);
+
+  ASSERT_TRUE(ParseFileName("MANIFEST-000003", &number, &type));
+  EXPECT_EQ(3u, number);
+  EXPECT_EQ(DbFileType::kDescriptorFile, type);
+
+  ASSERT_TRUE(ParseFileName("CURRENT", &number, &type));
+  EXPECT_EQ(DbFileType::kCurrentFile, type);
+
+  ASSERT_TRUE(ParseFileName("DEK_CACHE", &number, &type));
+  EXPECT_EQ(DbFileType::kDekCacheFile, type);
+
+  ASSERT_TRUE(ParseFileName("000009.dbtmp", &number, &type));
+  EXPECT_EQ(DbFileType::kTempFile, type);
+}
+
+TEST(FileNamesTest, ParseRejectsForeignNames) {
+  uint64_t number;
+  DbFileType type;
+  EXPECT_FALSE(ParseFileName("", &number, &type));
+  EXPECT_FALSE(ParseFileName("foo", &number, &type));
+  EXPECT_FALSE(ParseFileName("foo.log", &number, &type));
+  EXPECT_FALSE(ParseFileName("100.unknown", &number, &type));
+  EXPECT_FALSE(ParseFileName("MANIFEST-", &number, &type));
+  EXPECT_FALSE(ParseFileName("MANIFEST-xyz", &number, &type));
+}
+
+TEST(FileNamesTest, SetCurrentFile) {
+  auto env = NewMemEnv();
+  env->CreateDirIfMissing("/db");
+  ASSERT_TRUE(SetCurrentFile(env.get(), "/db", 5).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env.get(), "/db/CURRENT", &contents).ok());
+  EXPECT_EQ("MANIFEST-000005\n", contents);
+}
+
+}  // namespace
+}  // namespace shield
