@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ciphers.dir/bench_ablation_ciphers.cc.o"
+  "CMakeFiles/bench_ablation_ciphers.dir/bench_ablation_ciphers.cc.o.d"
+  "bench_ablation_ciphers"
+  "bench_ablation_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

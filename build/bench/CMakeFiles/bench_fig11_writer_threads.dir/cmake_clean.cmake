@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_writer_threads.dir/bench_fig11_writer_threads.cc.o"
+  "CMakeFiles/bench_fig11_writer_threads.dir/bench_fig11_writer_threads.cc.o.d"
+  "bench_fig11_writer_threads"
+  "bench_fig11_writer_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_writer_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_buffer_sizes.dir/bench_fig14_buffer_sizes.cc.o"
+  "CMakeFiles/bench_fig14_buffer_sizes.dir/bench_fig14_buffer_sizes.cc.o.d"
+  "bench_fig14_buffer_sizes"
+  "bench_fig14_buffer_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_buffer_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

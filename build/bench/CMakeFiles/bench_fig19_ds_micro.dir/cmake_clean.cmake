@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_ds_micro.dir/bench_fig19_ds_micro.cc.o"
+  "CMakeFiles/bench_fig19_ds_micro.dir/bench_fig19_ds_micro.cc.o.d"
+  "bench_fig19_ds_micro"
+  "bench_fig19_ds_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_ds_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ycsb_monolith.dir/bench_fig9_ycsb_monolith.cc.o"
+  "CMakeFiles/bench_fig9_ycsb_monolith.dir/bench_fig9_ycsb_monolith.cc.o.d"
+  "bench_fig9_ycsb_monolith"
+  "bench_fig9_ycsb_monolith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ycsb_monolith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

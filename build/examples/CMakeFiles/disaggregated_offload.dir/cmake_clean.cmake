@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_offload.dir/disaggregated_offload.cpp.o"
+  "CMakeFiles/disaggregated_offload.dir/disaggregated_offload.cpp.o.d"
+  "disaggregated_offload"
+  "disaggregated_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

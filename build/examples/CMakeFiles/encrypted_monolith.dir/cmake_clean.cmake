@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_monolith.dir/encrypted_monolith.cpp.o"
+  "CMakeFiles/encrypted_monolith.dir/encrypted_monolith.cpp.o.d"
+  "encrypted_monolith"
+  "encrypted_monolith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_monolith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_rotation_audit.dir/key_rotation_audit.cpp.o"
+  "CMakeFiles/key_rotation_audit.dir/key_rotation_audit.cpp.o.d"
+  "key_rotation_audit"
+  "key_rotation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_rotation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

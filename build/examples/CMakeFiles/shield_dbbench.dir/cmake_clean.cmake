@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_dbbench.dir/shield_dbbench.cpp.o"
+  "CMakeFiles/shield_dbbench.dir/shield_dbbench.cpp.o.d"
+  "shield_dbbench"
+  "shield_dbbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_dbbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/driver.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/driver.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/driver.cc.o.d"
+  "/root/repo/src/benchutil/engines.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/engines.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/engines.cc.o.d"
+  "/root/repo/src/benchutil/mixgraph.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/mixgraph.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/mixgraph.cc.o.d"
+  "/root/repo/src/benchutil/report.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/report.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/report.cc.o.d"
+  "/root/repo/src/benchutil/workload.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/workload.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/workload.cc.o.d"
+  "/root/repo/src/benchutil/ycsb.cc" "src/CMakeFiles/shield_benchutil.dir/benchutil/ycsb.cc.o" "gcc" "src/CMakeFiles/shield_benchutil.dir/benchutil/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_shield.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_kds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_encfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_benchutil.dir/benchutil/driver.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/driver.cc.o.d"
+  "CMakeFiles/shield_benchutil.dir/benchutil/engines.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/engines.cc.o.d"
+  "CMakeFiles/shield_benchutil.dir/benchutil/mixgraph.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/mixgraph.cc.o.d"
+  "CMakeFiles/shield_benchutil.dir/benchutil/report.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/report.cc.o.d"
+  "CMakeFiles/shield_benchutil.dir/benchutil/workload.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/workload.cc.o.d"
+  "CMakeFiles/shield_benchutil.dir/benchutil/ycsb.cc.o"
+  "CMakeFiles/shield_benchutil.dir/benchutil/ycsb.cc.o.d"
+  "libshield_benchutil.a"
+  "libshield_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

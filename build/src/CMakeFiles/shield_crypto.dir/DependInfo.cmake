@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/shield_crypto.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/CMakeFiles/shield_crypto.dir/crypto/chacha20.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/cipher.cc" "src/CMakeFiles/shield_crypto.dir/crypto/cipher.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/cipher.cc.o.d"
+  "/root/repo/src/crypto/ctr_stream.cc" "src/CMakeFiles/shield_crypto.dir/crypto/ctr_stream.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/ctr_stream.cc.o.d"
+  "/root/repo/src/crypto/hkdf.cc" "src/CMakeFiles/shield_crypto.dir/crypto/hkdf.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/hkdf.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/shield_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/secure_random.cc" "src/CMakeFiles/shield_crypto.dir/crypto/secure_random.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/secure_random.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/shield_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/shield_crypto.dir/crypto/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/chacha20.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/chacha20.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/cipher.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/cipher.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/ctr_stream.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/ctr_stream.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/hkdf.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/hkdf.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/secure_random.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/secure_random.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/shield_crypto.dir/crypto/sha256.cc.o.d"
+  "libshield_crypto.a"
+  "libshield_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

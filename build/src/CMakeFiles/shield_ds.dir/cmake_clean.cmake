@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_ds.dir/ds/compaction_service.cc.o"
+  "CMakeFiles/shield_ds.dir/ds/compaction_service.cc.o.d"
+  "CMakeFiles/shield_ds.dir/ds/network_sim.cc.o"
+  "CMakeFiles/shield_ds.dir/ds/network_sim.cc.o.d"
+  "CMakeFiles/shield_ds.dir/ds/storage_service.cc.o"
+  "CMakeFiles/shield_ds.dir/ds/storage_service.cc.o.d"
+  "libshield_ds.a"
+  "libshield_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_encfs.dir/encfs/encrypted_env.cc.o"
+  "CMakeFiles/shield_encfs.dir/encfs/encrypted_env.cc.o.d"
+  "libshield_encfs.a"
+  "libshield_encfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_encfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

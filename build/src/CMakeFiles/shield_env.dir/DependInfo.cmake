@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/env.cc" "src/CMakeFiles/shield_env.dir/env/env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/env.cc.o.d"
+  "/root/repo/src/env/io_stats.cc" "src/CMakeFiles/shield_env.dir/env/io_stats.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/io_stats.cc.o.d"
+  "/root/repo/src/env/mem_env.cc" "src/CMakeFiles/shield_env.dir/env/mem_env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/mem_env.cc.o.d"
+  "/root/repo/src/env/posix_env.cc" "src/CMakeFiles/shield_env.dir/env/posix_env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/posix_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

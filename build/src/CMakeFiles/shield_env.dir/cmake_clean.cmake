@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_env.dir/env/env.cc.o"
+  "CMakeFiles/shield_env.dir/env/env.cc.o.d"
+  "CMakeFiles/shield_env.dir/env/io_stats.cc.o"
+  "CMakeFiles/shield_env.dir/env/io_stats.cc.o.d"
+  "CMakeFiles/shield_env.dir/env/mem_env.cc.o"
+  "CMakeFiles/shield_env.dir/env/mem_env.cc.o.d"
+  "CMakeFiles/shield_env.dir/env/posix_env.cc.o"
+  "CMakeFiles/shield_env.dir/env/posix_env.cc.o.d"
+  "libshield_env.a"
+  "libshield_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kds/dek.cc" "src/CMakeFiles/shield_kds.dir/kds/dek.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/dek.cc.o.d"
+  "/root/repo/src/kds/local_kds.cc" "src/CMakeFiles/shield_kds.dir/kds/local_kds.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/local_kds.cc.o.d"
+  "/root/repo/src/kds/secure_dek_cache.cc" "src/CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o.d"
+  "/root/repo/src/kds/sim_kds.cc" "src/CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

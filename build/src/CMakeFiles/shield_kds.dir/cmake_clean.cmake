@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_kds.dir/kds/dek.cc.o"
+  "CMakeFiles/shield_kds.dir/kds/dek.cc.o.d"
+  "CMakeFiles/shield_kds.dir/kds/local_kds.cc.o"
+  "CMakeFiles/shield_kds.dir/kds/local_kds.cc.o.d"
+  "CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o"
+  "CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o.d"
+  "CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o"
+  "CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o.d"
+  "libshield_kds.a"
+  "libshield_kds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_kds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/block.cc" "src/CMakeFiles/shield_lsm.dir/lsm/block.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/block.cc.o.d"
+  "/root/repo/src/lsm/block_builder.cc" "src/CMakeFiles/shield_lsm.dir/lsm/block_builder.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/block_builder.cc.o.d"
+  "/root/repo/src/lsm/cache.cc" "src/CMakeFiles/shield_lsm.dir/lsm/cache.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/cache.cc.o.d"
+  "/root/repo/src/lsm/compaction_picker.cc" "src/CMakeFiles/shield_lsm.dir/lsm/compaction_picker.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/compaction_picker.cc.o.d"
+  "/root/repo/src/lsm/comparator.cc" "src/CMakeFiles/shield_lsm.dir/lsm/comparator.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/comparator.cc.o.d"
+  "/root/repo/src/lsm/db_compaction.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_compaction.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_compaction.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_impl.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_impl.cc.o.d"
+  "/root/repo/src/lsm/db_iter.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_iter.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_iter.cc.o.d"
+  "/root/repo/src/lsm/db_read.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_read.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_read.cc.o.d"
+  "/root/repo/src/lsm/db_recovery.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_recovery.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_recovery.cc.o.d"
+  "/root/repo/src/lsm/db_write.cc" "src/CMakeFiles/shield_lsm.dir/lsm/db_write.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/db_write.cc.o.d"
+  "/root/repo/src/lsm/file_names.cc" "src/CMakeFiles/shield_lsm.dir/lsm/file_names.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/file_names.cc.o.d"
+  "/root/repo/src/lsm/filter_block.cc" "src/CMakeFiles/shield_lsm.dir/lsm/filter_block.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/filter_block.cc.o.d"
+  "/root/repo/src/lsm/filter_policy.cc" "src/CMakeFiles/shield_lsm.dir/lsm/filter_policy.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/filter_policy.cc.o.d"
+  "/root/repo/src/lsm/format.cc" "src/CMakeFiles/shield_lsm.dir/lsm/format.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/format.cc.o.d"
+  "/root/repo/src/lsm/iterator.cc" "src/CMakeFiles/shield_lsm.dir/lsm/iterator.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/iterator.cc.o.d"
+  "/root/repo/src/lsm/log_reader.cc" "src/CMakeFiles/shield_lsm.dir/lsm/log_reader.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/log_reader.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/CMakeFiles/shield_lsm.dir/lsm/log_writer.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/shield_lsm.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merger.cc" "src/CMakeFiles/shield_lsm.dir/lsm/merger.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/merger.cc.o.d"
+  "/root/repo/src/lsm/sst_builder.cc" "src/CMakeFiles/shield_lsm.dir/lsm/sst_builder.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/sst_builder.cc.o.d"
+  "/root/repo/src/lsm/sst_reader.cc" "src/CMakeFiles/shield_lsm.dir/lsm/sst_reader.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/sst_reader.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/CMakeFiles/shield_lsm.dir/lsm/table_cache.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/table_cache.cc.o.d"
+  "/root/repo/src/lsm/table_format.cc" "src/CMakeFiles/shield_lsm.dir/lsm/table_format.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/table_format.cc.o.d"
+  "/root/repo/src/lsm/two_level_iterator.cc" "src/CMakeFiles/shield_lsm.dir/lsm/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/two_level_iterator.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/CMakeFiles/shield_lsm.dir/lsm/version_edit.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/CMakeFiles/shield_lsm.dir/lsm/version_set.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/version_set.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/CMakeFiles/shield_lsm.dir/lsm/write_batch.cc.o" "gcc" "src/CMakeFiles/shield_lsm.dir/lsm/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_kds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_shield.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_encfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shield/chunk_encryptor.cc" "src/CMakeFiles/shield_shield.dir/shield/chunk_encryptor.cc.o" "gcc" "src/CMakeFiles/shield_shield.dir/shield/chunk_encryptor.cc.o.d"
+  "/root/repo/src/shield/dek_manager.cc" "src/CMakeFiles/shield_shield.dir/shield/dek_manager.cc.o" "gcc" "src/CMakeFiles/shield_shield.dir/shield/dek_manager.cc.o.d"
+  "/root/repo/src/shield/file_crypto.cc" "src/CMakeFiles/shield_shield.dir/shield/file_crypto.cc.o" "gcc" "src/CMakeFiles/shield_shield.dir/shield/file_crypto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shield_kds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

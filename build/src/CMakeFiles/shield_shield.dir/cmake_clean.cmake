@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_shield.dir/shield/chunk_encryptor.cc.o"
+  "CMakeFiles/shield_shield.dir/shield/chunk_encryptor.cc.o.d"
+  "CMakeFiles/shield_shield.dir/shield/dek_manager.cc.o"
+  "CMakeFiles/shield_shield.dir/shield/dek_manager.cc.o.d"
+  "CMakeFiles/shield_shield.dir/shield/file_crypto.cc.o"
+  "CMakeFiles/shield_shield.dir/shield/file_crypto.cc.o.d"
+  "libshield_shield.a"
+  "libshield_shield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_shield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_util.dir/util/arena.cc.o"
+  "CMakeFiles/shield_util.dir/util/arena.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/coding.cc.o"
+  "CMakeFiles/shield_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/crc32c.cc.o"
+  "CMakeFiles/shield_util.dir/util/crc32c.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/histogram.cc.o"
+  "CMakeFiles/shield_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/random.cc.o"
+  "CMakeFiles/shield_util.dir/util/random.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/status.cc.o"
+  "CMakeFiles/shield_util.dir/util/status.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/shield_util.dir/util/thread_pool.cc.o.d"
+  "libshield_util.a"
+  "libshield_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

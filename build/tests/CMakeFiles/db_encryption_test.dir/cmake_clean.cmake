@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_encryption_test.dir/db_encryption_test.cc.o"
+  "CMakeFiles/db_encryption_test.dir/db_encryption_test.cc.o.d"
+  "db_encryption_test"
+  "db_encryption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_encryption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

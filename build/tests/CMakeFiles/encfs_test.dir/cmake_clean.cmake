@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encfs_test.dir/encfs_test.cc.o"
+  "CMakeFiles/encfs_test.dir/encfs_test.cc.o.d"
+  "encfs_test"
+  "encfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kds_test.dir/kds_test.cc.o"
+  "CMakeFiles/kds_test.dir/kds_test.cc.o.d"
+  "kds_test"
+  "kds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_test.dir/shield_test.cc.o"
+  "CMakeFiles/shield_test.dir/shield_test.cc.o.d"
+  "shield_test"
+  "shield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
