@@ -243,8 +243,9 @@ bench/CMakeFiles/bench_fig19_ds_micro.dir/bench_fig19_ds_micro.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/ds/storage_service.h \
- /root/repo/src/ds/network_sim.h /root/repo/src/kds/sim_kds.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/ds/network_sim.h /root/repo/src/util/random.h \
+ /root/repo/src/kds/sim_kds.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

@@ -239,8 +239,8 @@ examples/CMakeFiles/disaggregated_offload.dir/disaggregated_offload.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
  /root/repo/src/ds/storage_service.h /root/repo/src/ds/network_sim.h \
- /root/repo/src/kds/sim_kds.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/util/random.h /root/repo/src/kds/sim_kds.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/lsm/db.h \
  /root/repo/src/lsm/iterator.h /root/repo/src/lsm/snapshot.h \
  /root/repo/src/lsm/write_batch.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/env/env.cc" "src/CMakeFiles/shield_env.dir/env/env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/env.cc.o.d"
+  "/root/repo/src/env/fault_injection_env.cc" "src/CMakeFiles/shield_env.dir/env/fault_injection_env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/fault_injection_env.cc.o.d"
   "/root/repo/src/env/io_stats.cc" "src/CMakeFiles/shield_env.dir/env/io_stats.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/io_stats.cc.o.d"
   "/root/repo/src/env/mem_env.cc" "src/CMakeFiles/shield_env.dir/env/mem_env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/mem_env.cc.o.d"
   "/root/repo/src/env/posix_env.cc" "src/CMakeFiles/shield_env.dir/env/posix_env.cc.o" "gcc" "src/CMakeFiles/shield_env.dir/env/posix_env.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/shield_env.dir/env/env.cc.o"
   "CMakeFiles/shield_env.dir/env/env.cc.o.d"
+  "CMakeFiles/shield_env.dir/env/fault_injection_env.cc.o"
+  "CMakeFiles/shield_env.dir/env/fault_injection_env.cc.o.d"
   "CMakeFiles/shield_env.dir/env/io_stats.cc.o"
   "CMakeFiles/shield_env.dir/env/io_stats.cc.o.d"
   "CMakeFiles/shield_env.dir/env/mem_env.cc.o"

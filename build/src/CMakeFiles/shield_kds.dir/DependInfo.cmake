@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kds/dek.cc" "src/CMakeFiles/shield_kds.dir/kds/dek.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/dek.cc.o.d"
+  "/root/repo/src/kds/faulty_kds.cc" "src/CMakeFiles/shield_kds.dir/kds/faulty_kds.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/faulty_kds.cc.o.d"
   "/root/repo/src/kds/local_kds.cc" "src/CMakeFiles/shield_kds.dir/kds/local_kds.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/local_kds.cc.o.d"
   "/root/repo/src/kds/secure_dek_cache.cc" "src/CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o.d"
   "/root/repo/src/kds/sim_kds.cc" "src/CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o" "gcc" "src/CMakeFiles/shield_kds.dir/kds/sim_kds.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/shield_kds.dir/kds/dek.cc.o"
   "CMakeFiles/shield_kds.dir/kds/dek.cc.o.d"
+  "CMakeFiles/shield_kds.dir/kds/faulty_kds.cc.o"
+  "CMakeFiles/shield_kds.dir/kds/faulty_kds.cc.o.d"
   "CMakeFiles/shield_kds.dir/kds/local_kds.cc.o"
   "CMakeFiles/shield_kds.dir/kds/local_kds.cc.o.d"
   "CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o"

@@ -215,4 +215,14 @@ src/CMakeFiles/shield_kds.dir/kds/secure_dek_cache.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/kds/dek.h \
  /usr/include/c++/12/array /root/repo/src/crypto/cipher.h \
  /root/repo/src/crypto/hkdf.h /root/repo/src/crypto/hmac.h \
- /root/repo/src/crypto/secure_random.h /root/repo/src/util/coding.h
+ /root/repo/src/crypto/secure_random.h /root/repo/src/util/coding.h \
+ /root/repo/src/util/retry.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

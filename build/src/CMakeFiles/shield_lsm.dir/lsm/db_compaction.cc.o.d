@@ -253,4 +253,4 @@ src/CMakeFiles/shield_lsm.dir/lsm/db_compaction.cc.o: \
  /root/repo/src/lsm/block_builder.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/retry.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/shield_util.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/crc32c.cc.o.d"
   "/root/repo/src/util/histogram.cc" "src/CMakeFiles/shield_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/histogram.cc.o.d"
   "/root/repo/src/util/random.cc" "src/CMakeFiles/shield_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/retry.cc" "src/CMakeFiles/shield_util.dir/util/retry.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/retry.cc.o.d"
   "/root/repo/src/util/status.cc" "src/CMakeFiles/shield_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/status.cc.o.d"
   "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/shield_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/shield_util.dir/util/thread_pool.cc.o.d"
   )

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/shield_util.dir/util/histogram.cc.o.d"
   "CMakeFiles/shield_util.dir/util/random.cc.o"
   "CMakeFiles/shield_util.dir/util/random.cc.o.d"
+  "CMakeFiles/shield_util.dir/util/retry.cc.o"
+  "CMakeFiles/shield_util.dir/util/retry.cc.o.d"
   "CMakeFiles/shield_util.dir/util/status.cc.o"
   "CMakeFiles/shield_util.dir/util/status.cc.o.d"
   "CMakeFiles/shield_util.dir/util/thread_pool.cc.o"

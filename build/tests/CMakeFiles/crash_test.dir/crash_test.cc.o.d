@@ -292,17 +292,17 @@ tests/CMakeFiles/crash_test.dir/crash_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/kds/local_kds.h /usr/include/c++/12/mutex \
+ /root/repo/src/kds/faulty_kds.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kds/kds.h \
  /root/repo/src/kds/dek.h /root/repo/src/crypto/cipher.h \
  /root/repo/src/util/slice.h /usr/include/c++/12/cstring \
- /root/repo/src/util/status.h /root/repo/src/lsm/db.h \
+ /root/repo/src/util/status.h /root/repo/src/util/random.h \
+ /root/repo/src/kds/local_kds.h /root/repo/src/lsm/db.h \
  /root/repo/src/lsm/iterator.h /root/repo/src/lsm/options.h \
  /root/repo/src/lsm/snapshot.h /root/repo/src/lsm/format.h \
  /root/repo/src/lsm/comparator.h /root/repo/src/util/coding.h \
  /root/repo/src/lsm/write_batch.h /root/repo/tests/test_util.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/env/env.h \
- /root/repo/src/util/random.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/env/env.h

@@ -237,7 +237,8 @@ tests/CMakeFiles/ds_test.dir/ds_test.cc.o: /root/repo/tests/ds_test.cc \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
- /root/repo/src/ds/network_sim.h /root/repo/src/ds/storage_service.h \
+ /root/repo/src/ds/network_sim.h /root/repo/src/util/random.h \
+ /root/repo/src/ds/storage_service.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -320,5 +321,4 @@ tests/CMakeFiles/ds_test.dir/ds_test.cc.o: /root/repo/tests/ds_test.cc \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
- /root/repo/src/util/random.h
+ /root/repo/src/util/clock.h /usr/include/c++/12/chrono

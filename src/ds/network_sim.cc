@@ -10,7 +10,9 @@ NetworkSimulator::NetworkSimulator(NetworkSimOptions options)
     : rtt_micros_(options.rtt_micros),
       bandwidth_(options.bandwidth_bytes_per_sec == 0
                      ? 1
-                     : options.bandwidth_bytes_per_sec) {}
+                     : options.bandwidth_bytes_per_sec),
+      fault_options_(options),
+      rnd_(options.fault_seed) {}
 
 void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -43,6 +45,64 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   if (finish_at > now + kMinSleepMicros) {
     SleepForMicros(finish_at - now);
   }
+}
+
+Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
+  uint64_t timeout_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (partition_until_micros_ != 0) {
+      if (partition_until_micros_ == UINT64_MAX ||
+          NowMicros() < partition_until_micros_) {
+        injected_faults_.fetch_add(1, std::memory_order_relaxed);
+        return Status::TryAgain("network partitioned (injected)");
+      }
+      partition_until_micros_ = 0;  // window expired, link healed
+    }
+    if (fault_options_.timeout_probability > 0 &&
+        rnd_.NextDouble() < fault_options_.timeout_probability) {
+      timeout_micros = fault_options_.timeout_micros;
+    } else if (fault_options_.error_probability > 0 &&
+               rnd_.NextDouble() < fault_options_.error_probability) {
+      injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      return Status::TryAgain("network request dropped (injected)");
+    }
+  }
+  if (timeout_micros > 0) {
+    SleepForMicros(timeout_micros);
+    injected_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::TryAgain("network request timed out (injected)");
+  }
+  SimulateTransfer(bytes, pay_rtt);
+  return Status::OK();
+}
+
+void NetworkSimulator::StartPartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_until_micros_ = UINT64_MAX;
+}
+
+void NetworkSimulator::StartPartitionFor(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_until_micros_ = NowMicros() + micros;
+}
+
+void NetworkSimulator::HealPartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_until_micros_ = 0;
+}
+
+bool NetworkSimulator::partitioned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition_until_micros_ == 0) {
+    return false;
+  }
+  if (partition_until_micros_ != UINT64_MAX &&
+      NowMicros() >= partition_until_micros_) {
+    partition_until_micros_ = 0;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace shield

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/random.h"
+#include "util/status.h"
+
 namespace shield {
 
 /// Parameters of the simulated network between compute and storage
@@ -14,6 +17,17 @@ struct NetworkSimOptions {
   uint64_t rtt_micros = 500;
   /// Link bandwidth. 1 Gbps = 125 MB/s.
   uint64_t bandwidth_bytes_per_sec = 125ull * 1000 * 1000;
+
+  // --- Fault injection (all off by default). The schedule is
+  // deterministic given fault_seed and the request sequence. ---
+  uint64_t fault_seed = 1;
+  /// Probability that a request is dropped/errored at the packet level
+  /// (fails immediately with Status::TryAgain).
+  double error_probability = 0.0;
+  /// Probability that a request times out: the caller blocks for
+  /// timeout_micros and then gets Status::TryAgain.
+  double timeout_probability = 0.0;
+  uint64_t timeout_micros = 0;
 };
 
 /// Models a shared network link: every transfer pays serialization
@@ -26,8 +40,23 @@ class NetworkSimulator {
 
   /// Blocks for the simulated duration of transferring `bytes` over
   /// the shared link; adds one RTT when `pay_rtt` (new request) is
-  /// true. Streaming appends typically pay bandwidth only.
+  /// true. Streaming appends typically pay bandwidth only. Never
+  /// fails (fault-free path).
   void SimulateTransfer(uint64_t bytes, bool pay_rtt);
+
+  /// Like SimulateTransfer, but subject to the configured failure
+  /// modes: packet-level errors, timeouts, and partition windows all
+  /// fail the request with Status::TryAgain (after sleeping the
+  /// timeout, for timeouts). Clients are expected to retry with
+  /// backoff (see util/retry.h).
+  Status TryTransfer(uint64_t bytes, bool pay_rtt);
+
+  /// Severs the link until HealPartition() (or, with the _For variant,
+  /// until `micros` from now): every TryTransfer fails immediately.
+  void StartPartition();
+  void StartPartitionFor(uint64_t micros);
+  void HealPartition();
+  bool partitioned();
 
   void set_rtt_micros(uint64_t v) {
     rtt_micros_.store(v, std::memory_order_relaxed);
@@ -48,15 +77,25 @@ class NetworkSimulator {
   uint64_t total_requests() const {
     return total_requests_.load(std::memory_order_relaxed);
   }
+  /// Requests failed by injected faults (errors, timeouts, partitions).
+  uint64_t injected_faults() const {
+    return injected_faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<uint64_t> rtt_micros_;
   std::atomic<uint64_t> bandwidth_;
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> injected_faults_{0};
 
   std::mutex mu_;
   uint64_t link_busy_until_micros_ = 0;
+  NetworkSimOptions fault_options_;
+  Random rnd_;
+  /// 0 = healthy; UINT64_MAX = partitioned until healed; otherwise the
+  /// NowMicros() deadline when the partition auto-heals.
+  uint64_t partition_until_micros_ = 0;
 };
 
 }  // namespace shield

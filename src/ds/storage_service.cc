@@ -1,5 +1,7 @@
 #include "ds/storage_service.h"
 
+#include "util/retry.h"
+
 namespace shield {
 
 StorageService::StorageService(Env* backing, NetworkSimOptions network_options)
@@ -7,6 +9,28 @@ StorageService::StorageService(Env* backing, NetworkSimOptions network_options)
       counting_env_(NewCountingEnv(backing, &media_stats_)) {}
 
 namespace {
+
+/// Client-side retry budget for one storage-service request. Dropped
+/// packets and brief timeouts are absorbed here; a partition longer
+/// than the whole budget surfaces as Status::TryAgain to the engine,
+/// which handles it at a higher level (background-job rescheduling,
+/// offload fallback).
+const RetryPolicy& RemoteRetryPolicy() {
+  static const RetryPolicy policy = [] {
+    RetryPolicy p;
+    p.max_attempts = 6;
+    p.initial_backoff_micros = 100;
+    p.max_backoff_micros = 5000;
+    return p;
+  }();
+  return policy;
+}
+
+/// Runs one network round trip, retrying injected transient faults.
+Status TransferWithRetry(NetworkSimulator* net, uint64_t bytes, bool pay_rtt) {
+  return RunWithRetry(RemoteRetryPolicy(),
+                      [&] { return net->TryTransfer(bytes, pay_rtt); });
+}
 
 class RemoteSequentialFile final : public SequentialFile {
  public:
@@ -17,7 +41,7 @@ class RemoteSequentialFile final : public SequentialFile {
   Status Read(size_t n, Slice* result, char* scratch) override {
     Status s = base_->Read(n, result, scratch);
     if (s.ok()) {
-      net_->SimulateTransfer(result->size(), /*pay_rtt=*/true);
+      s = TransferWithRetry(net_, result->size(), /*pay_rtt=*/true);
     }
     return s;
   }
@@ -38,7 +62,7 @@ class RemoteRandomAccessFile final : public RandomAccessFile {
               char* scratch) const override {
     Status s = base_->Read(offset, n, result, scratch);
     if (s.ok()) {
-      net_->SimulateTransfer(result->size(), /*pay_rtt=*/true);
+      s = TransferWithRetry(net_, result->size(), /*pay_rtt=*/true);
     }
     return s;
   }
@@ -57,14 +81,22 @@ class RemoteWritableFile final : public WritableFile {
 
   Status Append(const Slice& data) override {
     // Streaming write: pays link bandwidth but no per-append RTT
-    // (HDFS-style pipelined writes).
-    net_->SimulateTransfer(data.size(), /*pay_rtt=*/false);
+    // (HDFS-style pipelined writes). The payload must arrive before
+    // the server applies the append, so a dropped packet fails the op
+    // (after retries) without mutating server state.
+    Status s = TransferWithRetry(net_, data.size(), /*pay_rtt=*/false);
+    if (!s.ok()) {
+      return s;
+    }
     return base_->Append(data);
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {
     // Durable ack requires a round trip.
-    net_->SimulateTransfer(0, /*pay_rtt=*/true);
+    Status s = TransferWithRetry(net_, 0, /*pay_rtt=*/true);
+    if (!s.ok()) {
+      return s;
+    }
     return base_->Sync();
   }
   Status Close() override { return base_->Close(); }
@@ -88,9 +120,12 @@ class RemoteEnv final : public EnvWrapper {
 
   Status NewSequentialFile(const std::string& f,
                            std::unique_ptr<SequentialFile>* r) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     std::unique_ptr<SequentialFile> inner;
-    Status s = base()->NewSequentialFile(f, &inner);
+    s = base()->NewSequentialFile(f, &inner);
     if (!s.ok()) {
       return s;
     }
@@ -101,9 +136,12 @@ class RemoteEnv final : public EnvWrapper {
 
   Status NewRandomAccessFile(const std::string& f,
                              std::unique_ptr<RandomAccessFile>* r) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     std::unique_ptr<RandomAccessFile> inner;
-    Status s = base()->NewRandomAccessFile(f, &inner);
+    s = base()->NewRandomAccessFile(f, &inner);
     if (!s.ok()) {
       return s;
     }
@@ -114,9 +152,12 @@ class RemoteEnv final : public EnvWrapper {
 
   Status NewWritableFile(const std::string& f,
                          std::unique_ptr<WritableFile>* r) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     std::unique_ptr<WritableFile> inner;
-    Status s = base()->NewWritableFile(f, &inner);
+    s = base()->NewWritableFile(f, &inner);
     if (!s.ok()) {
       return s;
     }
@@ -126,38 +167,58 @@ class RemoteEnv final : public EnvWrapper {
   }
 
   bool FileExists(const std::string& f) override {
-    MetadataRoundTrip();
+    // No status channel here, so no fault can be surfaced: pay the
+    // round trip on the fault-free path.
+    service_->network()->SimulateTransfer(0, /*pay_rtt=*/true);
     return target()->FileExists(f);
   }
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* r) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     return target()->GetChildren(dir, r);
   }
   Status RemoveFile(const std::string& f) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     return target()->RemoveFile(f);
   }
   Status CreateDirIfMissing(const std::string& d) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     return target()->CreateDirIfMissing(d);
   }
   Status RemoveDir(const std::string& d) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     return target()->RemoveDir(d);
   }
   Status GetFileSize(const std::string& f, uint64_t* size) override {
-    MetadataRoundTrip();
+    Status s = MetadataRoundTrip();
+    if (!s.ok()) {
+      return s;
+    }
     return target()->GetFileSize(f, size);
   }
   Status RenameFile(const std::string& s, const std::string& t) override {
-    MetadataRoundTrip();
+    Status st = MetadataRoundTrip();
+    if (!st.ok()) {
+      return st;
+    }
     return target()->RenameFile(s, t);
   }
 
  private:
-  void MetadataRoundTrip() {
-    service_->network()->SimulateTransfer(0, /*pay_rtt=*/true);
+  Status MetadataRoundTrip() {
+    return TransferWithRetry(service_->network(), 0, /*pay_rtt=*/true);
   }
 
   StorageService* service_;

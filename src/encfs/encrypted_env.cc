@@ -107,7 +107,11 @@ class EncryptedWritableFile final : public WritableFile {
       return Status::OK();
     }
     Status s = EncryptAndAppend(buffer_.data(), buffer_.size());
-    buffer_.clear();
+    if (s.ok()) {
+      // Only on success: see ShieldWritableFile::DrainBuffer — keep
+      // the plaintext buffered so a retried Sync can persist it.
+      buffer_.clear();
+    }
     return s;
   }
 

@@ -1,0 +1,415 @@
+#include "env/fault_injection_env.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+
+namespace shield {
+
+namespace {
+enum class OpClass { kRead, kWrite, kMetadata };
+}  // namespace
+
+struct FaultInjectionEnv::State {
+  Env* target;
+  mutable std::mutex mu;
+  FaultInjectionOptions opts;
+  bool enabled = true;
+  Random rnd;
+  /// fname -> bytes durable at the last successful Sync. Every file
+  /// opened for write through this env is tracked until the next
+  /// SimulateCrash (which makes the surviving bytes durable) or until
+  /// it is removed.
+  std::map<std::string, uint64_t> synced_size;
+
+  std::atomic<uint64_t> kind_ops[kNumFileKinds] = {};
+  std::atomic<uint64_t> injected_errors{0};
+  std::atomic<uint64_t> short_reads{0};
+  std::atomic<uint64_t> slow_ops{0};
+  std::atomic<uint64_t> crashes{0};
+  std::atomic<uint64_t> dropped_bytes{0};
+
+  State(Env* t, const FaultInjectionOptions& o)
+      : target(t), opts(o), rnd(o.seed) {}
+
+  Status MaybeFault(FileKind kind, OpClass cls, const char* what) {
+    kind_ops[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t sleep_micros = 0;
+    Status s;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (enabled && (opts.fault_kind_mask & FileKindBit(kind)) != 0) {
+        if (opts.slow_op_probability > 0 &&
+            rnd.NextDouble() < opts.slow_op_probability) {
+          sleep_micros = opts.slow_op_micros;
+          slow_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+        const double p = cls == OpClass::kRead    ? opts.read_error_probability
+                         : cls == OpClass::kWrite ? opts.write_error_probability
+                                                  : opts.metadata_error_probability;
+        if (p > 0 && rnd.NextDouble() < p) {
+          injected_errors.fetch_add(1, std::memory_order_relaxed);
+          const bool permanent = opts.permanent_error_ratio > 0 &&
+                                 rnd.NextDouble() < opts.permanent_error_ratio;
+          s = permanent ? Status::IOError("injected fault", what)
+                        : Status::TryAgain("injected fault", what);
+        }
+      }
+    }
+    if (sleep_micros > 0) {
+      SleepForMicros(sleep_micros);
+    }
+    return s;
+  }
+
+  /// If a short read fires, sets *short_len to a value in [0, len) and
+  /// returns true. len must be > 0.
+  bool MaybeShortRead(FileKind kind, uint64_t len, uint64_t* short_len) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!enabled || (opts.fault_kind_mask & FileKindBit(kind)) == 0) {
+      return false;
+    }
+    if (opts.short_read_probability > 0 &&
+        rnd.NextDouble() < opts.short_read_probability) {
+      short_reads.fetch_add(1, std::memory_order_relaxed);
+      *short_len = rnd.Uniform(len);
+      return true;
+    }
+    return false;
+  }
+
+  void MarkSynced(const std::string& fname, uint64_t size) {
+    std::lock_guard<std::mutex> lock(mu);
+    synced_size[fname] = size;
+  }
+  void Track(const std::string& fname) {
+    std::lock_guard<std::mutex> lock(mu);
+    synced_size[fname] = 0;
+  }
+  void Untrack(const std::string& fname) {
+    std::lock_guard<std::mutex> lock(mu);
+    synced_size.erase(fname);
+  }
+  void MoveTracking(const std::string& src, const std::string& target_name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = synced_size.find(src);
+    if (it != synced_size.end()) {
+      synced_size[target_name] = it->second;
+      synced_size.erase(it);
+    }
+  }
+};
+
+namespace {
+
+class FaultySequentialFile : public SequentialFile {
+ public:
+  FaultySequentialFile(std::unique_ptr<SequentialFile> base,
+                       std::shared_ptr<FaultInjectionEnv::State> state,
+                       FileKind kind)
+      : base_(std::move(base)), state_(std::move(state)), kind_(kind) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    // No short-read injection here: a short sequential read means EOF
+    // to WAL/manifest replay (see env.h), so truncating would silently
+    // hide synced records. Only error faults apply.
+    Status s = state_->MaybeFault(kind_, OpClass::kRead, "sequential read");
+    if (!s.ok()) {
+      return s;
+    }
+    return base_->Read(n, result, scratch);
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::shared_ptr<FaultInjectionEnv::State> state_;
+  FileKind kind_;
+};
+
+class FaultyRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                         std::shared_ptr<FaultInjectionEnv::State> state,
+                         FileKind kind)
+      : base_(std::move(base)), state_(std::move(state)), kind_(kind) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = state_->MaybeFault(kind_, OpClass::kRead, "random read");
+    if (!s.ok()) {
+      return s;
+    }
+    s = base_->Read(offset, n, result, scratch);
+    if (s.ok() && result->size() > 0) {
+      uint64_t short_len = 0;
+      if (state_->MaybeShortRead(kind_, result->size(), &short_len)) {
+        *result = Slice(result->data(), static_cast<size_t>(short_len));
+      }
+    }
+    return s;
+  }
+
+  Status Size(uint64_t* size) const override { return base_->Size(size); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<FaultInjectionEnv::State> state_;
+  FileKind kind_;
+};
+
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(std::string fname, std::unique_ptr<WritableFile> base,
+                     std::shared_ptr<FaultInjectionEnv::State> state,
+                     FileKind kind)
+      : fname_(std::move(fname)),
+        base_(std::move(base)),
+        state_(std::move(state)),
+        kind_(kind) {}
+
+  Status Append(const Slice& data) override {
+    Status s = state_->MaybeFault(kind_, OpClass::kWrite, "append");
+    if (!s.ok()) {
+      return s;
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    Status s = state_->MaybeFault(kind_, OpClass::kWrite, "sync");
+    if (!s.ok()) {
+      return s;
+    }
+    s = base_->Sync();
+    if (s.ok()) {
+      // Everything appended so far is now durable across SimulateCrash.
+      state_->MarkSynced(fname_, base_->GetFileSize());
+    }
+    return s;
+  }
+
+  Status Close() override {
+    // Close never marks data synced: like a real OS, closing a file
+    // does not make unsynced appends crash-durable.
+    Status s = state_->MaybeFault(kind_, OpClass::kWrite, "close");
+    if (!s.ok()) {
+      return s;
+    }
+    return base_->Close();
+  }
+
+  uint64_t GetFileSize() const override { return base_->GetFileSize(); }
+
+ private:
+  std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<FaultInjectionEnv::State> state_;
+  FileKind kind_;
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* target,
+                                     const FaultInjectionOptions& options)
+    : EnvWrapper(target), state_(std::make_shared<State>(target, options)) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+void FaultInjectionEnv::SetFaultsEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->enabled = enabled;
+}
+
+bool FaultInjectionEnv::faults_enabled() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->enabled;
+}
+
+void FaultInjectionEnv::SetOptions(const FaultInjectionOptions& options) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->opts = options;
+}
+
+uint64_t FaultInjectionEnv::ops(FileKind kind) const {
+  return state_->kind_ops[static_cast<int>(kind)].load(
+      std::memory_order_relaxed);
+}
+uint64_t FaultInjectionEnv::injected_errors() const {
+  return state_->injected_errors.load(std::memory_order_relaxed);
+}
+uint64_t FaultInjectionEnv::injected_short_reads() const {
+  return state_->short_reads.load(std::memory_order_relaxed);
+}
+uint64_t FaultInjectionEnv::injected_slow_ops() const {
+  return state_->slow_ops.load(std::memory_order_relaxed);
+}
+uint64_t FaultInjectionEnv::crashes() const {
+  return state_->crashes.load(std::memory_order_relaxed);
+}
+uint64_t FaultInjectionEnv::dropped_bytes() const {
+  return state_->dropped_bytes.load(std::memory_order_relaxed);
+}
+
+Status FaultInjectionEnv::SimulateCrash() {
+  std::map<std::string, uint64_t> tracked;
+  FaultInjectionOptions opts;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    tracked.swap(state_->synced_size);
+    opts = state_->opts;
+  }
+  state_->crashes.fetch_add(1, std::memory_order_relaxed);
+
+  Status result;
+  for (const auto& [fname, synced] : tracked) {
+    // Bypass fault injection: the crash machinery itself is reliable.
+    if (!target()->FileExists(fname)) {
+      continue;  // already removed (e.g. obsolete WAL)
+    }
+    std::string contents;
+    Status s = ReadFileToString(target(), fname, &contents);
+    if (!s.ok()) {
+      result = s;
+      continue;
+    }
+    uint64_t keep = std::min<uint64_t>(synced, contents.size());
+    if (!opts.drop_unsynced_on_crash) {
+      keep = contents.size();
+    }
+    if (keep < contents.size()) {
+      const uint64_t tail = contents.size() - keep;
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->rnd.NextDouble() < opts.torn_write_probability) {
+        // A torn append: some prefix of the unsynced tail made it out.
+        keep += state_->rnd.Uniform(tail + 1);
+      }
+    }
+    if (keep == contents.size()) {
+      continue;  // nothing lost (all synced, or the torn tail survived whole)
+    }
+    state_->dropped_bytes.fetch_add(contents.size() - keep,
+                                    std::memory_order_relaxed);
+    std::unique_ptr<WritableFile> file;
+    s = target()->NewWritableFile(fname, &file);
+    if (!s.ok()) {
+      result = s;
+      continue;
+    }
+    if (keep > 0) {
+      s = file->Append(Slice(contents.data(), static_cast<size_t>(keep)));
+    }
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+    if (!s.ok()) {
+      result = s;
+    }
+  }
+  return result;
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  const FileKind kind = ClassifyFile(fname);
+  Status s = state_->MaybeFault(kind, OpClass::kMetadata, "open sequential");
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<SequentialFile> base;
+  s = target()->NewSequentialFile(fname, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  result->reset(new FaultySequentialFile(std::move(base), state_, kind));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  const FileKind kind = ClassifyFile(fname);
+  Status s = state_->MaybeFault(kind, OpClass::kMetadata, "open random");
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<RandomAccessFile> base;
+  s = target()->NewRandomAccessFile(fname, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  result->reset(new FaultyRandomAccessFile(std::move(base), state_, kind));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  const FileKind kind = ClassifyFile(fname);
+  Status s = state_->MaybeFault(kind, OpClass::kMetadata, "open writable");
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<WritableFile> base;
+  s = target()->NewWritableFile(fname, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  state_->Track(fname);
+  result->reset(
+      new FaultyWritableFile(fname, std::move(base), state_, kind));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  Status s = state_->MaybeFault(FileKind::kOther, OpClass::kMetadata,
+                                "list directory");
+  if (!s.ok()) {
+    return s;
+  }
+  return target()->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = state_->MaybeFault(ClassifyFile(fname), OpClass::kMetadata,
+                                "remove file");
+  if (!s.ok()) {
+    return s;
+  }
+  s = target()->RemoveFile(fname);
+  if (s.ok()) {
+    state_->Untrack(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  Status s = state_->MaybeFault(ClassifyFile(fname), OpClass::kMetadata,
+                                "file size");
+  if (!s.ok()) {
+    return s;
+  }
+  return target()->GetFileSize(fname, size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target_name) {
+  Status s = state_->MaybeFault(ClassifyFile(target_name), OpClass::kMetadata,
+                                "rename file");
+  if (!s.ok()) {
+    return s;
+  }
+  s = target()->RenameFile(src, target_name);
+  if (s.ok()) {
+    state_->MoveTracking(src, target_name);
+  }
+  return s;
+}
+
+}  // namespace shield

@@ -1,0 +1,138 @@
+#ifndef SHIELD_ENV_FAULT_INJECTION_ENV_H_
+#define SHIELD_ENV_FAULT_INJECTION_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "env/io_stats.h"
+#include "util/random.h"
+
+namespace shield {
+
+/// Bitmask helpers for targeting faults at specific file kinds
+/// (see env/io_stats.h: WAL, SST, MANIFEST/CURRENT, other — the DEK
+/// cache classifies as kOther).
+constexpr unsigned FileKindBit(FileKind kind) {
+  return 1u << static_cast<int>(kind);
+}
+constexpr unsigned kAllFileKinds = (1u << kNumFileKinds) - 1;
+
+/// Tuning knobs for FaultInjectionEnv. All probabilities are per
+/// operation in [0, 1]. The schedule is fully determined by `seed` plus
+/// the sequence of env calls, so a failing run reproduces from its seed
+/// (in single-threaded phases exactly; under concurrency the draw order
+/// follows thread interleaving).
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+
+  /// Probability that a data read (SequentialFile/RandomAccessFile)
+  /// fails with an injected error.
+  double read_error_probability = 0.0;
+  /// Probability that an Append/Flush/Sync/Close on a writable file
+  /// fails with an injected error.
+  double write_error_probability = 0.0;
+  /// Probability that a metadata op (open, rename, delete, size, list)
+  /// fails with an injected error.
+  double metadata_error_probability = 0.0;
+
+  /// Fraction of injected errors that are permanent (Status::IOError)
+  /// rather than transient (Status::TryAgain). 0 = all transient.
+  double permanent_error_ratio = 0.0;
+
+  /// Probability that a positional (RandomAccessFile) read returns
+  /// fewer bytes than requested with OK status. Never applied to
+  /// sequential reads: a short sequential read means EOF to log
+  /// replay, which would silently truncate synced data.
+  double short_read_probability = 0.0;
+
+  /// Probability that an op sleeps slow_op_micros before executing.
+  double slow_op_probability = 0.0;
+  uint64_t slow_op_micros = 0;
+
+  /// On SimulateCrash, unsynced bytes are dropped; with this
+  /// probability a random prefix of the dropped tail survives instead
+  /// (a torn/partial append, as after a mid-write power cut).
+  double torn_write_probability = 0.5;
+
+  /// When false, SimulateCrash leaves unsynced data intact (models a
+  /// clean process kill with an OS that flushed its page cache).
+  bool drop_unsynced_on_crash = true;
+
+  /// Only file kinds whose FileKindBit is set receive injected faults.
+  /// Crash semantics (unsynced-data drop) always apply to all kinds.
+  unsigned fault_kind_mask = kAllFileKinds;
+};
+
+/// FaultInjectionEnv wraps another Env and injects storage faults from
+/// a seeded, deterministic schedule: transient/permanent I/O errors,
+/// short positional reads, slow ops, and — via SimulateCrash() —
+/// loss of all unsynced data with optional torn tails.
+///
+/// The wrapper tracks, per writable file, how many bytes had been
+/// appended at the last successful Sync(). SimulateCrash() rewrites
+/// every tracked file down to that synced prefix (possibly keeping a
+/// random partial tail), which is exactly the guarantee a real disk
+/// gives across power loss. Close() does NOT mark data synced.
+///
+/// Layering: place this env *below* the encryption layer
+/// (options.env = &fault_env, with EncFS/SHIELD wrapping above) so
+/// faults hit ciphertext, as device errors would.
+///
+/// Thread safe. Injected transient errors use Status::TryAgain,
+/// permanent ones Status::IOError.
+class FaultInjectionEnv : public EnvWrapper {
+ public:
+  FaultInjectionEnv(Env* target, const FaultInjectionOptions& options);
+  ~FaultInjectionEnv() override;
+
+  /// Enables/disables fault injection (crash tracking continues either
+  /// way). Tests disable faults around open/verify phases.
+  void SetFaultsEnabled(bool enabled);
+  bool faults_enabled() const;
+
+  /// Replaces the fault options (keeps the current PRNG state).
+  void SetOptions(const FaultInjectionOptions& options);
+
+  /// Simulates a crash: for every file written through this env since
+  /// the last crash, drops bytes appended after the last successful
+  /// Sync (optionally keeping a torn partial tail), then forgets all
+  /// tracking state (the surviving bytes are now durable).
+  Status SimulateCrash();
+
+  // --- Counters (cumulative since construction) ---
+  uint64_t ops(FileKind kind) const;
+  uint64_t injected_errors() const;
+  uint64_t injected_short_reads() const;
+  uint64_t injected_slow_ops() const;
+  uint64_t crashes() const;
+  /// Bytes discarded across all SimulateCrash calls.
+  uint64_t dropped_bytes() const;
+
+  // --- Env interface ---
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+
+  /// Shared state between the env and its file handles.
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_ENV_FAULT_INJECTION_ENV_H_

@@ -1,0 +1,130 @@
+#include "kds/faulty_kds.h"
+
+#include "util/clock.h"
+
+namespace shield {
+
+FaultyKds::FaultyKds(std::shared_ptr<Kds> base,
+                     const FaultyKdsOptions& options)
+    : base_(std::move(base)), options_(options), rnd_(options.seed) {}
+
+FaultyKds::~FaultyKds() = default;
+
+void FaultyKds::FailNextRequests(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_ = n;
+}
+
+void FaultyKds::StartOutageFor(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outage_until_micros_ = NowMicros() + micros;
+}
+
+void FaultyKds::HealOutage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  outage_until_micros_ = 0;
+  fail_next_ = 0;
+}
+
+void FaultyKds::SetFaultsEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+Status FaultyKds::MaybeFail(const char* what) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t timeout_micros = 0;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_next_ > 0) {
+      fail_next_--;
+      outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Busy("KDS unavailable (injected outage)", what);
+    }
+    if (outage_until_micros_ != 0) {
+      if (NowMicros() < outage_until_micros_) {
+        outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Busy("KDS unavailable (injected outage)", what);
+      }
+      outage_until_micros_ = 0;  // window expired
+    }
+    if (!enabled_) {
+      return Status::OK();
+    }
+    if (options_.timeout_probability > 0 &&
+        rnd_.NextDouble() < options_.timeout_probability) {
+      timeout_micros = options_.timeout_micros;
+      injected_errors_.fetch_add(1, std::memory_order_relaxed);
+      s = Status::TryAgain("KDS request timed out (injected)", what);
+    } else if (options_.error_probability > 0 &&
+               rnd_.NextDouble() < options_.error_probability) {
+      injected_errors_.fetch_add(1, std::memory_order_relaxed);
+      s = Status::TryAgain("KDS request failed (injected)", what);
+    }
+  }
+  if (timeout_micros > 0) {
+    SleepForMicros(timeout_micros);
+  }
+  return s;
+}
+
+Status FaultyKds::CreateDek(const std::string& server_id,
+                            crypto::CipherKind kind, Dek* out) {
+  Status s = MaybeFail("CreateDek");
+  if (!s.ok()) {
+    return s;
+  }
+  s = base_->CreateDek(server_id, kind, out);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seen_[out->id] = *out;
+  }
+  return s;
+}
+
+Status FaultyKds::GetDek(const std::string& server_id, const DekId& id,
+                         Dek* out) {
+  Status s = MaybeFail("GetDek");
+  if (!s.ok()) {
+    return s;
+  }
+  s = base_->GetDek(server_id, id, out);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seen_[id] = *out;
+    return s;
+  }
+  if (s.IsNotFound()) {
+    // Maybe answer from a stale replica that has not applied the
+    // delete yet.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = deleted_.find(id);
+    if (it != deleted_.end() && enabled_ && options_.stale_probability > 0 &&
+        rnd_.NextDouble() < options_.stale_probability) {
+      *out = it->second;
+      stale_served_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return s;
+}
+
+Status FaultyKds::DeleteDek(const std::string& server_id, const DekId& id) {
+  Status s = MaybeFail("DeleteDek");
+  if (!s.ok()) {
+    return s;
+  }
+  s = base_->DeleteDek(server_id, id);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = seen_.find(id);
+    if (it != seen_.end()) {
+      deleted_[id] = it->second;
+      seen_.erase(it);
+    }
+  }
+  return s;
+}
+
+}  // namespace shield

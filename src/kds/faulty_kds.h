@@ -1,0 +1,103 @@
+#ifndef SHIELD_KDS_FAULTY_KDS_H_
+#define SHIELD_KDS_FAULTY_KDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "kds/kds.h"
+#include "util/random.h"
+
+namespace shield {
+
+/// Tuning knobs for FaultyKds. Probabilities are per request in [0, 1];
+/// the fault schedule is deterministic given `seed` and the request
+/// sequence.
+struct FaultyKdsOptions {
+  uint64_t seed = 1;
+
+  /// Probability that a request fails with Status::TryAgain (a dropped
+  /// or errored KDS round-trip).
+  double error_probability = 0.0;
+
+  /// Probability that a request times out: the caller blocks for
+  /// timeout_micros, then gets Status::TryAgain.
+  double timeout_probability = 0.0;
+  uint64_t timeout_micros = 0;
+
+  /// Probability that GetDek for a *deleted* DEK-ID is answered from a
+  /// stale replica that has not yet seen the delete (returns the old
+  /// key material with OK instead of NotFound). Models an eventually
+  /// consistent, decentralized KDS.
+  double stale_probability = 0.0;
+};
+
+/// FaultyKds decorates another Kds with injected failures: transient
+/// errors, timeouts, bounded unavailability windows (by request count
+/// or wall-clock), and stale responses for deleted DEKs. Used by the
+/// fault-injection tests to prove that DEK resolution retries with
+/// backoff instead of failing recovery or reads. Thread safe.
+class FaultyKds : public Kds {
+ public:
+  FaultyKds(std::shared_ptr<Kds> base, const FaultyKdsOptions& options);
+  ~FaultyKds() override;
+
+  Status CreateDek(const std::string& server_id, crypto::CipherKind kind,
+                   Dek* out) override;
+  Status GetDek(const std::string& server_id, const DekId& id,
+                Dek* out) override;
+  Status DeleteDek(const std::string& server_id, const DekId& id) override;
+
+  /// The next `n` requests fail with Status::Busy (a deterministic
+  /// outage window measured in requests, so tests can assert exactly
+  /// how many retries an outage costs).
+  void FailNextRequests(uint64_t n);
+
+  /// All requests fail with Status::Busy until `micros` from now (a
+  /// wall-clock outage window; callers with backoff ride it out).
+  void StartOutageFor(uint64_t micros);
+  /// Ends any active outage immediately.
+  void HealOutage();
+
+  void SetFaultsEnabled(bool enabled);
+
+  // --- Counters ---
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  uint64_t injected_errors() const {
+    return injected_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t outage_rejections() const {
+    return outage_rejections_.load(std::memory_order_relaxed);
+  }
+  uint64_t stale_served() const {
+    return stale_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Returns a non-OK status if a fault fires for this request.
+  Status MaybeFail(const char* what);
+
+  std::shared_ptr<Kds> base_;
+
+  mutable std::mutex mu_;
+  FaultyKdsOptions options_;
+  Random rnd_;
+  bool enabled_ = true;
+  uint64_t fail_next_ = 0;
+  uint64_t outage_until_micros_ = 0;
+  /// DEKs seen by this decorator, retained after DeleteDek so a "stale
+  /// replica" can keep serving them.
+  std::map<DekId, Dek> seen_;
+  std::map<DekId, Dek> deleted_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> injected_errors_{0};
+  std::atomic<uint64_t> outage_rejections_{0};
+  std::atomic<uint64_t> stale_served_{0};
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_FAULTY_KDS_H_

@@ -7,6 +7,7 @@
 #include "crypto/hmac.h"
 #include "crypto/secure_random.h"
 #include "util/coding.h"
+#include "util/retry.h"
 
 namespace shield {
 
@@ -16,6 +17,20 @@ constexpr char kMagic[8] = {'S', 'H', 'D', 'C', 'A', 'C', 'H', '1'};
 constexpr size_t kSaltSize = 16;
 constexpr size_t kNonceSize = 16;
 constexpr size_t kMacSize = 32;
+
+/// Cache-file I/O retries transient storage faults; losing a persist
+/// costs a KDS round-trip after restart, but riding out a blip keeps
+/// the cache and the KDS view consistent.
+const RetryPolicy& CacheIoRetryPolicy() {
+  static const RetryPolicy policy = [] {
+    RetryPolicy p;
+    p.max_attempts = 5;
+    p.initial_backoff_micros = 200;
+    p.max_backoff_micros = 10 * 1000;
+    return p;
+  }();
+  return policy;
+}
 
 std::string DeriveEncKey(const std::string& passkey, const Slice& salt) {
   return crypto::HkdfSha256(passkey, salt, "shield-dek-cache-enc", 32);
@@ -88,7 +103,9 @@ Status SecureDekCache::Deserialize(const Slice& data) {
 
 Status SecureDekCache::Load() {
   std::string contents;
-  Status s = ReadFileToString(env_, path_, &contents);
+  Status s = RunWithRetry(CacheIoRetryPolicy(), [&] {
+    return ReadFileToString(env_, path_, &contents);
+  });
   if (!s.ok()) {
     return s;
   }
@@ -148,11 +165,13 @@ Status SecureDekCache::Persist() {
 
   // Write-then-rename for atomicity against crashes mid-persist.
   const std::string tmp = path_ + ".tmp";
-  s = WriteStringToFile(env_, file, tmp, /*sync=*/true);
-  if (!s.ok()) {
-    return s;
-  }
-  return env_->RenameFile(tmp, path_);
+  return RunWithRetry(CacheIoRetryPolicy(), [&] {
+    Status ws = WriteStringToFile(env_, file, tmp, /*sync=*/true);
+    if (!ws.ok()) {
+      return ws;
+    }
+    return env_->RenameFile(tmp, path_);
+  });
 }
 
 Status SecureDekCache::Get(const DekId& id, Dek* out) {

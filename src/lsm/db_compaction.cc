@@ -4,8 +4,25 @@
 #include "lsm/file_names.h"
 #include "lsm/sst_builder.h"
 #include "util/clock.h"
+#include "util/retry.h"
 
 namespace shield {
+
+namespace {
+
+/// Consecutive transient failures a background job absorbs (with
+/// backoff) before the error is recorded as fatal. Transient faults
+/// are momentary by definition; this many in a row means the storage
+/// is effectively down and writers must stop.
+constexpr int kMaxConsecutiveBgFailures = 20;
+
+uint64_t BgRetryBackoffMicros(int consecutive_failures) {
+  const uint64_t shift =
+      consecutive_failures > 6 ? 6 : static_cast<uint64_t>(consecutive_failures);
+  return (1000ull << shift);  // 2ms .. 64ms
+}
+
+}  // namespace
 
 struct DBImpl::CompactionState {
   explicit CompactionState(Compaction* c) : compaction(c) {}
@@ -62,14 +79,28 @@ void DBImpl::MaybeScheduleCompaction() {
 }
 
 void DBImpl::BackgroundFlush() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (imm_ != nullptr && bg_error_.ok() &&
-      !shutting_down_.load(std::memory_order_acquire)) {
-    Status s = CompactMemTable();
-    if (!s.ok()) {
-      RecordBackgroundError(s);
+  uint64_t backoff_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (imm_ != nullptr && bg_error_.ok() &&
+        !shutting_down_.load(std::memory_order_acquire)) {
+      Status s = CompactMemTable();
+      if (s.ok()) {
+        consecutive_flush_failures_ = 0;
+      } else if (s.IsTransient() &&
+                 ++consecutive_flush_failures_ <= kMaxConsecutiveBgFailures) {
+        // A momentary storage/fabric/KDS failure: leave imm_ in place
+        // and retry with backoff instead of poisoning the DB.
+        backoff_micros = BgRetryBackoffMicros(consecutive_flush_failures_);
+      } else {
+        RecordBackgroundError(s);
+      }
     }
   }
+  if (backoff_micros > 0) {
+    SleepForMicros(backoff_micros);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   flush_scheduled_ = false;
   MaybeScheduleFlush();
   MaybeScheduleCompaction();
@@ -91,9 +122,16 @@ Status DBImpl::CompactMemTable() {
   if (s.ok()) {
     edit.SetLogNumber(logfile_number_);  // earlier logs no longer needed
     s = versions_->LogAndApply(&edit, &mutex_);
+    if (!s.ok()) {
+      // The manifest tail may already reference the new table (a
+      // partially-appended but durable edit). Keep the file pinned and
+      // on disk so a retry — or a recovery that salvages that tail —
+      // never points at a GC'd table.
+      return s;
+    }
   }
-  // The new file is now either referenced by the installed version or
-  // orphaned (error path — GC may collect it); unpin either way.
+  // Referenced by the installed version, or orphaned before any
+  // manifest write (GC may collect it); unpin either way.
   pending_outputs_.erase(pending_output);
 
   if (s.ok()) {
@@ -143,12 +181,23 @@ void DBImpl::BackgroundCompaction() {
   }
   delete c;
 
-  if (!status.ok()) {
-    if (shutting_down_.load(std::memory_order_acquire)) {
-      // Expected during shutdown.
-    } else {
-      RecordBackgroundError(status);
-    }
+  uint64_t backoff_micros = 0;
+  if (status.ok()) {
+    consecutive_compaction_failures_ = 0;
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // Expected during shutdown.
+  } else if (status.IsTransient() &&
+             ++consecutive_compaction_failures_ <= kMaxConsecutiveBgFailures) {
+    // A momentary failure: the picked inputs are still live, so the
+    // next scheduling pass re-picks the same work. Back off first.
+    backoff_micros = BgRetryBackoffMicros(consecutive_compaction_failures_);
+  } else {
+    RecordBackgroundError(status);
+  }
+  if (backoff_micros > 0) {
+    lock.unlock();
+    SleepForMicros(backoff_micros);
+    lock.lock();
   }
 
   compaction_scheduled_ = false;
@@ -232,8 +281,14 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
                                          out.largest, out.largest_seq);
   }
   Status s = versions_->LogAndApply(compact->compaction->edit(), &mutex_);
-  for (const auto& out : compact->outputs) {
-    pending_outputs_.erase(out.number);
+  if (s.ok()) {
+    // Unpin only on success. On failure the manifest tail may already
+    // reference the outputs (partially-appended durable edit), so they
+    // must stay pinned — and on disk — until shutdown or a successful
+    // retry.
+    for (const auto& out : compact->outputs) {
+      pending_outputs_.erase(out.number);
+    }
   }
   return s;
 }
@@ -253,16 +308,43 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     Status s = DoOffloadedCompaction(c, &edit, &stats);
     if (s.ok()) {
       s = versions_->LogAndApply(&edit, &mutex_);
+      if (s.ok()) {
+        // Unpin the worker's outputs only after the edit is installed
+        // — see WriteLevel0Table for the race this prevents. On a
+        // manifest failure they stay pinned (the durable tail may
+        // reference them).
+        for (const uint64_t number : offload_pending_outputs_) {
+          pending_outputs_.erase(number);
+        }
+      }
+      offload_pending_outputs_.clear();
+      stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
+      stats_[c->output_level()].Add(stats);
+      return s;
     }
-    // Unpin the worker's outputs only after the edit is installed (or
-    // abandoned) — see WriteLevel0Table for the race this prevents.
+    // The remote service failed after its retry budget. Its outputs
+    // were never referenced by any manifest edit, so unpin them and
+    // let GC collect partial files.
     for (const uint64_t number : offload_pending_outputs_) {
       pending_outputs_.erase(number);
     }
     offload_pending_outputs_.clear();
-    stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
-    stats_[c->output_level()].Add(stats);
-    return s;
+    if (!options_.offload_fallback_to_local ||
+        s.IsPermissionDenied() || s.IsCorruption() ||
+        shutting_down_.load(std::memory_order_acquire)) {
+      // Permission and corruption failures are deliberate rejections
+      // (e.g. the KDS revoked the worker after a breach), not
+      // unavailability; retrying the same bytes locally would mask the
+      // alarm, so they always surface to the caller.
+      stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
+      stats_[c->output_level()].Add(stats);
+      return s;
+    }
+    // Fall back to running the same compaction locally: an unreachable
+    // or flaky storage service must not stall the LSM shape.
+    offload_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    stats = CompactionStats();
+    stats.count = 1;
   }
 
   for (int which = 0; which < 2; which++) {
@@ -370,9 +452,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   stats_[c->output_level()].Add(stats);
 
   if (status.ok()) {
+    // InstallCompactionResults unpins the outputs on success and keeps
+    // them pinned on a manifest failure (the durable tail may already
+    // reference them).
     status = InstallCompactionResults(compact);
-  }
-  if (!status.ok()) {
+  } else {
+    // Failed before any manifest write: the outputs are unreferenced,
+    // so unpin them and let GC collect the partial files.
     for (const auto& out : compact->outputs) {
       pending_outputs_.erase(out.number);
     }
@@ -423,7 +509,18 @@ Status DBImpl::DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
   Status s;
   {
     mutex_.unlock();
-    s = options_.compaction_service->RunCompaction(job, &result);
+    // Transient service failures (network faults, brief worker
+    // unavailability) are retried with backoff before the job is
+    // declared failed; each attempt restarts from the same spec and
+    // rewrites the same output numbers from scratch.
+    RetryPolicy policy;
+    policy.max_attempts = std::max(1, options_.offload_max_attempts);
+    policy.initial_backoff_micros = 2000;
+    policy.max_backoff_micros = 200 * 1000;
+    s = RunWithRetry(policy, [&] {
+      result = CompactionJobResult();
+      return options_.compaction_service->RunCompaction(job, &result);
+    });
     mutex_.lock();
   }
 

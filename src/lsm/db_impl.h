@@ -154,6 +154,11 @@ class DBImpl final : public DB {
   std::unique_ptr<WritableFile> logfile_;
   uint64_t logfile_number_ = 0;
   std::unique_ptr<log::Writer> log_;
+  // True after a failed WAL append/sync: the tail may hold a torn
+  // record, and log replay stops at the first damaged record, so any
+  // further appends to this file could be silently lost at recovery.
+  // MakeRoomForWrite rolls to a fresh WAL before the next write.
+  bool log_tainted_ = false;  // guarded by mutex_
 
   std::deque<Writer*> writers_;
   WriteBatch tmp_batch_;
@@ -172,6 +177,17 @@ class DBImpl final : public DB {
   std::unique_ptr<VersionSet> versions_;
 
   Status bg_error_;
+  // Consecutive transient background failures (mutex_ held); reset on
+  // success, escalated to bg_error_ past a cap (db_compaction.cc).
+  int consecutive_flush_failures_ = 0;
+  int consecutive_compaction_failures_ = 0;
+  // Offloaded compactions that fell back to local execution after the
+  // service exhausted its retries ("shield.offload-fallbacks").
+  std::atomic<uint64_t> offload_fallbacks_{0};
+  // WALs whose replay was cut short by damage that crash semantics
+  // explain, tolerated because paranoid_checks is off
+  // ("shield.recovery-salvaged-logs").
+  std::atomic<uint64_t> recovery_salvaged_logs_{0};
   CompactionStats stats_[kMaxNumLevels];
   std::atomic<uint64_t> stall_micros_{0};
 };

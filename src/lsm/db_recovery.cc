@@ -32,8 +32,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number,
   }
 
   LogReporter reporter;
-  Status ignored_corruption;
-  reporter.status = &ignored_corruption;
+  Status replay_corruption;
+  reporter.status = &replay_corruption;
   log::Reader reader(file.get(), &reporter, /*checksum=*/true);
 
   Slice record;
@@ -53,7 +53,6 @@ Status DBImpl::RecoverLogFile(uint64_t log_number,
     }
     WriteBatch batch;
     batch.SetContents(record);
-
     if (mem == nullptr) {
       mem = new MemTable(internal_comparator_);
       mem->Ref();
@@ -92,6 +91,12 @@ Status DBImpl::RecoverLogFile(uint64_t log_number,
   }
   if (mem != nullptr) {
     mem->Unref();
+  }
+  if (status.ok() && options_.paranoid_checks && !replay_corruption.ok()) {
+    // Default recovery treats in-log damage as a torn tail: the reader
+    // already salvaged every record it could resynchronize to. Paranoid
+    // mode surfaces the first error instead.
+    return replay_corruption;
   }
   return status;
 }

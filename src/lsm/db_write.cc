@@ -56,6 +56,12 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         status = write_batch->InsertInto(mem_);
       }
       mutex_.lock();
+      if (!status.ok()) {
+        // The WAL may now end in a torn record; replay stops at the
+        // first damage, so later appends to this file could vanish at
+        // recovery even if synced. Roll it before the next write.
+        log_tainted_ = true;
+      }
     }
     if (write_batch == &tmp_batch_) {
       tmp_batch_.Clear();
@@ -150,6 +156,21 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       stall_micros_.fetch_add(1000, std::memory_order_relaxed);
       allow_delay = false;
       mutex_.lock();
+    } else if (log_tainted_) {
+      if (imm_ != nullptr) {
+        background_work_finished_signal_.wait(
+            lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
+      } else {
+        // SwitchMemTable clears the taint only once a fresh WAL is
+        // actually installed; if it fails before that (e.g. the new
+        // file cannot be created), the taint persists and this write
+        // fails rather than appending to the damaged log.
+        s = SwitchMemTable(lock);
+        if (!s.ok()) {
+          break;
+        }
+        force = false;
+      }
     } else if (!force &&
                mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       break;  // room available
@@ -196,18 +217,26 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
     return s;
   }
   log_.reset();
+  Status close_status;
   if (logfile_ != nullptr) {
-    logfile_->Close();  // drains any SHIELD WAL buffer
+    // Drains any SHIELD WAL buffer. A failure loses only the unsynced
+    // tail of the outgoing log — those entries live in imm_ below and
+    // are persisted by the scheduled flush — but it must be surfaced
+    // to the write that forced the switch, not swallowed.
+    close_status = logfile_->Close();
   }
   logfile_ = std::move(lfile);
   logfile_number_ = new_log_number;
   log_ = std::make_unique<log::Writer>(logfile_.get());
+  // Any damage recorded against the outgoing WAL stays with it: the
+  // replacement is fresh even if closing the old file failed above.
+  log_tainted_ = false;
   imm_ = mem_;
   has_imm_.store(true, std::memory_order_release);
   mem_ = new MemTable(internal_comparator_);
   mem_->Ref();
   MaybeScheduleFlush();
-  return Status::OK();
+  return close_status;
 }
 
 Status DBImpl::Flush() {

@@ -1,5 +1,6 @@
 #include "lsm/log_reader.h"
 
+#include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -102,9 +103,21 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
   while (true) {
     if (buffer_.size() < static_cast<size_t>(kHeaderSize)) {
       if (!eof_) {
-        // Skip the block trailer and read the next block.
+        // Skip the block trailer and read the next block. A transient
+        // read error (momentary device/fabric failure) is retried a
+        // few times before the rest of the log is abandoned: giving up
+        // on a blip would silently drop synced records during replay.
         buffer_.clear();
-        Status status = file_->Read(kBlockSize, &buffer_, backing_store_);
+        Status status;
+        constexpr int kMaxReadAttempts = 5;
+        for (int attempt = 1;; attempt++) {
+          status = file_->Read(kBlockSize, &buffer_, backing_store_);
+          if (status.ok() || !status.IsTransient() ||
+              attempt >= kMaxReadAttempts) {
+            break;
+          }
+          SleepForMicros(100ull << attempt);
+        }
         if (!status.ok()) {
           buffer_.clear();
           ReportDrop(kBlockSize, status);

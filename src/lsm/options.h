@@ -147,6 +147,23 @@ struct Options {
   /// paper Section 5.6). Not owned.
   CompactionService* compaction_service = nullptr;
 
+  /// Attempts per offloaded compaction before the job is considered
+  /// failed (transient service errors are retried with backoff).
+  int offload_max_attempts = 3;
+
+  /// When offloaded compaction exhausts its attempts, run the
+  /// compaction locally instead of surfacing an error. Keeps the
+  /// engine making progress through storage-service outages at the
+  /// cost of compute-side work.
+  bool offload_fallback_to_local = true;
+
+  /// Recovery strictness. When false (default), recovery degrades
+  /// gracefully on damage that crash semantics can explain — a torn
+  /// WAL tail, a truncated MANIFEST tail, an unreadable trailing log —
+  /// salvaging every intact record and continuing. When true, any
+  /// detected corruption aborts DB::Open with the underlying error.
+  bool paranoid_checks = false;
+
   EncryptionOptions encryption;
 };
 

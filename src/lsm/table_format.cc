@@ -1,5 +1,6 @@
 #include "lsm/table_format.h"
 
+#include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -54,15 +55,32 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
   const size_t n = static_cast<size_t>(handle.size());
   char* buf = new char[n + kBlockTrailerSize];
   Slice contents;
-  Status s =
-      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
-  if (!s.ok()) {
-    delete[] buf;
-    return s;
-  }
-  if (contents.size() != n + kBlockTrailerSize) {
-    delete[] buf;
-    return Status::Corruption("truncated block read");
+  Status s;
+  // Positional reads are idempotent, so transient device errors and
+  // short reads (both injected by FaultInjectionEnv and plausible on a
+  // lossy disaggregated fabric) get a small bounded retry before being
+  // escalated. A genuinely truncated file returns the same short
+  // result every time and still fails as corruption.
+  constexpr int kMaxReadAttempts = 5;
+  for (int attempt = 1;; attempt++) {
+    s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+    if (!s.ok()) {
+      if (s.IsTransient() && attempt < kMaxReadAttempts) {
+        SleepForMicros(100ull << attempt);
+        continue;
+      }
+      delete[] buf;
+      return s;
+    }
+    if (contents.size() != n + kBlockTrailerSize) {
+      if (attempt < kMaxReadAttempts) {
+        SleepForMicros(100ull << attempt);
+        continue;
+      }
+      delete[] buf;
+      return Status::Corruption("truncated block read");
+    }
+    break;
   }
 
   const char* data = contents.data();

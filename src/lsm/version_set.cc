@@ -576,11 +576,17 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
     log_number_ = edit->log_number_;
   } else {
     delete v;
+    // The manifest tail is now suspect: the append (or its sync) may
+    // have landed partially. Abandon this descriptor and roll to a
+    // freshly numbered MANIFEST on the next LogAndApply; while
+    // manifest_file_number_ is 0, RemoveObsoleteFiles keeps every
+    // descriptor, including the one CURRENT still points to.
+    descriptor_log_.reset();
+    descriptor_file_.reset();
     if (!new_manifest_file.empty()) {
-      descriptor_log_.reset();
-      descriptor_file_.reset();
       files_->DeleteFile(new_manifest_file);
     }
+    manifest_file_number_ = 0;
   }
 
   writing_manifest_ = false;
@@ -631,11 +637,13 @@ Status VersionSet::Recover() {
       }
     };
     LogReporter reporter;
-    reporter.status = &s;
+    Status log_damage;
+    reporter.status = &log_damage;
     log::Reader reader(file.get(), &reporter, /*checksum=*/true);
     Slice record;
     std::string scratch;
-    while (reader.ReadRecord(&record, &scratch) && s.ok()) {
+    while (reader.ReadRecord(&record, &scratch) && s.ok() &&
+           log_damage.ok()) {
       VersionEdit edit;
       s = edit.DecodeFrom(record);
       if (s.ok() && edit.has_comparator_ &&
@@ -659,6 +667,15 @@ Status VersionSet::Recover() {
         last_sequence = edit.last_sequence_;
         have_last_sequence = true;
       }
+    }
+    if (s.ok() && !log_damage.ok()) {
+      if (options_.paranoid_checks) {
+        s = log_damage;
+      }
+      // Otherwise the damage starts at the tail of the descriptor —
+      // the writer crashed mid-append. Replay stopped there, so the
+      // intact prefix is accepted; the mandatory-field checks below
+      // still reject a prefix too short to describe a database.
     }
   }
 

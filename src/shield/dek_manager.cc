@@ -1,6 +1,27 @@
 #include "shield/dek_manager.h"
 
+#include "util/retry.h"
+
 namespace shield {
+
+namespace {
+
+/// KDS round-trips ride out transient failures and short outages here
+/// (~8 attempts, capped exponential backoff; worst case a few hundred
+/// ms). A decentralized KDS is the paper's availability requirement,
+/// so brief unavailability must not fail recovery, reads, or flushes.
+const RetryPolicy& KdsRetryPolicy() {
+  static const RetryPolicy policy = [] {
+    RetryPolicy p;
+    p.max_attempts = 8;
+    p.initial_backoff_micros = 500;
+    p.max_backoff_micros = 50 * 1000;
+    return p;
+  }();
+  return policy;
+}
+
+}  // namespace
 
 DekManager::DekManager(Kds* kds, std::string server_id,
                        SecureDekCache* secure_cache)
@@ -9,7 +30,9 @@ DekManager::DekManager(Kds* kds, std::string server_id,
 
 Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
   kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = kds_->CreateDek(server_id_, kind, out);
+  Status s = RunWithRetry(KdsRetryPolicy(), [&] {
+    return kds_->CreateDek(server_id_, kind, out);
+  });
   if (!s.ok()) {
     return s;
   }
@@ -42,7 +65,8 @@ Status DekManager::ResolveDek(const DekId& id, Dek* out) {
     return Status::OK();
   }
   kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = kds_->GetDek(server_id_, id, out);
+  Status s = RunWithRetry(KdsRetryPolicy(),
+                          [&] { return kds_->GetDek(server_id_, id, out); });
   if (!s.ok()) {
     return s;
   }
@@ -65,7 +89,8 @@ Status DekManager::ForgetDek(const DekId& id) {
     secure_cache_->Erase(id);
   }
   kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = kds_->DeleteDek(server_id_, id);
+  Status s = RunWithRetry(KdsRetryPolicy(),
+                          [&] { return kds_->DeleteDek(server_id_, id); });
   if (s.IsNotFound()) {
     // Another server (e.g. the compaction worker) may have owned the
     // deletion; dropping a missing DEK is success.

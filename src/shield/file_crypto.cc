@@ -172,7 +172,13 @@ class ShieldWritableFile final : public WritableFile {
       return Status::OK();
     }
     Status s = EncryptAndAppend(buffer_.data(), buffer_.size());
-    buffer_.clear();
+    if (s.ok()) {
+      // Only on success: after a transient append failure the
+      // plaintext stays buffered so a retried Sync can persist it
+      // (logical_offset_ has not advanced, so ciphertext stays
+      // aligned).
+      buffer_.clear();
+    }
     return s;
   }
 

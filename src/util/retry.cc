@@ -1,0 +1,61 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace shield {
+
+uint64_t RetryPolicy::BackoffMicros(int attempt, uint64_t* rnd_state) const {
+  if (attempt <= 1) {
+    return 0;
+  }
+  double backoff = static_cast<double>(initial_backoff_micros);
+  for (int i = 2; i < attempt; i++) {
+    backoff *= multiplier;
+    if (backoff >= static_cast<double>(max_backoff_micros)) {
+      break;
+    }
+  }
+  uint64_t micros = std::min(static_cast<uint64_t>(backoff), max_backoff_micros);
+  if (jitter > 0 && micros > 0) {
+    Random rnd(*rnd_state);
+    const uint64_t span = static_cast<uint64_t>(jitter * micros);
+    if (span > 0) {
+      micros = micros - span + rnd.Uniform(span + 1);
+    }
+    *rnd_state = rnd.Next64();
+  }
+  return micros;
+}
+
+bool IsRetryableStatus(const Status& s) { return s.IsTransient(); }
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, int* attempts_out) {
+  const uint64_t start = NowMicros();
+  uint64_t rnd_state = policy.seed == 0 ? 0x5e7e7 : policy.seed;
+  Status s;
+  int attempt = 0;
+  for (attempt = 1; attempt <= std::max(policy.max_attempts, 1); attempt++) {
+    const uint64_t backoff = policy.BackoffMicros(attempt, &rnd_state);
+    if (backoff > 0) {
+      SleepForMicros(backoff);
+    }
+    s = op();
+    if (s.ok() || !IsRetryableStatus(s)) {
+      break;
+    }
+    if (policy.deadline_micros > 0 &&
+        NowMicros() - start >= policy.deadline_micros) {
+      break;
+    }
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = std::min(attempt, std::max(policy.max_attempts, 1));
+  }
+  return s;
+}
+
+}  // namespace shield

@@ -1,0 +1,65 @@
+#ifndef SHIELD_UTIL_RETRY_H_
+#define SHIELD_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace shield {
+
+/// RetryPolicy describes how a caller should retry an operation that
+/// failed with a transient error: capped exponential backoff with
+/// deterministic jitter, bounded by an attempt count and an optional
+/// wall-clock deadline.
+///
+/// The policy is a plain value type: each call site constructs one (or
+/// copies a shared constant) and passes it to RunWithRetry. Jitter is
+/// derived from a seed so that fault-injection schedules stay
+/// reproducible end to end.
+struct RetryPolicy {
+  /// Maximum number of attempts, including the first one. 1 disables
+  /// retries entirely.
+  int max_attempts = 4;
+
+  /// Backoff before the second attempt; doubles (times `multiplier`)
+  /// on each subsequent attempt up to max_backoff_micros.
+  uint64_t initial_backoff_micros = 1000;
+  uint64_t max_backoff_micros = 100 * 1000;
+  double multiplier = 2.0;
+
+  /// Fraction of the computed backoff replaced by a uniform random
+  /// value in [0, jitter * backoff). 0 disables jitter.
+  double jitter = 0.5;
+
+  /// Total wall-clock budget in microseconds across all attempts
+  /// (0 = unlimited). Once exceeded, RunWithRetry returns the last
+  /// error even if attempts remain.
+  uint64_t deadline_micros = 0;
+
+  /// Seed for the jitter PRNG so backoff sequences are reproducible.
+  uint64_t seed = 0x5e7e7;
+
+  /// Returns the backoff (with jitter applied) to sleep before the
+  /// given 1-based retry attempt (attempt 2 is the first retry).
+  /// `rnd_state` threads the jitter PRNG state between calls.
+  uint64_t BackoffMicros(int attempt, uint64_t* rnd_state) const;
+};
+
+/// True when `s` is worth retrying under a RetryPolicy: transient
+/// statuses (kTryAgain, kBusy) only. Corruption, NotFound, permission
+/// and argument errors are final; IOError is treated as permanent
+/// because the fault layers reserve it for non-recoverable failures.
+bool IsRetryableStatus(const Status& s);
+
+/// Runs `op` until it succeeds, returns a non-retryable error, or the
+/// policy is exhausted (attempts or deadline). Sleeps the backoff
+/// between attempts. Returns the final status. If `attempts_out` is
+/// non-null it receives the number of attempts performed.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op,
+                    int* attempts_out = nullptr);
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_RETRY_H_

@@ -36,6 +36,9 @@ std::string Status::ToString() const {
     case Code::kBusy:
       type = "Busy: ";
       break;
+    case Code::kTryAgain:
+      type = "TryAgain: ";
+      break;
     default:
       type = "Unknown: ";
       break;

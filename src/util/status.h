@@ -38,6 +38,9 @@ class Status {
   static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kBusy, msg, msg2);
   }
+  static Status TryAgain(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kTryAgain, msg, msg2);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -47,6 +50,16 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsPermissionDenied() const { return code_ == Code::kPermissionDenied; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTryAgain() const { return code_ == Code::kTryAgain; }
+
+  /// True for error categories that describe a momentary condition
+  /// (resource contention, injected transient fault, unavailable
+  /// service) where retrying the same operation may succeed. Used by
+  /// RetryPolicy (util/retry.h) and background-job rescheduling to
+  /// classify errors uniformly.
+  bool IsTransient() const {
+    return code_ == Code::kTryAgain || code_ == Code::kBusy;
+  }
 
   /// Returns a string such as "Corruption: bad block checksum".
   std::string ToString() const;
@@ -61,6 +74,7 @@ class Status {
     kIOError,
     kPermissionDenied,
     kBusy,
+    kTryAgain,
   };
 
   Status(Code code, const Slice& msg, const Slice& msg2);

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "gtest/gtest.h"
+#include "kds/faulty_kds.h"
 #include "kds/local_kds.h"
 #include "lsm/db.h"
 #include "test_util.h"
@@ -174,6 +175,90 @@ TEST_P(CrashRecoveryTest, RepeatedCrashesStayConsistent) {
     db.reset();
     env = std::move(next_env);
   }
+}
+
+// Recovery needs the KDS to decrypt every SST and WAL it replays. A
+// KDS that is briefly unavailable when the instance comes back up must
+// delay recovery, not fail it: the retry budget on DEK lookups rides
+// out the outage.
+TEST(KdsOutageRecoveryTest, RecoveryRetriesThroughKdsOutage) {
+  auto env = NewMemEnv();
+  auto local = std::make_shared<LocalKds>();
+  auto faulty = std::make_shared<FaultyKds>(local, FaultyKdsOptions());
+
+  Options options;
+  options.env = env.get();
+  options.encryption.mode = EncryptionMode::kShield;
+  options.encryption.kds = faulty;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  {
+    std::unique_ptr<DB> db(raw);
+    WriteOptions synced;
+    synced.sync = true;
+    for (int i = 0; i < 200; i++) {
+      ASSERT_TRUE(
+          db->Put(synced, "key" + std::to_string(i), "value").ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+
+  // The first few KDS requests of the reopen fail transiently; the
+  // per-lookup retry policy (8 attempts) must absorb them.
+  faulty->FailNextRequests(5);
+  DB* raw2 = nullptr;
+  Status s = DB::Open(options, "/db", &raw2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::unique_ptr<DB> recovered(raw2);
+  EXPECT_GE(faulty->outage_rejections(), 5u);
+  for (int i = 0; i < 200; i++) {
+    std::string value;
+    ASSERT_TRUE(
+        recovered->Get(ReadOptions(), "key" + std::to_string(i), &value).ok())
+        << i;
+    EXPECT_EQ("value", value);
+  }
+}
+
+// A tampered secure DEK cache must fail authentication, and that
+// failure must fail DB::Open — silently ignoring it would let an
+// attacker feed the engine chosen keys.
+TEST(DekCacheCorruptionTest, TamperedCacheFailsOpen) {
+  auto env = NewMemEnv();
+  auto kds = std::make_shared<LocalKds>();
+
+  Options options;
+  options.env = env.get();
+  options.encryption.mode = EncryptionMode::kShield;
+  options.encryption.kds = kds;
+  options.encryption.use_secure_dek_cache = true;
+  options.encryption.passkey = "crash-test-passkey";
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  {
+    std::unique_ptr<DB> db(raw);
+    WriteOptions synced;
+    synced.sync = true;
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(db->Put(synced, "key" + std::to_string(i), "value").ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+
+  // Flip one byte in the persisted cache.
+  std::string cache;
+  ASSERT_TRUE(ReadFileToString(env.get(), "/db/DEK_CACHE", &cache).ok());
+  ASSERT_FALSE(cache.empty());
+  cache[cache.size() / 2] ^= 0x01;
+  ASSERT_TRUE(
+      WriteStringToFile(env.get(), cache, "/db/DEK_CACHE", true).ok());
+
+  DB* raw2 = nullptr;
+  Status s = DB::Open(options, "/db", &raw2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsPermissionDenied() || s.IsCorruption()) << s.ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(
