@@ -1,0 +1,71 @@
+#include "crypto/block_auth.h"
+
+#include <cstring>
+
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "util/coding.h"
+
+namespace shield {
+namespace crypto {
+
+namespace {
+constexpr char kMacKeyInfo[] = "shield.block-auth.v2";
+constexpr size_t kMacKeySize = 32;
+}  // namespace
+
+std::string DeriveBlockMacKey(const Slice& file_key, const Slice& file_nonce) {
+  return HkdfSha256(file_key, file_nonce,
+                    Slice(kMacKeyInfo, sizeof(kMacKeyInfo) - 1), kMacKeySize);
+}
+
+BlockAuthenticator::BlockAuthenticator(std::string mac_key,
+                                       std::unique_ptr<StreamCipher> cipher)
+    : mac_key_(std::move(mac_key)), cipher_(std::move(cipher)) {}
+
+BlockAuthenticator::~BlockAuthenticator() = default;
+
+void BlockAuthenticator::ComputeTag(uint64_t offset,
+                                    std::initializer_list<Slice> parts,
+                                    char* tag) const {
+  std::string msg;
+  size_t total = sizeof(uint64_t);
+  for (const Slice& part : parts) {
+    total += part.size();
+  }
+  msg.reserve(total);
+  msg.resize(sizeof(uint64_t));
+  EncodeFixed64(msg.data(), offset);
+  for (const Slice& part : parts) {
+    msg.append(part.data(), part.size());
+  }
+  // Re-encrypt the plaintext at its logical offset to recover the
+  // ciphertext image; the offset prefix stays plaintext.
+  cipher_->CryptAt(offset, msg.data() + sizeof(uint64_t),
+                   msg.size() - sizeof(uint64_t));
+  const std::string mac = HmacSha256(mac_key_, msg);
+  std::memcpy(tag, mac.data(), kBlockAuthTagSize);
+}
+
+bool BlockAuthenticator::VerifyTag(uint64_t offset, const Slice& data,
+                                   const Slice& tag) const {
+  if (tag.size() != kBlockAuthTagSize) {
+    return false;
+  }
+  char expected[kBlockAuthTagSize];
+  ComputeTag(offset, {data}, expected);
+  return ConstantTimeEqual(Slice(expected, kBlockAuthTagSize), tag);
+}
+
+std::unique_ptr<BlockAuthenticator> NewBlockAuthenticator(
+    CipherKind kind, const Slice& file_key, const Slice& file_nonce) {
+  std::unique_ptr<StreamCipher> cipher;
+  if (!NewStreamCipher(kind, file_key, file_nonce, &cipher).ok()) {
+    return nullptr;
+  }
+  return std::make_unique<BlockAuthenticator>(
+      DeriveBlockMacKey(file_key, file_nonce), std::move(cipher));
+}
+
+}  // namespace crypto
+}  // namespace shield

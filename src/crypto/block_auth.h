@@ -1,0 +1,80 @@
+#ifndef SHIELD_CRYPTO_BLOCK_AUTH_H_
+#define SHIELD_CRYPTO_BLOCK_AUTH_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "crypto/cipher.h"
+#include "util/slice.h"
+
+namespace shield {
+namespace crypto {
+
+/// Truncated HMAC-SHA256 tag length appended after each authenticated
+/// block (SST blocks) or record (WAL/manifest). 128 bits keeps forgery
+/// probability negligible while costing less than 0.4% of a 4 KiB block.
+constexpr size_t kBlockAuthTagSize = 16;
+
+/// Derives the per-file MAC key for block authentication from the file
+/// encryption key. Binding the salt to the file nonce gives every file
+/// an independent MAC key even when DEKs are reused (EncFS instance
+/// key), and the versioned info string domain-separates the MAC key
+/// from the encryption keystream.
+std::string DeriveBlockMacKey(const Slice& file_key, const Slice& file_nonce);
+
+/// Computes/verifies encrypt-then-MAC tags over the *ciphertext* image
+/// of file blocks.
+///
+/// The SHIELD/EncFS layering hands sst_builder and log_writer logical
+/// plaintext — encryption happens transparently in the outermost file
+/// wrapper. To still MAC ciphertext (so a tag mismatch is detected
+/// before any decrypted byte is trusted), the authenticator owns its
+/// own instance of the file's deterministic, offset-seekable CTR
+/// cipher: given plaintext and its logical offset it recomputes the
+/// exact ciphertext bytes that land on disk and MACs those. Readers
+/// hand it the same plaintext the file wrapper just decrypted, which
+/// round-trips to the on-disk ciphertext.
+///
+/// tag = HMAC-SHA256(mac_key, LE64(offset) || ciphertext)[0:16]
+///
+/// Including the offset in the MAC input pins every block to its
+/// position, defeating block transplants within and across files.
+///
+/// Thread-compatible: all methods are const and the cipher is seekable,
+/// so concurrent compute/verify calls are safe.
+class BlockAuthenticator {
+ public:
+  BlockAuthenticator(std::string mac_key, std::unique_ptr<StreamCipher> cipher);
+  ~BlockAuthenticator();
+
+  BlockAuthenticator(const BlockAuthenticator&) = delete;
+  BlockAuthenticator& operator=(const BlockAuthenticator&) = delete;
+
+  /// Computes the tag for plaintext `parts` (concatenated) that the
+  /// file wrapper will encrypt starting at logical byte `offset`.
+  /// Writes kBlockAuthTagSize bytes to `tag`.
+  void ComputeTag(uint64_t offset, std::initializer_list<Slice> parts,
+                  char* tag) const;
+
+  /// Verifies, in constant time, that `tag` matches plaintext `data`
+  /// decrypted from logical byte `offset`.
+  bool VerifyTag(uint64_t offset, const Slice& data, const Slice& tag) const;
+
+ private:
+  std::string mac_key_;
+  std::unique_ptr<StreamCipher> cipher_;
+};
+
+/// Convenience: derives the MAC key and builds the authenticator's
+/// private cipher instance in one step. Returns nullptr on cipher
+/// construction failure (caller treats the file as unauthenticated and
+/// surfaces the error separately if needed).
+std::unique_ptr<BlockAuthenticator> NewBlockAuthenticator(
+    CipherKind kind, const Slice& file_key, const Slice& file_nonce);
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_BLOCK_AUTH_H_

@@ -64,15 +64,15 @@ Status RemoteCompactionWorker::RunCompaction(const CompactionJobSpec& job,
 
   auto open_inputs = [&](const std::vector<CompactionInput>& inputs) {
     for (const auto& [number, size] : inputs) {
+      const std::string fname = TableFileName(job.dbname, number);
       std::unique_ptr<RandomAccessFile> file;
-      s = files_->NewRandomAccessFile(TableFileName(job.dbname, number),
-                                      &file);
+      s = files_->NewRandomAccessFile(fname, &file);
       if (!s.ok()) {
         return;
       }
       std::unique_ptr<Table> table;
-      s = Table::Open(options_.db_options, icmp_.get(), std::move(file), size,
-                      /*block_cache=*/nullptr, &table);
+      s = Table::Open(options_.db_options, icmp_.get(), fname, std::move(file),
+                      size, /*block_cache=*/nullptr, &table);
       if (!s.ok()) {
         return;
       }

@@ -4,9 +4,122 @@
 
 namespace shield {
 
-StorageService::StorageService(Env* backing, NetworkSimOptions network_options)
+namespace {
+
+/// Appends to a primary file and mirrors every byte to a replica copy.
+/// The primary is authoritative: replica writes happen only after the
+/// primary accepted the data, and a replica failure silently drops the
+/// replica copy (FetchFile verification catches partial copies) rather
+/// than failing the client's write.
+class TeeWritableFile final : public WritableFile {
+ public:
+  TeeWritableFile(std::unique_ptr<WritableFile> primary,
+                  std::unique_ptr<WritableFile> replica)
+      : primary_(std::move(primary)), replica_(std::move(replica)) {}
+
+  ~TeeWritableFile() override {
+    if (replica_ != nullptr) {
+      replica_->Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    Status s = primary_->Append(data);
+    if (s.ok() && replica_ != nullptr && !replica_->Append(data).ok()) {
+      replica_.reset();
+    }
+    return s;
+  }
+  Status Flush() override { return primary_->Flush(); }
+  Status Sync() override {
+    Status s = primary_->Sync();
+    if (s.ok() && replica_ != nullptr) {
+      replica_->Sync();
+    }
+    return s;
+  }
+  Status Close() override {
+    if (replica_ != nullptr) {
+      replica_->Close();
+      replica_.reset();
+    }
+    return primary_->Close();
+  }
+  uint64_t GetFileSize() const override { return primary_->GetFileSize(); }
+
+ private:
+  std::unique_ptr<WritableFile> primary_;
+  std::unique_ptr<WritableFile> replica_;
+};
+
+/// The storage server's namespace with replication on: reads are
+/// served by the primary; writes and namespace mutations are mirrored
+/// to the replica store.
+class ReplicatingEnv final : public EnvWrapper {
+ public:
+  ReplicatingEnv(Env* primary, Env* replica)
+      : EnvWrapper(primary), replica_(replica) {}
+
+  Status NewWritableFile(const std::string& f,
+                         std::unique_ptr<WritableFile>* r) override {
+    std::unique_ptr<WritableFile> primary;
+    Status s = target()->NewWritableFile(f, &primary);
+    if (!s.ok()) {
+      return s;
+    }
+    std::unique_ptr<WritableFile> replica;
+    replica_->NewWritableFile(f, &replica);  // best effort
+    *r = std::make_unique<TeeWritableFile>(std::move(primary),
+                                           std::move(replica));
+    return Status::OK();
+  }
+  Status RemoveFile(const std::string& f) override {
+    Status s = target()->RemoveFile(f);
+    if (s.ok()) {
+      replica_->RemoveFile(f);
+    }
+    return s;
+  }
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    Status s = target()->RenameFile(src, dst);
+    if (s.ok()) {
+      replica_->RenameFile(src, dst);
+    }
+    return s;
+  }
+  Status CreateDirIfMissing(const std::string& d) override {
+    Status s = target()->CreateDirIfMissing(d);
+    if (s.ok()) {
+      replica_->CreateDirIfMissing(d);
+    }
+    return s;
+  }
+  Status RemoveDir(const std::string& d) override {
+    Status s = target()->RemoveDir(d);
+    if (s.ok()) {
+      replica_->RemoveDir(d);
+    }
+    return s;
+  }
+
+ private:
+  Env* replica_;
+};
+
+}  // namespace
+
+StorageService::StorageService(Env* backing, NetworkSimOptions network_options,
+                               bool replicate)
     : network_(network_options),
-      counting_env_(NewCountingEnv(backing, &media_stats_)) {}
+      counting_env_(NewCountingEnv(backing, &media_stats_)) {
+  if (replicate) {
+    replica_env_ = NewMemEnv();
+    replicating_env_ = std::make_unique<ReplicatingEnv>(counting_env_.get(),
+                                                        replica_env_.get());
+  }
+  serving_env_ =
+      replicating_env_ != nullptr ? replicating_env_.get() : counting_env_.get();
+}
 
 namespace {
 
@@ -226,6 +339,39 @@ class RemoteEnv final : public EnvWrapper {
 };
 
 }  // namespace
+
+Status StorageService::FetchFile(const std::string& fname,
+                                 std::string* contents) {
+  if (replica_env_ == nullptr) {
+    return Status::NotSupported("storage service replication is disabled");
+  }
+  uint64_t size = 0;
+  Status s = replica_env_->GetFileSize(fname, &size);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<SequentialFile> file;
+  s = replica_env_->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  contents->clear();
+  contents->reserve(size);
+  std::string scratch(64 * 1024, '\0');
+  while (true) {
+    Slice chunk;
+    s = file->Read(scratch.size(), &chunk, scratch.data());
+    if (!s.ok()) {
+      return s;
+    }
+    if (chunk.empty()) {
+      break;
+    }
+    contents->append(chunk.data(), chunk.size());
+  }
+  // The repair fetch crosses the fabric like any other read.
+  return TransferWithRetry(&network_, contents->size(), /*pay_rtt=*/true);
+}
 
 std::unique_ptr<Env> NewRemoteEnv(StorageService* service,
                                   IoStats* client_stats) {

@@ -2,10 +2,12 @@
 #define SHIELD_DS_STORAGE_SERVICE_H_
 
 #include <memory>
+#include <string>
 
 #include "ds/network_sim.h"
 #include "env/env.h"
 #include "env/io_stats.h"
+#include "lsm/options.h"
 
 namespace shield {
 
@@ -15,16 +17,33 @@ namespace shield {
 /// read-only instances, compaction workers) access over a simulated
 /// network. Server-side I/O is accounted separately from client
 /// traffic (paper Table 3 splits I/O by server and storage medium).
-class StorageService {
+///
+/// With `replicate` enabled the service keeps an HDFS-style second
+/// copy of every appended byte in a private in-memory store, and
+/// serves it through the FileReplicaSource interface: the engine's
+/// integrity scrubber re-fetches a corrupt primary SST from the
+/// replica verbatim (ciphertext, headers and tags included).
+class StorageService : public FileReplicaSource {
  public:
   /// `backing` is the storage server's local filesystem (a MemEnv or a
   /// PosixEnv directory). Not owned.
-  StorageService(Env* backing, NetworkSimOptions network_options);
+  StorageService(Env* backing, NetworkSimOptions network_options,
+                 bool replicate = false);
 
   /// The server-side view of the namespace (no network cost); used by
   /// services co-located with storage, e.g. the offloaded compaction
-  /// worker running on the storage server.
-  Env* server_env() { return counting_env_.get(); }
+  /// worker running on the storage server. With replication on, writes
+  /// through this env are teed to the replica store.
+  Env* server_env() { return serving_env_; }
+
+  /// The replica store (null when replication is off). Exposed for
+  /// tests that need to damage or inspect the second copy.
+  Env* replica_env() { return replica_env_.get(); }
+
+  /// FileReplicaSource: returns the replica's raw bytes of `fname`,
+  /// paying the simulated network cost of shipping them. NotSupported
+  /// when replication is off; NotFound when the replica has no copy.
+  Status FetchFile(const std::string& fname, std::string* contents) override;
 
   NetworkSimulator* network() { return &network_; }
 
@@ -35,6 +54,9 @@ class StorageService {
   NetworkSimulator network_;
   IoStats media_stats_;
   std::unique_ptr<Env> counting_env_;
+  std::unique_ptr<Env> replica_env_;      // in-memory second copy
+  std::unique_ptr<Env> replicating_env_;  // tee over counting + replica
+  Env* serving_env_ = nullptr;
 };
 
 /// Creates a compute-side client Env for the storage service: every

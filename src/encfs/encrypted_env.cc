@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/block_auth.h"
 #include "crypto/secure_random.h"
 #include "env/io_stats.h"
 
@@ -9,13 +10,19 @@ namespace shield {
 
 namespace {
 
+// Format v1: CTR ciphertext only. Format v2 ("SHENCFS2") additionally
+// carries per-block/record HMAC tags emitted by sst_builder/log_writer.
+// The magic — not a config knob — decides what readers expect, so v1
+// files written before authentication existed stay readable.
 constexpr char kMagic[8] = {'S', 'H', 'E', 'N', 'C', 'F', 'S', '1'};
+constexpr char kMagicAuth[8] = {'S', 'H', 'E', 'N', 'C', 'F', 'S', '2'};
 
 // Header layout within the 4 KiB prologue:
 //   magic(8) | cipher(1) | nonce_len(1) | nonce(<=16) | zero padding
 struct ParsedHeader {
   crypto::CipherKind cipher;
   std::string nonce;
+  bool authenticated = false;
 };
 
 Status MakeCipherForFile(crypto::CipherKind kind, const std::string& key,
@@ -24,9 +31,10 @@ Status MakeCipherForFile(crypto::CipherKind kind, const std::string& key,
   return crypto::NewStreamCipher(kind, key, nonce, out);
 }
 
-std::string BuildHeader(crypto::CipherKind cipher, const std::string& nonce) {
+std::string BuildHeader(crypto::CipherKind cipher, const std::string& nonce,
+                        bool authenticated) {
   std::string header(kEncFsHeaderSize, '\0');
-  memcpy(header.data(), kMagic, sizeof(kMagic));
+  memcpy(header.data(), authenticated ? kMagicAuth : kMagic, sizeof(kMagic));
   header[8] = static_cast<char>(cipher);
   header[9] = static_cast<char>(nonce.size());
   memcpy(header.data() + 10, nonce.data(), nonce.size());
@@ -34,7 +42,14 @@ std::string BuildHeader(crypto::CipherKind cipher, const std::string& nonce) {
 }
 
 Status ParseHeader(const Slice& data, ParsedHeader* out) {
-  if (data.size() < 10 || memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (data.size() < 10) {
+    return Status::Corruption("not an EncFS file");
+  }
+  if (memcmp(data.data(), kMagic, sizeof(kMagic)) == 0) {
+    out->authenticated = false;
+  } else if (memcmp(data.data(), kMagicAuth, sizeof(kMagicAuth)) == 0) {
+    out->authenticated = true;
+  } else {
     return Status::Corruption("not an EncFS file");
   }
   out->cipher = static_cast<crypto::CipherKind>(data[8]);
@@ -56,12 +71,14 @@ class EncryptedWritableFile final : public WritableFile {
  public:
   EncryptedWritableFile(std::unique_ptr<WritableFile> base,
                         crypto::CipherKind cipher_kind, std::string key,
-                        std::string nonce, size_t buffer_size)
+                        std::string nonce, size_t buffer_size,
+                        std::unique_ptr<crypto::BlockAuthenticator> auth)
       : base_(std::move(base)),
         cipher_kind_(cipher_kind),
         key_(std::move(key)),
         nonce_(std::move(nonce)),
-        buffer_size_(buffer_size) {}
+        buffer_size_(buffer_size),
+        auth_(std::move(auth)) {}
 
   ~EncryptedWritableFile() override {
     if (!closed_) {
@@ -101,6 +118,10 @@ class EncryptedWritableFile final : public WritableFile {
     return logical_offset_ + buffer_.size();
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   Status DrainBuffer() {
     if (buffer_.empty()) {
@@ -135,6 +156,7 @@ class EncryptedWritableFile final : public WritableFile {
   const std::string key_;
   const std::string nonce_;
   const size_t buffer_size_;
+  const std::unique_ptr<crypto::BlockAuthenticator> auth_;
   uint64_t logical_offset_ = 0;
   std::string buffer_;
   std::string scratch_;
@@ -144,8 +166,11 @@ class EncryptedWritableFile final : public WritableFile {
 class EncryptedSequentialFile final : public SequentialFile {
  public:
   EncryptedSequentialFile(std::unique_ptr<SequentialFile> base,
-                          std::unique_ptr<crypto::StreamCipher> cipher)
-      : base_(std::move(base)), cipher_(std::move(cipher)) {}
+                          std::unique_ptr<crypto::StreamCipher> cipher,
+                          std::unique_ptr<crypto::BlockAuthenticator> auth)
+      : base_(std::move(base)),
+        cipher_(std::move(cipher)),
+        auth_(std::move(auth)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
     Status s = base_->Read(n, result, scratch);
@@ -168,17 +193,25 @@ class EncryptedSequentialFile final : public SequentialFile {
     return base_->Skip(n);
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   std::unique_ptr<SequentialFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
+  std::unique_ptr<crypto::BlockAuthenticator> auth_;
   uint64_t logical_offset_ = 0;
 };
 
 class EncryptedRandomAccessFile final : public RandomAccessFile {
  public:
   EncryptedRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
-                            std::unique_ptr<crypto::StreamCipher> cipher)
-      : base_(std::move(base)), cipher_(std::move(cipher)) {}
+                            std::unique_ptr<crypto::StreamCipher> cipher,
+                            std::unique_ptr<crypto::BlockAuthenticator> auth)
+      : base_(std::move(base)),
+        cipher_(std::move(cipher)),
+        auth_(std::move(auth)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -202,19 +235,25 @@ class EncryptedRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
+  std::unique_ptr<crypto::BlockAuthenticator> auth_;
 };
 
 class EncryptedEnv final : public EnvWrapper {
  public:
   EncryptedEnv(Env* base, crypto::CipherKind cipher, std::string key,
-               size_t wal_buffer_size)
+               size_t wal_buffer_size, bool authenticate_blocks)
       : EnvWrapper(base),
         cipher_kind_(cipher),
         key_(std::move(key)),
-        wal_buffer_size_(wal_buffer_size) {}
+        wal_buffer_size_(wal_buffer_size),
+        authenticate_blocks_(authenticate_blocks) {}
 
   Status NewWritableFile(const std::string& f,
                          std::unique_ptr<WritableFile>* r) override {
@@ -225,15 +264,22 @@ class EncryptedEnv final : public EnvWrapper {
     }
     const std::string nonce =
         crypto::SecureRandomString(crypto::CipherNonceSize(cipher_kind_));
-    s = base->Append(BuildHeader(cipher_kind_, nonce));
+    s = base->Append(BuildHeader(cipher_kind_, nonce, authenticate_blocks_));
     if (!s.ok()) {
       return s;
+    }
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    if (authenticate_blocks_) {
+      auth = crypto::NewBlockAuthenticator(cipher_kind_, key_, nonce);
+      if (auth == nullptr) {
+        return Status::InvalidArgument("cannot build block authenticator");
+      }
     }
     const size_t buffer_size =
         ClassifyFile(f) == FileKind::kWal ? wal_buffer_size_ : 0;
     *r = std::make_unique<EncryptedWritableFile>(std::move(base),
                                                  cipher_kind_, key_, nonce,
-                                                 buffer_size);
+                                                 buffer_size, std::move(auth));
     return Status::OK();
   }
 
@@ -245,12 +291,13 @@ class EncryptedEnv final : public EnvWrapper {
       return s;
     }
     std::unique_ptr<crypto::StreamCipher> cipher;
-    s = ReadHeaderSequential(base.get(), &cipher);
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    s = ReadHeaderSequential(base.get(), &cipher, &auth);
     if (!s.ok()) {
       return s;
     }
-    *r = std::make_unique<EncryptedSequentialFile>(std::move(base),
-                                                   std::move(cipher));
+    *r = std::make_unique<EncryptedSequentialFile>(
+        std::move(base), std::move(cipher), std::move(auth));
     return Status::OK();
   }
 
@@ -277,8 +324,13 @@ class EncryptedEnv final : public EnvWrapper {
     if (!s.ok()) {
       return s;
     }
-    *r = std::make_unique<EncryptedRandomAccessFile>(std::move(base),
-                                                     std::move(cipher));
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    s = MakeAuthenticator(parsed, &auth);
+    if (!s.ok()) {
+      return s;
+    }
+    *r = std::make_unique<EncryptedRandomAccessFile>(
+        std::move(base), std::move(cipher), std::move(auth));
     return Status::OK();
   }
 
@@ -291,8 +343,21 @@ class EncryptedEnv final : public EnvWrapper {
   }
 
  private:
-  Status ReadHeaderSequential(SequentialFile* file,
-                              std::unique_ptr<crypto::StreamCipher>* cipher) {
+  Status MakeAuthenticator(const ParsedHeader& parsed,
+                           std::unique_ptr<crypto::BlockAuthenticator>* auth) {
+    if (!parsed.authenticated) {
+      return Status::OK();
+    }
+    *auth = crypto::NewBlockAuthenticator(parsed.cipher, key_, parsed.nonce);
+    if (*auth == nullptr) {
+      return Status::InvalidArgument("cannot build block authenticator");
+    }
+    return Status::OK();
+  }
+
+  Status ReadHeaderSequential(
+      SequentialFile* file, std::unique_ptr<crypto::StreamCipher>* cipher,
+      std::unique_ptr<crypto::BlockAuthenticator>* auth) {
     std::string scratch(kEncFsHeaderSize, '\0');
     std::string header;
     while (header.size() < kEncFsHeaderSize) {
@@ -312,24 +377,30 @@ class EncryptedEnv final : public EnvWrapper {
     if (!s.ok()) {
       return s;
     }
+    s = MakeAuthenticator(parsed, auth);
+    if (!s.ok()) {
+      return s;
+    }
     return MakeCipherForFile(parsed.cipher, key_, parsed.nonce, cipher);
   }
 
   const crypto::CipherKind cipher_kind_;
   const std::string key_;
   const size_t wal_buffer_size_;
+  const bool authenticate_blocks_;
 };
 
 }  // namespace
 
 Status NewEncryptedEnv(Env* base_env, crypto::CipherKind cipher,
                        const std::string& instance_key,
-                       std::unique_ptr<Env>* out, size_t wal_buffer_size) {
+                       std::unique_ptr<Env>* out, size_t wal_buffer_size,
+                       bool authenticate_blocks) {
   if (instance_key.size() != crypto::CipherKeySize(cipher)) {
     return Status::InvalidArgument("instance key size mismatch for cipher");
   }
   *out = std::make_unique<EncryptedEnv>(base_env, cipher, instance_key,
-                                        wal_buffer_size);
+                                        wal_buffer_size, authenticate_blocks);
   return Status::OK();
 }
 

@@ -36,10 +36,17 @@ namespace shield {
 /// applied to the instance-level design. 0 encrypts every append
 /// individually (paying fresh per-operation cipher initialization,
 /// the Section 3.2 bottleneck).
+///
+/// `authenticate_blocks`: when true, new files are written in format v2
+/// ("SHENCFS2"): their WritableFile exposes a BlockAuthenticator so
+/// sst_builder/log_writer append truncated HMAC-SHA256 tags over each
+/// encrypted block/record (encrypt-then-MAC). Readers auto-detect the
+/// format from the per-file magic, so v1 and v2 files coexist.
 Status NewEncryptedEnv(Env* base_env, crypto::CipherKind cipher,
                        const std::string& instance_key,
                        std::unique_ptr<Env>* out,
-                       size_t wal_buffer_size = 0);
+                       size_t wal_buffer_size = 0,
+                       bool authenticate_blocks = true);
 
 /// Size of the plaintext prologue EncFS places at the head of each
 /// file. Exposed for tests.

@@ -11,6 +11,10 @@
 
 namespace shield {
 
+namespace crypto {
+class BlockAuthenticator;  // crypto/block_auth.h
+}  // namespace crypto
+
 /// A file read sequentially from the beginning (WAL/manifest replay).
 class SequentialFile {
  public:
@@ -22,6 +26,16 @@ class SequentialFile {
   virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
 
   virtual Status Skip(uint64_t n) = 0;
+
+  /// Non-null when this file carries per-block authentication tags
+  /// (SHIELD/EncFS format v2): log_reader uses it to verify record tags
+  /// against the on-disk ciphertext. The authenticator is owned by the
+  /// file and valid for its lifetime. Encrypting file wrappers are the
+  /// outermost layer, so no forwarding through inner wrappers is
+  /// needed.
+  virtual const crypto::BlockAuthenticator* block_authenticator() const {
+    return nullptr;
+  }
 };
 
 /// A file supporting positional reads (SST block fetches).
@@ -33,6 +47,12 @@ class RandomAccessFile {
                       char* scratch) const = 0;
 
   virtual Status Size(uint64_t* size) const = 0;
+
+  /// See SequentialFile::block_authenticator(); used by the SST block
+  /// read path.
+  virtual const crypto::BlockAuthenticator* block_authenticator() const {
+    return nullptr;
+  }
 };
 
 /// An append-only writable file (WAL, SST, manifest).
@@ -49,6 +69,12 @@ class WritableFile {
 
   /// Bytes appended so far (the logical write offset).
   virtual uint64_t GetFileSize() const = 0;
+
+  /// See SequentialFile::block_authenticator(); used by sst_builder and
+  /// log_writer to emit tags for the blocks/records they append.
+  virtual const crypto::BlockAuthenticator* block_authenticator() const {
+    return nullptr;
+  }
 };
 
 /// Env abstracts the storage system underneath the LSM engine, in the

@@ -315,6 +315,33 @@ Status FaultInjectionEnv::SimulateCrash() {
   return result;
 }
 
+Status FaultInjectionEnv::FlipBit(const std::string& fname,
+                                  uint64_t bit_index) {
+  std::string contents;
+  Status s = ReadFileToString(target(), fname, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.empty()) {
+    return Status::InvalidArgument("cannot flip a bit of an empty file");
+  }
+  const uint64_t bit = bit_index % (contents.size() * 8);
+  contents[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  std::unique_ptr<WritableFile> file;
+  s = target()->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(Slice(contents));
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  return s;
+}
+
 Status FaultInjectionEnv::NewSequentialFile(
     const std::string& fname, std::unique_ptr<SequentialFile>* result) {
   const FileKind kind = ClassifyFile(fname);

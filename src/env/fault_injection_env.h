@@ -104,6 +104,12 @@ class FaultInjectionEnv : public EnvWrapper {
   /// tracking state (the surviving bytes are now durable).
   Status SimulateCrash();
 
+  /// Flips one bit of `fname` in place (silent media corruption /
+  /// tampering). `bit_index` is reduced modulo the file's size in
+  /// bits, so any value addresses a valid bit. Bypasses fault
+  /// injection and sync tracking: the damage is on the medium itself.
+  Status FlipBit(const std::string& fname, uint64_t bit_index);
+
   // --- Counters (cumulative since construction) ---
   uint64_t ops(FileKind kind) const;
   uint64_t injected_errors() const;

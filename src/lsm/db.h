@@ -67,8 +67,26 @@ class DB {
   /// DB introspection. Supported properties:
   ///   "shield.num-files-at-level<N>", "shield.stats",
   ///   "shield.sstables", "shield.kds-requests",
-  ///   "shield.dek-cache-hits", "shield.approximate-memtable-bytes"
+  ///   "shield.dek-cache-hits", "shield.approximate-memtable-bytes",
+  ///   "shield.error-handler-state", "shield.background-error",
+  ///   "shield.error-recoveries", "shield.scrub-corruptions-detected",
+  ///   "shield.scrub-repaired-files", "shield.scrub-quarantined-files"
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// Walks every live SST and verifies each block's CRC — and, on
+  /// authenticated files, its HMAC tag — with fresh reads that bypass
+  /// the block cache. Corrupt files are quarantined and, when
+  /// Options::scrub_repair is set, repaired from the configured
+  /// FileReplicaSource (disaggregated deployments) or salvaged locally.
+  /// Returns OK when every live file verified clean or was repaired;
+  /// otherwise the first unrepaired corruption.
+  virtual Status VerifyIntegrity() = 0;
+
+  /// Manual operator recovery after a soft background error put the DB
+  /// in read-only state: clears the sticky error and resumes background
+  /// work. Returns the sticky error if the DB is halted (hard errors
+  /// require a re-open); OK when already active.
+  virtual Status Resume() = 0;
 
   /// Read-only instances: re-reads the manifest/WALs to observe the
   /// primary's latest persisted state. Primary instances return OK

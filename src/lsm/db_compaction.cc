@@ -8,22 +8,6 @@
 
 namespace shield {
 
-namespace {
-
-/// Consecutive transient failures a background job absorbs (with
-/// backoff) before the error is recorded as fatal. Transient faults
-/// are momentary by definition; this many in a row means the storage
-/// is effectively down and writers must stop.
-constexpr int kMaxConsecutiveBgFailures = 20;
-
-uint64_t BgRetryBackoffMicros(int consecutive_failures) {
-  const uint64_t shift =
-      consecutive_failures > 6 ? 6 : static_cast<uint64_t>(consecutive_failures);
-  return (1000ull << shift);  // 2ms .. 64ms
-}
-
-}  // namespace
-
 struct DBImpl::CompactionState {
   explicit CompactionState(Compaction* c) : compaction(c) {}
 
@@ -49,18 +33,10 @@ struct DBImpl::CompactionState {
   Output* current_output() { return &outputs[outputs.size() - 1]; }
 };
 
-void DBImpl::RecordBackgroundError(const Status& s) {
-  // mutex_ held.
-  if (bg_error_.ok()) {
-    bg_error_ = s;
-    background_work_finished_signal_.notify_all();
-  }
-}
-
 void DBImpl::MaybeScheduleFlush() {
   // mutex_ held.
   if (flush_scheduled_ || shutting_down_.load(std::memory_order_acquire) ||
-      !bg_error_.ok() || imm_ == nullptr || bg_pool_ == nullptr) {
+      !error_handler_.ok() || imm_ == nullptr || bg_pool_ == nullptr) {
     return;
   }
   flush_scheduled_ = true;
@@ -70,7 +46,7 @@ void DBImpl::MaybeScheduleFlush() {
 void DBImpl::MaybeScheduleCompaction() {
   // mutex_ held.
   if (compaction_scheduled_ || shutting_down_.load(std::memory_order_acquire) ||
-      !bg_error_.ok() || bg_pool_ == nullptr ||
+      !error_handler_.ok() || bg_pool_ == nullptr ||
       manual_compaction_running_ || !versions_->NeedsCompaction()) {
     return;
   }
@@ -82,18 +58,22 @@ void DBImpl::BackgroundFlush() {
   uint64_t backoff_micros = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (imm_ != nullptr && bg_error_.ok() &&
+    if (imm_ != nullptr && error_handler_.ok() &&
         !shutting_down_.load(std::memory_order_acquire)) {
-      Status s = CompactMemTable();
+      BackgroundErrorReason reason = BackgroundErrorReason::kFlush;
+      Status s = CompactMemTable(&reason);
       if (s.ok()) {
-        consecutive_flush_failures_ = 0;
-      } else if (s.IsTransient() &&
-                 ++consecutive_flush_failures_ <= kMaxConsecutiveBgFailures) {
-        // A momentary storage/fabric/KDS failure: leave imm_ in place
-        // and retry with backoff instead of poisoning the DB.
-        backoff_micros = BgRetryBackoffMicros(consecutive_flush_failures_);
-      } else {
-        RecordBackgroundError(s);
+        // Clear every reason this job could have been retrying under;
+        // the last clear completes recovery back to kActive.
+        error_handler_.OnOperationSucceeded(BackgroundErrorReason::kFlush);
+        error_handler_.OnOperationSucceeded(
+            BackgroundErrorReason::kManifestWrite);
+      } else if (!shutting_down_.load(std::memory_order_acquire)) {
+        // Transient within budget: imm_ stays in place and the tail of
+        // this function reschedules the flush after the backoff.
+        // Otherwise the handler escalated and MaybeScheduleFlush is now
+        // a no-op.
+        backoff_micros = error_handler_.OnBackgroundError(reason, s);
       }
     }
   }
@@ -108,7 +88,7 @@ void DBImpl::BackgroundFlush() {
 }
 
 // REQUIRES: mutex_ held, imm_ != nullptr.
-Status DBImpl::CompactMemTable() {
+Status DBImpl::CompactMemTable(BackgroundErrorReason* reason) {
   assert(imm_ != nullptr);
 
   VersionEdit edit;
@@ -123,6 +103,7 @@ Status DBImpl::CompactMemTable() {
     edit.SetLogNumber(logfile_number_);  // earlier logs no longer needed
     s = versions_->LogAndApply(&edit, &mutex_);
     if (!s.ok()) {
+      *reason = BackgroundErrorReason::kManifestWrite;
       // The manifest tail may already reference the new table (a
       // partially-appended but durable edit). Keep the file pinned and
       // on disk so a retry — or a recovery that salvages that tail —
@@ -145,7 +126,8 @@ Status DBImpl::CompactMemTable() {
 
 void DBImpl::BackgroundCompaction() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+  if (shutting_down_.load(std::memory_order_acquire) ||
+      !error_handler_.ok()) {
     compaction_scheduled_ = false;
     background_work_finished_signal_.notify_all();
     return;
@@ -153,6 +135,7 @@ void DBImpl::BackgroundCompaction() {
 
   Compaction* c = versions_->PickCompaction();
   Status status;
+  BackgroundErrorReason reason = BackgroundErrorReason::kCompaction;
   if (c == nullptr) {
     // Nothing to do (a concurrent flush may resolve this).
   } else if (c->is_deletion_only()) {
@@ -161,6 +144,8 @@ void DBImpl::BackgroundCompaction() {
     status = versions_->LogAndApply(c->edit(), &mutex_);
     if (status.ok()) {
       RemoveObsoleteFiles();
+    } else {
+      reason = BackgroundErrorReason::kManifestWrite;
     }
   } else if (c->IsTrivialMove()) {
     // Move the file to the next level without rewriting.
@@ -170,12 +155,15 @@ void DBImpl::BackgroundCompaction() {
     c->edit()->AddFile(c->output_level(), f->number, f->file_size,
                        f->smallest, f->largest, f->largest_seq);
     status = versions_->LogAndApply(c->edit(), &mutex_);
+    if (!status.ok()) {
+      reason = BackgroundErrorReason::kManifestWrite;
+    }
   } else {
     CompactionState compact(c);
     compact.smallest_snapshot = snapshots_.empty()
                                     ? versions_->LastSequence()
                                     : snapshots_.oldest()->sequence();
-    status = DoCompactionWork(&compact);
+    status = DoCompactionWork(&compact, &reason);
     c->ReleaseInputs();
     RemoveObsoleteFiles();
   }
@@ -183,16 +171,21 @@ void DBImpl::BackgroundCompaction() {
 
   uint64_t backoff_micros = 0;
   if (status.ok()) {
-    consecutive_compaction_failures_ = 0;
+    // Clear every reason a compaction job can retry under; the last
+    // clear completes recovery back to kActive when no other job is
+    // still mid-retry.
+    error_handler_.OnOperationSucceeded(BackgroundErrorReason::kCompaction);
+    error_handler_.OnOperationSucceeded(BackgroundErrorReason::kOffload);
+    error_handler_.OnOperationSucceeded(
+        BackgroundErrorReason::kManifestWrite);
   } else if (shutting_down_.load(std::memory_order_acquire)) {
     // Expected during shutdown.
-  } else if (status.IsTransient() &&
-             ++consecutive_compaction_failures_ <= kMaxConsecutiveBgFailures) {
-    // A momentary failure: the picked inputs are still live, so the
-    // next scheduling pass re-picks the same work. Back off first.
-    backoff_micros = BgRetryBackoffMicros(consecutive_compaction_failures_);
   } else {
-    RecordBackgroundError(status);
+    // Transient within budget: the picked inputs are still live, so
+    // the next scheduling pass re-picks the same work after backing
+    // off. Otherwise the handler escalated (read-only or halted) and
+    // scheduling stops.
+    backoff_micros = error_handler_.OnBackgroundError(reason, status);
   }
   if (backoff_micros > 0) {
     lock.unlock();
@@ -296,7 +289,8 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
 // Performs the merge locally, or delegates to the configured
 // compaction service (offloaded compaction). Called with mutex_ held;
 // releases it during the heavy work.
-Status DBImpl::DoCompactionWork(CompactionState* compact) {
+Status DBImpl::DoCompactionWork(CompactionState* compact,
+                                BackgroundErrorReason* reason) {
   const uint64_t start_micros = NowMicros();
   Compaction* c = compact->compaction;
 
@@ -316,6 +310,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
         for (const uint64_t number : offload_pending_outputs_) {
           pending_outputs_.erase(number);
         }
+      } else {
+        *reason = BackgroundErrorReason::kManifestWrite;
       }
       offload_pending_outputs_.clear();
       stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
@@ -336,6 +332,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       // (e.g. the KDS revoked the worker after a breach), not
       // unavailability; retrying the same bytes locally would mask the
       // alarm, so they always surface to the caller.
+      *reason = BackgroundErrorReason::kOffload;
       stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
       stats_[c->output_level()].Add(stats);
       return s;
@@ -456,6 +453,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     // them pinned on a manifest failure (the durable tail may already
     // reference them).
     status = InstallCompactionResults(compact);
+    if (!status.ok()) {
+      *reason = BackgroundErrorReason::kManifestWrite;
+    }
   } else {
     // Failed before any manifest write: the outputs are unreferenced,
     // so unpin them and let GC collect the partial files.
@@ -545,10 +545,10 @@ Status DBImpl::RunManualCompaction(int level, const InternalKey* begin,
   std::unique_lock<std::mutex> lock(mutex_);
   // Exclude background compactions while the manual one runs.
   background_work_finished_signal_.wait(lock, [this] {
-    return !compaction_scheduled_ || !bg_error_.ok();
+    return !compaction_scheduled_ || !error_handler_.ok();
   });
-  if (!bg_error_.ok()) {
-    return bg_error_;
+  if (!error_handler_.ok()) {
+    return error_handler_.bg_error();
   }
   manual_compaction_running_ = true;
 
@@ -563,10 +563,20 @@ Status DBImpl::RunManualCompaction(int level, const InternalKey* begin,
     compact.smallest_snapshot = snapshots_.empty()
                                     ? versions_->LastSequence()
                                     : snapshots_.oldest()->sequence();
-    status = DoCompactionWork(&compact);
+    BackgroundErrorReason reason = BackgroundErrorReason::kCompaction;
+    status = DoCompactionWork(&compact, &reason);
     c->ReleaseInputs();
     RemoveObsoleteFiles();
     delete c;
+    if (!status.ok() && !status.IsTransient() &&
+        !shutting_down_.load(std::memory_order_acquire)) {
+      // The caller sees the error directly, but a non-transient
+      // failure (e.g. a torn manifest) still leaves the DB in the
+      // same dangerous state a background job would have: record it
+      // so the state machine gates writes consistently. Transient
+      // manual failures are simply surfaced — the caller can retry.
+      error_handler_.OnBackgroundError(reason, status);
+    }
   }
 
   manual_compaction_running_ = false;

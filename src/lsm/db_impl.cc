@@ -29,6 +29,12 @@ Options SanitizeOptions(const Options& src) {
   if (result.encryption.encryption_threads < 1) {
     result.encryption.encryption_threads = 1;
   }
+  // A freshly-created memtable already holds one arena block (the
+  // skiplist head), so a write buffer at or below that baseline would
+  // make MakeRoomForWrite switch empty memtables forever without ever
+  // finding room. Keep the floor a few blocks above the baseline.
+  result.write_buffer_size = std::max<size_t>(result.write_buffer_size,
+                                              16 * 1024);
   // Keep the stall ladder consistent: writers must never stop on a
   // level-0 count that compaction is not even trying to reduce.
   if (result.level0_slowdown_writes_trigger <
@@ -54,6 +60,17 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       internal_comparator_(options_.comparator) {}
 
 DBImpl::~DBImpl() {
+  // Stop the scrubber first: a scrub pass holds version references and
+  // may schedule repairs that touch the manifest.
+  if (scrub_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mutex_);
+      scrub_stop_ = true;
+    }
+    scrub_cv_.notify_all();
+    scrub_thread_.join();
+  }
+
   // Wait for background work, then tear down.
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -177,7 +194,7 @@ Status DBImpl::NewDb() {
 
 void DBImpl::RemoveObsoleteFiles() {
   // mutex_ held.
-  if (!bg_error_.ok()) {
+  if (!error_handler_.ok()) {
     // Uncertain state; do not GC.
     return;
   }
@@ -233,10 +250,17 @@ void DBImpl::RemoveObsoleteFiles() {
 Status DBImpl::Recover() {
   std::unique_lock<std::mutex> lock(mutex_);
 
+  error_handler_.Configure(options_.background_error_resume_policy,
+                           options_.listeners);
+
   Status s = options_.env->CreateDirIfMissing(dbname_);
   if (!s.ok()) {
     return s;
   }
+  // Capture the physical view of the directory before SetupEncryption
+  // may interpose the EncFS env: quarantine/repair move on-disk images
+  // byte-for-byte.
+  raw_env_ = options_.env;
   s = SetupEncryption();
   if (!s.ok()) {
     return s;
@@ -354,6 +378,10 @@ Status DBImpl::Recover() {
 
   RemoveObsoleteFiles();
   MaybeScheduleCompaction();
+
+  if (options_.scrub_interval_micros > 0) {
+    scrub_thread_ = std::thread([this] { ScrubLoop(); });
+  }
   return Status::OK();
 }
 
@@ -393,7 +421,8 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 void DBImpl::WaitForIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    if (!bg_error_.ok() || shutting_down_.load(std::memory_order_acquire)) {
+    if (!error_handler_.ok() ||
+        shutting_down_.load(std::memory_order_acquire)) {
       return;
     }
     if (imm_ != nullptr || flush_scheduled_ || compaction_scheduled_) {
@@ -484,7 +513,46 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         recovery_salvaged_logs_.load(std::memory_order_relaxed));
     return true;
   }
+  if (in == Slice("error-handler-state")) {
+    *value = DbErrorStateName(error_handler_.state());
+    return true;
+  }
+  if (in == Slice("background-error")) {
+    *value = error_handler_.bg_error().ToString();
+    return true;
+  }
+  if (in == Slice("error-recoveries")) {
+    *value = std::to_string(error_handler_.recoveries());
+    return true;
+  }
+  if (in == Slice("scrub-corruptions-detected")) {
+    *value = std::to_string(
+        scrub_corruptions_detected_.load(std::memory_order_relaxed));
+    return true;
+  }
+  if (in == Slice("scrub-repaired-files")) {
+    *value =
+        std::to_string(scrub_repaired_files_.load(std::memory_order_relaxed));
+    return true;
+  }
+  if (in == Slice("scrub-quarantined-files")) {
+    *value = std::to_string(
+        scrub_quarantined_files_.load(std::memory_order_relaxed));
+    return true;
+  }
   return false;
+}
+
+Status DBImpl::Resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s = error_handler_.Resume();
+  if (s.ok()) {
+    // Pending work may have accumulated while writes were stopped.
+    MaybeScheduleFlush();
+    MaybeScheduleCompaction();
+    background_work_finished_signal_.notify_all();
+  }
+  return s;
 }
 
 Status DestroyDB(const Options& options, const std::string& name) {

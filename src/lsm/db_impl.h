@@ -8,9 +8,11 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "lsm/compaction_service.h"
 #include "lsm/db.h"
+#include "lsm/error_handler.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
 #include "lsm/snapshot.h"
@@ -46,6 +48,8 @@ class DBImpl final : public DB {
   bool GetProperty(const Slice& property, std::string* value) override;
   Status TryCatchUp() override;
   void WaitForIdle() override;
+  Status VerifyIntegrity() override;
+  Status Resume() override;
 
   /// Startup: recover manifest + WALs. Called by DB::Open.
   Status Recover();
@@ -108,28 +112,56 @@ class DBImpl final : public DB {
   Status WriteLevel0Table(MemTable* mem, VersionEdit* edit,
                           uint64_t* pending_output);
 
-  // Background work (db_compaction.cc).
+  // Background work (db_compaction.cc). The jobs report failures to
+  // error_handler_ with a BackgroundErrorReason attributing the failed
+  // layer; `*reason` out-params refine the default attribution (e.g. a
+  // flush whose manifest install failed reports kManifestWrite).
   void MaybeScheduleFlush();    // mutex_ held
   void MaybeScheduleCompaction();  // mutex_ held
   void BackgroundFlush();
   void BackgroundCompaction();
-  Status CompactMemTable();  // mutex_ held
-  Status DoCompactionWork(CompactionState* compact);
+  Status CompactMemTable(BackgroundErrorReason* reason);  // mutex_ held
+  Status DoCompactionWork(CompactionState* compact,
+                          BackgroundErrorReason* reason);
   Status DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
                                CompactionStats* stats);
   Status OpenCompactionOutputFile(CompactionState* compact);
   Status FinishCompactionOutputFile(CompactionState* compact,
                                     Iterator* input);
   Status InstallCompactionResults(CompactionState* compact);
-  void RecordBackgroundError(const Status& s);
   Status RunManualCompaction(int level, const InternalKey* begin,
                              const InternalKey* end);
+
+  // Integrity scrubbing (db_scrub.cc).
+  struct ScrubStats {
+    uint64_t files_scanned = 0;
+    uint64_t corrupt_files = 0;
+    uint64_t repaired_files = 0;
+  };
+  /// One full pass over the live SSTs. `throttle` enables the
+  /// scrub_bytes_per_second budget (background passes only).
+  Status ScrubPass(bool throttle, ScrubStats* stats);
+  Status ScrubFile(int level, uint64_t number, uint64_t file_size,
+                   bool throttle);
+  /// Quarantine + repair pipeline for one corrupt file.
+  Status HandleCorruptFile(int level, uint64_t number, uint64_t file_size,
+                           const Status& corruption);
+  Status RepairFromReplica(int level, uint64_t number, uint64_t file_size);
+  Status SalvageLocally(int level, uint64_t number, uint64_t file_size);
+  Status QuarantineFile(uint64_t number);
+  void ScrubLoop();
 
   // State below.
   const std::string dbname_;
   Options options_;  // env_ may be rewritten to the EncFS wrapper
   bool read_only_;
   const InternalKeyComparator internal_comparator_;
+
+  // The physical (pre-encryption) view of the DB directory, captured
+  // before SetupEncryption may rewrite options_.env: quarantine and
+  // repair move on-disk images around byte-for-byte, without any
+  // encryption layer transforming them.
+  Env* raw_env_ = nullptr;
 
   // Encryption plumbing. Order matters for destruction: factory before
   // dek manager before cache/kds.
@@ -176,11 +208,21 @@ class DBImpl final : public DB {
 
   std::unique_ptr<VersionSet> versions_;
 
-  Status bg_error_;
-  // Consecutive transient background failures (mutex_ held); reset on
-  // success, escalated to bg_error_ past a cap (db_compaction.cc).
-  int consecutive_flush_failures_ = 0;
-  int consecutive_compaction_failures_ = 0;
+  // Classifies background failures, drives the DB error state machine
+  // and schedules auto-resume retries. All access under mutex_.
+  ErrorHandler error_handler_;
+
+  // Background scrubber (db_scrub.cc). The thread sleeps on scrub_cv_
+  // between passes; scrub_pass_mutex_ serializes passes (the thread vs
+  // on-demand VerifyIntegrity).
+  std::thread scrub_thread_;
+  std::mutex scrub_mutex_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;  // guarded by scrub_mutex_
+  std::mutex scrub_pass_mutex_;
+  std::atomic<uint64_t> scrub_corruptions_detected_{0};
+  std::atomic<uint64_t> scrub_repaired_files_{0};
+  std::atomic<uint64_t> scrub_quarantined_files_{0};
   // Offloaded compactions that fell back to local execution after the
   // service exhausted its retries ("shield.offload-fallbacks").
   std::atomic<uint64_t> offload_fallbacks_{0};

@@ -8,6 +8,12 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!error_handler_.reads_allowed()) {
+    // Halted (hard error): persistent state may be inconsistent, so
+    // even reads could return wrong answers. Soft errors (read-only
+    // state) do not take this branch — immutable SSTs stay correct.
+    return error_handler_.bg_error();
+  }
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence();
@@ -50,6 +56,9 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
   *latest_snapshot = versions_->LastSequence();
+  if (!error_handler_.reads_allowed()) {
+    return NewErrorIterator(error_handler_.bg_error());
+  }
 
   std::vector<Iterator*> list;
   list.push_back(mem_->NewIterator());

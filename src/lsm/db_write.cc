@@ -48,9 +48,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // only performed by the group leader.
     {
       mutex_.unlock();
+      bool sync_error = false;
       status = log_->AddRecord(write_batch->Contents());
       if (status.ok() && w.sync) {
         status = logfile_->Sync();
+        sync_error = !status.ok();
       }
       if (status.ok()) {
         status = write_batch->InsertInto(mem_);
@@ -61,6 +63,13 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         // first damage, so later appends to this file could vanish at
         // recovery even if synced. Roll it before the next write.
         log_tainted_ = true;
+        // Surface the failure to listeners/counters; the state machine
+        // is untouched because taint-and-roll already contains the
+        // damage (the failed write was never acknowledged).
+        error_handler_.OnForegroundError(
+            sync_error ? BackgroundErrorReason::kWalSync
+                       : BackgroundErrorReason::kWalAppend,
+            status);
       }
     }
     if (write_batch == &tmp_batch_) {
@@ -142,8 +151,8 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
   const bool stalls_apply =
       options_.compaction_style != CompactionStyle::kFifo;
   while (true) {
-    if (!bg_error_.ok()) {
-      s = bg_error_;
+    if (!error_handler_.ok()) {
+      s = error_handler_.bg_error();
       break;
     }
     if (allow_delay && stalls_apply &&
@@ -159,7 +168,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
     } else if (log_tainted_) {
       if (imm_ != nullptr) {
         background_work_finished_signal_.wait(
-            lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
+            lock, [this] { return imm_ == nullptr || !error_handler_.ok(); });
       } else {
         // SwitchMemTable clears the taint only once a fresh WAL is
         // actually installed; if it fails before that (e.g. the new
@@ -179,7 +188,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       const uint64_t t0 = NowMicros();
       background_work_finished_signal_.wait(lock,
                                             [this] { return imm_ == nullptr ||
-                                                            !bg_error_.ok(); });
+                                                            !error_handler_.ok(); });
       stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
     } else if (stalls_apply && versions_->NumLevelFiles(0) >=
                                    options_.level0_stop_writes_trigger) {
@@ -188,7 +197,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       background_work_finished_signal_.wait(lock, [this] {
         return versions_->NumLevelFiles(0) <
                    options_.level0_stop_writes_trigger ||
-               !bg_error_.ok();
+               !error_handler_.ok();
       });
       stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
     } else {
@@ -256,9 +265,9 @@ Status DBImpl::Flush() {
   }
   std::unique_lock<std::mutex> lock(mutex_);
   background_work_finished_signal_.wait(lock, [this] {
-    return (imm_ == nullptr && !flush_scheduled_) || !bg_error_.ok();
+    return (imm_ == nullptr && !flush_scheduled_) || !error_handler_.ok();
   });
-  return bg_error_;
+  return error_handler_.bg_error();
 }
 
 }  // namespace shield

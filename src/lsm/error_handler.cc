@@ -1,0 +1,174 @@
+#include "lsm/error_handler.h"
+
+namespace shield {
+
+const char* BackgroundErrorReasonName(BackgroundErrorReason reason) {
+  switch (reason) {
+    case BackgroundErrorReason::kFlush:
+      return "flush";
+    case BackgroundErrorReason::kCompaction:
+      return "compaction";
+    case BackgroundErrorReason::kWalAppend:
+      return "wal-append";
+    case BackgroundErrorReason::kWalSync:
+      return "wal-sync";
+    case BackgroundErrorReason::kManifestWrite:
+      return "manifest-write";
+    case BackgroundErrorReason::kOffload:
+      return "offload";
+    case BackgroundErrorReason::kScrub:
+      return "scrub";
+  }
+  return "unknown";
+}
+
+const char* ErrorSeverityName(ErrorSeverity severity) {
+  switch (severity) {
+    case ErrorSeverity::kTransient:
+      return "transient";
+    case ErrorSeverity::kSoft:
+      return "soft";
+    case ErrorSeverity::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+const char* DbErrorStateName(DbErrorState state) {
+  switch (state) {
+    case DbErrorState::kActive:
+      return "active";
+    case DbErrorState::kRecovering:
+      return "recovering";
+    case DbErrorState::kReadOnly:
+      return "read-only";
+    case DbErrorState::kHalted:
+      return "halted";
+  }
+  return "unknown";
+}
+
+void ErrorHandler::Configure(
+    const RetryPolicy& resume_policy,
+    std::vector<std::shared_ptr<EventListener>> listeners) {
+  policy_ = resume_policy;
+  listeners_ = std::move(listeners);
+  rnd_state_ = policy_.seed == 0 ? 0x5e7e7 : policy_.seed;
+}
+
+ErrorSeverity ErrorHandler::Classify(BackgroundErrorReason reason,
+                                     const Status& s,
+                                     bool retries_exhausted) {
+  if (s.IsTransient() && !retries_exhausted) {
+    return ErrorSeverity::kTransient;
+  }
+  // Detected corruption is never retried or masked: the damage is in
+  // persistent state, so degraded-but-writable operation could compact
+  // bad data forward.
+  if (s.IsCorruption()) {
+    return ErrorSeverity::kHard;
+  }
+  // Manifest damage may leave the version log torn: later LogAndApply
+  // calls would append after a half-written record. Everything short of
+  // a re-open (which re-runs manifest recovery) is unsafe.
+  if (reason == BackgroundErrorReason::kManifestWrite) {
+    return ErrorSeverity::kHard;
+  }
+  // Flush/compaction/offload failures discard their outputs; the
+  // pre-failure state is intact and immutable, so reads stay correct:
+  // stop writes only.
+  return ErrorSeverity::kSoft;
+}
+
+uint64_t ErrorHandler::OnBackgroundError(BackgroundErrorReason reason,
+                                         const Status& s) {
+  const int idx = static_cast<int>(reason);
+  if (s.IsTransient() && attempts_[idx] < policy_.max_attempts) {
+    attempts_[idx]++;
+    if (state_ == DbErrorState::kActive) {
+      state_ = DbErrorState::kRecovering;
+      for (const auto& l : listeners_) {
+        l->OnErrorRecoveryBegin(reason, s);
+      }
+    }
+    for (const auto& l : listeners_) {
+      l->OnBackgroundError(reason, s, ErrorSeverity::kTransient);
+    }
+    // attempts_ is the number of failures so far; BackoffMicros treats
+    // attempt 1 as the initial try (no wait), so shift by one.
+    return policy_.BackoffMicros(attempts_[idx] + 1, &rnd_state_);
+  }
+  Escalate(reason, s, Classify(reason, s, /*retries_exhausted=*/true));
+  return 0;
+}
+
+void ErrorHandler::OnForegroundError(BackgroundErrorReason reason,
+                                     const Status& s) {
+  for (const auto& l : listeners_) {
+    l->OnBackgroundError(reason, s, Classify(reason, s, false));
+  }
+}
+
+void ErrorHandler::OnOperationSucceeded(BackgroundErrorReason reason) {
+  attempts_[static_cast<int>(reason)] = 0;
+  if (state_ == DbErrorState::kRecovering && !AnyRetryPending()) {
+    state_ = DbErrorState::kActive;
+    recoveries_++;
+    for (const auto& l : listeners_) {
+      l->OnErrorRecoveryEnd(Status::OK());
+    }
+  }
+}
+
+Status ErrorHandler::Resume() {
+  switch (state_) {
+    case DbErrorState::kActive:
+    case DbErrorState::kRecovering:
+      return Status::OK();
+    case DbErrorState::kHalted:
+      return bg_error_;
+    case DbErrorState::kReadOnly:
+      break;
+  }
+  bg_error_ = Status::OK();
+  attempts_.fill(0);
+  state_ = DbErrorState::kActive;
+  recoveries_++;
+  for (const auto& l : listeners_) {
+    l->OnErrorRecoveryEnd(Status::OK());
+  }
+  return Status::OK();
+}
+
+void ErrorHandler::Escalate(BackgroundErrorReason reason, const Status& s,
+                            ErrorSeverity severity) {
+  const bool was_recovering = state_ == DbErrorState::kRecovering;
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+  }
+  // A hard error dominates an earlier soft one; never downgrade.
+  if (severity == ErrorSeverity::kHard) {
+    state_ = DbErrorState::kHalted;
+  } else if (state_ != DbErrorState::kHalted) {
+    state_ = DbErrorState::kReadOnly;
+  }
+  for (const auto& l : listeners_) {
+    l->OnBackgroundError(reason, s, severity);
+  }
+  if (was_recovering) {
+    for (const auto& l : listeners_) {
+      l->OnErrorRecoveryEnd(s);
+    }
+  }
+}
+
+bool ErrorHandler::AnyRetryPending() const {
+  for (int pending : attempts_) {
+    if (pending > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace shield

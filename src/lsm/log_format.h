@@ -14,8 +14,20 @@ enum RecordType {
   kFirstType = 2,
   kMiddleType = 3,
   kLastType = 4,
+  // Authenticated variants: same fragment semantics as (type - 4), but
+  // the physical record is followed by a 16-byte truncated HMAC tag
+  // computed over header|payload at the record's absolute file offset.
+  // Writers emit these when the destination file carries a block
+  // authenticator (SHIELD header format v2); readers map them back to
+  // the base types after verifying the tag.
+  kFullAuthType = 5,
+  kFirstAuthType = 6,
+  kMiddleAuthType = 7,
+  kLastAuthType = 8,
 };
-static constexpr int kMaxRecordType = kLastType;
+static constexpr int kMaxRecordType = kLastAuthType;
+// Distance between an authenticated record type and its base type.
+static constexpr int kAuthTypeOffset = kFullAuthType - kFullType;
 
 static constexpr int kBlockSize = 32768;
 static constexpr int kHeaderSize = 4 + 2 + 1;

@@ -1,5 +1,6 @@
 #include "lsm/log_reader.h"
 
+#include "crypto/block_auth.h"
 #include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -11,6 +12,7 @@ Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum)
     : file_(file),
       reporter_(reporter),
       checksum_(checksum),
+      auth_(file->block_authenticator()),
       backing_store_(new char[kBlockSize]) {}
 
 Reader::~Reader() { delete[] backing_store_; }
@@ -124,6 +126,7 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
           eof_ = true;
           return kEof;
         }
+        end_of_buffer_offset_ += buffer_.size();
         if (buffer_.size() < static_cast<size_t>(kBlockSize)) {
           eof_ = true;
         }
@@ -140,7 +143,11 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
     const uint32_t b = static_cast<uint32_t>(header[5]) & 0xff;
     const unsigned int type = static_cast<unsigned int>(header[6]);
     const uint32_t length = a | (b << 8);
-    if (kHeaderSize + length > buffer_.size()) {
+    const bool authenticated =
+        type >= static_cast<unsigned int>(kFullAuthType) &&
+        type <= static_cast<unsigned int>(kLastAuthType);
+    const size_t tag_size = authenticated ? crypto::kBlockAuthTagSize : 0;
+    if (kHeaderSize + length + tag_size > buffer_.size()) {
       const size_t drop_size = buffer_.size();
       buffer_.clear();
       if (!eof_) {
@@ -168,9 +175,26 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
       }
     }
 
-    buffer_.remove_prefix(kHeaderSize + length);
+    if (authenticated && auth_ != nullptr) {
+      // Absolute offset of this record's header in the file: the
+      // buffer always ends at end_of_buffer_offset_ regardless of how
+      // much has been consumed from its front.
+      const uint64_t record_offset = end_of_buffer_offset_ - buffer_.size();
+      if (!auth_->VerifyTag(record_offset,
+                            Slice(header, kHeaderSize + length),
+                            Slice(header + kHeaderSize + length, tag_size))) {
+        const size_t drop_size = buffer_.size();
+        buffer_.clear();
+        ReportCorruption(drop_size, "record authentication tag mismatch");
+        return kBadRecord;
+      }
+    }
+
+    buffer_.remove_prefix(kHeaderSize + length + tag_size);
     *result = Slice(header + kHeaderSize, length);
-    return type;
+    // Callers only ever see the base fragment types; the authenticated
+    // variants are a wire-level detail.
+    return authenticated ? type - kAuthTypeOffset : type;
   }
 }
 

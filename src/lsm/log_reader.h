@@ -10,10 +10,20 @@
 #include "util/status.h"
 
 namespace shield {
+
+namespace crypto {
+class BlockAuthenticator;
+}  // namespace crypto
+
 namespace log {
 
 /// Replays records written by log::Writer, skipping corrupted tails
 /// (crash recovery tolerates a torn final record).
+///
+/// Authenticated record types (written when the file carries a block
+/// authenticator) are verified against their HMAC tag at the record's
+/// absolute offset, then mapped back to the base types before being
+/// returned, so callers never see the wire-level distinction.
 class Reader {
  public:
   /// Interface for reporting corruption during replay.
@@ -48,9 +58,14 @@ class Reader {
   SequentialFile* const file_;
   Reporter* const reporter_;
   bool const checksum_;
+  // Borrowed from file_; null for unauthenticated files.
+  const crypto::BlockAuthenticator* const auth_;
   char* const backing_store_;
   Slice buffer_;
   bool eof_ = false;
+  // File offset one past the last byte in buffer_; used to recover the
+  // absolute offset of each record header for tag verification.
+  uint64_t end_of_buffer_offset_ = 0;
 };
 
 }  // namespace log

@@ -1,5 +1,6 @@
 #include "lsm/log_writer.h"
 
+#include "crypto/block_auth.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -9,7 +10,10 @@ namespace log {
 Writer::Writer(WritableFile* dest) : Writer(dest, 0) {}
 
 Writer::Writer(WritableFile* dest, uint64_t dest_length)
-    : dest_(dest), block_offset_(dest_length % kBlockSize) {
+    : dest_(dest),
+      auth_(dest->block_authenticator()),
+      block_offset_(dest_length % kBlockSize),
+      logical_offset_(dest_length) {
   for (int i = 0; i <= kMaxRecordType; i++) {
     char t = static_cast<char>(i);
     type_crc_[i] = crc32c::Value(&t, 1);
@@ -20,24 +24,36 @@ Status Writer::AddRecord(const Slice& slice) {
   const char* ptr = slice.data();
   size_t left = slice.size();
 
+  // Authenticated records carry their tag inside the block, so the
+  // trailer-fill threshold and the per-fragment payload budget both
+  // shrink by the tag size.
+  const size_t tag_size = auth_ != nullptr ? crypto::kBlockAuthTagSize : 0;
+  const int min_record = kHeaderSize + static_cast<int>(tag_size);
+
   Status s;
   bool begin = true;
   do {
     const int leftover = kBlockSize - block_offset_;
     assert(leftover >= 0);
-    if (leftover < kHeaderSize) {
+    if (leftover < min_record) {
       // Fill the block trailer with zeros and switch blocks.
       if (leftover > 0) {
-        static const char kZeroes[kHeaderSize] = {0};
+        static const char kZeroes[32] = {0};
+        static_assert(
+            sizeof(kZeroes) >= kHeaderSize + crypto::kBlockAuthTagSize,
+            "zero filler must cover the largest trailer");
         s = dest_->Append(Slice(kZeroes, leftover));
         if (!s.ok()) {
           return s;
         }
+        logical_offset_ += static_cast<uint64_t>(leftover);
       }
       block_offset_ = 0;
     }
 
-    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t avail =
+        static_cast<size_t>(kBlockSize - block_offset_) - kHeaderSize -
+        tag_size;
     const size_t fragment_length = (left < avail) ? left : avail;
 
     RecordType type;
@@ -63,25 +79,42 @@ Status Writer::AddRecord(const Slice& slice) {
 Status Writer::EmitPhysicalRecord(RecordType t, const char* ptr,
                                   size_t length) {
   assert(length <= 0xffff);
-  assert(block_offset_ + kHeaderSize + static_cast<int>(length) <= kBlockSize);
+
+  // The wire type distinguishes authenticated records so a reader can
+  // tell from the header alone whether a tag follows the payload.
+  const RecordType wire_type =
+      auth_ != nullptr ? static_cast<RecordType>(t + kAuthTypeOffset) : t;
+  const size_t tag_size = auth_ != nullptr ? crypto::kBlockAuthTagSize : 0;
+  assert(block_offset_ + kHeaderSize + static_cast<int>(length + tag_size) <=
+         kBlockSize);
 
   char buf[kHeaderSize];
   buf[4] = static_cast<char>(length & 0xff);
   buf[5] = static_cast<char>(length >> 8);
-  buf[6] = static_cast<char>(t);
+  buf[6] = static_cast<char>(wire_type);
 
-  uint32_t crc = crc32c::Extend(type_crc_[t], ptr, length);
+  uint32_t crc = crc32c::Extend(type_crc_[wire_type], ptr, length);
   crc = crc32c::Mask(crc);
   EncodeFixed32(buf, crc);
 
   Status s = dest_->Append(Slice(buf, kHeaderSize));
   if (s.ok()) {
     s = dest_->Append(Slice(ptr, length));
+    if (s.ok() && auth_ != nullptr) {
+      // The tag covers the header and payload image at this record's
+      // absolute offset, binding the record to its position in this
+      // file (a record copied elsewhere fails verification).
+      char tag[crypto::kBlockAuthTagSize];
+      auth_->ComputeTag(logical_offset_,
+                        {Slice(buf, kHeaderSize), Slice(ptr, length)}, tag);
+      s = dest_->Append(Slice(tag, sizeof(tag)));
+    }
     if (s.ok()) {
       s = dest_->Flush();
     }
   }
-  block_offset_ += kHeaderSize + static_cast<int>(length);
+  block_offset_ += kHeaderSize + static_cast<int>(length + tag_size);
+  logical_offset_ += kHeaderSize + length + tag_size;
   return s;
 }
 

@@ -9,12 +9,23 @@
 #include "util/status.h"
 
 namespace shield {
+
+namespace crypto {
+class BlockAuthenticator;
+}  // namespace crypto
+
 namespace log {
 
 /// Appends length-prefixed, checksummed records to a WritableFile.
 /// Encryption is layered *under* this writer: SHIELD wraps the
 /// destination file in a ShieldWritableFile, so the log format itself
 /// is unchanged whether the bytes on disk are plaintext or ciphertext.
+///
+/// When the destination file exposes a block authenticator (header
+/// format v2), every physical record is emitted as its authenticated
+/// type (base + kAuthTypeOffset) and followed by a 16-byte truncated
+/// HMAC tag over header|payload, keyed from the file DEK and bound to
+/// the record's absolute offset in the file.
 class Writer {
  public:
   /// `dest` must remain live; does not take ownership.
@@ -32,7 +43,12 @@ class Writer {
   Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
 
   WritableFile* dest_;
+  // Borrowed from dest_; null for unauthenticated files.
+  const crypto::BlockAuthenticator* auth_;
   int block_offset_ = 0;
+  // Absolute logical offset of the next byte written; the HMAC tag of
+  // each record is bound to this so records cannot be relocated.
+  uint64_t logical_offset_ = 0;
 
   // crc32c values for all supported record types, pre-computed over the
   // type byte to reduce overhead.

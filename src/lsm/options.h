@@ -5,17 +5,48 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "crypto/cipher.h"
 #include "kds/kds.h"
+#include "util/retry.h"
 
 namespace shield {
 
 class Comparator;
 class Env;
+class EventListener;
 class FilterPolicy;
 class Snapshot;
 class CompactionService;
+
+/// Source of authoritative raw file replicas used by the self-healing
+/// scrubber. When the engine runs on disaggregated storage, the DS
+/// storage service keeps a replica of every appended byte; a corrupt
+/// local/primary SST can be re-fetched from it verbatim (ciphertext,
+/// headers and tags included). Implemented by ds::StorageService; the
+/// LSM layer only sees this interface so lsm does not depend on ds.
+class FileReplicaSource {
+ public:
+  virtual ~FileReplicaSource() = default;
+
+  /// Fetches the raw on-disk bytes of `fname` (the same name the
+  /// engine uses). NotFound when the replica has no copy.
+  virtual Status FetchFile(const std::string& fname,
+                           std::string* contents) = 0;
+};
+
+/// Default auto-resume policy for transient background errors:
+/// bounded attempts with exponential backoff (2ms doubling to a 64ms
+/// cap — the pre-ErrorHandler hardcoded schedule).
+inline RetryPolicy DefaultBackgroundResumePolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff_micros = 2000;
+  policy.max_backoff_micros = 64 * 1000;
+  policy.multiplier = 2.0;
+  return policy;
+}
 
 /// How on-disk data files are protected.
 enum class EncryptionMode {
@@ -86,6 +117,13 @@ struct EncryptionOptions {
   /// Number of threads used to encrypt a chunk in parallel during
   /// compaction. 1 = synchronous single-threaded encryption.
   int encryption_threads = 1;
+
+  /// Encrypt-then-MAC: append a truncated HMAC-SHA256 tag (keyed from
+  /// the file DEK) to every SST block and WAL/manifest record, verified
+  /// on every read. New files are written in format v2; readers decide
+  /// from each file's header, so flipping this knob never breaks
+  /// existing files. Applies to kEncFS and kShield.
+  bool authenticate_blocks = true;
 };
 
 struct Options {
@@ -164,13 +202,47 @@ struct Options {
   /// detected corruption aborts DB::Open with the underlying error.
   bool paranoid_checks = false;
 
+  /// Callbacks observing background errors, recovery transitions and
+  /// scrubber repairs (lsm/error_handler.h). Invoked with the DB mutex
+  /// held: they must be fast and must not call back into the DB.
+  std::vector<std::shared_ptr<EventListener>> listeners;
+
+  /// Schedule for auto-resuming from *transient* background errors
+  /// (flush/compaction hitting kTryAgain/kBusy). Each failing job
+  /// retries after BackoffMicros until max_attempts consecutive
+  /// failures, then the error escalates to read-only mode.
+  RetryPolicy background_error_resume_policy = DefaultBackgroundResumePolicy();
+
+  /// Source of authoritative raw file replicas for scrubber repair
+  /// (disaggregated deployments: the DS storage service). Null = no
+  /// replica; the scrubber salvages locally instead. Not owned.
+  FileReplicaSource* replica_source = nullptr;
+
+  /// Interval between background integrity-scrub passes over live
+  /// SSTs. 0 (default) disables the scrub thread; DB::VerifyIntegrity
+  /// still scrubs on demand.
+  uint64_t scrub_interval_micros = 0;
+
+  /// Background scrub read-rate limit in bytes/second (0 = unlimited).
+  /// On-demand VerifyIntegrity is never throttled.
+  uint64_t scrub_bytes_per_second = 8 * 1024 * 1024;
+
+  /// When the scrubber finds a corrupt SST: quarantine a raw copy and
+  /// repair it (replica re-fetch, else local salvage). When false the
+  /// scrubber only detects and quarantines.
+  bool scrub_repair = true;
+
   EncryptionOptions encryption;
 };
 
 struct ReadOptions {
   /// If non-null, read as of this snapshot.
   const Snapshot* snapshot = nullptr;
-  /// Verify block checksums on read.
+  /// Historical knob: SST block CRCs and authentication tags are now
+  /// always verified on read (a mismatch surfaces as Corruption naming
+  /// the file and block offset), regardless of this flag. Retained for
+  /// API compatibility; WAL replay strictness is controlled separately
+  /// via paranoid_checks.
   bool verify_checksums = false;
   /// Whether fetched blocks populate the block cache.
   bool fill_cache = true;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "crypto/block_auth.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -85,6 +86,20 @@ Status TableBuilder::WriteRawBlock(const Slice& contents,
     s = file_->Append(Slice(trailer, kBlockTrailerSize));
     if (s.ok()) {
       offset_ += contents.size() + kBlockTrailerSize;
+    }
+    // Authenticated files (SHIELD/EncFS format v2) get a tag over the
+    // block's ciphertext image — contents plus trailer, pinned to the
+    // block's offset. Readers know the tag is there from the file
+    // header, so handles and the footer keep their classic layout.
+    const crypto::BlockAuthenticator* auth = file_->block_authenticator();
+    if (s.ok() && auth != nullptr) {
+      char tag[crypto::kBlockAuthTagSize];
+      auth->ComputeTag(handle->offset(),
+                       {contents, Slice(trailer, kBlockTrailerSize)}, tag);
+      s = file_->Append(Slice(tag, crypto::kBlockAuthTagSize));
+      if (s.ok()) {
+        offset_ += crypto::kBlockAuthTagSize;
+      }
     }
   }
   return s;

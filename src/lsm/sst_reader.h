@@ -1,7 +1,9 @@
 #ifndef SHIELD_LSM_SST_READER_H_
 #define SHIELD_LSM_SST_READER_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "env/env.h"
 #include "lsm/cache.h"
@@ -20,8 +22,10 @@ class Table {
  public:
   /// Opens a table over `file` (logical, i.e. already-decrypted view)
   /// whose logical length is `file_size`. On success takes ownership
-  /// of the file.
+  /// of the file. `fname` is used only to name the file in corruption
+  /// errors.
   static Status Open(const Options& options, const InternalKeyComparator* icmp,
+                     const std::string& fname,
                      std::unique_ptr<RandomAccessFile> file,
                      uint64_t file_size, std::shared_ptr<Cache> block_cache,
                      std::unique_ptr<Table>* table);
@@ -43,6 +47,22 @@ class Table {
 
   const TableProperties& properties() const { return properties_; }
 
+  /// Re-reads every block referenced by the index (bypassing the block
+  /// cache) and verifies its CRC and, on authenticated files, its HMAC
+  /// tag. Returns the first Corruption encountered. `on_block`, when
+  /// set, receives the stored size of each verified block (used by the
+  /// scrubber for rate limiting).
+  Status VerifyBlocks(const std::function<void(uint64_t)>& on_block) const;
+
+  /// Best-effort extraction for local repair: iterates every entry of
+  /// every *readable* data block in key order, skipping blocks that
+  /// fail CRC/tag verification, and counts skipped blocks into
+  /// `*dropped_blocks`. Entries in corrupt blocks are lost (their raw
+  /// bytes survive in the quarantine copy).
+  Status SalvageEntries(
+      const std::function<void(const Slice&, const Slice&)>& fn,
+      uint64_t* dropped_blocks) const;
+
  private:
   Table() = default;
 
@@ -51,6 +71,7 @@ class Table {
 
   Options options_;
   const InternalKeyComparator* icmp_ = nullptr;
+  std::string fname_;
   std::unique_ptr<RandomAccessFile> file_;
   std::unique_ptr<Block> index_block_;
   TableProperties properties_;

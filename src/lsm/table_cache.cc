@@ -44,8 +44,8 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
     return s;
   }
   std::unique_ptr<Table> table;
-  s = Table::Open(options_, icmp_, std::move(file), file_size, block_cache_,
-                  &table);
+  s = Table::Open(options_, icmp_, fname, std::move(file), file_size,
+                  block_cache_, &table);
   if (!s.ok()) {
     return s;
   }

@@ -1,10 +1,25 @@
 #include "lsm/table_format.h"
 
+#include "crypto/block_auth.h"
 #include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
 namespace shield {
+
+namespace {
+std::string BlockErrorMessage(const char* what, const BlockHandle& handle,
+                              const std::string& fname) {
+  std::string msg = what;
+  msg += " at offset ";
+  msg += std::to_string(handle.offset());
+  if (!fname.empty()) {
+    msg += " in ";
+    msg += fname;
+  }
+  return msg;
+}
+}  // namespace
 
 void BlockHandle::EncodeTo(std::string* dst) const {
   PutVarint64(dst, offset_);
@@ -48,12 +63,21 @@ Status Footer::DecodeFrom(Slice* input) {
 }
 
 Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
-                 const BlockHandle& handle, BlockContents* result) {
+                 const BlockHandle& handle, BlockContents* result,
+                 const std::string& fname) {
+  (void)options;
   result->data = Slice();
   result->heap_allocated = false;
 
+  // Authenticated files (header format v2) carry a truncated HMAC tag
+  // after each block's trailer; its presence is a per-file property,
+  // never guessed from content.
+  const crypto::BlockAuthenticator* auth = file->block_authenticator();
+  const size_t tag_size = auth != nullptr ? crypto::kBlockAuthTagSize : 0;
+
   const size_t n = static_cast<size_t>(handle.size());
-  char* buf = new char[n + kBlockTrailerSize];
+  const size_t stored = n + kBlockTrailerSize + tag_size;
+  char* buf = new char[stored];
   Slice contents;
   Status s;
   // Positional reads are idempotent, so transient device errors and
@@ -63,7 +87,7 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
   // result every time and still fails as corruption.
   constexpr int kMaxReadAttempts = 5;
   for (int attempt = 1;; attempt++) {
-    s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+    s = file->Read(handle.offset(), stored, &contents, buf);
     if (!s.ok()) {
       if (s.IsTransient() && attempt < kMaxReadAttempts) {
         SleepForMicros(100ull << attempt);
@@ -72,24 +96,39 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
       delete[] buf;
       return s;
     }
-    if (contents.size() != n + kBlockTrailerSize) {
+    if (contents.size() != stored) {
       if (attempt < kMaxReadAttempts) {
         SleepForMicros(100ull << attempt);
         continue;
       }
       delete[] buf;
-      return Status::Corruption("truncated block read");
+      return Status::Corruption(
+          BlockErrorMessage("truncated block read", handle, fname));
     }
     break;
   }
 
   const char* data = contents.data();
-  if (options.verify_checksums) {
+  // Verify the authentication tag first: it is computed over the
+  // block's *ciphertext* image, so a mismatch condemns the on-disk
+  // bytes before any decrypted content is trusted.
+  if (auth != nullptr &&
+      !auth->VerifyTag(handle.offset(), Slice(data, n + kBlockTrailerSize),
+                       Slice(data + n + kBlockTrailerSize, tag_size))) {
+    delete[] buf;
+    return Status::Corruption(
+        BlockErrorMessage("block authentication tag mismatch", handle, fname));
+  }
+  // CRC is always verified (regardless of ReadOptions): for
+  // unauthenticated files it is the only line of defence against
+  // garbage ciphertext reaching the block parser.
+  {
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
     if (actual != crc) {
       delete[] buf;
-      return Status::Corruption("block checksum mismatch");
+      return Status::Corruption(
+          BlockErrorMessage("block checksum mismatch", handle, fname));
     }
   }
 

@@ -60,9 +60,14 @@ struct BlockContents {
   bool heap_allocated = false;  // caller must delete[] data.data()
 };
 
-/// Reads and verifies one block (payload + trailer) from a file.
+/// Reads and verifies one block (payload + trailer, plus the
+/// authentication tag when the file carries one) from a file. The CRC
+/// and — before any decrypted byte is trusted — the HMAC tag are always
+/// verified; a mismatch returns Corruption naming `fname` and the block
+/// offset. `fname` is used only for error messages.
 Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
-                 const BlockHandle& handle, BlockContents* result);
+                 const BlockHandle& handle, BlockContents* result,
+                 const std::string& fname = std::string());
 
 /// Table properties: free-form string key/values persisted in the
 /// properties block. SHIELD stores the DEK-ID and cipher here as well,

@@ -146,6 +146,23 @@ Version::~Version() {
 
 void Version::Ref() { ++refs_; }
 
+void Version::GetAllFiles(std::vector<LiveFileInfo>* files) const {
+  for (int level = 0; level < vset_->num_levels_; level++) {
+    for (const FileMetaData* f : files_[level]) {
+      files->push_back({level, f->number, f->file_size});
+    }
+  }
+}
+
+bool Version::ContainsFile(int level, uint64_t number) const {
+  for (const FileMetaData* f : files_[level]) {
+    if (f->number == number) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Version::Unref() {
   assert(this != &vset_->dummy_versions_);
   assert(refs_ >= 1);

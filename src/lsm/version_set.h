@@ -41,6 +41,21 @@ class Version {
     return static_cast<int>(files_[level].size());
   }
 
+  /// A live SST reference, as reported by GetAllFiles.
+  struct LiveFileInfo {
+    int level;
+    uint64_t number;
+    uint64_t file_size;  // logical bytes
+  };
+
+  /// Appends every SST referenced by this version (all levels, L0
+  /// newest-last order preserved). Used by the integrity scrubber to
+  /// snapshot the file set while holding a reference on the version.
+  void GetAllFiles(std::vector<LiveFileInfo>* files) const;
+
+  /// True when this version references `number` at `level`.
+  bool ContainsFile(int level, uint64_t number) const;
+
   /// Fills *inputs with all files in `level` overlapping
   /// [begin, end] (nullptr means unbounded).
   void GetOverlappingInputs(int level, const InternalKey* begin,

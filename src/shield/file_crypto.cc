@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/block_auth.h"
 #include "crypto/secure_random.h"
 #include "shield/chunk_encryptor.h"
 
@@ -9,13 +10,12 @@ namespace shield {
 
 namespace {
 constexpr char kMagic[8] = {'S', 'H', 'L', 'D', 'F', 'I', 'L', '1'};
-constexpr uint8_t kVersion = 1;
 }  // namespace
 
 std::string EncodeShieldFileHeader(const ShieldFileHeader& header) {
   std::string out(kShieldHeaderSize, '\0');
   memcpy(out.data(), kMagic, sizeof(kMagic));
-  out[8] = static_cast<char>(kVersion);
+  out[8] = static_cast<char>(header.version);
   out[9] = static_cast<char>(header.cipher);
   out[10] = static_cast<char>(header.nonce.size());
   out[11] = 0;  // reserved
@@ -30,9 +30,12 @@ Status ParseShieldFileHeader(const Slice& data, ShieldFileHeader* header) {
       memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a SHIELD data file");
   }
-  if (static_cast<uint8_t>(data[8]) != kVersion) {
+  const uint8_t version = static_cast<uint8_t>(data[8]);
+  if (version != kShieldFormatVersionBase &&
+      version != kShieldFormatVersionAuth) {
     return Status::NotSupported("unknown SHIELD file version");
   }
+  header->version = version;
   header->cipher = static_cast<crypto::CipherKind>(data[9]);
   const size_t nonce_len = static_cast<uint8_t>(data[10]);
   if (nonce_len > 16) {
@@ -107,13 +110,15 @@ class ShieldWritableFile final : public WritableFile {
  public:
   ShieldWritableFile(std::unique_ptr<WritableFile> base, Dek dek,
                      std::string nonce, size_t buffer_size,
-                     ThreadPool* encryption_pool, int encryption_threads)
+                     ThreadPool* encryption_pool, int encryption_threads,
+                     std::unique_ptr<crypto::BlockAuthenticator> auth)
       : base_(std::move(base)),
         dek_(std::move(dek)),
         nonce_(std::move(nonce)),
         buffer_size_(buffer_size),
         encryption_pool_(encryption_pool),
-        encryption_threads_(encryption_threads) {
+        encryption_threads_(encryption_threads),
+        auth_(std::move(auth)) {
     if (buffer_size_ > 0) {
       buffer_.reserve(buffer_size_);
     }
@@ -166,6 +171,10 @@ class ShieldWritableFile final : public WritableFile {
     return logical_offset_ + buffer_.size();
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   Status DrainBuffer() {
     if (buffer_.empty()) {
@@ -209,6 +218,7 @@ class ShieldWritableFile final : public WritableFile {
   const size_t buffer_size_;
   ThreadPool* const encryption_pool_;
   const int encryption_threads_;
+  const std::unique_ptr<crypto::BlockAuthenticator> auth_;
 
   std::string buffer_;   // plaintext, in memory only
   std::string scratch_;  // ciphertext staging
@@ -221,8 +231,11 @@ class ShieldWritableFile final : public WritableFile {
 class ShieldRandomAccessFile final : public RandomAccessFile {
  public:
   ShieldRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
-                         std::unique_ptr<crypto::StreamCipher> cipher)
-      : base_(std::move(base)), cipher_(std::move(cipher)) {}
+                         std::unique_ptr<crypto::StreamCipher> cipher,
+                         std::unique_ptr<crypto::BlockAuthenticator> auth)
+      : base_(std::move(base)),
+        cipher_(std::move(cipher)),
+        auth_(std::move(auth)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -246,16 +259,24 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
+  std::unique_ptr<crypto::BlockAuthenticator> auth_;
 };
 
 class ShieldSequentialFile final : public SequentialFile {
  public:
   ShieldSequentialFile(std::unique_ptr<SequentialFile> base,
-                       std::unique_ptr<crypto::StreamCipher> cipher)
-      : base_(std::move(base)), cipher_(std::move(cipher)) {}
+                       std::unique_ptr<crypto::StreamCipher> cipher,
+                       std::unique_ptr<crypto::BlockAuthenticator> auth)
+      : base_(std::move(base)),
+        cipher_(std::move(cipher)),
+        auth_(std::move(auth)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
     Status s = base_->Read(n, result, scratch);
@@ -276,9 +297,14 @@ class ShieldSequentialFile final : public SequentialFile {
     return base_->Skip(n);
   }
 
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return auth_.get();
+  }
+
  private:
   std::unique_ptr<SequentialFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
+  std::unique_ptr<crypto::BlockAuthenticator> auth_;
   uint64_t logical_offset_ = 0;
 };
 
@@ -311,6 +337,8 @@ class ShieldFileFactory final : public DataFileFactory {
       return s;
     }
     ShieldFileHeader header;
+    header.version = opts_.authenticate_blocks ? kShieldFormatVersionAuth
+                                               : kShieldFormatVersionBase;
     header.cipher = dek.cipher;
     header.dek_id = dek.id;
     header.nonce =
@@ -318,6 +346,13 @@ class ShieldFileFactory final : public DataFileFactory {
     s = base->Append(EncodeShieldFileHeader(header));
     if (!s.ok()) {
       return s;
+    }
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    if (header.version >= kShieldFormatVersionAuth) {
+      auth = crypto::NewBlockAuthenticator(dek.cipher, dek.key, header.nonce);
+      if (auth == nullptr) {
+        return Status::InvalidArgument("cannot build block authenticator");
+      }
     }
 
     size_t buffer_size = 0;
@@ -341,7 +376,7 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     *out = std::make_unique<ShieldWritableFile>(
         std::move(base), std::move(dek), std::move(header.nonce), buffer_size,
-        pool, threads);
+        pool, threads, std::move(auth));
     return Status::OK();
   }
 
@@ -366,12 +401,13 @@ class ShieldFileFactory final : public DataFileFactory {
       return Status::OK();
     }
     std::unique_ptr<crypto::StreamCipher> cipher;
-    s = MakeCipher(header_data, &cipher);
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    s = OpenCrypto(header_data, &cipher, &auth);
     if (!s.ok()) {
       return s;
     }
-    *out = std::make_unique<ShieldRandomAccessFile>(std::move(base),
-                                                    std::move(cipher));
+    *out = std::make_unique<ShieldRandomAccessFile>(
+        std::move(base), std::move(cipher), std::move(auth));
     return Status::OK();
   }
 
@@ -407,12 +443,13 @@ class ShieldFileFactory final : public DataFileFactory {
       return env_->NewSequentialFile(fname, out);
     }
     std::unique_ptr<crypto::StreamCipher> cipher;
-    s = MakeCipher(header_data, &cipher);
+    std::unique_ptr<crypto::BlockAuthenticator> auth;
+    s = OpenCrypto(header_data, &cipher, &auth);
     if (!s.ok()) {
       return s;
     }
-    *out = std::make_unique<ShieldSequentialFile>(std::move(base),
-                                                  std::move(cipher));
+    *out = std::make_unique<ShieldSequentialFile>(
+        std::move(base), std::move(cipher), std::move(auth));
     return Status::OK();
   }
 
@@ -431,8 +468,13 @@ class ShieldFileFactory final : public DataFileFactory {
   Env* env() const override { return env_; }
 
  private:
-  Status MakeCipher(const Slice& header_data,
-                    std::unique_ptr<crypto::StreamCipher>* cipher) {
+  // Resolves the DEK and builds the cipher plus, for version >= 2
+  // files, the block authenticator. The header version decides tag
+  // presence so version 1 files written before authentication existed
+  // keep reading cleanly.
+  Status OpenCrypto(const Slice& header_data,
+                    std::unique_ptr<crypto::StreamCipher>* cipher,
+                    std::unique_ptr<crypto::BlockAuthenticator>* auth) {
     ShieldFileHeader header;
     Status s = ParseShieldFileHeader(header_data, &header);
     if (!s.ok()) {
@@ -445,6 +487,12 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     if (dek.cipher != header.cipher) {
       return Status::Corruption("DEK cipher mismatch with file header");
+    }
+    if (header.version >= kShieldFormatVersionAuth) {
+      *auth = crypto::NewBlockAuthenticator(dek.cipher, dek.key, header.nonce);
+      if (*auth == nullptr) {
+        return Status::InvalidArgument("cannot build block authenticator");
+      }
     }
     return crypto::NewStreamCipher(dek.cipher, dek.key, header.nonce, cipher);
   }

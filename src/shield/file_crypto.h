@@ -23,9 +23,22 @@ namespace shield {
 /// the DEK from the KDS without central file->key mapping
 /// (Section 5.4). All bytes after the header are encrypted with the
 /// per-file DEK at logical offsets starting from zero.
+///
+/// Version negotiation: version 1 files carry CTR ciphertext only;
+/// version 2 files additionally authenticate every SST block / log
+/// record with a truncated HMAC-SHA256 tag (crypto/block_auth.h).
+/// Readers accept both versions — the header version, not a config
+/// knob, decides whether tags are expected, so pre-tag files stay
+/// readable forever.
 constexpr uint64_t kShieldHeaderSize = 64;
 
+/// CTR encryption only (pre-authentication format).
+constexpr uint8_t kShieldFormatVersionBase = 1;
+/// CTR encryption + per-block HMAC authentication tags.
+constexpr uint8_t kShieldFormatVersionAuth = 2;
+
 struct ShieldFileHeader {
+  uint8_t version = kShieldFormatVersionBase;
   crypto::CipherKind cipher = crypto::CipherKind::kAes128Ctr;
   DekId dek_id;
   std::string nonce;

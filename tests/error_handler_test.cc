@@ -1,0 +1,424 @@
+// Tests for the background-error state machine: RetryPolicy edge
+// cases, ErrorHandler classification/transition units, and DB-level
+// auto-resume from injected background failures.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "env/fault_injection_env.h"
+#include "gtest/gtest.h"
+#include "lsm/db.h"
+#include "lsm/error_handler.h"
+#include "test_util.h"
+#include "util/clock.h"
+#include "util/retry.h"
+
+namespace shield {
+namespace {
+
+// --- RetryPolicy edge cases -------------------------------------------------
+
+TEST(RetryPolicyTest, JitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000;
+  policy.max_backoff_micros = 100 * 1000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+
+  RetryPolicy no_jitter = policy;
+  no_jitter.jitter = 0;
+
+  uint64_t rnd_state = policy.seed;
+  uint64_t unused = 1;
+  for (int attempt = 2; attempt <= 16; attempt++) {
+    const uint64_t base = no_jitter.BackoffMicros(attempt, &unused);
+    const uint64_t jittered = policy.BackoffMicros(attempt, &rnd_state);
+    const uint64_t span = static_cast<uint64_t>(policy.jitter * base);
+    EXPECT_GE(jittered, base - span) << "attempt " << attempt;
+    EXPECT_LE(jittered, base) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, JitterSequenceIsReproducibleFromSeed) {
+  RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.seed = 1234;
+
+  uint64_t state_a = policy.seed;
+  uint64_t state_b = policy.seed;
+  for (int attempt = 2; attempt <= 10; attempt++) {
+    EXPECT_EQ(policy.BackoffMicros(attempt, &state_a),
+              policy.BackoffMicros(attempt, &state_b));
+  }
+}
+
+TEST(RetryPolicyTest, BackoffMonotoneNonDecreasingWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 500;
+  policy.max_backoff_micros = 20 * 1000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0;
+
+  uint64_t rnd_state = 1;
+  uint64_t prev = 0;
+  for (int attempt = 2; attempt <= 24; attempt++) {
+    const uint64_t backoff = policy.BackoffMicros(attempt, &rnd_state);
+    EXPECT_GE(backoff, prev) << "attempt " << attempt;
+    EXPECT_LE(backoff, policy.max_backoff_micros);
+    prev = backoff;
+  }
+  // The sequence saturates at the cap.
+  EXPECT_EQ(prev, policy.max_backoff_micros);
+}
+
+TEST(RetryPolicyTest, ZeroMaxAttemptsSurfacesImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+
+  int calls = 0;
+  int attempts = 0;
+  Status s = RunWithRetry(
+      policy,
+      [&] {
+        calls++;
+        return Status::TryAgain("still down");
+      },
+      &attempts);
+  EXPECT_TRUE(s.IsTransient()) << s.ToString();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+}
+
+// --- ErrorHandler units -----------------------------------------------------
+
+// Counts listener callbacks; lives as long as the test.
+class RecordingListener : public EventListener {
+ public:
+  void OnBackgroundError(BackgroundErrorReason reason, const Status& s,
+                         ErrorSeverity severity) override {
+    (void)reason;
+    (void)s;
+    errors++;
+    last_severity = severity;
+  }
+  void OnErrorRecoveryBegin(BackgroundErrorReason, const Status&) override {
+    recovery_begins++;
+  }
+  void OnErrorRecoveryEnd(const Status& final_status) override {
+    recovery_ends++;
+    if (final_status.ok()) {
+      recovery_ends_ok++;
+    }
+  }
+  void OnIntegrityViolation(const std::string& fname,
+                            const Status&) override {
+    integrity_violations++;
+    last_violation_file = fname;
+  }
+  void OnFileRepaired(const std::string&, bool from_replica) override {
+    repairs++;
+    last_repair_from_replica = from_replica;
+  }
+
+  std::atomic<int> errors{0};
+  std::atomic<int> recovery_begins{0};
+  std::atomic<int> recovery_ends{0};
+  std::atomic<int> recovery_ends_ok{0};
+  std::atomic<int> integrity_violations{0};
+  std::atomic<int> repairs{0};
+  std::atomic<bool> last_repair_from_replica{false};
+  ErrorSeverity last_severity = ErrorSeverity::kTransient;
+  std::string last_violation_file;
+};
+
+RetryPolicy FastResumePolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 1000;
+  policy.jitter = 0;
+  return policy;
+}
+
+TEST(ErrorHandlerTest, ClassifySeverities) {
+  const Status transient = Status::TryAgain("net blip");
+  const Status io = Status::IOError("disk gone");
+  const Status corrupt = Status::Corruption("bad block");
+
+  // Transient within budget retries; once exhausted it degrades like a
+  // permanent failure from the same source.
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kFlush, transient,
+                                   /*retries_exhausted=*/false),
+            ErrorSeverity::kTransient);
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kFlush, transient,
+                                   /*retries_exhausted=*/true),
+            ErrorSeverity::kSoft);
+  // Discarded-output failures are soft; manifest damage and corruption
+  // are hard regardless of source.
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kCompaction, io,
+                                   false),
+            ErrorSeverity::kSoft);
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kOffload, io, false),
+            ErrorSeverity::kSoft);
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kManifestWrite, io,
+                                   false),
+            ErrorSeverity::kHard);
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kFlush, corrupt,
+                                   false),
+            ErrorSeverity::kHard);
+  EXPECT_EQ(ErrorHandler::Classify(BackgroundErrorReason::kScrub, corrupt,
+                                   false),
+            ErrorSeverity::kHard);
+}
+
+TEST(ErrorHandlerTest, TransientFailureRecoversOnSuccess) {
+  auto listener = std::make_shared<RecordingListener>();
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(5), {listener});
+
+  const uint64_t backoff =
+      handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                                Status::TryAgain("blip"));
+  EXPECT_GT(backoff, 0u);
+  EXPECT_EQ(handler.state(), DbErrorState::kRecovering);
+  EXPECT_TRUE(handler.ok());  // writes keep flowing during recovery
+  EXPECT_TRUE(handler.reads_allowed());
+  EXPECT_EQ(listener->recovery_begins, 1);
+
+  handler.OnOperationSucceeded(BackgroundErrorReason::kFlush);
+  EXPECT_EQ(handler.state(), DbErrorState::kActive);
+  EXPECT_EQ(handler.recoveries(), 1u);
+  EXPECT_EQ(listener->recovery_ends_ok, 1);
+}
+
+TEST(ErrorHandlerTest, RecoveryCompletesOnlyWhenAllReasonsClear) {
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(5), {});
+
+  handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                            Status::TryAgain("a"));
+  handler.OnBackgroundError(BackgroundErrorReason::kCompaction,
+                            Status::TryAgain("b"));
+  EXPECT_EQ(handler.state(), DbErrorState::kRecovering);
+
+  handler.OnOperationSucceeded(BackgroundErrorReason::kFlush);
+  // Compaction is still mid-retry: recovery is not complete.
+  EXPECT_EQ(handler.state(), DbErrorState::kRecovering);
+
+  handler.OnOperationSucceeded(BackgroundErrorReason::kCompaction);
+  EXPECT_EQ(handler.state(), DbErrorState::kActive);
+  EXPECT_EQ(handler.recoveries(), 1u);
+}
+
+TEST(ErrorHandlerTest, ExhaustedRetriesEscalateToReadOnlyThenResume) {
+  auto listener = std::make_shared<RecordingListener>();
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(2), {listener});
+
+  EXPECT_GT(handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                                      Status::TryAgain("1")),
+            0u);
+  EXPECT_GT(handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                                      Status::TryAgain("2")),
+            0u);
+  // Third consecutive failure exhausts the budget: escalation, no more
+  // backoff.
+  EXPECT_EQ(handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                                      Status::TryAgain("3")),
+            0u);
+  EXPECT_EQ(handler.state(), DbErrorState::kReadOnly);
+  EXPECT_FALSE(handler.ok());
+  EXPECT_TRUE(handler.reads_allowed());
+  EXPECT_EQ(listener->recovery_ends - listener->recovery_ends_ok, 1);
+
+  ASSERT_TRUE(handler.Resume().ok());
+  EXPECT_EQ(handler.state(), DbErrorState::kActive);
+  EXPECT_TRUE(handler.ok());
+}
+
+TEST(ErrorHandlerTest, ZeroMaxAttemptsEscalatesImmediately) {
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(0), {});
+  EXPECT_EQ(handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                                      Status::TryAgain("blip")),
+            0u);
+  EXPECT_EQ(handler.state(), DbErrorState::kReadOnly);
+}
+
+TEST(ErrorHandlerTest, HardErrorsHaltAndRefuseResume) {
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(5), {});
+
+  handler.OnBackgroundError(BackgroundErrorReason::kManifestWrite,
+                            Status::IOError("torn manifest"));
+  EXPECT_EQ(handler.state(), DbErrorState::kHalted);
+  EXPECT_FALSE(handler.ok());
+  EXPECT_FALSE(handler.reads_allowed());
+  EXPECT_FALSE(handler.Resume().ok());
+
+  ErrorHandler corrupt_handler;
+  corrupt_handler.Configure(FastResumePolicy(5), {});
+  corrupt_handler.OnBackgroundError(BackgroundErrorReason::kCompaction,
+                                    Status::Corruption("bad block"));
+  EXPECT_EQ(corrupt_handler.state(), DbErrorState::kHalted);
+}
+
+TEST(ErrorHandlerTest, HardErrorDominatesSoft) {
+  ErrorHandler handler;
+  handler.Configure(FastResumePolicy(0), {});
+  handler.OnBackgroundError(BackgroundErrorReason::kFlush,
+                            Status::IOError("disk"));
+  EXPECT_EQ(handler.state(), DbErrorState::kReadOnly);
+  handler.OnBackgroundError(BackgroundErrorReason::kManifestWrite,
+                            Status::IOError("manifest"));
+  EXPECT_EQ(handler.state(), DbErrorState::kHalted);
+  // The first (sticky) error is preserved.
+  EXPECT_NE(handler.bg_error().ToString().find("disk"), std::string::npos);
+}
+
+// --- DB-level auto-resume ---------------------------------------------------
+
+std::string Property(DB* db, const std::string& name) {
+  std::string value;
+  EXPECT_TRUE(db->GetProperty("shield." + name, &value)) << name;
+  return value;
+}
+
+bool WaitForProperty(DB* db, const std::string& name,
+                     const std::string& expected, int timeout_ms = 10000) {
+  for (int i = 0; i < timeout_ms; i++) {
+    if (Property(db, name) == expected) {
+      return true;
+    }
+    SleepForMicros(1000);
+  }
+  return false;
+}
+
+class DbErrorStateTest : public ::testing::Test {
+ protected:
+  DbErrorStateTest() : mem_env_(NewMemEnv()) {
+    FaultInjectionOptions fopts;
+    fopts.seed = 7;
+    fault_env_ = std::make_unique<FaultInjectionEnv>(mem_env_.get(), fopts);
+    fault_env_->SetFaultsEnabled(false);
+    listener_ = std::make_shared<RecordingListener>();
+  }
+
+  Options MakeOptions() {
+    Options options;
+    options.env = fault_env_.get();
+    options.write_buffer_size = 16 * 1024;
+    options.listeners = {listener_};
+    // Effectively unbounded transient retries with sub-millisecond
+    // backoff: the DB stays in kRecovering until the test lifts the
+    // fault, regardless of scheduling delays.
+    RetryPolicy policy;
+    policy.max_attempts = 1 << 20;
+    policy.initial_backoff_micros = 200;
+    policy.max_backoff_micros = 1000;
+    policy.jitter = 0;
+    options.background_error_resume_policy = policy;
+    return options;
+  }
+
+  void Open(const Options& options) {
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+    db_.reset(db);
+  }
+
+  // Only SST writes fail: WAL and MANIFEST stay healthy, so the
+  // failure is attributed to the flush job itself.
+  void InjectSstWriteFaults(double permanent_ratio) {
+    FaultInjectionOptions fopts;
+    fopts.seed = 7;
+    fopts.write_error_probability = 1.0;
+    fopts.permanent_error_ratio = permanent_ratio;
+    fopts.fault_kind_mask = FileKindBit(FileKind::kSst);
+    fault_env_->SetOptions(fopts);
+    fault_env_->SetFaultsEnabled(true);
+  }
+
+  // Writes values until the memtable rolls over once and the failing
+  // background flush records its first error. Exactly one rollover: a
+  // second switch would block this thread behind the still-failing
+  // flush, so the loop stops as soon as the error handler has seen the
+  // failure (the arena rounds usage up to 4K blocks, making a byte
+  // budget alone unreliable). Puts may legitimately fail once the DB
+  // escalates to read-only.
+  void FillPastWriteBuffer() {
+    WriteOptions wo;
+    const std::string value(1500, 'v');
+    for (int i = 0; i < 15 && listener_->errors.load() == 0; i++) {
+      if (!db_->Put(wo, "fill" + std::to_string(i), value).ok()) {
+        break;
+      }
+      SleepForMicros(500);
+    }
+  }
+
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<FaultInjectionEnv> fault_env_;
+  std::shared_ptr<RecordingListener> listener_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbErrorStateTest, TransientFlushFailureAutoResumes) {
+  Open(MakeOptions());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "before", "fault").ok());
+
+  InjectSstWriteFaults(/*permanent_ratio=*/0.0);
+  FillPastWriteBuffer();
+  ASSERT_TRUE(WaitForProperty(db_.get(), "error-handler-state", "recovering"))
+      << Property(db_.get(), "error-handler-state");
+  EXPECT_GE(listener_->recovery_begins, 1);
+
+  // Writes keep flowing while the flush retries in the background.
+  ASSERT_TRUE(db_->Put(WriteOptions(), "during", "recovery").ok());
+
+  fault_env_->SetFaultsEnabled(false);
+  ASSERT_TRUE(WaitForProperty(db_.get(), "error-handler-state", "active"))
+      << Property(db_.get(), "background-error");
+  db_->WaitForIdle();
+
+  EXPECT_GE(listener_->recovery_ends_ok, 1);
+  EXPECT_NE(Property(db_.get(), "error-recoveries"), "0");
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "before", &value).ok());
+  EXPECT_EQ(value, "fault");
+  ASSERT_TRUE(db_->Get(ReadOptions(), "during", &value).ok());
+  EXPECT_EQ(value, "recovery");
+  ASSERT_TRUE(db_->Flush().ok());
+}
+
+TEST_F(DbErrorStateTest, PermanentFlushFailureEntersReadOnlyUntilResume) {
+  Open(MakeOptions());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+
+  InjectSstWriteFaults(/*permanent_ratio=*/1.0);
+  FillPastWriteBuffer();
+  ASSERT_TRUE(WaitForProperty(db_.get(), "error-handler-state", "read-only"))
+      << Property(db_.get(), "error-handler-state");
+  EXPECT_EQ(listener_->last_severity, ErrorSeverity::kSoft);
+
+  // Reads still served; writes refused with the sticky error.
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_FALSE(db_->Put(WriteOptions(), "k2", "v2").ok());
+
+  fault_env_->SetFaultsEnabled(false);
+  ASSERT_TRUE(db_->Resume().ok());
+  EXPECT_EQ(Property(db_.get(), "error-handler-state"), "active");
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k2", "v2").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k2", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+}  // namespace
+}  // namespace shield

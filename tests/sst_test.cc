@@ -178,7 +178,7 @@ class TableTest : public ::testing::Test {
   void OpenTable(std::shared_ptr<Cache> cache = nullptr) {
     std::unique_ptr<RandomAccessFile> file;
     ASSERT_TRUE(env_->NewRandomAccessFile("/table.sst", &file).ok());
-    ASSERT_TRUE(Table::Open(options_, &icmp_, std::move(file), file_size_,
+    ASSERT_TRUE(Table::Open(options_, &icmp_, "/table.sst", std::move(file), file_size_,
                             cache, &table_)
                     .ok());
   }
@@ -320,7 +320,8 @@ TEST_F(TableTest, OpenRejectsTruncatedFile) {
   ASSERT_TRUE(env_->NewRandomAccessFile("/table.sst", &file).ok());
   std::unique_ptr<Table> table;
   EXPECT_FALSE(
-      Table::Open(options_, &icmp_, std::move(file), 10, nullptr, &table)
+      Table::Open(options_, &icmp_, "/table.sst", std::move(file), 10, nullptr,
+                  &table)
           .ok());
 }
 
