@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/histogram.h"
+#include "util/statistics.h"
 
 namespace shield {
 namespace bench {
@@ -40,6 +42,25 @@ void PrintPercentVs(const BenchResult& baseline, const BenchResult& x);
 /// Reads an integer knob from the environment (e.g. SHIELD_BENCH_OPS)
 /// with a default — benches scale to the machine without recompiling.
 uint64_t EnvInt(const char* name, uint64_t default_value);
+
+/// Escapes `s` for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// Writes a machine-readable report with a stable schema:
+///
+///   {
+///     "bench": "<name>",
+///     "results": [ {"label", "ops", "ops_per_sec", "avg_micros",
+///                   "p50_micros", "p99_micros"} ... ],
+///     "tickers": { "<ticker name>": <count>, ... },      // all tickers
+///     "histograms": { "<name>": {"count","avg","p50","p99","max"} }
+///   }
+///
+/// `stats` may be null (tickers/histograms are emitted as empty
+/// objects). Returns false when the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchResult>& results,
+                    const Statistics* stats);
 
 }  // namespace bench
 }  // namespace shield

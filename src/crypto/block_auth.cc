@@ -5,6 +5,7 @@
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "util/coding.h"
+#include "util/perf_context.h"
 
 namespace shield {
 namespace crypto {
@@ -25,9 +26,9 @@ BlockAuthenticator::BlockAuthenticator(std::string mac_key,
 
 BlockAuthenticator::~BlockAuthenticator() = default;
 
-void BlockAuthenticator::ComputeTag(uint64_t offset,
-                                    std::initializer_list<Slice> parts,
-                                    char* tag) const {
+Status BlockAuthenticator::ComputeTag(uint64_t offset,
+                                      std::initializer_list<Slice> parts,
+                                      char* tag) const {
   std::string msg;
   size_t total = sizeof(uint64_t);
   for (const Slice& part : parts) {
@@ -39,22 +40,38 @@ void BlockAuthenticator::ComputeTag(uint64_t offset,
   for (const Slice& part : parts) {
     msg.append(part.data(), part.size());
   }
+  PerfTimer timer(&GetPerfContext()->hmac_micros);
   // Re-encrypt the plaintext at its logical offset to recover the
   // ciphertext image; the offset prefix stays plaintext.
-  cipher_->CryptAt(offset, msg.data() + sizeof(uint64_t),
-                   msg.size() - sizeof(uint64_t));
+  Status s = cipher_->CryptAt(offset, msg.data() + sizeof(uint64_t),
+                              msg.size() - sizeof(uint64_t));
+  if (!s.ok()) {
+    return s;
+  }
   const std::string mac = HmacSha256(mac_key_, msg);
   std::memcpy(tag, mac.data(), kBlockAuthTagSize);
+  RecordTick(stats_.load(std::memory_order_relaxed),
+             Tickers::kCryptoHmacComputed, 1);
+  PerfAdd(&PerfContext::hmac_compute_count, 1);
+  return Status::OK();
 }
 
 bool BlockAuthenticator::VerifyTag(uint64_t offset, const Slice& data,
                                    const Slice& tag) const {
-  if (tag.size() != kBlockAuthTagSize) {
-    return false;
+  Statistics* stats = stats_.load(std::memory_order_relaxed);
+  RecordTick(stats, Tickers::kCryptoHmacVerified, 1);
+  PerfAdd(&PerfContext::hmac_verify_count, 1);
+  bool ok = false;
+  if (tag.size() == kBlockAuthTagSize) {
+    char expected[kBlockAuthTagSize];
+    if (ComputeTag(offset, {data}, expected).ok()) {
+      ok = ConstantTimeEqual(Slice(expected, kBlockAuthTagSize), tag);
+    }
   }
-  char expected[kBlockAuthTagSize];
-  ComputeTag(offset, {data}, expected);
-  return ConstantTimeEqual(Slice(expected, kBlockAuthTagSize), tag);
+  if (!ok) {
+    RecordTick(stats, Tickers::kCryptoHmacFailures, 1);
+  }
+  return ok;
 }
 
 std::unique_ptr<BlockAuthenticator> NewBlockAuthenticator(

@@ -1,6 +1,7 @@
 #ifndef SHIELD_CRYPTO_BLOCK_AUTH_H_
 #define SHIELD_CRYPTO_BLOCK_AUTH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "crypto/cipher.h"
 #include "util/slice.h"
+#include "util/statistics.h"
 
 namespace shield {
 namespace crypto {
@@ -54,17 +56,28 @@ class BlockAuthenticator {
 
   /// Computes the tag for plaintext `parts` (concatenated) that the
   /// file wrapper will encrypt starting at logical byte `offset`.
-  /// Writes kBlockAuthTagSize bytes to `tag`.
-  void ComputeTag(uint64_t offset, std::initializer_list<Slice> parts,
-                  char* tag) const;
+  /// Writes kBlockAuthTagSize bytes to `tag`. Fails (propagating the
+  /// cipher error) when the offset range is not addressable by the
+  /// underlying cipher, e.g. past ChaCha20's counter limit.
+  Status ComputeTag(uint64_t offset, std::initializer_list<Slice> parts,
+                    char* tag) const;
 
   /// Verifies, in constant time, that `tag` matches plaintext `data`
-  /// decrypted from logical byte `offset`.
+  /// decrypted from logical byte `offset`. A cipher failure verifies
+  /// as false: data at an unaddressable offset cannot be trusted.
   bool VerifyTag(uint64_t offset, const Slice& data, const Slice& tag) const;
+
+  /// Mirrors subsequent tag computations/verifications into the
+  /// crypto.hmac.* tickers. `stats` must outlive the authenticator (or
+  /// a later SetStatisticsSink(nullptr)).
+  void SetStatisticsSink(Statistics* stats) {
+    stats_.store(stats, std::memory_order_relaxed);
+  }
 
  private:
   std::string mac_key_;
   std::unique_ptr<StreamCipher> cipher_;
+  std::atomic<Statistics*> stats_{nullptr};
 };
 
 /// Convenience: derives the MAC key and builds the authenticator's

@@ -43,8 +43,11 @@ class StreamCipher {
   virtual ~StreamCipher() = default;
 
   /// XORs `n` bytes at `data`, in place, with the keystream starting at
-  /// absolute byte `offset`.
-  virtual void CryptAt(uint64_t offset, char* data, size_t n) const = 0;
+  /// absolute byte `offset`. Returns InvalidArgument when the range is
+  /// not addressable by the cipher's counter (e.g. ChaCha20's 32-bit
+  /// RFC 7539 block counter wraps at 256 GiB); data is untouched in
+  /// that case, so a failed call never half-encrypts a buffer.
+  virtual Status CryptAt(uint64_t offset, char* data, size_t n) const = 0;
 
   virtual CipherKind kind() const = 0;
 };

@@ -37,7 +37,7 @@ void AesCtrCipher::CounterBlock(uint64_t block_index, uint8_t out[16]) const {
   }
 }
 
-void AesCtrCipher::CryptAt(uint64_t offset, char* data, size_t n) const {
+Status AesCtrCipher::CryptAt(uint64_t offset, char* data, size_t n) const {
   uint8_t counter[16];
   uint8_t keystream[16];
   uint64_t block = offset / Aes::kBlockSize;
@@ -54,13 +54,28 @@ void AesCtrCipher::CryptAt(uint64_t offset, char* data, size_t n) const {
     in_block = 0;
     block++;
   }
+  return Status::OK();
 }
 
 Status ChaCha20Cipher::Init(const Slice& key, const Slice& nonce) {
   return chacha_.Init(key, nonce);
 }
 
-void ChaCha20Cipher::CryptAt(uint64_t offset, char* data, size_t n) const {
+Status ChaCha20Cipher::CryptAt(uint64_t offset, char* data, size_t n) const {
+  if (n == 0) {
+    return Status::OK();
+  }
+  // The RFC 7539 block counter is 32 bits. Reject any range whose last
+  // block index does not fit, before touching the buffer: truncating
+  // the index would silently restart the keystream at offset 256 GiB
+  // and reuse key+nonce+counter tuples — a confidentiality break for
+  // CTR mode.
+  const uint64_t last_block = (offset + n - 1) / ChaCha20::kBlockSize;
+  if (last_block > 0xffffffffull) {
+    return Status::InvalidArgument(
+        "ChaCha20 block counter overflow: offset range exceeds 2^32 "
+        "64-byte blocks (256 GiB)");
+  }
   uint8_t keystream[ChaCha20::kBlockSize];
   uint64_t block = offset / ChaCha20::kBlockSize;
   size_t in_block = offset % ChaCha20::kBlockSize;
@@ -75,6 +90,7 @@ void ChaCha20Cipher::CryptAt(uint64_t offset, char* data, size_t n) const {
     in_block = 0;
     block++;
   }
+  return Status::OK();
 }
 
 }  // namespace crypto

@@ -20,7 +20,7 @@ class AesCtrCipher : public StreamCipher {
  public:
   Status Init(CipherKind kind, const Slice& key, const Slice& nonce);
 
-  void CryptAt(uint64_t offset, char* data, size_t n) const override;
+  Status CryptAt(uint64_t offset, char* data, size_t n) const override;
   CipherKind kind() const override { return kind_; }
 
  private:
@@ -33,11 +33,14 @@ class AesCtrCipher : public StreamCipher {
 
 /// ChaCha20 as an offset-addressable stream: byte `offset` falls in
 /// 64-byte keystream block offset/64, with the RFC 7539 block counter.
+/// The counter is 32 bits, so the stream is only addressable below
+/// 2^32 blocks (256 GiB); CryptAt rejects ranges beyond that rather
+/// than wrapping and reusing keystream.
 class ChaCha20Cipher : public StreamCipher {
  public:
   Status Init(const Slice& key, const Slice& nonce);
 
-  void CryptAt(uint64_t offset, char* data, size_t n) const override;
+  Status CryptAt(uint64_t offset, char* data, size_t n) const override;
   CipherKind kind() const override { return CipherKind::kChaCha20; }
 
  private:

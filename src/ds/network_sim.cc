@@ -17,6 +17,9 @@ NetworkSimulator::NetworkSimulator(NetworkSimOptions options)
 void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   total_requests_.fetch_add(1, std::memory_order_relaxed);
+  Statistics* stats = stats_.load(std::memory_order_relaxed);
+  RecordTick(stats, Tickers::kDsNetworkBytes, bytes);
+  RecordTick(stats, Tickers::kDsNetworkRequests, 1);
 
   const uint64_t bw = bandwidth_.load(std::memory_order_relaxed);
   const uint64_t serialization_micros = bytes * 1'000'000 / bw;
@@ -43,6 +46,7 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   // pushes the backlog over the threshold.
   constexpr uint64_t kMinSleepMicros = 150;
   if (finish_at > now + kMinSleepMicros) {
+    RecordTick(stats, Tickers::kDsNetworkWaitMicros, finish_at - now);
     SleepForMicros(finish_at - now);
   }
 }

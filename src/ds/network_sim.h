@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "util/random.h"
+#include "util/statistics.h"
 #include "util/status.h"
 
 namespace shield {
@@ -82,12 +83,20 @@ class NetworkSimulator {
     return injected_faults_.load(std::memory_order_relaxed);
   }
 
+  /// Mirrors subsequent traffic into the ds.network.* tickers
+  /// (bytes, requests, token-bucket wait micros). `stats` must outlive
+  /// the simulator or a later SetStatisticsSink(nullptr).
+  void SetStatisticsSink(Statistics* stats) {
+    stats_.store(stats, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> rtt_micros_;
   std::atomic<uint64_t> bandwidth_;
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_requests_{0};
   std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<Statistics*> stats_{nullptr};
 
   std::mutex mu_;
   uint64_t link_busy_until_micros_ = 0;

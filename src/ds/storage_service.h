@@ -50,6 +50,14 @@ class StorageService : public FileReplicaSource {
   /// Cumulative I/O performed on the storage medium itself.
   IoStats* media_stats() { return &media_stats_; }
 
+  /// Mirrors fabric traffic (ds.network.*) and storage-medium I/O
+  /// (io.*) into `stats`; pass nullptr to detach. `stats` must outlive
+  /// the service or the detach.
+  void SetStatisticsSink(Statistics* stats) {
+    network_.SetStatisticsSink(stats);
+    media_stats_.SetStatisticsSink(stats);
+  }
+
  private:
   NetworkSimulator network_;
   IoStats media_stats_;

@@ -5,10 +5,30 @@
 #include "crypto/block_auth.h"
 #include "crypto/secure_random.h"
 #include "env/io_stats.h"
+#include "util/perf_context.h"
 
 namespace shield {
 
 namespace {
+
+// Mirrors crypto traffic into the tickers and the calling thread's
+// PerfContext; same accounting discipline as shield/file_crypto.cc.
+void RecordCryptoBytes(Statistics* stats, crypto::CipherKind kind,
+                       bool encrypt, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  RecordTick(stats,
+             encrypt ? Tickers::kCryptoBytesEncrypted
+                     : Tickers::kCryptoBytesDecrypted,
+             n);
+  RecordTick(stats,
+             kind == crypto::CipherKind::kChaCha20 ? Tickers::kCryptoChaCha20Bytes
+                                                   : Tickers::kCryptoAesBytes,
+             n);
+  PerfAdd(encrypt ? &PerfContext::encrypt_bytes : &PerfContext::decrypt_bytes,
+          n);
+}
 
 // Format v1: CTR ciphertext only. Format v2 ("SHENCFS2") additionally
 // carries per-block/record HMAC tags emitted by sst_builder/log_writer.
@@ -72,13 +92,15 @@ class EncryptedWritableFile final : public WritableFile {
   EncryptedWritableFile(std::unique_ptr<WritableFile> base,
                         crypto::CipherKind cipher_kind, std::string key,
                         std::string nonce, size_t buffer_size,
-                        std::unique_ptr<crypto::BlockAuthenticator> auth)
+                        std::unique_ptr<crypto::BlockAuthenticator> auth,
+                        Statistics* stats)
       : base_(std::move(base)),
         cipher_kind_(cipher_kind),
         key_(std::move(key)),
         nonce_(std::move(nonce)),
         buffer_size_(buffer_size),
-        auth_(std::move(auth)) {}
+        auth_(std::move(auth)),
+        stats_(stats) {}
 
   ~EncryptedWritableFile() override {
     if (!closed_) {
@@ -143,7 +165,13 @@ class EncryptedWritableFile final : public WritableFile {
       return s;
     }
     scratch_.assign(data, n);
-    cipher->CryptAt(logical_offset_, scratch_.data(), scratch_.size());
+    s = cipher->CryptAt(logical_offset_, scratch_.data(), scratch_.size());
+    if (!s.ok()) {
+      // Cipher failure (e.g. ChaCha20 counter overflow): never append
+      // the (possibly partially transformed) scratch bytes.
+      return s;
+    }
+    RecordCryptoBytes(stats_, cipher_kind_, /*encrypt=*/true, n);
     s = base_->Append(scratch_);
     if (s.ok()) {
       logical_offset_ += n;
@@ -157,6 +185,7 @@ class EncryptedWritableFile final : public WritableFile {
   const std::string nonce_;
   const size_t buffer_size_;
   const std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  Statistics* const stats_;
   uint64_t logical_offset_ = 0;
   std::string buffer_;
   std::string scratch_;
@@ -167,10 +196,12 @@ class EncryptedSequentialFile final : public SequentialFile {
  public:
   EncryptedSequentialFile(std::unique_ptr<SequentialFile> base,
                           std::unique_ptr<crypto::StreamCipher> cipher,
-                          std::unique_ptr<crypto::BlockAuthenticator> auth)
+                          std::unique_ptr<crypto::BlockAuthenticator> auth,
+                          Statistics* stats)
       : base_(std::move(base)),
         cipher_(std::move(cipher)),
-        auth_(std::move(auth)) {}
+        auth_(std::move(auth)),
+        stats_(stats) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
     Status s = base_->Read(n, result, scratch);
@@ -182,7 +213,15 @@ class EncryptedSequentialFile final : public SequentialFile {
     if (result->data() != scratch && result->size() > 0) {
       memmove(scratch, result->data(), result->size());
     }
-    cipher_->CryptAt(logical_offset_, scratch, result->size());
+    {
+      PerfTimer timer(&GetPerfContext()->decrypt_micros);
+      s = cipher_->CryptAt(logical_offset_, scratch, result->size());
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    RecordCryptoBytes(stats_, cipher_->kind(), /*encrypt=*/false,
+                      result->size());
     *result = Slice(scratch, result->size());
     logical_offset_ += result->size();
     return Status::OK();
@@ -201,6 +240,7 @@ class EncryptedSequentialFile final : public SequentialFile {
   std::unique_ptr<SequentialFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
   std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  Statistics* const stats_;
   uint64_t logical_offset_ = 0;
 };
 
@@ -208,10 +248,12 @@ class EncryptedRandomAccessFile final : public RandomAccessFile {
  public:
   EncryptedRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
                             std::unique_ptr<crypto::StreamCipher> cipher,
-                            std::unique_ptr<crypto::BlockAuthenticator> auth)
+                            std::unique_ptr<crypto::BlockAuthenticator> auth,
+                            Statistics* stats)
       : base_(std::move(base)),
         cipher_(std::move(cipher)),
-        auth_(std::move(auth)) {}
+        auth_(std::move(auth)),
+        stats_(stats) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -222,7 +264,15 @@ class EncryptedRandomAccessFile final : public RandomAccessFile {
     if (result->data() != scratch && result->size() > 0) {
       memmove(scratch, result->data(), result->size());
     }
-    cipher_->CryptAt(offset, scratch, result->size());
+    {
+      PerfTimer timer(&GetPerfContext()->decrypt_micros);
+      s = cipher_->CryptAt(offset, scratch, result->size());
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    RecordCryptoBytes(stats_, cipher_->kind(), /*encrypt=*/false,
+                      result->size());
     *result = Slice(scratch, result->size());
     return Status::OK();
   }
@@ -243,17 +293,20 @@ class EncryptedRandomAccessFile final : public RandomAccessFile {
   std::unique_ptr<RandomAccessFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
   std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  Statistics* const stats_;
 };
 
 class EncryptedEnv final : public EnvWrapper {
  public:
   EncryptedEnv(Env* base, crypto::CipherKind cipher, std::string key,
-               size_t wal_buffer_size, bool authenticate_blocks)
+               size_t wal_buffer_size, bool authenticate_blocks,
+               Statistics* stats)
       : EnvWrapper(base),
         cipher_kind_(cipher),
         key_(std::move(key)),
         wal_buffer_size_(wal_buffer_size),
-        authenticate_blocks_(authenticate_blocks) {}
+        authenticate_blocks_(authenticate_blocks),
+        stats_(stats) {}
 
   Status NewWritableFile(const std::string& f,
                          std::unique_ptr<WritableFile>* r) override {
@@ -274,12 +327,13 @@ class EncryptedEnv final : public EnvWrapper {
       if (auth == nullptr) {
         return Status::InvalidArgument("cannot build block authenticator");
       }
+      auth->SetStatisticsSink(stats_);
     }
     const size_t buffer_size =
         ClassifyFile(f) == FileKind::kWal ? wal_buffer_size_ : 0;
-    *r = std::make_unique<EncryptedWritableFile>(std::move(base),
-                                                 cipher_kind_, key_, nonce,
-                                                 buffer_size, std::move(auth));
+    *r = std::make_unique<EncryptedWritableFile>(
+        std::move(base), cipher_kind_, key_, nonce, buffer_size,
+        std::move(auth), stats_);
     return Status::OK();
   }
 
@@ -297,7 +351,7 @@ class EncryptedEnv final : public EnvWrapper {
       return s;
     }
     *r = std::make_unique<EncryptedSequentialFile>(
-        std::move(base), std::move(cipher), std::move(auth));
+        std::move(base), std::move(cipher), std::move(auth), stats_);
     return Status::OK();
   }
 
@@ -330,7 +384,7 @@ class EncryptedEnv final : public EnvWrapper {
       return s;
     }
     *r = std::make_unique<EncryptedRandomAccessFile>(
-        std::move(base), std::move(cipher), std::move(auth));
+        std::move(base), std::move(cipher), std::move(auth), stats_);
     return Status::OK();
   }
 
@@ -352,6 +406,7 @@ class EncryptedEnv final : public EnvWrapper {
     if (*auth == nullptr) {
       return Status::InvalidArgument("cannot build block authenticator");
     }
+    (*auth)->SetStatisticsSink(stats_);
     return Status::OK();
   }
 
@@ -388,6 +443,7 @@ class EncryptedEnv final : public EnvWrapper {
   const std::string key_;
   const size_t wal_buffer_size_;
   const bool authenticate_blocks_;
+  Statistics* const stats_;
 };
 
 }  // namespace
@@ -395,12 +451,13 @@ class EncryptedEnv final : public EnvWrapper {
 Status NewEncryptedEnv(Env* base_env, crypto::CipherKind cipher,
                        const std::string& instance_key,
                        std::unique_ptr<Env>* out, size_t wal_buffer_size,
-                       bool authenticate_blocks) {
+                       bool authenticate_blocks, Statistics* stats) {
   if (instance_key.size() != crypto::CipherKeySize(cipher)) {
     return Status::InvalidArgument("instance key size mismatch for cipher");
   }
   *out = std::make_unique<EncryptedEnv>(base_env, cipher, instance_key,
-                                        wal_buffer_size, authenticate_blocks);
+                                        wal_buffer_size, authenticate_blocks,
+                                        stats);
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 
 #include "crypto/cipher.h"
 #include "env/env.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -42,11 +43,15 @@ namespace shield {
 /// sst_builder/log_writer append truncated HMAC-SHA256 tags over each
 /// encrypted block/record (encrypt-then-MAC). Readers auto-detect the
 /// format from the per-file magic, so v1 and v2 files coexist.
+///
+/// `stats` (optional; must outlive the Env and every file it opens)
+/// receives crypto.bytes.encrypted/decrypted and per-cipher tickers.
 Status NewEncryptedEnv(Env* base_env, crypto::CipherKind cipher,
                        const std::string& instance_key,
                        std::unique_ptr<Env>* out,
                        size_t wal_buffer_size = 0,
-                       bool authenticate_blocks = true);
+                       bool authenticate_blocks = true,
+                       Statistics* stats = nullptr);
 
 /// Size of the plaintext prologue EncFS places at the head of each
 /// file. Exposed for tests.

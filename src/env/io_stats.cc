@@ -42,6 +42,22 @@ uint64_t IoStats::TotalWriteBytes() const {
   return total;
 }
 
+uint64_t IoStats::TotalReadOps() const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumFileKinds; i++) {
+    total += read_ops_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t IoStats::TotalWriteOps() const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumFileKinds; i++) {
+    total += write_ops_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void IoStats::Reset() {
   for (int i = 0; i < kNumFileKinds; i++) {
     read_bytes_[i].store(0, std::memory_order_relaxed);
@@ -52,15 +68,17 @@ void IoStats::Reset() {
 }
 
 std::string IoStats::ToString() const {
-  char buf[256];
+  char buf[320];
   const double mib = 1024.0 * 1024.0;
   snprintf(buf, sizeof(buf),
            "wal r/w=%.1f/%.1f MiB, sst r/w=%.1f/%.1f MiB, "
-           "manifest r/w=%.1f/%.1f MiB",
+           "manifest r/w=%.1f/%.1f MiB, other r/w=%.1f/%.1f MiB",
            ReadBytes(FileKind::kWal) / mib, WriteBytes(FileKind::kWal) / mib,
            ReadBytes(FileKind::kSst) / mib, WriteBytes(FileKind::kSst) / mib,
            ReadBytes(FileKind::kManifest) / mib,
-           WriteBytes(FileKind::kManifest) / mib);
+           WriteBytes(FileKind::kManifest) / mib,
+           ReadBytes(FileKind::kOther) / mib,
+           WriteBytes(FileKind::kOther) / mib);
   return buf;
 }
 
@@ -80,6 +98,10 @@ class CountingSequentialFile final : public SequentialFile {
     return s;
   }
   Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return base_->block_authenticator();
+  }
 
  private:
   std::unique_ptr<SequentialFile> base_;
@@ -102,6 +124,10 @@ class CountingRandomAccessFile final : public RandomAccessFile {
     return s;
   }
   Status Size(uint64_t* size) const override { return base_->Size(size); }
+
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return base_->block_authenticator();
+  }
 
  private:
   std::unique_ptr<RandomAccessFile> base_;
@@ -126,6 +152,10 @@ class CountingWritableFile final : public WritableFile {
   Status Sync() override { return base_->Sync(); }
   Status Close() override { return base_->Close(); }
   uint64_t GetFileSize() const override { return base_->GetFileSize(); }
+
+  const crypto::BlockAuthenticator* block_authenticator() const override {
+    return base_->block_authenticator();
+  }
 
  private:
   std::unique_ptr<WritableFile> base_;

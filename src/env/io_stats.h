@@ -7,6 +7,7 @@
 #include <string>
 
 #include "env/env.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -24,18 +25,39 @@ constexpr int kNumFileKinds = 4;
 /// scheme in lsm/file_names.h.
 FileKind ClassifyFile(const std::string& fname);
 
-/// Cumulative I/O counters, grouped by FileKind. Thread safe.
+/// The io.* ticker for a (kind, read/write, bytes/ops) combination.
+/// Relies on the Tickers layout grouping the four counters per kind.
+inline Tickers IoTicker(FileKind kind, bool read, bool bytes) {
+  const uint32_t base =
+      static_cast<uint32_t>(Tickers::kIoWalReadBytes) +
+      4 * static_cast<uint32_t>(kind);
+  return static_cast<Tickers>(base + (bytes ? 0 : 2) + (read ? 0 : 1));
+}
+
+/// Cumulative I/O counters, grouped by FileKind. Thread safe. When a
+/// Statistics sink is attached, every AddRead/AddWrite also ticks the
+/// matching io.* tickers so the same traffic shows up in shield.stats.
 class IoStats {
  public:
   void AddRead(FileKind kind, uint64_t bytes) {
     read_bytes_[static_cast<int>(kind)].fetch_add(bytes,
                                                   std::memory_order_relaxed);
     read_ops_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+    Statistics* stats = sink_.load(std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->RecordTick(IoTicker(kind, /*read=*/true, /*bytes=*/true), bytes);
+      stats->RecordTick(IoTicker(kind, /*read=*/true, /*bytes=*/false), 1);
+    }
   }
   void AddWrite(FileKind kind, uint64_t bytes) {
     write_bytes_[static_cast<int>(kind)].fetch_add(bytes,
                                                    std::memory_order_relaxed);
     write_ops_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+    Statistics* stats = sink_.load(std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->RecordTick(IoTicker(kind, /*read=*/false, /*bytes=*/true), bytes);
+      stats->RecordTick(IoTicker(kind, /*read=*/false, /*bytes=*/false), 1);
+    }
   }
 
   uint64_t ReadBytes(FileKind kind) const {
@@ -44,12 +66,27 @@ class IoStats {
   uint64_t WriteBytes(FileKind kind) const {
     return write_bytes_[static_cast<int>(kind)].load(std::memory_order_relaxed);
   }
+  uint64_t ReadOps(FileKind kind) const {
+    return read_ops_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t WriteOps(FileKind kind) const {
+    return write_ops_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
   uint64_t TotalReadBytes() const;
   uint64_t TotalWriteBytes() const;
+  uint64_t TotalReadOps() const;
+  uint64_t TotalWriteOps() const;
+
+  /// Mirrors all subsequent traffic into `stats` (pass nullptr to
+  /// detach). `stats` must outlive the IoStats or the detach.
+  void SetStatisticsSink(Statistics* stats) {
+    sink_.store(stats, std::memory_order_relaxed);
+  }
 
   void Reset();
 
-  /// "wal r/w=..., sst r/w=..., manifest r/w=..." in MiB.
+  /// "wal r/w=..., sst r/w=..., manifest r/w=..., other r/w=..." in
+  /// MiB. All four kinds are reported.
   std::string ToString() const;
 
  private:
@@ -57,6 +94,7 @@ class IoStats {
   std::atomic<uint64_t> write_bytes_[kNumFileKinds] = {};
   std::atomic<uint64_t> read_ops_[kNumFileKinds] = {};
   std::atomic<uint64_t> write_ops_[kNumFileKinds] = {};
+  std::atomic<Statistics*> sink_{nullptr};
 };
 
 /// Wraps an Env and records all file I/O into an IoStats, classified by

@@ -138,7 +138,10 @@ Status SecureDekCache::Load() {
   if (!cs.ok()) {
     return cs;
   }
-  cipher->CryptAt(0, ciphertext.data(), ciphertext.size());
+  cs = cipher->CryptAt(0, ciphertext.data(), ciphertext.size());
+  if (!cs.ok()) {
+    return cs;
+  }
   return Deserialize(ciphertext);
 }
 
@@ -153,7 +156,10 @@ Status SecureDekCache::Persist() {
   if (!s.ok()) {
     return s;
   }
-  cipher->CryptAt(0, plaintext.data(), plaintext.size());
+  s = cipher->CryptAt(0, plaintext.data(), plaintext.size());
+  if (!s.ok()) {
+    return s;
+  }
 
   std::string file;
   file.append(kMagic, sizeof(kMagic));

@@ -66,11 +66,16 @@ class DB {
 
   /// DB introspection. Supported properties:
   ///   "shield.num-files-at-level<N>", "shield.stats",
-  ///   "shield.sstables", "shield.kds-requests",
+  ///   "shield.io-stats", "shield.sstables", "shield.kds-requests",
   ///   "shield.dek-cache-hits", "shield.approximate-memtable-bytes",
+  ///   "shield.stall-micros", "shield.offload-fallbacks",
+  ///   "shield.recovery-salvaged-logs",
   ///   "shield.error-handler-state", "shield.background-error",
   ///   "shield.error-recoveries", "shield.scrub-corruptions-detected",
   ///   "shield.scrub-repaired-files", "shield.scrub-quarantined-files"
+  /// "shield.stats" includes the per-level compaction table, the
+  /// physical I/O split, and — when Options::statistics is set — the
+  /// full ticker/histogram dump (util/statistics.h).
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   /// Walks every live SST and verifies each block's CRC — and, on

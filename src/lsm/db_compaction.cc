@@ -297,6 +297,27 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   CompactionStats stats;
   stats.count = 1;
 
+  // Ticker + listener reporting for an installed compaction. Called
+  // with mutex_ held, after LogAndApply succeeded.
+  auto report_compaction = [this, c](const CompactionStats& cs, int nfiles) {
+    RecordTick(options_.statistics.get(), Tickers::kLsmCompactionBytesRead,
+               static_cast<uint64_t>(cs.bytes_read));
+    RecordTick(options_.statistics.get(), Tickers::kLsmCompactionBytesWritten,
+               static_cast<uint64_t>(cs.bytes_written));
+    MeasureTime(options_.statistics.get(), Histograms::kCompactionMicros,
+                static_cast<uint64_t>(cs.micros));
+    CompactionJobInfo info;
+    info.level = c->level();
+    info.output_level = c->output_level();
+    info.output_files = nfiles;
+    info.bytes_read = static_cast<uint64_t>(cs.bytes_read);
+    info.bytes_written = static_cast<uint64_t>(cs.bytes_written);
+    info.micros = static_cast<uint64_t>(cs.micros);
+    for (const auto& listener : options_.listeners) {
+      listener->OnCompactionCompleted(info);
+    }
+  };
+
   if (options_.compaction_service != nullptr) {
     VersionEdit edit;
     Status s = DoOffloadedCompaction(c, &edit, &stats);
@@ -313,9 +334,14 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       } else {
         *reason = BackgroundErrorReason::kManifestWrite;
       }
+      const int num_outputs =
+          static_cast<int>(offload_pending_outputs_.size());
       offload_pending_outputs_.clear();
       stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
       stats_[c->output_level()].Add(stats);
+      if (s.ok()) {
+        report_compaction(stats, num_outputs);
+      }
       return s;
     }
     // The remote service failed after its retry budget. Its outputs
@@ -453,7 +479,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
     // them pinned on a manifest failure (the durable tail may already
     // reference them).
     status = InstallCompactionResults(compact);
-    if (!status.ok()) {
+    if (status.ok()) {
+      report_compaction(stats, static_cast<int>(compact->outputs.size()));
+    } else {
       *reason = BackgroundErrorReason::kManifestWrite;
     }
   } else {

@@ -122,7 +122,9 @@ Status DBImpl::SetupEncryption() {
             "EncFS requires an instance_key matching the cipher key size");
       }
       Status s = NewEncryptedEnv(options_.env, enc.cipher, enc.instance_key,
-                                 &owned_encrypted_env_, enc.wal_buffer_size);
+                                 &owned_encrypted_env_, enc.wal_buffer_size,
+                                 enc.authenticate_blocks,
+                                 options_.statistics.get());
       if (!s.ok()) {
         return s;
       }
@@ -146,13 +148,15 @@ Status DBImpl::SetupEncryption() {
         }
       }
       dek_manager_ = std::make_unique<DekManager>(kds_.get(), enc.server_id,
-                                                  secure_dek_cache_.get());
+                                                  secure_dek_cache_.get(),
+                                                  options_.statistics.get());
       if (enc.encryption_threads > 1) {
         encryption_pool_ =
             std::make_unique<ThreadPool>(enc.encryption_threads);
       }
       files_ = NewShieldFileFactory(options_.env, dek_manager_.get(), enc,
-                                    encryption_pool_.get());
+                                    encryption_pool_.get(),
+                                    options_.statistics.get());
       return Status::OK();
     }
   }
@@ -261,6 +265,11 @@ Status DBImpl::Recover() {
   // may interpose the EncFS env: quarantine/repair move on-disk images
   // byte-for-byte.
   raw_env_ = options_.env;
+  // Interpose the counting env below the encryption layer so io.*
+  // accounting reflects physical (ciphertext) traffic.
+  io_stats_.SetStatisticsSink(options_.statistics.get());
+  owned_counting_env_ = NewCountingEnv(options_.env, &io_stats_);
+  options_.env = owned_counting_env_.get();
   s = SetupEncryption();
   if (!s.ok()) {
     return s;
@@ -477,6 +486,16 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         value->append(buf);
       }
     }
+    value->append("io: ");
+    value->append(io_stats_.ToString());
+    value->append("\n");
+    if (options_.statistics != nullptr) {
+      value->append(options_.statistics->ToString());
+    }
+    return true;
+  }
+  if (in == Slice("io-stats")) {
+    *value = io_stats_.ToString();
     return true;
   }
   if (in == Slice("sstables")) {

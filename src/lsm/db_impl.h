@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "env/io_stats.h"
 #include "lsm/compaction_service.h"
 #include "lsm/db.h"
 #include "lsm/error_handler.h"
@@ -162,6 +163,15 @@ class DBImpl final : public DB {
   // repair move on-disk images around byte-for-byte, without any
   // encryption layer transforming them.
   Env* raw_env_ = nullptr;
+
+  // Physical I/O accounting: a counting Env interposed below the
+  // encryption layer, so it sees ciphertext traffic (what actually
+  // hits storage). Mirrored into options_.statistics when configured.
+  // Declared before owned_encrypted_env_: the EncFS wrapper holds a
+  // pointer to the counting env, so it must be destroyed first
+  // (members destruct in reverse declaration order).
+  IoStats io_stats_;
+  std::unique_ptr<Env> owned_counting_env_;
 
   // Encryption plumbing. Order matters for destruction: factory before
   // dek manager before cache/kds.

@@ -6,6 +6,7 @@ namespace shield {
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  StopWatch get_watch(options_.statistics.get(), Histograms::kDbGetMicros);
   Status s;
   std::unique_lock<std::mutex> lock(mutex_);
   if (!error_handler_.reads_allowed()) {

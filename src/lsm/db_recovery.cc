@@ -171,6 +171,19 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   stats.bytes_written = static_cast<int64_t>(meta.file_size);
   stats.count = 1;
   stats_[0].Add(stats);
+  if (s.ok() && meta.file_size > 0) {
+    RecordTick(options_.statistics.get(), Tickers::kLsmFlushBytesWritten,
+               meta.file_size);
+    MeasureTime(options_.statistics.get(), Histograms::kFlushMicros,
+                static_cast<uint64_t>(stats.micros));
+    FlushJobInfo info;
+    info.file_number = meta.number;
+    info.file_size = meta.file_size;
+    info.micros = static_cast<uint64_t>(stats.micros);
+    for (const auto& listener : options_.listeners) {
+      listener->OnFlushCompleted(info);
+    }
+  }
   return s;
 }
 

@@ -1,6 +1,7 @@
 #include "lsm/db_impl.h"
 #include "lsm/file_names.h"
 #include "util/clock.h"
+#include "util/perf_context.h"
 
 namespace shield {
 
@@ -21,6 +22,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (read_only_) {
     return Status::NotSupported("read-only instance");
   }
+
+  StopWatch write_watch(options_.statistics.get(),
+                        Histograms::kDbWriteMicros);
 
   Writer w(&mutex_);
   w.batch = updates;
@@ -49,12 +53,16 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     {
       mutex_.unlock();
       bool sync_error = false;
-      status = log_->AddRecord(write_batch->Contents());
-      if (status.ok() && w.sync) {
-        status = logfile_->Sync();
-        sync_error = !status.ok();
+      {
+        PerfTimer wal_timer(&GetPerfContext()->wal_write_micros);
+        status = log_->AddRecord(write_batch->Contents());
+        if (status.ok() && w.sync) {
+          status = logfile_->Sync();
+          sync_error = !status.ok();
+        }
       }
       if (status.ok()) {
+        PerfTimer mem_timer(&GetPerfContext()->memtable_insert_micros);
         status = write_batch->InsertInto(mem_);
       }
       mutex_.lock();
@@ -148,6 +156,11 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
   assert(!writers_.empty());
   bool allow_delay = !force;
   Status s;
+  auto record_stall = [this](uint64_t micros) {
+    stall_micros_.fetch_add(micros, std::memory_order_relaxed);
+    RecordTick(options_.statistics.get(), Tickers::kLsmStallMicros, micros);
+    PerfAdd(&PerfContext::write_stall_micros, micros);
+  };
   const bool stalls_apply =
       options_.compaction_style != CompactionStyle::kFifo;
   while (true) {
@@ -162,7 +175,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       // once per write.
       mutex_.unlock();
       SleepForMicros(1000);
-      stall_micros_.fetch_add(1000, std::memory_order_relaxed);
+      record_stall(1000);
       allow_delay = false;
       mutex_.lock();
     } else if (log_tainted_) {
@@ -189,7 +202,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       background_work_finished_signal_.wait(lock,
                                             [this] { return imm_ == nullptr ||
                                                             !error_handler_.ok(); });
-      stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+      record_stall(NowMicros() - t0);
     } else if (stalls_apply && versions_->NumLevelFiles(0) >=
                                    options_.level0_stop_writes_trigger) {
       // Hard limit.
@@ -199,7 +212,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
                    options_.level0_stop_writes_trigger ||
                !error_handler_.ok();
       });
-      stall_micros_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+      record_stall(NowMicros() - t0);
     } else {
       // Switch to a new memtable and WAL.
       s = SwitchMemTable(lock);

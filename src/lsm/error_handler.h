@@ -64,6 +64,23 @@ const char* BackgroundErrorReasonName(BackgroundErrorReason reason);
 const char* ErrorSeverityName(ErrorSeverity severity);
 const char* DbErrorStateName(DbErrorState state);
 
+/// Summary of one completed memtable flush (OnFlushCompleted).
+struct FlushJobInfo {
+  uint64_t file_number = 0;  // the new level-0 SST
+  uint64_t file_size = 0;    // bytes written (post-encryption framing)
+  uint64_t micros = 0;       // wall time of the table build
+};
+
+/// Summary of one completed compaction (OnCompactionCompleted).
+struct CompactionJobInfo {
+  int level = 0;         // input level
+  int output_level = 0;
+  int output_files = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t micros = 0;
+};
+
 /// Observer of background failures, recovery transitions and scrubber
 /// activity. All callbacks run with the DB mutex held: implementations
 /// must be fast and must not call back into the DB.
@@ -97,6 +114,14 @@ class EventListener {
   /// salvage.
   virtual void OnFileRepaired(const std::string& /*fname*/,
                               bool /*from_replica*/) {}
+
+  /// A memtable flush produced (and installed) a new level-0 SST.
+  /// Also fired for flushes performed during WAL-replay recovery.
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+
+  /// A compaction's outputs were installed in the manifest. Not fired
+  /// for trivial moves or FIFO deletions (no bytes rewritten).
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
 };
 
 /// Classifies background failures by (reason, status), drives the

@@ -105,9 +105,11 @@ Status Writer::EmitPhysicalRecord(RecordType t, const char* ptr,
       // absolute offset, binding the record to its position in this
       // file (a record copied elsewhere fails verification).
       char tag[crypto::kBlockAuthTagSize];
-      auth_->ComputeTag(logical_offset_,
-                        {Slice(buf, kHeaderSize), Slice(ptr, length)}, tag);
-      s = dest_->Append(Slice(tag, sizeof(tag)));
+      s = auth_->ComputeTag(logical_offset_,
+                            {Slice(buf, kHeaderSize), Slice(ptr, length)}, tag);
+      if (s.ok()) {
+        s = dest_->Append(Slice(tag, sizeof(tag)));
+      }
     }
     if (s.ok()) {
       s = dest_->Flush();

@@ -10,6 +10,7 @@
 #include "crypto/cipher.h"
 #include "kds/kds.h"
 #include "util/retry.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -132,6 +133,14 @@ struct Options {
 
   /// Storage environment. Default: Env::Default() (local Posix disk).
   Env* env = nullptr;
+
+  /// Metrics registry (util/statistics.h). When set, every layer the
+  /// DB touches reports into it: physical io.* traffic, lsm.* engine
+  /// events, crypto.* byte counts, shield.* key-plane activity, kds.*
+  /// round-trips. Dumped (with histograms) by the "shield.stats"
+  /// property. Create with CreateDBStatistics(); may be shared across
+  /// DB instances to aggregate.
+  std::shared_ptr<Statistics> statistics;
 
   /// Create the database if missing / error if it exists.
   bool create_if_missing = true;

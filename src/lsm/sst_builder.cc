@@ -94,9 +94,11 @@ Status TableBuilder::WriteRawBlock(const Slice& contents,
     const crypto::BlockAuthenticator* auth = file_->block_authenticator();
     if (s.ok() && auth != nullptr) {
       char tag[crypto::kBlockAuthTagSize];
-      auth->ComputeTag(handle->offset(),
-                       {contents, Slice(trailer, kBlockTrailerSize)}, tag);
-      s = file_->Append(Slice(tag, crypto::kBlockAuthTagSize));
+      s = auth->ComputeTag(handle->offset(),
+                           {contents, Slice(trailer, kBlockTrailerSize)}, tag);
+      if (s.ok()) {
+        s = file_->Append(Slice(tag, crypto::kBlockAuthTagSize));
+      }
       if (s.ok()) {
         offset_ += crypto::kBlockAuthTagSize;
       }

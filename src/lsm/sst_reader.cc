@@ -3,6 +3,8 @@
 #include "lsm/block.h"
 #include "lsm/two_level_iterator.h"
 #include "util/coding.h"
+#include "util/perf_context.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -72,6 +74,26 @@ Status ReadBlockObject(RandomAccessFile* file, const ReadOptions& options,
   *block = new Block(contents.data.data(), contents.data.size(),
                      /*owned=*/true);
   return Status::OK();
+}
+
+// ReadBlockObject plus per-operation accounting: sst.read.micros
+// histogram and the PerfContext block_read_* fields.
+Status ReadBlockObjectCounted(RandomAccessFile* file,
+                              const ReadOptions& options,
+                              const BlockHandle& handle,
+                              const std::string& fname, Statistics* stats,
+                              Block** block) {
+  Status s;
+  {
+    StopWatch watch(stats, Histograms::kSstReadMicros);
+    PerfTimer timer(&GetPerfContext()->block_read_micros);
+    s = ReadBlockObject(file, options, handle, fname, block);
+  }
+  if (s.ok()) {
+    PerfAdd(&PerfContext::block_read_count, 1);
+    PerfAdd(&PerfContext::block_read_bytes, (*block)->size());
+  }
+  return s;
 }
 
 }  // namespace
@@ -186,15 +208,20 @@ Iterator* Table::BlockReader(const ReadOptions& options,
     cache_handle = block_cache_->Lookup(key);
     if (cache_handle != nullptr) {
       block = reinterpret_cast<Block*>(block_cache_->Value(cache_handle));
+      RecordTick(options_.statistics.get(), Tickers::kLsmBlockCacheHit);
+      PerfAdd(&PerfContext::block_cache_hit_count, 1);
     } else {
-      s = ReadBlockObject(file_.get(), options, handle, fname_, &block);
+      RecordTick(options_.statistics.get(), Tickers::kLsmBlockCacheMiss);
+      s = ReadBlockObjectCounted(file_.get(), options, handle, fname_,
+                                 options_.statistics.get(), &block);
       if (s.ok() && options.fill_cache) {
         cache_handle = block_cache_->Insert(key, block, block->size(),
                                             &DeleteCachedBlock);
       }
     }
   } else {
-    s = ReadBlockObject(file_.get(), options, handle, fname_, &block);
+    s = ReadBlockObjectCounted(file_.get(), options, handle, fname_,
+                               options_.statistics.get(), &block);
   }
 
   if (!s.ok()) {

@@ -6,13 +6,14 @@
 namespace shield {
 
 ChunkEncryptor::ChunkEncryptor(const crypto::StreamCipher* cipher,
-                               ThreadPool* pool, int threads)
-    : cipher_(cipher), pool_(pool), threads_(threads) {}
+                               ThreadPool* pool, int threads,
+                               Statistics* stats)
+    : cipher_(cipher), pool_(pool), threads_(threads), stats_(stats) {}
 
-void ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
+Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
   if (pool_ == nullptr || threads_ <= 1 || n < 2 * kMinShardBytes) {
-    cipher_->CryptAt(offset, data, n);
-    return;
+    RecordTick(stats_, Tickers::kShieldChunkEncryptShards, 1);
+    return cipher_->CryptAt(offset, data, n);
   }
 
   size_t shards = static_cast<size_t>(threads_);
@@ -20,17 +21,23 @@ void ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
     shards = n / kMinShardBytes;
   }
   const size_t shard_size = (n + shards - 1) / shards;
+  RecordTick(stats_, Tickers::kShieldChunkEncryptShards, shards);
 
   std::mutex mu;
   std::condition_variable cv;
   size_t remaining = shards;
+  Status first_error;
 
   for (size_t i = 0; i < shards; i++) {
     const size_t begin = i * shard_size;
     const size_t len = std::min(shard_size, n - begin);
-    pool_->Schedule([this, offset, data, begin, len, &mu, &cv, &remaining] {
-      cipher_->CryptAt(offset + begin, data + begin, len);
+    pool_->Schedule([this, offset, data, begin, len, &mu, &cv, &remaining,
+                     &first_error] {
+      Status s = cipher_->CryptAt(offset + begin, data + begin, len);
       std::lock_guard<std::mutex> lock(mu);
+      if (!s.ok() && first_error.ok()) {
+        first_error = s;
+      }
       if (--remaining == 0) {
         cv.notify_one();
       }
@@ -39,6 +46,7 @@ void ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
 
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&remaining] { return remaining == 0; });
+  return first_error;
 }
 
 }  // namespace shield

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "crypto/cipher.h"
+#include "util/statistics.h"
 #include "util/thread_pool.h"
 
 namespace shield {
@@ -16,13 +17,17 @@ namespace shield {
 class ChunkEncryptor {
  public:
   /// `cipher` must outlive the encryptor. `pool` may be null (or
-  /// `threads` <= 1) for synchronous encryption.
+  /// `threads` <= 1) for synchronous encryption. `stats` (optional)
+  /// receives a shield.chunk.encrypt.shards tick per dispatched shard.
   ChunkEncryptor(const crypto::StreamCipher* cipher, ThreadPool* pool,
-                 int threads);
+                 int threads, Statistics* stats = nullptr);
 
   /// XORs keystream over data[0, n) positioned at `offset` in the
   /// logical file. Blocking: returns when all bytes are processed.
-  void Encrypt(uint64_t offset, char* data, size_t n);
+  /// On cipher failure (e.g. ChaCha20 counter overflow) returns the
+  /// first failing shard's status; the buffer contents are then
+  /// unusable and the caller must fail the write.
+  Status Encrypt(uint64_t offset, char* data, size_t n);
 
  private:
   // Sub-ranges smaller than this are not worth a task dispatch.
@@ -31,6 +36,7 @@ class ChunkEncryptor {
   const crypto::StreamCipher* cipher_;
   ThreadPool* pool_;
   int threads_;
+  Statistics* stats_;
 };
 
 }  // namespace shield

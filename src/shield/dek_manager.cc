@@ -1,5 +1,6 @@
 #include "shield/dek_manager.h"
 
+#include "util/perf_context.h"
 #include "util/retry.h"
 
 namespace shield {
@@ -24,18 +25,39 @@ const RetryPolicy& KdsRetryPolicy() {
 }  // namespace
 
 DekManager::DekManager(Kds* kds, std::string server_id,
-                       SecureDekCache* secure_cache)
+                       SecureDekCache* secure_cache, Statistics* stats)
     : kds_(kds), server_id_(std::move(server_id)),
-      secure_cache_(secure_cache) {}
+      secure_cache_(secure_cache), stats_(stats) {}
+
+Status DekManager::KdsRoundTrip(const std::function<Status()>& op) {
+  kds_requests_.fetch_add(1, std::memory_order_relaxed);
+  RecordTick(stats_, Tickers::kKdsRequests, 1);
+  PerfAdd(&PerfContext::kds_request_count, 1);
+  uint64_t elapsed = 0;
+  int attempts = 1;
+  Status s;
+  {
+    StopWatch watch(stats_, Histograms::kKdsLatencyMicros, &elapsed);
+    s = RunWithRetry(KdsRetryPolicy(), op, &attempts);
+  }
+  if (attempts > 1) {
+    RecordTick(stats_, Tickers::kKdsRetries,
+               static_cast<uint64_t>(attempts - 1));
+  }
+  if (!s.ok()) {
+    RecordTick(stats_, Tickers::kKdsFailures, 1);
+  }
+  PerfAdd(&PerfContext::kds_wait_micros, elapsed);
+  return s;
+}
 
 Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
-  kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = RunWithRetry(KdsRetryPolicy(), [&] {
-    return kds_->CreateDek(server_id_, kind, out);
-  });
+  Status s =
+      KdsRoundTrip([&] { return kds_->CreateDek(server_id_, kind, out); });
   if (!s.ok()) {
     return s;
   }
+  RecordTick(stats_, Tickers::kShieldDekCreated, 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     memory_[out->id] = *out;
@@ -55,6 +77,7 @@ Status DekManager::ResolveDek(const DekId& id, Dek* out) {
     if (it != memory_.end()) {
       *out = it->second;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      RecordTick(stats_, Tickers::kShieldDekCacheHit, 1);
       return Status::OK();
     }
   }
@@ -62,11 +85,11 @@ Status DekManager::ResolveDek(const DekId& id, Dek* out) {
     std::lock_guard<std::mutex> lock(mu_);
     memory_[id] = *out;
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    RecordTick(stats_, Tickers::kShieldDekCacheHit, 1);
     return Status::OK();
   }
-  kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = RunWithRetry(KdsRetryPolicy(),
-                          [&] { return kds_->GetDek(server_id_, id, out); });
+  RecordTick(stats_, Tickers::kShieldDekCacheMiss, 1);
+  Status s = KdsRoundTrip([&] { return kds_->GetDek(server_id_, id, out); });
   if (!s.ok()) {
     return s;
   }
@@ -88,9 +111,8 @@ Status DekManager::ForgetDek(const DekId& id) {
   if (secure_cache_ != nullptr) {
     secure_cache_->Erase(id);
   }
-  kds_requests_.fetch_add(1, std::memory_order_relaxed);
-  Status s = RunWithRetry(KdsRetryPolicy(),
-                          [&] { return kds_->DeleteDek(server_id_, id); });
+  RecordTick(stats_, Tickers::kShieldDekDestroyed, 1);
+  Status s = KdsRoundTrip([&] { return kds_->DeleteDek(server_id_, id); });
   if (s.IsNotFound()) {
     // Another server (e.g. the compaction worker) may have owned the
     // deletion; dropping a missing DEK is success.

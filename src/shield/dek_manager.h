@@ -2,12 +2,14 @@
 #define SHIELD_SHIELD_DEK_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "kds/kds.h"
 #include "kds/secure_dek_cache.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -19,7 +21,10 @@ namespace shield {
 class DekManager {
  public:
   /// `kds` must outlive the manager. `secure_cache` may be null.
-  DekManager(Kds* kds, std::string server_id, SecureDekCache* secure_cache);
+  /// `stats` (optional, must outlive the manager) receives kds.* and
+  /// shield.dek.* tickers plus the KDS latency histogram.
+  DekManager(Kds* kds, std::string server_id, SecureDekCache* secure_cache,
+             Statistics* stats = nullptr);
 
   /// Requests a brand-new DEK from the KDS (one per file created).
   Status CreateDek(crypto::CipherKind kind, Dek* out);
@@ -44,9 +49,14 @@ class DekManager {
   const std::string& server_id() const { return server_id_; }
 
  private:
+  /// One KDS round trip with retry, latency measurement, and ticker /
+  /// PerfContext accounting shared by Create/Resolve/Forget.
+  Status KdsRoundTrip(const std::function<Status()>& op);
+
   Kds* const kds_;
   const std::string server_id_;
   SecureDekCache* const secure_cache_;
+  Statistics* const stats_;
 
   std::atomic<uint64_t> kds_requests_{0};
   std::atomic<uint64_t> cache_hits_{0};

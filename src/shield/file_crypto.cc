@@ -5,11 +5,32 @@
 #include "crypto/block_auth.h"
 #include "crypto/secure_random.h"
 #include "shield/chunk_encryptor.h"
+#include "util/perf_context.h"
 
 namespace shield {
 
 namespace {
 constexpr char kMagic[8] = {'S', 'H', 'L', 'D', 'F', 'I', 'L', '1'};
+
+// Accounts crypto traffic into the global tickers and the calling
+// thread's PerfContext at the single place where SHIELD files touch
+// plaintext<->ciphertext.
+void RecordCryptoBytes(Statistics* stats, crypto::CipherKind kind,
+                       bool encrypt, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  RecordTick(stats,
+             encrypt ? Tickers::kCryptoBytesEncrypted
+                     : Tickers::kCryptoBytesDecrypted,
+             n);
+  RecordTick(stats,
+             kind == crypto::CipherKind::kChaCha20 ? Tickers::kCryptoChaCha20Bytes
+                                                   : Tickers::kCryptoAesBytes,
+             n);
+  PerfAdd(encrypt ? &PerfContext::encrypt_bytes : &PerfContext::decrypt_bytes,
+          n);
+}
 }  // namespace
 
 std::string EncodeShieldFileHeader(const ShieldFileHeader& header) {
@@ -111,14 +132,17 @@ class ShieldWritableFile final : public WritableFile {
   ShieldWritableFile(std::unique_ptr<WritableFile> base, Dek dek,
                      std::string nonce, size_t buffer_size,
                      ThreadPool* encryption_pool, int encryption_threads,
-                     std::unique_ptr<crypto::BlockAuthenticator> auth)
+                     std::unique_ptr<crypto::BlockAuthenticator> auth,
+                     FileKind kind, Statistics* stats)
       : base_(std::move(base)),
         dek_(std::move(dek)),
         nonce_(std::move(nonce)),
         buffer_size_(buffer_size),
         encryption_pool_(encryption_pool),
         encryption_threads_(encryption_threads),
-        auth_(std::move(auth)) {
+        auth_(std::move(auth)),
+        kind_(kind),
+        stats_(stats) {
     if (buffer_size_ > 0) {
       buffer_.reserve(buffer_size_);
     }
@@ -180,6 +204,9 @@ class ShieldWritableFile final : public WritableFile {
     if (buffer_.empty()) {
       return Status::OK();
     }
+    if (kind_ == FileKind::kWal) {
+      RecordTick(stats_, Tickers::kShieldWalBufferDrains, 1);
+    }
     Status s = EncryptAndAppend(buffer_.data(), buffer_.size());
     if (s.ok()) {
       // Only on success: after a transient append failure the
@@ -203,8 +230,14 @@ class ShieldWritableFile final : public WritableFile {
     }
     scratch_.assign(data, n);
     ChunkEncryptor encryptor(cipher.get(), encryption_pool_,
-                             encryption_threads_);
-    encryptor.Encrypt(logical_offset_, scratch_.data(), scratch_.size());
+                             encryption_threads_, stats_);
+    s = encryptor.Encrypt(logical_offset_, scratch_.data(), scratch_.size());
+    if (!s.ok()) {
+      // Cipher failure (e.g. ChaCha20 counter overflow): scratch_ may
+      // hold partially transformed bytes; never append them.
+      return s;
+    }
+    RecordCryptoBytes(stats_, dek_.cipher, /*encrypt=*/true, n);
     s = base_->Append(scratch_);
     if (s.ok()) {
       logical_offset_ += n;
@@ -219,6 +252,8 @@ class ShieldWritableFile final : public WritableFile {
   ThreadPool* const encryption_pool_;
   const int encryption_threads_;
   const std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  const FileKind kind_;
+  Statistics* const stats_;
 
   std::string buffer_;   // plaintext, in memory only
   std::string scratch_;  // ciphertext staging
@@ -232,10 +267,12 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
  public:
   ShieldRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
                          std::unique_ptr<crypto::StreamCipher> cipher,
-                         std::unique_ptr<crypto::BlockAuthenticator> auth)
+                         std::unique_ptr<crypto::BlockAuthenticator> auth,
+                         Statistics* stats)
       : base_(std::move(base)),
         cipher_(std::move(cipher)),
-        auth_(std::move(auth)) {}
+        auth_(std::move(auth)),
+        stats_(stats) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -246,7 +283,15 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
     if (result->data() != scratch && result->size() > 0) {
       memmove(scratch, result->data(), result->size());
     }
-    cipher_->CryptAt(offset, scratch, result->size());
+    {
+      PerfTimer timer(&GetPerfContext()->decrypt_micros);
+      s = cipher_->CryptAt(offset, scratch, result->size());
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    RecordCryptoBytes(stats_, cipher_->kind(), /*encrypt=*/false,
+                      result->size());
     *result = Slice(scratch, result->size());
     return Status::OK();
   }
@@ -267,16 +312,19 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
   std::unique_ptr<RandomAccessFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
   std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  Statistics* const stats_;
 };
 
 class ShieldSequentialFile final : public SequentialFile {
  public:
   ShieldSequentialFile(std::unique_ptr<SequentialFile> base,
                        std::unique_ptr<crypto::StreamCipher> cipher,
-                       std::unique_ptr<crypto::BlockAuthenticator> auth)
+                       std::unique_ptr<crypto::BlockAuthenticator> auth,
+                       Statistics* stats)
       : base_(std::move(base)),
         cipher_(std::move(cipher)),
-        auth_(std::move(auth)) {}
+        auth_(std::move(auth)),
+        stats_(stats) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
     Status s = base_->Read(n, result, scratch);
@@ -286,7 +334,15 @@ class ShieldSequentialFile final : public SequentialFile {
     if (result->data() != scratch && result->size() > 0) {
       memmove(scratch, result->data(), result->size());
     }
-    cipher_->CryptAt(logical_offset_, scratch, result->size());
+    {
+      PerfTimer timer(&GetPerfContext()->decrypt_micros);
+      s = cipher_->CryptAt(logical_offset_, scratch, result->size());
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    RecordCryptoBytes(stats_, cipher_->kind(), /*encrypt=*/false,
+                      result->size());
     *result = Slice(scratch, result->size());
     logical_offset_ += result->size();
     return Status::OK();
@@ -305,6 +361,7 @@ class ShieldSequentialFile final : public SequentialFile {
   std::unique_ptr<SequentialFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
   std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  Statistics* const stats_;
   uint64_t logical_offset_ = 0;
 };
 
@@ -313,11 +370,13 @@ class ShieldSequentialFile final : public SequentialFile {
 class ShieldFileFactory final : public DataFileFactory {
  public:
   ShieldFileFactory(Env* env, DekManager* dek_manager,
-                    const EncryptionOptions& opts, ThreadPool* encryption_pool)
+                    const EncryptionOptions& opts, ThreadPool* encryption_pool,
+                    Statistics* stats)
       : env_(env),
         dek_manager_(dek_manager),
         opts_(opts),
-        encryption_pool_(encryption_pool) {}
+        encryption_pool_(encryption_pool),
+        stats_(stats) {}
 
   Status NewWritableFile(const std::string& fname, FileKind kind,
                          std::unique_ptr<WritableFile>* out) override {
@@ -353,6 +412,7 @@ class ShieldFileFactory final : public DataFileFactory {
       if (auth == nullptr) {
         return Status::InvalidArgument("cannot build block authenticator");
       }
+      auth->SetStatisticsSink(stats_);
     }
 
     size_t buffer_size = 0;
@@ -376,7 +436,7 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     *out = std::make_unique<ShieldWritableFile>(
         std::move(base), std::move(dek), std::move(header.nonce), buffer_size,
-        pool, threads, std::move(auth));
+        pool, threads, std::move(auth), kind, stats_);
     return Status::OK();
   }
 
@@ -407,7 +467,7 @@ class ShieldFileFactory final : public DataFileFactory {
       return s;
     }
     *out = std::make_unique<ShieldRandomAccessFile>(
-        std::move(base), std::move(cipher), std::move(auth));
+        std::move(base), std::move(cipher), std::move(auth), stats_);
     return Status::OK();
   }
 
@@ -449,7 +509,7 @@ class ShieldFileFactory final : public DataFileFactory {
       return s;
     }
     *out = std::make_unique<ShieldSequentialFile>(
-        std::move(base), std::move(cipher), std::move(auth));
+        std::move(base), std::move(cipher), std::move(auth), stats_);
     return Status::OK();
   }
 
@@ -493,6 +553,7 @@ class ShieldFileFactory final : public DataFileFactory {
       if (*auth == nullptr) {
         return Status::InvalidArgument("cannot build block authenticator");
       }
+      (*auth)->SetStatisticsSink(stats_);
     }
     return crypto::NewStreamCipher(dek.cipher, dek.key, header.nonce, cipher);
   }
@@ -501,6 +562,7 @@ class ShieldFileFactory final : public DataFileFactory {
   DekManager* dek_manager_;
   const EncryptionOptions opts_;
   ThreadPool* encryption_pool_;
+  Statistics* stats_;
 };
 
 }  // namespace
@@ -511,9 +573,9 @@ std::unique_ptr<DataFileFactory> NewPlainFileFactory(Env* env) {
 
 std::unique_ptr<DataFileFactory> NewShieldFileFactory(
     Env* env, DekManager* dek_manager, const EncryptionOptions& opts,
-    ThreadPool* encryption_pool) {
+    ThreadPool* encryption_pool, Statistics* stats) {
   return std::make_unique<ShieldFileFactory>(env, dek_manager, opts,
-                                             encryption_pool);
+                                             encryption_pool, stats);
 }
 
 }  // namespace shield

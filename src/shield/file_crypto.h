@@ -10,6 +10,7 @@
 #include "kds/dek.h"
 #include "lsm/options.h"
 #include "shield/dek_manager.h"
+#include "util/statistics.h"
 #include "util/thread_pool.h"
 
 namespace shield {
@@ -82,10 +83,12 @@ std::unique_ptr<DataFileFactory> NewPlainFileFactory(Env* env);
 
 /// Factory implementing SHIELD's embedded encryption. `dek_manager`
 /// must outlive the factory; `encryption_pool` may be null when
-/// opts.encryption_threads <= 1.
+/// opts.encryption_threads <= 1. `stats` (optional, must outlive the
+/// factory and every file it creates) receives crypto.* and shield.*
+/// tickers for all encrypt/decrypt traffic.
 std::unique_ptr<DataFileFactory> NewShieldFileFactory(
     Env* env, DekManager* dek_manager, const EncryptionOptions& opts,
-    ThreadPool* encryption_pool);
+    ThreadPool* encryption_pool, Statistics* stats = nullptr);
 
 }  // namespace shield
 

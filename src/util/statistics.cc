@@ -1,0 +1,108 @@
+#include "util/statistics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace shield {
+
+namespace {
+
+// Indexed by Tickers value. Keep in sync with the enum; the static
+// assert below catches drift.
+const char* const kTickerNames[] = {
+    "io.wal.read.bytes",
+    "io.wal.write.bytes",
+    "io.wal.read.ops",
+    "io.wal.write.ops",
+    "io.sst.read.bytes",
+    "io.sst.write.bytes",
+    "io.sst.read.ops",
+    "io.sst.write.ops",
+    "io.manifest.read.bytes",
+    "io.manifest.write.bytes",
+    "io.manifest.read.ops",
+    "io.manifest.write.ops",
+    "io.other.read.bytes",
+    "io.other.write.bytes",
+    "io.other.read.ops",
+    "io.other.write.ops",
+    "lsm.flush.bytes.written",
+    "lsm.compaction.bytes.read",
+    "lsm.compaction.bytes.written",
+    "lsm.block.cache.hit",
+    "lsm.block.cache.miss",
+    "lsm.stall.micros",
+    "crypto.bytes.encrypted",
+    "crypto.bytes.decrypted",
+    "crypto.aes.bytes",
+    "crypto.chacha20.bytes",
+    "crypto.hmac.computed",
+    "crypto.hmac.verified",
+    "crypto.hmac.failures",
+    "shield.dek.created",
+    "shield.dek.destroyed",
+    "shield.dek.cache.hit",
+    "shield.dek.cache.miss",
+    "shield.chunk.encrypt.shards",
+    "shield.wal.buffer.drains",
+    "kds.requests",
+    "kds.retries",
+    "kds.failures",
+    "ds.network.bytes",
+    "ds.network.requests",
+    "ds.network.wait.micros",
+};
+
+static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,
+              "ticker name table out of sync with Tickers enum");
+
+const char* const kHistogramNames[] = {
+    "db.get.micros",      "db.write.micros", "lsm.flush.micros",
+    "lsm.compaction.micros", "sst.read.micros", "kds.latency.micros",
+};
+
+static_assert(sizeof(kHistogramNames) / sizeof(kHistogramNames[0]) ==
+                  kNumHistograms,
+              "histogram name table out of sync with Histograms enum");
+
+}  // namespace
+
+const char* TickerName(Tickers ticker) {
+  return kTickerNames[static_cast<size_t>(ticker)];
+}
+
+const char* HistogramName(Histograms histogram) {
+  return kHistogramNames[static_cast<size_t>(histogram)];
+}
+
+void Statistics::Reset() {
+  for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+  for (auto& h : histograms_) h.Clear();
+}
+
+std::string Statistics::ToString() const {
+  std::string out;
+  char buf[256];
+  for (size_t i = 0; i < kNumTickers; ++i) {
+    std::snprintf(buf, sizeof(buf), "%-30s %" PRIu64 "\n", kTickerNames[i],
+                  tickers_[i].load(std::memory_order_relaxed));
+    out.append(buf);
+  }
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const Histogram& h = histograms_[i];
+    if (h.Count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-30s count=%" PRIu64 " avg=%.1f p50=%.1f p99=%.1f max=%" PRIu64
+                  "\n",
+                  kHistogramNames[i], h.Count(), h.Average(),
+                  h.Percentile(50.0), h.Percentile(99.0), h.Max());
+    out.append(buf);
+  }
+  return out;
+}
+
+std::shared_ptr<Statistics> CreateDBStatistics() {
+  return std::make_shared<Statistics>();
+}
+
+}  // namespace shield

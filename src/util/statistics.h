@@ -1,0 +1,185 @@
+#ifndef SHIELD_UTIL_STATISTICS_H_
+#define SHIELD_UTIL_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/clock.h"
+#include "util/histogram.h"
+
+namespace shield {
+
+/// Named monotonic counters. Every component of the engine reports
+/// into this single flat namespace so per-component costs (crypto
+/// bytes, KDS round trips, WAL/SST/compaction I/O — the paper's
+/// Table 3 split) can be cross-checked against each other and against
+/// the per-operation PerfContext. Names are dotted and stable: bench
+/// JSON reports and the `shield.stats` property key off them.
+enum class Tickers : uint32_t {
+  // Physical I/O, split by file kind (fed by the counting Env).
+  kIoWalReadBytes = 0,
+  kIoWalWriteBytes,
+  kIoWalReadOps,
+  kIoWalWriteOps,
+  kIoSstReadBytes,
+  kIoSstWriteBytes,
+  kIoSstReadOps,
+  kIoSstWriteOps,
+  kIoManifestReadBytes,
+  kIoManifestWriteBytes,
+  kIoManifestReadOps,
+  kIoManifestWriteOps,
+  kIoOtherReadBytes,
+  kIoOtherWriteBytes,
+  kIoOtherReadOps,
+  kIoOtherWriteOps,
+
+  // LSM engine.
+  kLsmFlushBytesWritten,
+  kLsmCompactionBytesRead,
+  kLsmCompactionBytesWritten,
+  kLsmBlockCacheHit,
+  kLsmBlockCacheMiss,
+  kLsmStallMicros,
+
+  // Crypto layer (counted at the file wrappers, per direction and
+  // per cipher kind).
+  kCryptoBytesEncrypted,
+  kCryptoBytesDecrypted,
+  kCryptoAesBytes,
+  kCryptoChaCha20Bytes,
+  kCryptoHmacComputed,
+  kCryptoHmacVerified,
+  kCryptoHmacFailures,
+
+  // SHIELD key plane.
+  kShieldDekCreated,
+  kShieldDekDestroyed,
+  kShieldDekCacheHit,
+  kShieldDekCacheMiss,
+  kShieldChunkEncryptShards,
+  kShieldWalBufferDrains,
+
+  // KDS traffic.
+  kKdsRequests,
+  kKdsRetries,
+  kKdsFailures,
+
+  // Disaggregated-storage fabric (simulated network).
+  kDsNetworkBytes,
+  kDsNetworkRequests,
+  kDsNetworkWaitMicros,
+
+  kTickerMax,  // not a ticker
+};
+
+constexpr size_t kNumTickers = static_cast<size_t>(Tickers::kTickerMax);
+
+/// Stable dotted name for each ticker (e.g. "io.sst.write.bytes").
+const char* TickerName(Tickers ticker);
+
+/// Timer histograms (values in microseconds unless noted).
+enum class Histograms : uint32_t {
+  kDbGetMicros = 0,
+  kDbWriteMicros,
+  kFlushMicros,
+  kCompactionMicros,
+  kSstReadMicros,
+  kKdsLatencyMicros,
+  kHistogramMax,  // not a histogram
+};
+
+constexpr size_t kNumHistograms = static_cast<size_t>(Histograms::kHistogramMax);
+
+const char* HistogramName(Histograms histogram);
+
+/// Process-wide metrics registry: one atomic counter per ticker plus
+/// one Histogram per timer. Shared by every layer that the Options
+/// object reaches (Env wrapper, crypto file layers, KDS, DS fabric,
+/// LSM internals). All methods are thread safe; tickers use relaxed
+/// atomics (they are statistically merged counts, not synchronization).
+class Statistics {
+ public:
+  Statistics() {
+    for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+  }
+
+  void RecordTick(Tickers ticker, uint64_t count = 1) {
+    tickers_[static_cast<size_t>(ticker)].fetch_add(count,
+                                                    std::memory_order_relaxed);
+  }
+
+  uint64_t GetTickerCount(Tickers ticker) const {
+    return tickers_[static_cast<size_t>(ticker)].load(
+        std::memory_order_relaxed);
+  }
+
+  void MeasureTime(Histograms histogram, uint64_t micros) {
+    histograms_[static_cast<size_t>(histogram)].Add(micros);
+  }
+
+  const Histogram& GetHistogram(Histograms histogram) const {
+    return histograms_[static_cast<size_t>(histogram)];
+  }
+
+  /// Zeroes all tickers and clears all histograms. Not atomic across
+  /// counters; meant for bench warm-up boundaries, not concurrent use.
+  void Reset();
+
+  /// Human-readable dump of every ticker and non-empty histogram.
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> tickers_[kNumTickers];
+  Histogram histograms_[kNumHistograms];
+};
+
+/// Null-safe helpers so call sites do not have to test for a
+/// configured statistics object.
+inline void RecordTick(Statistics* stats, Tickers ticker, uint64_t count = 1) {
+  if (stats != nullptr) stats->RecordTick(ticker, count);
+}
+
+inline void MeasureTime(Statistics* stats, Histograms histogram,
+                        uint64_t micros) {
+  if (stats != nullptr) stats->MeasureTime(histogram, micros);
+}
+
+/// Scoped wall-clock timer feeding a histogram (and optionally an
+/// elapsed-micros out-param). No-ops entirely when `stats` is null
+/// and `elapsed` is null.
+class StopWatch {
+ public:
+  StopWatch(Statistics* stats, Histograms histogram,
+            uint64_t* elapsed = nullptr)
+      : stats_(stats),
+        histogram_(histogram),
+        elapsed_(elapsed),
+        start_(stats != nullptr || elapsed != nullptr ? NowMicros() : 0) {}
+
+  ~StopWatch() {
+    if (stats_ == nullptr && elapsed_ == nullptr) return;
+    uint64_t micros = NowMicros() - start_;
+    if (elapsed_ != nullptr) *elapsed_ = micros;
+    if (stats_ != nullptr) stats_->MeasureTime(histogram_, micros);
+  }
+
+  StopWatch(const StopWatch&) = delete;
+  StopWatch& operator=(const StopWatch&) = delete;
+
+ private:
+  Statistics* stats_;
+  Histograms histogram_;
+  uint64_t* elapsed_;
+  uint64_t start_;
+};
+
+/// Factory matching the RocksDB idiom: Options::statistics =
+/// CreateDBStatistics().
+std::shared_ptr<Statistics> CreateDBStatistics();
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_STATISTICS_H_

@@ -188,6 +188,69 @@ TEST(ChaCha20Test, RejectsBadSizes) {
   EXPECT_FALSE(chacha.Init(std::string(32, 'k'), std::string(8, 'n')).ok());
 }
 
+// ChaCha20's RFC 7539 block counter is 32 bits wide, so a single
+// (key, nonce) stream addresses at most 2^32 64-byte blocks = 256 GiB.
+// Beyond that the counter would wrap and reuse keystream — a silent
+// confidentiality break. CryptAt must refuse such ranges up front.
+TEST(ChaCha20Test, CounterOverflowRejected) {
+  std::unique_ptr<StreamCipher> cipher;
+  ASSERT_TRUE(NewStreamCipher(CipherKind::kChaCha20, SecureRandomString(32),
+                              SecureRandomString(12), &cipher)
+                  .ok());
+  constexpr uint64_t kLimit = (uint64_t{1} << 32) * ChaCha20::kBlockSize;
+  char buf[256];
+
+  // The last fully addressable block: [kLimit - 64, kLimit) is fine.
+  memset(buf, 'a', sizeof(buf));
+  EXPECT_TRUE(
+      cipher->CryptAt(kLimit - ChaCha20::kBlockSize, buf, 64).ok());
+
+  // One byte past the limit inside the range → the final block is
+  // unaddressable, and the buffer must be left untouched.
+  memset(buf, 'a', sizeof(buf));
+  Status s = cipher->CryptAt(kLimit - ChaCha20::kBlockSize, buf, 65);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(std::string(sizeof(buf), 'a'), std::string(buf, sizeof(buf)));
+
+  // A range starting wholly past the limit fails too.
+  EXPECT_TRUE(cipher->CryptAt(kLimit, buf, 1).IsInvalidArgument());
+  EXPECT_TRUE(
+      cipher->CryptAt(kLimit + 12345, buf, sizeof(buf)).IsInvalidArgument());
+
+  // An empty range is harmless anywhere.
+  EXPECT_TRUE(cipher->CryptAt(kLimit, buf, 0).ok());
+
+  // Round-trip just below the boundary still works (the regression
+  // before the fix: the 64-bit block index was truncated to uint32_t,
+  // so these offsets silently reused the keystream of offset 0).
+  std::string data(128, 'd');
+  const std::string original = data;
+  const uint64_t offset = kLimit - 128;
+  ASSERT_TRUE(cipher->CryptAt(offset, data.data(), data.size()).ok());
+  EXPECT_NE(original, data);
+  // Same bytes encrypted at offset 0 must differ: distinct keystream.
+  std::string low(128, 'd');
+  ASSERT_TRUE(cipher->CryptAt(0, low.data(), low.size()).ok());
+  EXPECT_NE(low, data);
+  ASSERT_TRUE(cipher->CryptAt(offset, data.data(), data.size()).ok());
+  EXPECT_EQ(original, data);
+}
+
+// AES-CTR uses the full 128-bit counter: the same boundary is fine.
+TEST(CtrStreamTest, AesAddressesPastChaChaLimit) {
+  std::unique_ptr<StreamCipher> cipher;
+  ASSERT_TRUE(NewStreamCipher(CipherKind::kAes128Ctr, SecureRandomString(16),
+                              SecureRandomString(16), &cipher)
+                  .ok());
+  constexpr uint64_t kLimit = (uint64_t{1} << 32) * 64;
+  std::string data(128, 'd');
+  const std::string original = data;
+  ASSERT_TRUE(cipher->CryptAt(kLimit, data.data(), data.size()).ok());
+  EXPECT_NE(original, data);
+  ASSERT_TRUE(cipher->CryptAt(kLimit, data.data(), data.size()).ok());
+  EXPECT_EQ(original, data);
+}
+
 TEST(ChaCha20Test, OffsetAddressing) {
   std::unique_ptr<StreamCipher> cipher;
   ASSERT_TRUE(NewStreamCipher(CipherKind::kChaCha20, SecureRandomString(32),

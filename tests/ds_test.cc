@@ -91,8 +91,22 @@ TEST_F(RemoteEnvTest, TrafficAccounted) {
                                 "/d/000001.sst", false)
                   .ok());
   EXPECT_EQ(5000u, client_stats_.WriteBytes(FileKind::kSst));
+  EXPECT_EQ(1u, client_stats_.WriteOps(FileKind::kSst));
   EXPECT_EQ(5000u, service_->media_stats()->WriteBytes(FileKind::kSst));
   EXPECT_EQ(5000u, service_->network()->total_bytes());
+}
+
+TEST_F(RemoteEnvTest, StatisticsSinkSeesFabricTraffic) {
+  auto stats = CreateDBStatistics();
+  service_->SetStatisticsSink(stats.get());
+  ASSERT_TRUE(WriteStringToFile(remote_.get(), std::string(4096, 'y'),
+                                "/d/000002.sst", false)
+                  .ok());
+  EXPECT_GE(stats->GetTickerCount(Tickers::kDsNetworkBytes), 4096u);
+  EXPECT_GT(stats->GetTickerCount(Tickers::kDsNetworkRequests), 0u);
+  // Server-side media I/O lands on the same registry's io.* tickers.
+  EXPECT_GE(stats->GetTickerCount(Tickers::kIoSstWriteBytes), 4096u);
+  service_->SetStatisticsSink(nullptr);
 }
 
 TEST_F(RemoteEnvTest, DbRunsOverRemoteStorage) {
