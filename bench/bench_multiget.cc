@@ -1,0 +1,159 @@
+// MultiGet vs sequential Gets on the simulated disaggregated-storage
+// fabric. Each batch asks for the same keys both ways; MultiGet's
+// coalesced block fetches should need fewer fabric round trips per
+// key (ds.network.requests) at equal results. Also exercises the
+// compaction readahead path during the fill (io.readahead.* tickers).
+//
+// Knobs: SHIELD_BENCH_MULTIGET_KEYS (default 20000),
+//        SHIELD_BENCH_MULTIGET_BATCHES (default 400),
+//        SHIELD_BENCH_MULTIGET_BATCH_SIZE (default 16).
+
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "benchutil/driver.h"
+#include "util/random.h"
+
+namespace shield {
+namespace bench {
+namespace {
+
+std::string ProbeKey(uint64_t i) {
+  char key[32];
+  snprintf(key, sizeof(key), "probe%016llu",
+           static_cast<unsigned long long>(i));
+  return std::string(key);
+}
+
+void Run() {
+  PrintBenchHeader("MultiGet vs sequential Gets (DS fabric)",
+                   "batched reads coalesce block fetches into fewer "
+                   "round trips");
+
+  const uint64_t num_keys = EnvInt("SHIELD_BENCH_MULTIGET_KEYS", 20'000);
+  const uint64_t num_batches = EnvInt("SHIELD_BENCH_MULTIGET_BATCHES", 400);
+  const uint64_t batch_size = EnvInt("SHIELD_BENCH_MULTIGET_BATCH_SIZE", 16);
+
+  auto cluster = MakeDsCluster(/*rtt_us=*/200);
+  Options options = cluster->MakeDbOptions(Engine::kShieldWalBuf, false);
+  options.statistics = CreateDBStatistics();
+  Statistics* stats = options.statistics.get();
+  // Mirror fabric traffic into the same stats object so the report's
+  // ds.network.requests ticker covers both phases.
+  cluster->storage->SetStatisticsSink(stats);
+  auto db = OpenDs(cluster.get(), options, "multiget");
+
+  const std::string value(100, 'v');
+  for (uint64_t i = 0; i < num_keys; i++) {
+    db->Put(WriteOptions(), ProbeKey(i), value);
+  }
+  db->Flush();
+  db->WaitForIdle();
+
+  // Deterministic batches so both phases read identical key sets.
+  Random rnd(42);
+  std::vector<std::vector<std::string>> batches(num_batches);
+  for (auto& batch : batches) {
+    for (uint64_t k = 0; k < batch_size; k++) {
+      batch.push_back(ProbeKey(rnd.Next64() % num_keys));
+    }
+  }
+
+  // fill_cache=false: every batch pays its block fetches, so the
+  // fabric round-trip difference is visible instead of the second
+  // phase free-riding on the first phase's cache.
+  ReadOptions ro;
+  ro.fill_cache = false;
+
+  const uint64_t net_before_seq =
+      stats->GetTickerCount(Tickers::kDsNetworkRequests);
+  BenchResult seq = RunOps("sequential_gets", num_batches, 1,
+                           [&](int, uint64_t i) {
+                             for (const std::string& key : batches[i]) {
+                               std::string result;
+                               db->Get(ro, key, &result);
+                             }
+                           });
+  const uint64_t seq_trips =
+      stats->GetTickerCount(Tickers::kDsNetworkRequests) - net_before_seq;
+  PrintResult(seq);
+
+  const uint64_t net_before_mg =
+      stats->GetTickerCount(Tickers::kDsNetworkRequests);
+  bool mismatch = false;
+  BenchResult mg = RunOps("multiget", num_batches, 1, [&](int, uint64_t i) {
+    std::vector<Slice> keys(batches[i].begin(), batches[i].end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db->MultiGet(ro, keys, &values);
+    for (const Status& s : statuses) {
+      if (!s.ok()) {
+        mismatch = true;
+      }
+    }
+  });
+  const uint64_t mg_trips =
+      stats->GetTickerCount(Tickers::kDsNetworkRequests) - net_before_mg;
+  PrintResult(mg);
+  PrintPercentVs(seq, mg);
+
+  // Full scan with iterator readahead: exercises the prefetch buffer
+  // (io.readahead.* tickers) deterministically, even at scales where
+  // the fill was too small for compaction readahead to kick in.
+  ReadOptions scan_ro;
+  scan_ro.fill_cache = false;
+  scan_ro.readahead_size = 256 * 1024;
+  BenchResult scan = RunOps("readahead_scan", 1, 1, [&](int, uint64_t) {
+    std::unique_ptr<Iterator> it(db->NewIterator(scan_ro));
+    uint64_t seen = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      seen++;
+    }
+    if (seen != num_keys) {
+      fprintf(stderr, "FATAL: scan saw %" PRIu64 " of %" PRIu64 " keys\n",
+              seen, num_keys);
+      exit(1);
+    }
+  });
+  scan.ops = num_keys;  // report per-key throughput, not per-scan
+  PrintResult(scan);
+  printf("readahead: hits=%" PRIu64 " prefetched_bytes=%" PRIu64 "\n",
+         stats->GetTickerCount(Tickers::kIoReadaheadHit),
+         stats->GetTickerCount(Tickers::kIoReadaheadBytes));
+
+  const uint64_t keys_read = num_batches * batch_size;
+  printf("fabric round trips: sequential=%" PRIu64 " (%.2f/key)  "
+         "multiget=%" PRIu64 " (%.2f/key)\n",
+         seq_trips, static_cast<double>(seq_trips) / keys_read, mg_trips,
+         static_cast<double>(mg_trips) / keys_read);
+  if (mismatch) {
+    fprintf(stderr, "FATAL: MultiGet returned an error for a present key\n");
+    exit(1);
+  }
+
+  // Round-trip counts ride along as synthetic results so the JSON
+  // report carries the per-phase split (tickers only hold the total).
+  BenchResult seq_net, mg_net;
+  seq_net.label = "sequential_fabric_round_trips";
+  seq_net.ops = seq_trips;
+  mg_net.label = "multiget_fabric_round_trips";
+  mg_net.ops = mg_trips;
+
+  db.reset();
+  const std::string json_path = "BENCH_multiget.json";
+  if (WriteBenchJson(json_path, "multiget", {seq, mg, scan, seq_net, mg_net},
+                     stats)) {
+    printf("wrote %s\n", json_path.c_str());
+  } else {
+    fprintf(stderr, "multiget: cannot write %s\n", json_path.c_str());
+  }
+  cluster->storage->SetStatisticsSink(nullptr);  // stats dies before cluster
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace shield
+
+int main() {
+  shield::bench::Run();
+  return 0;
+}

@@ -19,10 +19,23 @@ inline void RunDsMicro(bool offload) {
       offload ? "fillrandom gap ~17%; network hides most overhead"
               : "fillrandom gap narrows to ~5% vs monolith");
 
+  // All engines' results go to one machine-readable report; the
+  // tickers come from the SHIELD run (the paper's subject), where
+  // compaction readahead and fabric round trips are visible.
+  std::vector<BenchResult> all_results;
+  std::shared_ptr<Statistics> shield_stats;
+
   BenchResult write_baseline, read_baseline, mix_baseline;
   for (Engine engine : {Engine::kUnencrypted, Engine::kShieldWalBuf}) {
     auto cluster = MakeDsCluster(/*rtt_us=*/200);
     Options options = cluster->MakeDbOptions(engine, offload);
+    options.statistics = CreateDBStatistics();
+    if (engine == Engine::kShieldWalBuf) {
+      shield_stats = options.statistics;
+    }
+    // Mirror fabric traffic (ds.network.*) into the per-engine stats so
+    // the JSON report shows round trips next to the readahead tickers.
+    cluster->storage->SetStatisticsSink(options.statistics.get());
     auto db = OpenDs(cluster.get(), options, "dsmicro");
 
     WorkloadOptions workload;
@@ -44,6 +57,10 @@ inline void RunDsMicro(bool offload) {
     mix_result.label = std::string(EngineName(engine)) + " mixgraph";
     PrintResult(mix_result);
 
+    all_results.push_back(write_result);
+    all_results.push_back(read_result);
+    all_results.push_back(mix_result);
+
     if (engine == Engine::kUnencrypted) {
       write_baseline = write_result;
       read_baseline = read_result;
@@ -54,6 +71,19 @@ inline void RunDsMicro(bool offload) {
       PrintPercentVs(mix_baseline, mix_result);
     }
     db.reset();
+    cluster->storage->SetStatisticsSink(nullptr);  // stats may die first
+  }
+
+  const std::string json_path = offload ? "BENCH_fig22_offload_micro.json"
+                                        : "BENCH_fig19_ds_micro.json";
+  const std::string bench_name =
+      offload ? "fig22_offload_micro" : "fig19_ds_micro";
+  if (WriteBenchJson(json_path, bench_name, all_results,
+                     shield_stats.get())) {
+    printf("wrote %s\n", json_path.c_str());
+  } else {
+    fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(),
+            json_path.c_str());
   }
 }
 

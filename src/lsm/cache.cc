@@ -10,56 +10,78 @@ namespace shield {
 namespace {
 
 // An entry is a variable length heap-allocated structure. Entries are
-// kept in a circular doubly linked list ordered by access time.
+// kept in circular doubly linked lists ordered by access time, one
+// list per eviction priority.
 struct LRUHandle {
   void* value;
   void (*deleter)(const Slice&, void* value);
   LRUHandle* next;
   LRUHandle* prev;
-  size_t charge;
+  size_t charge;  // caller charge + per-entry metadata overhead
   size_t key_length;
   bool in_cache;     // whether the cache has a reference on the entry
+  Cache::Priority priority;
   uint32_t refs;     // references, including the cache's own if in_cache
   char key_data[1];  // beginning of key
 
   Slice key() const { return Slice(key_data, key_length); }
 };
 
+// Memory the cache itself spends to hold one entry: the handle
+// allocation (struct + inline key) plus the std::string key copy and
+// node the hash table keeps. Short keys live inside the string's SSO
+// buffer; longer ones cost a second heap copy. The hash node and
+// bucket slot are approximated as four pointers.
+size_t MetaCharge(size_t key_length) {
+  constexpr size_t kSsoCapacity = 15;
+  size_t meta = sizeof(LRUHandle) - 1 + key_length;  // handle malloc
+  meta += sizeof(std::string);                       // table key object
+  if (key_length > kSsoCapacity) meta += key_length + 1;
+  meta += 4 * sizeof(void*);  // unordered_map node + bucket share
+  return meta;
+}
+
 class LRUCacheShard {
  public:
   LRUCacheShard() {
     // Empty circular linked lists.
-    lru_.next = &lru_;
-    lru_.prev = &lru_;
+    lru_low_.next = &lru_low_;
+    lru_low_.prev = &lru_low_;
+    lru_high_.next = &lru_high_;
+    lru_high_.prev = &lru_high_;
     in_use_.next = &in_use_;
     in_use_.prev = &in_use_;
   }
 
   ~LRUCacheShard() {
     assert(in_use_.next == &in_use_);  // all handles released
-    for (LRUHandle* e = lru_.next; e != &lru_;) {
-      LRUHandle* next = e->next;
-      assert(e->in_cache);
-      e->in_cache = false;
-      assert(e->refs == 1);
-      Unref(e);
-      e = next;
+    for (LRUHandle* list : {&lru_low_, &lru_high_}) {
+      for (LRUHandle* e = list->next; e != list;) {
+        LRUHandle* next = e->next;
+        assert(e->in_cache);
+        e->in_cache = false;
+        assert(e->refs == 1);
+        Unref(e);
+        e = next;
+      }
     }
   }
 
   void SetCapacity(size_t capacity) { capacity_ = capacity; }
 
   Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
-                        void (*deleter)(const Slice& key, void* value)) {
+                        void (*deleter)(const Slice& key, void* value),
+                        Cache::Priority priority) {
     std::lock_guard<std::mutex> lock(mutex_);
 
     LRUHandle* e = reinterpret_cast<LRUHandle*>(
         malloc(sizeof(LRUHandle) - 1 + key.size()));
     e->value = value;
     e->deleter = deleter;
-    e->charge = charge;
+    e->charge = charge + MetaCharge(key.size());
     e->key_length = key.size();
     e->in_cache = false;
+    e->priority = priority;
     e->refs = 1;  // for the returned handle
     memcpy(e->key_data, key.data(), key.size());
 
@@ -67,16 +89,11 @@ class LRUCacheShard {
       e->refs++;  // for the cache's reference
       e->in_cache = true;
       LRU_Append(&in_use_, e);
-      usage_ += charge;
+      usage_ += e->charge;
       FinishErase(FindAndRemove(key));
     }  // else: caching disabled; still return a handle
 
-    while (usage_ > capacity_ && lru_.next != &lru_) {
-      LRUHandle* old = lru_.next;
-      assert(old->refs == 1);
-      table_.erase(std::string(old->key_data, old->key_length));
-      FinishErase(old);
-    }
+    EvictUntilFits();
     if (e->in_cache) {
       table_[std::string(key.data(), key.size())] = e;
     }
@@ -98,6 +115,11 @@ class LRUCacheShard {
   void Release(Cache::Handle* handle) {
     std::lock_guard<std::mutex> lock(mutex_);
     Unref(reinterpret_cast<LRUHandle*>(handle));
+    // A release may have turned an entry evictable while the shard is
+    // over budget (pinned entries can push usage past capacity);
+    // reclaim now so TotalCharge() <= capacity holds whenever no
+    // handles are outstanding.
+    EvictUntilFits();
   }
 
   void Erase(const Slice& key) {
@@ -111,6 +133,24 @@ class LRUCacheShard {
   }
 
  private:
+  // Evicts low-priority entries oldest-first, then high-priority ones
+  // only once no low-priority entry remains evictable.
+  void EvictUntilFits() {
+    while (usage_ > capacity_) {
+      LRUHandle* old = nullptr;
+      if (lru_low_.next != &lru_low_) {
+        old = lru_low_.next;
+      } else if (lru_high_.next != &lru_high_) {
+        old = lru_high_.next;
+      } else {
+        break;  // everything left is referenced; cannot evict
+      }
+      assert(old->refs == 1);
+      table_.erase(std::string(old->key_data, old->key_length));
+      FinishErase(old);
+    }
+  }
+
   // Removes from hash table and returns the entry (or nullptr).
   LRUHandle* FindAndRemove(const Slice& key) {
     auto it = table_.find(std::string(key.data(), key.size()));
@@ -135,7 +175,7 @@ class LRUCacheShard {
   }
 
   void Ref(LRUHandle* e) {
-    if (e->refs == 1 && e->in_cache) {  // on lru_; move to in_use_
+    if (e->refs == 1 && e->in_cache) {  // on an lru list; move to in_use_
       LRU_Remove(e);
       LRU_Append(&in_use_, e);
     }
@@ -150,9 +190,10 @@ class LRUCacheShard {
       (*e->deleter)(e->key(), e->value);
       free(e);
     } else if (e->in_cache && e->refs == 1) {
-      // No longer in use; move to lru_ (evictable).
+      // No longer in use; move to its priority's evictable list.
       LRU_Remove(e);
-      LRU_Append(&lru_, e);
+      LRU_Append(e->priority == Cache::Priority::kHigh ? &lru_high_ : &lru_low_,
+                 e);
     }
   }
 
@@ -173,8 +214,10 @@ class LRUCacheShard {
   size_t capacity_ = 0;
   size_t usage_ = 0;
 
-  // lru_: entries with refs==1 and in_cache (evictable), oldest first.
-  LRUHandle lru_;
+  // Evictable entries (refs==1 and in_cache), oldest first, split by
+  // priority: lru_low_ drains completely before lru_high_ is touched.
+  LRUHandle lru_low_;
+  LRUHandle lru_high_;
   // in_use_: entries the client holds references to.
   LRUHandle in_use_;
 
@@ -187,15 +230,21 @@ constexpr int kNumShards = 1 << kNumShardBits;
 class ShardedLRUCache final : public Cache {
  public:
   explicit ShardedLRUCache(size_t capacity) {
-    const size_t per_shard = (capacity + (kNumShards - 1)) / kNumShards;
-    for (auto& shard : shards_) {
-      shard.SetCapacity(per_shard);
+    // Floor split with the remainder spread over the first shards so
+    // the per-shard capacities sum to exactly `capacity`. (A ceil
+    // split would let the shards jointly exceed the configured budget
+    // by up to kNumShards-1 bytes times the shard count.)
+    const size_t base = capacity / kNumShards;
+    const size_t extra = capacity % kNumShards;
+    for (int i = 0; i < kNumShards; i++) {
+      shards_[i].SetCapacity(base + (static_cast<size_t>(i) < extra ? 1 : 0));
     }
   }
 
   Handle* Insert(const Slice& key, void* value, size_t charge,
-                 void (*deleter)(const Slice& key, void* value)) override {
-    return shards_[Shard(key)].Insert(key, value, charge, deleter);
+                 void (*deleter)(const Slice& key, void* value),
+                 Priority priority) override {
+    return shards_[Shard(key)].Insert(key, value, charge, deleter, priority);
   }
   Handle* Lookup(const Slice& key) override {
     return shards_[Shard(key)].Lookup(key);

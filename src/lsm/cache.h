@@ -21,11 +21,19 @@ class Cache {
 
   struct Handle {};
 
-  /// Inserts key->value with the given charge. The returned handle is
-  /// referenced; callers must Release() it. `deleter` runs when the
-  /// entry is evicted and unreferenced.
+  /// Eviction priority. Under capacity pressure, low-priority entries
+  /// (bulk data blocks) are reclaimed before high-priority ones (hot
+  /// metadata such as index/filter charges) regardless of recency, so
+  /// a scan's block churn cannot push table metadata out to the fabric.
+  enum class Priority { kLow, kHigh };
+
+  /// Inserts key->value with the given charge (the cache adds its own
+  /// per-entry bookkeeping overhead on top — see TotalCharge()). The
+  /// returned handle is referenced; callers must Release() it.
+  /// `deleter` runs when the entry is evicted and unreferenced.
   virtual Handle* Insert(const Slice& key, void* value, size_t charge,
-                         void (*deleter)(const Slice& key, void* value)) = 0;
+                         void (*deleter)(const Slice& key, void* value),
+                         Priority priority = Priority::kLow) = 0;
 
   /// Returns a referenced handle or nullptr.
   virtual Handle* Lookup(const Slice& key) = 0;
@@ -37,6 +45,11 @@ class Cache {
   /// A unique id for key-space partitioning among cache clients.
   virtual uint64_t NewId() = 0;
 
+  /// Total memory accounted to resident entries: caller-supplied
+  /// charges plus the cache's own per-entry overhead (handle struct,
+  /// key copies, hash-table node). Stays <= the configured capacity
+  /// whenever no handles are outstanding (referenced entries cannot be
+  /// evicted, so pinning can push usage above capacity until release).
   virtual size_t TotalCharge() const = 0;
 };
 

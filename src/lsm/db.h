@@ -2,6 +2,7 @@
 #define SHIELD_LSM_DB_H_
 
 #include <string>
+#include <vector>
 
 #include "lsm/iterator.h"
 #include "lsm/options.h"
@@ -49,6 +50,17 @@ class DB {
   /// Fills *value; NotFound if the key does not exist.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  /// Batched point lookup: returns one status per key (OK with
+  /// (*values)[i] filled, or NotFound) — exactly what `keys.size()`
+  /// sequential Gets against one snapshot would return, but all keys
+  /// share a single snapshot/version reference, one index probe pass
+  /// per table, and adjacent block fetches coalesce into single
+  /// storage round trips (the win on disaggregated storage, where
+  /// each round trip costs an RTT). `values` is resized to match.
+  virtual std::vector<Status> MultiGet(const ReadOptions& options,
+                                       const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values) = 0;
 
   /// Heap-allocated iterator over the whole keyspace (caller deletes
   /// before closing the DB).

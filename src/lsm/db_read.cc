@@ -1,6 +1,9 @@
+#include <algorithm>
+
 #include "lsm/db_impl.h"
 #include "lsm/db_iter.h"
 #include "lsm/merger.h"
+#include "util/perf_context.h"
 
 namespace shield {
 
@@ -51,6 +54,91 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   }
   current->Unref();
   return s;
+}
+
+std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
+                                     const std::vector<Slice>& keys,
+                                     std::vector<std::string>* values) {
+  StopWatch watch(options_.statistics.get(), Histograms::kDbMultiGetMicros);
+  values->clear();
+  values->resize(keys.size());
+  std::vector<Status> statuses(keys.size());
+  if (keys.empty()) {
+    return statuses;
+  }
+  RecordTick(options_.statistics.get(), Tickers::kLsmMultiGetKeys,
+             keys.size());
+  PerfAdd(&PerfContext::multiget_keys, keys.size());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!error_handler_.reads_allowed()) {
+    const Status err = error_handler_.bg_error();
+    for (Status& s : statuses) {
+      s = err;
+    }
+    return statuses;
+  }
+  // One snapshot for the whole batch: every key reads the same state,
+  // as if N Gets ran back-to-back with no interleaved writes.
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) {
+    imm->Ref();
+  }
+  current->Ref();
+  lock.unlock();
+
+  // Memtable probes per key; the remainder goes to the version as one
+  // sorted batch. (LookupKey is self-referential, hence the pointers.)
+  std::vector<std::unique_ptr<LookupKey>> lkeys(keys.size());
+  std::vector<VersionGetRequest> vreqs(keys.size());
+  std::vector<VersionGetRequest*> misses;
+  for (size_t i = 0; i < keys.size(); i++) {
+    lkeys[i] = std::make_unique<LookupKey>(keys[i], snapshot);
+    Status s;
+    if (mem->Get(*lkeys[i], &(*values)[i], &s) ||
+        (imm != nullptr && imm->Get(*lkeys[i], &(*values)[i], &s))) {
+      statuses[i] = s;
+      continue;
+    }
+    vreqs[i].key = lkeys[i].get();
+    vreqs[i].value = &(*values)[i];
+    misses.push_back(&vreqs[i]);
+  }
+
+  if (!misses.empty()) {
+    // All lookup keys carry the same snapshot tag, so internal-key
+    // order here is user-key order — the sortedness Table::MultiGet
+    // relies on for block coalescing.
+    std::sort(misses.begin(), misses.end(),
+              [this](const VersionGetRequest* a, const VersionGetRequest* b) {
+                return internal_comparator_.Compare(a->key->internal_key(),
+                                                    b->key->internal_key()) < 0;
+              });
+    current->MultiGet(options, misses);
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (vreqs[i].key == nullptr) {
+      continue;  // answered by a memtable above
+    }
+    statuses[i] = vreqs[i].done ? vreqs[i].status : Status::NotFound("");
+  }
+
+  lock.lock();
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  current->Unref();
+  return statuses;
 }
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,

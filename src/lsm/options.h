@@ -236,6 +236,13 @@ struct Options {
   /// On-demand VerifyIntegrity is never throttled.
   uint64_t scrub_bytes_per_second = 8 * 1024 * 1024;
 
+  /// Readahead window for compaction input files: each input is read
+  /// through a prefetch buffer of up to this many (plaintext) bytes,
+  /// turning per-block fetches into large sequential spans — one
+  /// storage round trip per span on disaggregated storage. 0 disables
+  /// compaction readahead.
+  size_t compaction_readahead_size = 256 * 1024;
+
   /// When the scrubber finds a corrupt SST: quarantine a raw copy and
   /// repair it (replica re-fetch, else local salvage). When false the
   /// scrubber only detects and quarantines.
@@ -255,6 +262,11 @@ struct ReadOptions {
   bool verify_checksums = false;
   /// Whether fetched blocks populate the block cache.
   bool fill_cache = true;
+  /// If non-zero, iterators over SSTs read through a prefetch buffer
+  /// that grows from 16KB up to this many bytes, serving sequential
+  /// block reads from memory (env/readahead_file.h). Point Gets are
+  /// unaffected. 0 (default) reads block-by-block.
+  size_t readahead_size = 0;
 };
 
 struct WriteOptions {

@@ -1,7 +1,12 @@
 #include "lsm/sst_reader.h"
 
+#include <algorithm>
+
+#include "crypto/block_auth.h"
+#include "env/readahead_file.h"
 #include "lsm/block.h"
 #include "lsm/two_level_iterator.h"
+#include "util/clock.h"
 #include "util/coding.h"
 #include "util/perf_context.h"
 #include "util/statistics.h"
@@ -10,9 +15,18 @@ namespace shield {
 
 namespace {
 
+// Coalescing policy for MultiGet block fetches: adjacent uncached
+// blocks merge into one span read when the dead bytes between them
+// are small relative to a round trip, up to a bounded span so one
+// batch cannot balloon memory.
+constexpr uint64_t kMaxCoalesceGapBytes = 16 * 1024;
+constexpr uint64_t kMaxCoalesceSpanBytes = 1024 * 1024;
+
 void DeleteCachedBlock(const Slice& /*key*/, void* value) {
   delete reinterpret_cast<Block*>(value);
 }
+
+void DeleteNothing(const Slice& /*key*/, void* /*value*/) {}
 
 void ReleaseBlockHandle(void* arg1, void* arg2) {
   Cache* cache = reinterpret_cast<Cache*>(arg1);
@@ -107,12 +121,24 @@ Status Table::Open(const Options& options, const InternalKeyComparator* icmp,
   if (file_size < Footer::kEncodedLength) {
     return Status::Corruption("file is too short to be an sstable", fname);
   }
+  // Same bounded retry as ReadBlock: tables open lazily, so a single
+  // transient or torn footer read must not condemn the whole file as
+  // corrupt. A genuinely truncated file fails identically every time.
   char footer_space[Footer::kEncodedLength];
   Slice footer_input;
-  Status s = file->Read(file_size - Footer::kEncodedLength,
-                        Footer::kEncodedLength, &footer_input, footer_space);
-  if (!s.ok()) {
-    return s;
+  Status s;
+  constexpr int kMaxFooterAttempts = 5;
+  for (int attempt = 1;; attempt++) {
+    s = file->Read(file_size - Footer::kEncodedLength, Footer::kEncodedLength,
+                   &footer_input, footer_space);
+    if (s.ok() && footer_input.size() == Footer::kEncodedLength) {
+      break;
+    }
+    if (attempt < kMaxFooterAttempts && (s.ok() || s.IsTransient())) {
+      SleepForMicros(100ull << attempt);
+      continue;
+    }
+    return s.ok() ? Status::Corruption("truncated footer read", fname) : s;
   }
   Footer footer;
   s = footer.DecodeFrom(&footer_input);
@@ -183,14 +209,36 @@ Status Table::Open(const Options& options, const InternalKeyComparator* icmp,
     }
   }
 
+  // Charge the block cache for the pinned metadata this table keeps
+  // resident (index block + bloom filter): a referenced high-priority
+  // entry, so the footprint shows up in TotalCharge() and competes
+  // with data blocks for budget, while the pin (the handle we hold)
+  // guarantees the metadata itself is never evicted mid-life.
+  if (t->block_cache_ != nullptr) {
+    char pin_key[16];
+    EncodeFixed64(pin_key, t->cache_id_);
+    EncodeFixed64(pin_key + 8, UINT64_MAX);  // no block lives at this offset
+    const size_t metadata_bytes =
+        t->index_block_->size() + t->filter_data_.size();
+    t->metadata_pin_ =
+        t->block_cache_->Insert(Slice(pin_key, sizeof(pin_key)), nullptr,
+                                metadata_bytes, &DeleteNothing,
+                                Cache::Priority::kHigh);
+  }
+
   *table = std::move(t);
   return Status::OK();
 }
 
-Table::~Table() = default;
+Table::~Table() {
+  if (metadata_pin_ != nullptr) {
+    block_cache_->Release(metadata_pin_);
+  }
+}
 
 Iterator* Table::BlockReader(const ReadOptions& options,
-                             const Slice& index_value) const {
+                             const Slice& index_value,
+                             RandomAccessFile* file) const {
   BlockHandle handle;
   Slice input = index_value;
   Status s = handle.DecodeFrom(&input);
@@ -212,7 +260,7 @@ Iterator* Table::BlockReader(const ReadOptions& options,
       PerfAdd(&PerfContext::block_cache_hit_count, 1);
     } else {
       RecordTick(options_.statistics.get(), Tickers::kLsmBlockCacheMiss);
-      s = ReadBlockObjectCounted(file_.get(), options, handle, fname_,
+      s = ReadBlockObjectCounted(file, options, handle, fname_,
                                  options_.statistics.get(), &block);
       if (s.ok() && options.fill_cache) {
         cache_handle = block_cache_->Insert(key, block, block->size(),
@@ -220,7 +268,7 @@ Iterator* Table::BlockReader(const ReadOptions& options,
       }
     }
   } else {
-    s = ReadBlockObjectCounted(file_.get(), options, handle, fname_,
+    s = ReadBlockObjectCounted(file, options, handle, fname_,
                                options_.statistics.get(), &block);
   }
 
@@ -234,10 +282,23 @@ Iterator* Table::BlockReader(const ReadOptions& options,
 }
 
 Iterator* Table::NewIterator(const ReadOptions& options) const {
+  // With readahead enabled, block reads for this iterator go through a
+  // shared prefetch window over the logical (decrypted) file. The
+  // wrapper lives in the block-reader closure, so it survives exactly
+  // as long as the iterator that fills it.
+  std::shared_ptr<RandomAccessFile> readahead;
+  if (options.readahead_size > 0) {
+    readahead = std::make_shared<ReadaheadRandomAccessFile>(
+        file_.get(),
+        std::min<size_t>(kDefaultReadaheadInitial, options.readahead_size),
+        options.readahead_size, options_.statistics.get());
+  }
   return NewTwoLevelIterator(
       index_block_->NewIterator(icmp_),
-      [this, options](const Slice& index_value) {
-        return BlockReader(options, index_value);
+      [this, options, readahead](const Slice& index_value) {
+        return BlockReader(options, index_value,
+                           readahead != nullptr ? readahead.get()
+                                                : file_.get());
       });
 }
 
@@ -325,7 +386,7 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& key,
       }
     }
     std::unique_ptr<Iterator> block_iter(
-        BlockReader(options, index_iter->value()));
+        BlockReader(options, index_iter->value(), file_.get()));
     block_iter->Seek(key);
     if (block_iter->Valid()) {
       (*handle_result)(arg, block_iter->key(), block_iter->value());
@@ -336,6 +397,177 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& key,
     s = index_iter->status();
   }
   return s;
+}
+
+void Table::MultiGet(const ReadOptions& options,
+                     const std::vector<TableGetRequest*>& requests) {
+  // Resolved block for one or more requests. `block` is either a
+  // cache resident (release cache_handle) or owned (delete).
+  struct BlockState {
+    BlockHandle handle;
+    Block* block = nullptr;
+    Cache::Handle* cache_handle = nullptr;
+    Status status;
+    std::vector<size_t> request_indices;  // into `requests`
+  };
+  // Keyed by block offset: requests are sorted, so this also comes out
+  // sorted for the coalescing pass. A block shared by several keys is
+  // fetched once.
+  std::vector<BlockState> blocks;
+
+  Statistics* stats = options_.statistics.get();
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(icmp_));
+
+  // Pass 1: index + bloom probes resolve each request to a block (or
+  // to "done": absent per filter, or past the last block).
+  for (size_t i = 0; i < requests.size(); i++) {
+    TableGetRequest* req = requests[i];
+    index_iter->Seek(req->internal_key);
+    if (!index_iter->Valid()) {
+      req->status = index_iter->status();
+      continue;
+    }
+    BlockHandle handle;
+    Slice handle_value = index_iter->value();
+    if (!handle.DecodeFrom(&handle_value).ok()) {
+      req->status = Status::Corruption("bad block handle in index", fname_);
+      continue;
+    }
+    if (filter_ != nullptr &&
+        !filter_->KeyMayMatch(handle.offset(), ExtractUserKey(req->internal_key))) {
+      continue;  // proven absent: no fetch, status stays OK
+    }
+    if (blocks.empty() || blocks.back().handle.offset() != handle.offset()) {
+      blocks.emplace_back();
+      blocks.back().handle = handle;
+    }
+    blocks.back().request_indices.push_back(i);
+  }
+
+  // Pass 2: satisfy from cache where possible.
+  std::vector<BlockState*> misses;
+  for (BlockState& bs : blocks) {
+    if (block_cache_ != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, cache_id_);
+      EncodeFixed64(cache_key_buffer + 8, bs.handle.offset());
+      bs.cache_handle =
+          block_cache_->Lookup(Slice(cache_key_buffer, sizeof(cache_key_buffer)));
+      if (bs.cache_handle != nullptr) {
+        bs.block =
+            reinterpret_cast<Block*>(block_cache_->Value(bs.cache_handle));
+        RecordTick(stats, Tickers::kLsmBlockCacheHit);
+        PerfAdd(&PerfContext::block_cache_hit_count, 1);
+        continue;
+      }
+      RecordTick(stats, Tickers::kLsmBlockCacheMiss);
+    }
+    misses.push_back(&bs);
+  }
+
+  // Pass 3: group adjacent misses into coalesced spans; one storage
+  // round trip per group, then carve + verify each member block.
+  const crypto::BlockAuthenticator* auth = file_->block_authenticator();
+  const uint64_t tag_size =
+      auth != nullptr ? crypto::kBlockAuthTagSize : 0;
+  auto stored_size = [tag_size](const BlockHandle& h) {
+    return h.size() + kBlockTrailerSize + tag_size;
+  };
+
+  size_t g = 0;
+  while (g < misses.size()) {
+    size_t end = g + 1;
+    const uint64_t span_begin = misses[g]->handle.offset();
+    uint64_t span_end = span_begin + stored_size(misses[g]->handle);
+    while (end < misses.size()) {
+      const BlockHandle& next = misses[end]->handle;
+      if (next.offset() > span_end + kMaxCoalesceGapBytes ||
+          next.offset() + stored_size(next) - span_begin >
+              kMaxCoalesceSpanBytes) {
+        break;
+      }
+      span_end = next.offset() + stored_size(next);
+      end++;
+    }
+
+    bool carved = false;
+    if (end - g > 1) {
+      // Multi-block group: fetch the whole span in one read.
+      const size_t span_len = static_cast<size_t>(span_end - span_begin);
+      std::unique_ptr<char[]> span(new char[span_len]);
+      Slice span_data;
+      Status s;
+      {
+        StopWatch watch(stats, Histograms::kSstReadMicros);
+        PerfTimer timer(&GetPerfContext()->block_read_micros);
+        s = file_->Read(span_begin, span_len, &span_data, span.get());
+      }
+      if (s.ok() && span_data.size() == span_len) {
+        carved = true;
+        RecordTick(stats, Tickers::kLsmMultiGetBatches);
+        PerfAdd(&PerfContext::multiget_batches, 1);
+        for (size_t b = g; b < end; b++) {
+          BlockState* bs = misses[b];
+          const Slice stored(
+              span_data.data() + (bs->handle.offset() - span_begin),
+              static_cast<size_t>(stored_size(bs->handle)));
+          BlockContents contents;
+          Status vs =
+              VerifyStoredBlock(auth, bs->handle, stored, &contents, fname_);
+          if (!vs.ok()) {
+            // The span itself may have been damaged in flight; give
+            // this block an individual, retrying read below.
+            bs->block = nullptr;
+            continue;
+          }
+          bs->block = new Block(contents.data.data(), contents.data.size(),
+                                /*owned=*/true);
+          PerfAdd(&PerfContext::block_read_count, 1);
+          PerfAdd(&PerfContext::block_read_bytes, bs->block->size());
+        }
+      }
+    }
+    for (size_t b = g; b < end; b++) {
+      BlockState* bs = misses[b];
+      if (carved && bs->block != nullptr) continue;
+      // Singleton group, failed/short span, or failed carve: the
+      // ordinary per-block path (with its own retry schedule).
+      bs->status = ReadBlockObjectCounted(file_.get(), options, bs->handle,
+                                          fname_, stats, &bs->block);
+    }
+    g = end;
+  }
+
+  // Insert fetched blocks into the cache and answer every request.
+  for (BlockState& bs : blocks) {
+    if (bs.block != nullptr && bs.cache_handle == nullptr &&
+        block_cache_ != nullptr && options.fill_cache) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, cache_id_);
+      EncodeFixed64(cache_key_buffer + 8, bs.handle.offset());
+      bs.cache_handle = block_cache_->Insert(
+          Slice(cache_key_buffer, sizeof(cache_key_buffer)), bs.block,
+          bs.block->size(), &DeleteCachedBlock);
+    }
+    for (size_t i : bs.request_indices) {
+      TableGetRequest* req = requests[i];
+      if (bs.block == nullptr) {
+        req->status = bs.status;
+        continue;
+      }
+      std::unique_ptr<Iterator> block_iter(bs.block->NewIterator(icmp_));
+      block_iter->Seek(req->internal_key);
+      if (block_iter->Valid()) {
+        (*req->handle_result)(req->arg, block_iter->key(), block_iter->value());
+      }
+      req->status = block_iter->status();
+    }
+    if (bs.cache_handle != nullptr) {
+      block_cache_->Release(bs.cache_handle);
+    } else {
+      delete bs.block;
+    }
+  }
 }
 
 }  // namespace shield

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 #include "lsm/cache.h"
@@ -16,6 +17,17 @@
 namespace shield {
 
 class Block;
+
+/// One key of a batched point lookup against a single table. The
+/// callback contract matches Table::InternalGet; `status` receives
+/// this key's outcome (a block-level failure poisons only the
+/// requests that needed that block).
+struct TableGetRequest {
+  Slice internal_key;
+  void* arg = nullptr;
+  void (*handle_result)(void*, const Slice&, const Slice&) = nullptr;
+  Status status;
+};
 
 /// An open, immutable SST file. Thread safe after Open.
 class Table {
@@ -45,6 +57,18 @@ class Table {
                      void* arg,
                      void (*handle_result)(void*, const Slice&, const Slice&));
 
+  /// Batched InternalGet: requests must be sorted by internal key.
+  /// Shares one index probe pass, dedupes block handles across keys,
+  /// and fetches adjacent uncached blocks as one coalesced span — a
+  /// single storage round trip — carving and verifying each block from
+  /// the span (table_format.h VerifyStoredBlock). Any span-level
+  /// failure (short read, fault, carve mismatch) degrades that group
+  /// to ordinary per-block reads, so results are bit-identical to N
+  /// sequential InternalGets. Per-key outcomes land in each request's
+  /// `status`.
+  void MultiGet(const ReadOptions& options,
+                const std::vector<TableGetRequest*>& requests);
+
   const TableProperties& properties() const { return properties_; }
 
   /// Re-reads every block referenced by the index (bypassing the block
@@ -66,8 +90,10 @@ class Table {
  private:
   Table() = default;
 
-  Iterator* BlockReader(const ReadOptions& options,
-                        const Slice& index_value) const;
+  /// `file` lets iterator paths substitute a readahead-wrapped view of
+  /// file_; all verification behaviour is identical.
+  Iterator* BlockReader(const ReadOptions& options, const Slice& index_value,
+                        RandomAccessFile* file) const;
 
   Options options_;
   const InternalKeyComparator* icmp_ = nullptr;
@@ -82,6 +108,13 @@ class Table {
   // filter policy matching options_.filter_policy).
   std::string filter_data_;
   std::unique_ptr<FilterBlockReader> filter_;
+
+  // Index and filter blocks are pinned in memory for the table's
+  // lifetime (they are members above). This referenced high-priority
+  // cache entry charges their footprint against the block-cache
+  // budget so pinned metadata is accounted, not free; released in
+  // ~Table.
+  Cache::Handle* metadata_pin_ = nullptr;
 };
 
 }  // namespace shield

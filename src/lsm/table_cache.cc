@@ -117,6 +117,22 @@ Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
   return s;
 }
 
+void TableCache::MultiGet(const ReadOptions& options, uint64_t file_number,
+                          uint64_t file_size,
+                          const std::vector<TableGetRequest*>& requests) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    for (TableGetRequest* req : requests) {
+      req->status = s;
+    }
+    return;
+  }
+  Table* table = reinterpret_cast<Table*>(cache_->Value(handle));
+  table->MultiGet(options, requests);
+  cache_->Release(handle);
+}
+
 void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];
   EncodeFixed64(buf, file_number);

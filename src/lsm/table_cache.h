@@ -33,6 +33,13 @@ class TableCache {
              uint64_t file_size, const Slice& internal_key, void* arg,
              void (*handle_result)(void*, const Slice&, const Slice&));
 
+  /// Batched Get against one file: requests (sorted by internal key)
+  /// are answered by Table::MultiGet, which coalesces block fetches.
+  /// A failure to open the table poisons every request's status.
+  void MultiGet(const ReadOptions& options, uint64_t file_number,
+                uint64_t file_size,
+                const std::vector<TableGetRequest*>& requests);
+
   /// Drops the cached reader for a deleted file.
   void Evict(uint64_t file_number);
 

@@ -1,5 +1,7 @@
 #include "lsm/table_format.h"
 
+#include <cstring>
+
 #include "crypto/block_auth.h"
 #include "util/clock.h"
 #include "util/coding.h"
@@ -18,6 +20,32 @@ std::string BlockErrorMessage(const char* what, const BlockHandle& handle,
     msg += fname;
   }
   return msg;
+}
+
+// Shared verification core: tag first (computed over the ciphertext
+// image, so it condemns on-disk bytes before any decrypted content is
+// trusted), then the CRC. `data` points at handle.size()=n payload
+// bytes followed by the trailer and (if auth) the tag.
+Status CheckBlockIntegrity(const crypto::BlockAuthenticator* auth,
+                           const BlockHandle& handle, const char* data,
+                           size_t n, size_t tag_size,
+                           const std::string& fname) {
+  if (auth != nullptr &&
+      !auth->VerifyTag(handle.offset(), Slice(data, n + kBlockTrailerSize),
+                       Slice(data + n + kBlockTrailerSize, tag_size))) {
+    return Status::Corruption(
+        BlockErrorMessage("block authentication tag mismatch", handle, fname));
+  }
+  // CRC is always verified (regardless of ReadOptions): for
+  // unauthenticated files it is the only line of defence against
+  // garbage ciphertext reaching the block parser.
+  const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+  const uint32_t actual = crc32c::Value(data, n + 1);
+  if (actual != crc) {
+    return Status::Corruption(
+        BlockErrorMessage("block checksum mismatch", handle, fname));
+  }
+  return Status::OK();
 }
 }  // namespace
 
@@ -109,27 +137,10 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
   }
 
   const char* data = contents.data();
-  // Verify the authentication tag first: it is computed over the
-  // block's *ciphertext* image, so a mismatch condemns the on-disk
-  // bytes before any decrypted content is trusted.
-  if (auth != nullptr &&
-      !auth->VerifyTag(handle.offset(), Slice(data, n + kBlockTrailerSize),
-                       Slice(data + n + kBlockTrailerSize, tag_size))) {
+  s = CheckBlockIntegrity(auth, handle, data, n, tag_size, fname);
+  if (!s.ok()) {
     delete[] buf;
-    return Status::Corruption(
-        BlockErrorMessage("block authentication tag mismatch", handle, fname));
-  }
-  // CRC is always verified (regardless of ReadOptions): for
-  // unauthenticated files it is the only line of defence against
-  // garbage ciphertext reaching the block parser.
-  {
-    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
-    const uint32_t actual = crc32c::Value(data, n + 1);
-    if (actual != crc) {
-      delete[] buf;
-      return Status::Corruption(
-          BlockErrorMessage("block checksum mismatch", handle, fname));
-    }
+    return s;
   }
 
   if (data != buf) {
@@ -142,6 +153,32 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
     result->data = Slice(buf, n);
     result->heap_allocated = true;
   }
+  return Status::OK();
+}
+
+Status VerifyStoredBlock(const crypto::BlockAuthenticator* auth,
+                         const BlockHandle& handle, const Slice& stored,
+                         BlockContents* result, const std::string& fname) {
+  result->data = Slice();
+  result->heap_allocated = false;
+
+  const size_t tag_size = auth != nullptr ? crypto::kBlockAuthTagSize : 0;
+  const size_t n = static_cast<size_t>(handle.size());
+  if (stored.size() != n + kBlockTrailerSize + tag_size) {
+    return Status::Corruption(
+        BlockErrorMessage("carved block span has wrong size", handle, fname));
+  }
+  Status s =
+      CheckBlockIntegrity(auth, handle, stored.data(), n, tag_size, fname);
+  if (!s.ok()) {
+    return s;
+  }
+  // The span backing `stored` is transient (a coalesced fetch buffer);
+  // give the caller an owned copy of the payload.
+  char* buf = new char[n];
+  memcpy(buf, stored.data(), n);
+  result->data = Slice(buf, n);
+  result->heap_allocated = true;
   return Status::OK();
 }
 

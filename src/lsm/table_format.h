@@ -69,6 +69,18 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
                  const BlockHandle& handle, BlockContents* result,
                  const std::string& fname = std::string());
 
+/// Verifies a block's stored image that is already in memory —
+/// `stored` must be exactly handle.size() + kBlockTrailerSize +
+/// (tag bytes if `auth` != null) bytes carved out of a larger span
+/// (coalesced MultiGet fetch, prefetched range). Checks the HMAC tag
+/// (against the block's file offset) then the CRC, exactly as
+/// ReadBlock does, and on success copies the payload into a fresh
+/// heap allocation in `result`. Never trusts unverified bytes.
+Status VerifyStoredBlock(const crypto::BlockAuthenticator* auth,
+                         const BlockHandle& handle, const Slice& stored,
+                         BlockContents* result,
+                         const std::string& fname = std::string());
+
 /// Table properties: free-form string key/values persisted in the
 /// properties block. SHIELD stores the DEK-ID and cipher here as well,
 /// making the DEK resolvable from the file alone (Section 5.4). Note

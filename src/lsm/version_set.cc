@@ -323,6 +323,142 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   return Status::NotFound("");
 }
 
+void Version::MultiGet(const ReadOptions& options,
+                       const std::vector<VersionGetRequest*>& requests) {
+  const Comparator* ucmp = vset_->icmp_->user_comparator();
+
+  // Saver state parallel to `requests`, reused across file probes.
+  std::vector<Saver> savers(requests.size());
+  for (size_t i = 0; i < requests.size(); i++) {
+    savers[i].state = kNotFound;
+    savers[i].ucmp = ucmp;
+    savers[i].user_key = requests[i]->key->user_key();
+    savers[i].value = requests[i]->value;
+  }
+
+  // Folds one probe's outcome into the request, mirroring the switch
+  // in Version::Get. kNotFound keeps the key in play for older files.
+  auto resolve = [&](size_t i, const Status& s) {
+    VersionGetRequest* req = requests[i];
+    if (!s.ok()) {
+      req->status = s;
+      req->done = true;
+      return;
+    }
+    switch (savers[i].state) {
+      case kNotFound:
+        break;
+      case kFound:
+        req->status = Status::OK();
+        req->done = true;
+        break;
+      case kDeleted:
+        req->status = Status::NotFound("");
+        req->done = true;
+        break;
+      case kCorrupt:
+        req->status =
+            Status::Corruption("corrupted key for ", savers[i].user_key);
+        req->done = true;
+        break;
+    }
+  };
+
+  // Runs one file's batch. `batch` holds the per-table requests;
+  // `batch_idx` maps them back into `requests`.
+  auto probe_file = [&](FileMetaData* f, std::vector<TableGetRequest>& batch,
+                        std::vector<size_t>& batch_idx) {
+    if (batch.empty()) {
+      return;
+    }
+    std::vector<TableGetRequest*> ptrs;
+    ptrs.reserve(batch.size());
+    for (TableGetRequest& b : batch) {
+      ptrs.push_back(&b);
+    }
+    vset_->table_cache_->MultiGet(options, f->number, f->file_size, ptrs);
+    for (size_t j = 0; j < batch.size(); j++) {
+      resolve(batch_idx[j], batch[j].status);
+    }
+  };
+
+  // Level 0: files overlap, so probe newest-to-oldest; each file sees
+  // every still-unresolved key it covers in one batch.
+  std::vector<FileMetaData*> level0(files_[0]);
+  std::sort(level0.begin(), level0.end(), NewestFirst);
+  for (FileMetaData* f : level0) {
+    std::vector<TableGetRequest> batch;
+    std::vector<size_t> batch_idx;
+    for (size_t i = 0; i < requests.size(); i++) {
+      if (requests[i]->done) {
+        continue;
+      }
+      if (ucmp->Compare(savers[i].user_key, f->smallest.user_key()) < 0 ||
+          ucmp->Compare(savers[i].user_key, f->largest.user_key()) > 0) {
+        continue;
+      }
+      savers[i].state = kNotFound;
+      TableGetRequest treq;
+      treq.internal_key = requests[i]->key->internal_key();
+      treq.arg = &savers[i];
+      treq.handle_result = SaveValue;
+      batch.push_back(treq);
+      batch_idx.push_back(i);
+    }
+    probe_file(f, batch, batch_idx);
+  }
+
+  // Deeper levels: files are disjoint and sorted, and the requests are
+  // sorted too, so FindFile maps consecutive unresolved keys to
+  // non-decreasing file indices — group runs of equal indices.
+  for (int level = 1; level < vset_->num_levels_; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) {
+      continue;
+    }
+    size_t i = 0;
+    while (i < requests.size()) {
+      if (requests[i]->done) {
+        i++;
+        continue;
+      }
+      const int index =
+          FindFile(*vset_->icmp_, files, requests[i]->key->internal_key());
+      if (index >= static_cast<int>(files.size())) {
+        i++;
+        continue;
+      }
+      FileMetaData* f = files[index];
+      std::vector<TableGetRequest> batch;
+      std::vector<size_t> batch_idx;
+      size_t j = i;
+      while (j < requests.size()) {
+        if (requests[j]->done) {
+          j++;
+          continue;
+        }
+        if (FindFile(*vset_->icmp_, files, requests[j]->key->internal_key()) !=
+            index) {
+          break;
+        }
+        const size_t cur = j++;
+        if (ucmp->Compare(savers[cur].user_key, f->smallest.user_key()) < 0) {
+          continue;  // falls in the gap before this file: not at this level
+        }
+        savers[cur].state = kNotFound;
+        TableGetRequest treq;
+        treq.internal_key = requests[cur]->key->internal_key();
+        treq.arg = &savers[cur];
+        treq.handle_result = SaveValue;
+        batch.push_back(treq);
+        batch_idx.push_back(cur);
+      }
+      probe_file(f, batch, batch_idx);
+      i = j;
+    }
+  }
+}
+
 bool Version::OverlapInLevel(int level, const Slice* smallest_user_key,
                              const Slice* largest_user_key) {
   return SomeFileOverlapsRange(*vset_->icmp_, level > 0, files_[level],
@@ -833,6 +969,11 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   ReadOptions options;
   options.verify_checksums = true;
   options.fill_cache = false;
+  // Compaction scans every input block exactly once in order: the
+  // ideal readahead consumer. Large prefetched spans replace
+  // block-sized round trips (and decrypt in parallel shards under
+  // SHIELD's multi-threaded chunk decryptor).
+  options.readahead_size = options_.compaction_readahead_size;
 
   // Level-0 files must be iterated individually (they overlap); other
   // levels use a concatenating iterator.

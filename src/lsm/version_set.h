@@ -22,6 +22,18 @@ class VersionSet;
 /// Hard upper bound on options.num_levels.
 constexpr int kMaxNumLevels = 8;
 
+/// One key of a batched lookup against a Version (DB::MultiGet).
+/// `key` and `value` are borrowed; `status`/`done` carry the outcome:
+/// done=false after the call means no level contained the user key
+/// (i.e. NotFound). Requests passed to Version::MultiGet must be
+/// sorted by internal key.
+struct VersionGetRequest {
+  const LookupKey* key = nullptr;
+  std::string* value = nullptr;
+  Status status;
+  bool done = false;
+};
+
 /// An immutable snapshot of the LSM shape: the set of SST files at each
 /// level. Reference counted; readers pin the version they started on.
 class Version {
@@ -29,6 +41,14 @@ class Version {
   /// Lookup user_key (keyed by `key`'s sequence). Fills *value.
   Status Get(const ReadOptions& options, const LookupKey& key,
              std::string* value);
+
+  /// Batched Get over sorted requests. Probes the same files in the
+  /// same order as per-key Get would (L0 newest-to-oldest, then each
+  /// deeper level), but offers every still-unresolved key to a file
+  /// in one Table::MultiGet batch so block fetches coalesce. Results
+  /// are identical to calling Get per key.
+  void MultiGet(const ReadOptions& options,
+                const std::vector<VersionGetRequest*>& requests);
 
   /// Appends iterators that together yield the version's full contents.
   void AddIterators(const ReadOptions& options,

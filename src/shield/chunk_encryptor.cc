@@ -10,7 +10,7 @@ ChunkEncryptor::ChunkEncryptor(const crypto::StreamCipher* cipher,
                                Statistics* stats)
     : cipher_(cipher), pool_(pool), threads_(threads), stats_(stats) {}
 
-Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
+Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) const {
   if (pool_ == nullptr || threads_ <= 1 || n < 2 * kMinShardBytes) {
     RecordTick(stats_, Tickers::kShieldChunkEncryptShards, 1);
     return cipher_->CryptAt(offset, data, n);
@@ -20,7 +20,13 @@ Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) {
   if (n / shards < kMinShardBytes) {
     shards = n / kMinShardBytes;
   }
+  if (shards < 1) shards = 1;
   const size_t shard_size = (n + shards - 1) / shards;
+  // Ceil rounding can make the requested shard count overshoot the
+  // buffer (e.g. n = k*shard_size with shards > k): recompute the
+  // number of non-empty shards so no task sees begin >= n, where
+  // `n - begin` would underflow.
+  shards = (n + shard_size - 1) / shard_size;
   RecordTick(stats_, Tickers::kShieldChunkEncryptShards, shards);
 
   std::mutex mu;

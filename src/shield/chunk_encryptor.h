@@ -27,12 +27,15 @@ class ChunkEncryptor {
   /// On cipher failure (e.g. ChaCha20 counter overflow) returns the
   /// first failing shard's status; the buffer contents are then
   /// unusable and the caller must fail the write.
-  Status Encrypt(uint64_t offset, char* data, size_t n);
+  /// Const: shared by writers (encrypt) and readers (CTR decrypt is
+  /// the same XOR) without forcing mutable members on the file objects.
+  Status Encrypt(uint64_t offset, char* data, size_t n) const;
 
- private:
   // Sub-ranges smaller than this are not worth a task dispatch.
+  // Public so boundary tests can exercise exact shard-size multiples.
   static constexpr size_t kMinShardBytes = 16 * 1024;
 
+ private:
   const crypto::StreamCipher* cipher_;
   ThreadPool* pool_;
   int threads_;

@@ -5,6 +5,7 @@
 #include "crypto/block_auth.h"
 #include "crypto/secure_random.h"
 #include "shield/chunk_encryptor.h"
+#include "util/clock.h"
 #include "util/perf_context.h"
 
 namespace shield {
@@ -67,6 +68,29 @@ Status ParseShieldFileHeader(const Slice& data, ShieldFileHeader* header) {
   return Status::OK();
 }
 
+// Bounded retry for the fixed-size header read at file open. A torn or
+// transient short read here is dangerous beyond a failed open: with
+// encrypt_wal off, a failed header parse classifies the file as
+// plaintext, so a flaky read must never be what makes that call. Files
+// genuinely shorter than a header return the same short result every
+// attempt and fall through to the parse unchanged.
+static Status ReadHeaderRetrying(RandomAccessFile* file, Slice* data,
+                                 char* scratch) {
+  constexpr int kMaxAttempts = 5;
+  Status s;
+  for (int attempt = 1;; attempt++) {
+    s = file->Read(0, kShieldHeaderSize, data, scratch);
+    if (s.ok() && data->size() == kShieldHeaderSize) {
+      return s;
+    }
+    if (attempt < kMaxAttempts && (s.ok() || s.IsTransient())) {
+      SleepForMicros(100ull << attempt);
+      continue;
+    }
+    return s;
+  }
+}
+
 Status ReadShieldFileHeader(Env* env, const std::string& fname,
                             ShieldFileHeader* header) {
   std::unique_ptr<RandomAccessFile> file;
@@ -76,7 +100,7 @@ Status ReadShieldFileHeader(Env* env, const std::string& fname,
   }
   char scratch[kShieldHeaderSize];
   Slice data;
-  s = file->Read(0, kShieldHeaderSize, &data, scratch);
+  s = ReadHeaderRetrying(file.get(), &data, scratch);
   if (!s.ok()) {
     return s;
   }
@@ -265,13 +289,18 @@ class ShieldWritableFile final : public WritableFile {
 
 class ShieldRandomAccessFile final : public RandomAccessFile {
  public:
+  /// `pool`/`threads` enable multi-threaded decryption of large reads
+  /// (readahead spans, coalesced MultiGet fetches): CTR keystreams are
+  /// offset-addressable, so the same sharding that parallelizes
+  /// compaction encryption applies symmetrically to decryption.
   ShieldRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
                          std::unique_ptr<crypto::StreamCipher> cipher,
                          std::unique_ptr<crypto::BlockAuthenticator> auth,
-                         Statistics* stats)
+                         ThreadPool* pool, int threads, Statistics* stats)
       : base_(std::move(base)),
         cipher_(std::move(cipher)),
         auth_(std::move(auth)),
+        decryptor_(cipher_.get(), pool, threads, /*stats=*/nullptr),
         stats_(stats) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
@@ -285,7 +314,10 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
     }
     {
       PerfTimer timer(&GetPerfContext()->decrypt_micros);
-      s = cipher_->CryptAt(offset, scratch, result->size());
+      // CTR is an XOR stream: Encrypt *is* decrypt. The chunk
+      // decryptor falls back to a single synchronous CryptAt for
+      // small reads.
+      s = decryptor_.Encrypt(offset, scratch, result->size());
     }
     if (!s.ok()) {
       return s;
@@ -312,6 +344,7 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
   std::unique_ptr<RandomAccessFile> base_;
   std::unique_ptr<crypto::StreamCipher> cipher_;
   std::unique_ptr<crypto::BlockAuthenticator> auth_;
+  ChunkEncryptor decryptor_;
   Statistics* const stats_;
 };
 
@@ -449,7 +482,7 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     char scratch[kShieldHeaderSize];
     Slice header_data;
-    s = base->Read(0, kShieldHeaderSize, &header_data, scratch);
+    s = ReadHeaderRetrying(base.get(), &header_data, scratch);
     if (!s.ok()) {
       return s;
     }
@@ -467,7 +500,8 @@ class ShieldFileFactory final : public DataFileFactory {
       return s;
     }
     *out = std::make_unique<ShieldRandomAccessFile>(
-        std::move(base), std::move(cipher), std::move(auth), stats_);
+        std::move(base), std::move(cipher), std::move(auth), encryption_pool_,
+        opts_.encryption_threads, stats_);
     return Status::OK();
   }
 

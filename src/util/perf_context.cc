@@ -17,11 +17,13 @@ PerfLevel GetPerfLevel() { return t_perf_level; }
 PerfContext* GetPerfContext() { return &t_perf_context; }
 
 std::string PerfContext::ToString() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "block_read_count=%" PRIu64 " block_read_bytes=%" PRIu64
       " block_read_micros=%" PRIu64 " block_cache_hit_count=%" PRIu64
+      " readahead_bytes=%" PRIu64 " readahead_hit_count=%" PRIu64
+      " multiget_keys=%" PRIu64 " multiget_batches=%" PRIu64
       " encrypt_bytes=%" PRIu64 " encrypt_micros=%" PRIu64
       " decrypt_bytes=%" PRIu64 " decrypt_micros=%" PRIu64
       " hmac_compute_count=%" PRIu64 " hmac_verify_count=%" PRIu64
@@ -29,7 +31,9 @@ std::string PerfContext::ToString() const {
       " kds_wait_micros=%" PRIu64 " memtable_insert_micros=%" PRIu64
       " wal_write_micros=%" PRIu64 " write_stall_micros=%" PRIu64,
       block_read_count, block_read_bytes, block_read_micros,
-      block_cache_hit_count, encrypt_bytes, encrypt_micros, decrypt_bytes,
+      block_cache_hit_count, readahead_bytes, readahead_hit_count,
+      multiget_keys, multiget_batches, encrypt_bytes, encrypt_micros,
+      decrypt_bytes,
       decrypt_micros, hmac_compute_count, hmac_verify_count, hmac_micros,
       kds_request_count, kds_wait_micros, memtable_insert_micros,
       wal_write_micros, write_stall_micros);

@@ -35,6 +35,12 @@ struct PerfContext {
   uint64_t block_read_micros = 0;
   uint64_t block_cache_hit_count = 0;
 
+  // Read-path prefetching and MultiGet batching.
+  uint64_t readahead_bytes = 0;      // speculatively fetched ahead
+  uint64_t readahead_hit_count = 0;  // reads served from the buffer
+  uint64_t multiget_keys = 0;        // keys asked via MultiGet
+  uint64_t multiget_batches = 0;     // coalesced multi-block fetches
+
   // Crypto work done on behalf of this thread's operation.
   uint64_t encrypt_bytes = 0;
   uint64_t encrypt_micros = 0;

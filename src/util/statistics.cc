@@ -26,12 +26,17 @@ const char* const kTickerNames[] = {
     "io.other.write.bytes",
     "io.other.read.ops",
     "io.other.write.ops",
+    "io.readahead.bytes",
+    "io.readahead.hit",
+    "io.readahead.miss",
     "lsm.flush.bytes.written",
     "lsm.compaction.bytes.read",
     "lsm.compaction.bytes.written",
     "lsm.block.cache.hit",
     "lsm.block.cache.miss",
     "lsm.stall.micros",
+    "lsm.multiget.keys",
+    "lsm.multiget.batches",
     "crypto.bytes.encrypted",
     "crypto.bytes.decrypted",
     "crypto.aes.bytes",
@@ -57,8 +62,9 @@ static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,
               "ticker name table out of sync with Tickers enum");
 
 const char* const kHistogramNames[] = {
-    "db.get.micros",      "db.write.micros", "lsm.flush.micros",
-    "lsm.compaction.micros", "sst.read.micros", "kds.latency.micros",
+    "db.get.micros",      "db.multiget.micros", "db.write.micros",
+    "lsm.flush.micros",   "lsm.compaction.micros", "sst.read.micros",
+    "kds.latency.micros",
 };
 
 static_assert(sizeof(kHistogramNames) / sizeof(kHistogramNames[0]) ==

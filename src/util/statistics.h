@@ -36,6 +36,15 @@ enum class Tickers : uint32_t {
   kIoOtherReadOps,
   kIoOtherWriteOps,
 
+  // Read-path prefetching (env/readahead_file.h). `bytes` counts what
+  // was speculatively fetched ahead; `hit` counts reads served from the
+  // prefetch buffer without touching storage; `miss` counts reads that
+  // had to go to the file anyway (buffer cold, or a short prefetch
+  // degraded the span).
+  kIoReadaheadBytes,
+  kIoReadaheadHit,
+  kIoReadaheadMiss,
+
   // LSM engine.
   kLsmFlushBytesWritten,
   kLsmCompactionBytesRead,
@@ -43,6 +52,11 @@ enum class Tickers : uint32_t {
   kLsmBlockCacheHit,
   kLsmBlockCacheMiss,
   kLsmStallMicros,
+  // MultiGet batching: keys asked across all MultiGet calls, and
+  // coalesced multi-block fetches issued (each batch is one storage
+  // round trip that would have been several under sequential Gets).
+  kLsmMultiGetKeys,
+  kLsmMultiGetBatches,
 
   // Crypto layer (counted at the file wrappers, per direction and
   // per cipher kind).
@@ -83,6 +97,7 @@ const char* TickerName(Tickers ticker);
 /// Timer histograms (values in microseconds unless noted).
 enum class Histograms : uint32_t {
   kDbGetMicros = 0,
+  kDbMultiGetMicros,
   kDbWriteMicros,
   kFlushMicros,
   kCompactionMicros,

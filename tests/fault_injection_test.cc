@@ -10,6 +10,7 @@
 //   SHIELD_FAULT_SEED_BASE   first seed of the randomized schedules
 //   SHIELD_FAULT_SEED_COUNT  seeds per engine configuration
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,7 @@
 
 #include "ds/storage_service.h"
 #include "env/fault_injection_env.h"
+#include "env/readahead_file.h"
 #include "gtest/gtest.h"
 #include "kds/faulty_kds.h"
 #include "kds/local_kds.h"
@@ -28,6 +30,7 @@
 #include "util/clock.h"
 #include "util/random.h"
 #include "util/retry.h"
+#include "util/statistics.h"
 #include "util/status.h"
 
 namespace shield {
@@ -257,6 +260,137 @@ TEST(FaultInjectionEnvTest, ShortReadsOnlyOnPositionalReads) {
   ASSERT_TRUE(
       seq->Read(payload.size(), &seq_result, seq_scratch.data()).ok());
   EXPECT_EQ(payload.size(), seq_result.size());
+  EXPECT_GT(fenv.injected_short_reads(), 0u);
+}
+
+// --- Readahead under injected faults ----------------------------------
+
+// Every positional read torn: the prefetch window can never fill, so
+// the wrapper must degrade to exact direct reads. Whatever bytes come
+// back must be byte-correct — a short result is acceptable, a wrong
+// one never is.
+TEST(ReadaheadFaultTest, TornPrefetchDegradesWithoutCorruption) {
+  auto base = NewMemEnv();
+  Random rnd(9);
+  std::string payload;
+  for (int i = 0; i < 128 * 1024; i++) {
+    payload.push_back(static_cast<char>(rnd.Uniform(256)));
+  }
+  ASSERT_TRUE(WriteStringToFile(base.get(), payload, "/ra", true).ok());
+
+  FaultInjectionOptions fopts;
+  fopts.seed = 11;
+  fopts.short_read_probability = 1.0;
+  FaultInjectionEnv fenv(base.get(), fopts);
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(fenv.NewRandomAccessFile("/ra", &file).ok());
+
+  ReadaheadRandomAccessFile ra(file.get(), 4 * 1024, 64 * 1024,
+                               /*stats=*/nullptr);
+  uint64_t offset = 0;
+  while (offset < payload.size()) {
+    char scratch[1024];
+    Slice result;
+    const size_t want =
+        std::min<size_t>(sizeof(scratch), payload.size() - offset);
+    ASSERT_TRUE(ra.Read(offset, want, &result, scratch).ok());
+    ASSERT_LE(result.size(), want);
+    EXPECT_EQ(0, memcmp(result.data(), payload.data() + offset,
+                        result.size()))
+        << "corrupt readahead bytes at offset " << offset;
+    offset += std::max<size_t>(result.size(), 1);
+  }
+  EXPECT_GT(fenv.injected_short_reads(), 0u);
+
+  // Faults off: the same wrapper must serve the whole file exactly,
+  // now actually hitting the prefetch window.
+  fenv.SetFaultsEnabled(false);
+  auto stats = CreateDBStatistics();
+  ReadaheadRandomAccessFile healthy(file.get(), 4 * 1024, 64 * 1024,
+                                    stats.get());
+  for (uint64_t off = 0; off < payload.size(); off += 1024) {
+    char scratch[1024];
+    Slice result;
+    const size_t want = std::min<size_t>(1024, payload.size() - off);
+    ASSERT_TRUE(healthy.Read(off, want, &result, scratch).ok());
+    ASSERT_EQ(want, result.size());
+    ASSERT_EQ(0, memcmp(result.data(), payload.data() + off, want));
+  }
+  EXPECT_GT(stats->GetTickerCount(Tickers::kIoReadaheadHit), 0u);
+  EXPECT_GT(stats->GetTickerCount(Tickers::kIoReadaheadBytes), 0u);
+}
+
+// End-to-end: a readahead scan and MultiGet batches over an encrypted
+// DB keep returning exact values while the storage layer tears reads.
+// (Block reads retry transient shorts; a short coalesced MultiGet span
+// falls back to per-block reads.)
+TEST(ReadaheadFaultTest, ScanAndMultiGetSurviveShortReads) {
+  auto base = NewMemEnv();
+  FaultInjectionOptions fopts;
+  fopts.seed = 23;
+  FaultInjectionEnv fenv(base.get(), fopts);
+  fenv.SetFaultsEnabled(false);  // clean fill
+
+  auto kds = std::make_shared<LocalKds>();
+  Options options;
+  options.env = &fenv;
+  options.write_buffer_size = 16 * 1024;
+  options.encryption.mode = EncryptionMode::kShield;
+  options.encryption.kds = kds;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1200; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%05d", i);
+    const std::string value = "value" + std::to_string(i * 2654435761ull);
+    ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+    model[key] = value;
+    if (i % 400 == 399) {
+      ASSERT_TRUE(db->Flush().ok());
+      db->WaitForIdle();
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  db->WaitForIdle();
+
+  fopts.short_read_probability = 0.1;
+  fenv.SetOptions(fopts);
+  fenv.SetFaultsEnabled(true);
+
+  ReadOptions scan_options;
+  scan_options.readahead_size = 32 * 1024;
+  scan_options.fill_cache = false;
+  std::unique_ptr<Iterator> it(db->NewIterator(scan_options));
+  auto mit = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(model.end(), mit);
+    EXPECT_EQ(mit->first, it->key().ToString());
+    EXPECT_EQ(mit->second, it->value().ToString());
+  }
+  ASSERT_TRUE(it->status().ok()) << it->status().ToString();
+  EXPECT_EQ(model.end(), mit);
+  it.reset();
+
+  ReadOptions batch_options;
+  batch_options.fill_cache = false;
+  std::vector<std::string> batch;
+  for (int i = 0; i < 1200; i += 3) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%05d", i);
+    batch.push_back(key);
+  }
+  std::vector<Slice> keys(batch.begin(), batch.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db->MultiGet(batch_options, keys, &values);
+  for (size_t i = 0; i < batch.size(); i++) {
+    ASSERT_TRUE(statuses[i].ok())
+        << batch[i] << ": " << statuses[i].ToString();
+    EXPECT_EQ(model[batch[i]], values[i]) << batch[i];
+  }
   EXPECT_GT(fenv.injected_short_reads(), 0u);
 }
 

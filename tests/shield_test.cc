@@ -103,6 +103,47 @@ TEST(ChunkEncryptorTest, SmallBuffersStaySerial) {
   EXPECT_NE(original, tiny);
 }
 
+// Regression test for the tail-shard computation: buffer sizes at exact
+// shard multiples (and one byte either side) must neither drop bytes
+// nor schedule an empty shard whose `n - begin` underflows. Every
+// combination must match the serial result, and a second pass must
+// restore the plaintext (CTR is its own inverse).
+TEST(ChunkEncryptorTest, ShardBoundarySizes) {
+  std::unique_ptr<crypto::StreamCipher> cipher;
+  ASSERT_TRUE(crypto::NewStreamCipher(crypto::CipherKind::kAes128Ctr,
+                                      crypto::SecureRandomString(16),
+                                      crypto::SecureRandomString(16), &cipher)
+                  .ok());
+  ThreadPool pool(4);
+  Random rnd(123);
+  const size_t kShard = ChunkEncryptor::kMinShardBytes;
+  for (size_t multiple : {1u, 2u, 3u, 4u}) {
+    for (int delta : {-1, 0, 1}) {
+      const size_t n = multiple * kShard + delta;
+      std::string data(n, '\0');
+      for (auto& c : data) {
+        c = static_cast<char>(rnd.Uniform(256));
+      }
+      std::string serial = data;
+      ChunkEncryptor serial_encryptor(cipher.get(), nullptr, 1);
+      ASSERT_TRUE(serial_encryptor.Encrypt(4096, serial.data(), n).ok());
+
+      // Thread counts below, at, and far above the shard count the
+      // buffer can sustain (the last forces the shards-clamp path).
+      for (int threads : {2, 3, 4, 64}) {
+        std::string parallel = data;
+        ChunkEncryptor encryptor(cipher.get(), &pool, threads);
+        ASSERT_TRUE(encryptor.Encrypt(4096, parallel.data(), n).ok())
+            << "n=" << n << " threads=" << threads;
+        EXPECT_EQ(serial, parallel) << "n=" << n << " threads=" << threads;
+        ASSERT_TRUE(encryptor.Encrypt(4096, parallel.data(), n).ok());
+        EXPECT_EQ(data, parallel) << "decrypt n=" << n
+                                  << " threads=" << threads;
+      }
+    }
+  }
+}
+
 // --- ShieldFileFactory -----------------------------------------------------
 
 class ShieldFactoryTest : public ::testing::Test {

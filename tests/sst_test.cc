@@ -328,7 +328,9 @@ TEST_F(TableTest, OpenRejectsTruncatedFile) {
 // --- LRU cache ------------------------------------------------------------
 
 TEST(CacheTest, InsertLookupErase) {
-  auto cache = NewLRUCache(1000);
+  // Large enough that one entry plus its bookkeeping overhead fits in
+  // a single shard (charges include per-entry metadata).
+  auto cache = NewLRUCache(64 * 1024);
   int* value = new int(42);
   Cache::Handle* handle = cache->Insert(
       "key", value, 1, [](const Slice&, void* v) {
