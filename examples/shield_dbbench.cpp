@@ -10,7 +10,10 @@
 //                  [--wal_buffer=512] [--encryption_threads=1]
 //                  [--compaction=leveled|universal|fifo]
 //                  [--write_buffer=4194304] [--sync] [--bloom_bits=0]
-//                  [--use_existing_db]
+//                  [--use_existing_db] [--trace=/path/to/trace.bin]
+//
+// --trace records every span of the run into a binary trace file
+// (analyze/replay it with tools/trace_replay).
 //
 // Benchmarks: fillrandom, fillseq, readrandom, readwritemix (50/50),
 //             ycsb-a..ycsb-f, mixgraph, compact, stats
@@ -50,6 +53,7 @@ struct Flags {
   bool sync = false;
   int bloom_bits = 0;
   bool use_existing_db = false;
+  std::string trace;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -112,6 +116,8 @@ int main(int argc, char** argv) {
       flags.bloom_bits = atoi(value.c_str());
     } else if (strcmp(argv[i], "--use_existing_db") == 0) {
       flags.use_existing_db = true;
+    } else if (ParseFlag(argv[i], "trace", &value)) {
+      flags.trace = value;
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
@@ -157,6 +163,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<DB> db(raw_db);
+
+  if (!flags.trace.empty()) {
+    s = db->StartTrace(TraceOptions(), flags.trace);
+    if (!s.ok()) {
+      fprintf(stderr, "StartTrace %s failed: %s\n", flags.trace.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+  }
 
   WorkloadOptions workload;
   workload.num_ops = flags.num;
@@ -222,6 +237,14 @@ int main(int argc, char** argv) {
     printf("%-40s %14.0f %12.1f %12.1f\n", result.label.c_str(),
            result.ops_per_sec(), result.avg_micros(), result.p99_micros());
     fflush(stdout);
+  }
+  if (!flags.trace.empty()) {
+    s = db->EndTrace();
+    if (!s.ok()) {
+      fprintf(stderr, "EndTrace failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("trace written to %s\n", flags.trace.c_str());
   }
   return 0;
 }

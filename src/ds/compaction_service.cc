@@ -9,6 +9,7 @@
 #include "lsm/sst_builder.h"
 #include "lsm/sst_reader.h"
 #include "util/clock.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -47,6 +48,9 @@ RemoteCompactionWorker::~RemoteCompactionWorker() = default;
 
 Status RemoteCompactionWorker::RunCompaction(const CompactionJobSpec& job,
                                              CompactionJobResult* result) {
+  TraceSpan span(SpanType::kCompactionRpc);
+  span.SetArgs(static_cast<uint64_t>(job.level),
+               job.inputs0.size() + job.inputs1.size());
   const uint64_t start_micros = NowMicros();
   jobs_run_++;
   result->outputs.clear();

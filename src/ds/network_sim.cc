@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/clock.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -52,6 +53,8 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
 }
 
 Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
+  TraceSpan span(SpanType::kDsTransfer);
+  span.SetArgs(bytes, pay_rtt ? 1 : 0);
   uint64_t timeout_micros = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,6 +62,7 @@ Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
       if (partition_until_micros_ == UINT64_MAX ||
           NowMicros() < partition_until_micros_) {
         injected_faults_.fetch_add(1, std::memory_order_relaxed);
+        span.SetError();
         return Status::TryAgain("network partitioned (injected)");
       }
       partition_until_micros_ = 0;  // window expired, link healed
@@ -69,12 +73,14 @@ Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
     } else if (fault_options_.error_probability > 0 &&
                rnd_.NextDouble() < fault_options_.error_probability) {
       injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      span.SetError();
       return Status::TryAgain("network request dropped (injected)");
     }
   }
   if (timeout_micros > 0) {
     SleepForMicros(timeout_micros);
     injected_faults_.fetch_add(1, std::memory_order_relaxed);
+    span.SetError();
     return Status::TryAgain("network request timed out (injected)");
   }
   SimulateTransfer(bytes, pay_rtt);

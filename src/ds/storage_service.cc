@@ -1,6 +1,7 @@
 #include "ds/storage_service.h"
 
 #include "util/retry.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -342,7 +343,9 @@ class RemoteEnv final : public EnvWrapper {
 
 Status StorageService::FetchFile(const std::string& fname,
                                  std::string* contents) {
+  TraceSpan span(SpanType::kReplicaFetch, fname);
   if (replica_env_ == nullptr) {
+    span.SetError();
     return Status::NotSupported("storage service replication is disabled");
   }
   uint64_t size = 0;
@@ -370,7 +373,10 @@ Status StorageService::FetchFile(const std::string& fname,
     contents->append(chunk.data(), chunk.size());
   }
   // The repair fetch crosses the fabric like any other read.
-  return TransferWithRetry(&network_, contents->size(), /*pay_rtt=*/true);
+  s = TransferWithRetry(&network_, contents->size(), /*pay_rtt=*/true);
+  span.SetArgs(contents->size(), 0);
+  span.MarkStatus(s);
+  return s;
 }
 
 std::unique_ptr<Env> NewRemoteEnv(StorageService* service,

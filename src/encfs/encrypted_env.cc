@@ -6,6 +6,7 @@
 #include "crypto/secure_random.h"
 #include "env/io_stats.h"
 #include "util/perf_context.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -159,9 +160,13 @@ class EncryptedWritableFile final : public WritableFile {
   }
 
   Status EncryptAndAppend(const char* data, size_t n) {
+    TraceSpan span(SpanType::kFileEncrypt);
+    span.SetArgs(logical_offset_, n);
+    span.SetAux(static_cast<uint8_t>(cipher_kind_));
     std::unique_ptr<crypto::StreamCipher> cipher;
     Status s = crypto::NewStreamCipher(cipher_kind_, key_, nonce_, &cipher);
     if (!s.ok()) {
+      span.SetError();
       return s;
     }
     scratch_.assign(data, n);
@@ -169,6 +174,7 @@ class EncryptedWritableFile final : public WritableFile {
     if (!s.ok()) {
       // Cipher failure (e.g. ChaCha20 counter overflow): never append
       // the (possibly partially transformed) scratch bytes.
+      span.SetError();
       return s;
     }
     RecordCryptoBytes(stats_, cipher_kind_, /*encrypt=*/true, n);
@@ -214,8 +220,12 @@ class EncryptedSequentialFile final : public SequentialFile {
       memmove(scratch, result->data(), result->size());
     }
     {
+      TraceSpan span(SpanType::kFileDecrypt);
+      span.SetArgs(logical_offset_, result->size());
+      span.SetAux(static_cast<uint8_t>(cipher_->kind()));
       PerfTimer timer(&GetPerfContext()->decrypt_micros);
       s = cipher_->CryptAt(logical_offset_, scratch, result->size());
+      span.MarkStatus(s);
     }
     if (!s.ok()) {
       return s;
@@ -265,8 +275,12 @@ class EncryptedRandomAccessFile final : public RandomAccessFile {
       memmove(scratch, result->data(), result->size());
     }
     {
+      TraceSpan span(SpanType::kFileDecrypt);
+      span.SetArgs(offset, result->size());
+      span.SetAux(static_cast<uint8_t>(cipher_->kind()));
       PerfTimer timer(&GetPerfContext()->decrypt_micros);
       s = cipher_->CryptAt(offset, scratch, result->size());
+      span.MarkStatus(s);
     }
     if (!s.ok()) {
       return s;

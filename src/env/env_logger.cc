@@ -1,0 +1,197 @@
+// File-backed Logger (declared in util/logger.h; implemented here
+// because it writes through an Env, which util must not depend on).
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <vector>
+
+#include "env/env.h"
+#include "util/logger.h"
+
+namespace shield {
+
+namespace {
+
+/// Wall-clock timestamp "YYYY/MM/DD-HH:MM:SS.uuuuuu" for LOG framing.
+/// (Latency measurement elsewhere uses the monotonic clock; the LOG is
+/// for humans correlating with external systems, so wall time is
+/// right here.)
+void AppendWallTime(std::string* out) {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm t;
+  time_t seconds = ts.tv_sec;
+  localtime_r(&seconds, &t);
+  char buf[48];
+  snprintf(buf, sizeof(buf), "%04d/%02d/%02d-%02d:%02d:%02d.%06ld",
+           t.tm_year + 1900, t.tm_mon + 1, t.tm_mday, t.tm_hour, t.tm_min,
+           t.tm_sec, ts.tv_nsec / 1000);
+  out->append(buf);
+}
+
+class FileLogger final : public Logger {
+ public:
+  FileLogger(Env* env, std::string fname, size_t max_size, size_t keep,
+             InfoLogLevel level, std::unique_ptr<WritableFile> file)
+      : Logger(level),
+        env_(env),
+        fname_(std::move(fname)),
+        max_size_(max_size),
+        keep_(keep),
+        file_(std::move(file)) {}
+
+  ~FileLogger() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ != nullptr) {
+      (void)file_->Flush();
+      (void)file_->Close();
+    }
+  }
+
+  void Logv(InfoLogLevel level, const char* format, va_list ap) override {
+    if (level < GetInfoLogLevel()) {
+      return;
+    }
+    char stack_buf[512];
+    va_list backup;
+    va_copy(backup, ap);
+    int n = vsnprintf(stack_buf, sizeof(stack_buf), format, ap);
+    if (n < 0) {
+      va_end(backup);
+      return;
+    }
+    if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+      va_end(backup);
+      LogRaw(level, Slice(stack_buf, static_cast<size_t>(n)));
+      return;
+    }
+    std::vector<char> heap_buf(static_cast<size_t>(n) + 1);
+    vsnprintf(heap_buf.data(), heap_buf.size(), format, backup);
+    va_end(backup);
+    LogRaw(level, Slice(heap_buf.data(), static_cast<size_t>(n)));
+  }
+
+  void LogRaw(InfoLogLevel level, const Slice& line) override {
+    if (level < GetInfoLogLevel()) {
+      return;
+    }
+    std::string framed;
+    framed.reserve(line.size() + 48);
+    AppendWallTime(&framed);
+    framed.push_back(' ');
+    framed.append(InfoLogLevelName(level));
+    framed.push_back(' ');
+    framed.append(line.data(), line.size());
+    framed.push_back('\n');
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr) {
+      return;
+    }
+    (void)file_->Append(Slice(framed));
+    (void)file_->Flush();
+    if (max_size_ > 0 && file_->GetFileSize() >= max_size_) {
+      Rotate();
+    }
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_ != nullptr ? file_->Flush() : Status::OK();
+  }
+
+  uint64_t GetLogFileSize() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_ != nullptr ? file_->GetFileSize() : 0;
+  }
+
+ private:
+  // mu_ held. Renames the full file to <fname>.old.<seq>, prunes old
+  // rotations beyond keep_, and starts a fresh file. Best effort: on
+  // any failure logging continues into the current file.
+  void Rotate() {
+    (void)file_->Close();
+    file_.reset();
+    RotateExistingFile(env_, fname_, keep_);
+    std::unique_ptr<WritableFile> fresh;
+    if (env_->NewWritableFile(fname_, &fresh).ok()) {
+      file_ = std::move(fresh);
+    }
+  }
+
+ public:
+  /// Shared with NewFileLogger: move an existing `fname` aside to
+  /// `<fname>.old.<seq>` and delete rotations beyond `keep`.
+  static void RotateExistingFile(Env* env, const std::string& fname,
+                                 size_t keep) {
+    if (!env->FileExists(fname)) {
+      return;
+    }
+    // Split into directory + basename to scan siblings.
+    const size_t slash = fname.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".") : fname.substr(0, slash);
+    const std::string base =
+        slash == std::string::npos ? fname : fname.substr(slash + 1);
+    const std::string old_prefix = base + ".old.";
+
+    std::vector<std::string> children;
+    (void)env->GetChildren(dir, &children);
+    uint64_t max_seq = 0;
+    std::vector<std::pair<uint64_t, std::string>> rotated;
+    for (const std::string& child : children) {
+      if (child.size() <= old_prefix.size() ||
+          child.compare(0, old_prefix.size(), old_prefix) != 0) {
+        continue;
+      }
+      const uint64_t seq =
+          strtoull(child.c_str() + old_prefix.size(), nullptr, 10);
+      max_seq = std::max(max_seq, seq);
+      rotated.emplace_back(seq, child);
+    }
+    char seq_buf[32];
+    snprintf(seq_buf, sizeof(seq_buf), "%llu",
+             static_cast<unsigned long long>(max_seq + 1));
+    (void)env->RenameFile(fname, fname + ".old." + seq_buf);
+    rotated.emplace_back(max_seq + 1, base + ".old." + seq_buf);
+
+    if (keep > 0 && rotated.size() > keep) {
+      std::sort(rotated.begin(), rotated.end());
+      for (size_t i = 0; i + keep < rotated.size(); i++) {
+        (void)env->RemoveFile(dir + "/" + rotated[i].second);
+      }
+    }
+  }
+
+ private:
+  Env* const env_;
+  const std::string fname_;
+  const size_t max_size_;
+  const size_t keep_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;  // null after a failed rotation
+};
+
+}  // namespace
+
+Status NewFileLogger(Env* env, const std::string& fname,
+                     size_t max_log_file_size, size_t keep_log_file_num,
+                     InfoLogLevel level, std::shared_ptr<Logger>* out) {
+  out->reset();
+  // Never truncate a previous LOG: rotate it aside first so the tail of
+  // the prior run survives for post-mortems.
+  FileLogger::RotateExistingFile(env, fname, keep_log_file_num);
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  *out = std::make_shared<FileLogger>(env, fname, max_log_file_size,
+                                      keep_log_file_num, level,
+                                      std::move(file));
+  return Status::OK();
+}
+
+}  // namespace shield

@@ -10,6 +10,7 @@
 #include "lsm/write_batch.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -84,11 +85,35 @@ class DB {
   ///   "shield.recovery-salvaged-logs",
   ///   "shield.error-handler-state", "shield.background-error",
   ///   "shield.error-recoveries", "shield.scrub-corruptions-detected",
-  ///   "shield.scrub-repaired-files", "shield.scrub-quarantined-files"
+  ///   "shield.scrub-repaired-files", "shield.scrub-quarantined-files",
+  ///   "shield.levelstats" (files/bytes per level, one row per level),
+  ///   "shield.dek-cache-stats" (hits/misses/evictions/entries),
+  ///   "shield.metrics" (Prometheus text exposition of all tickers and
+  ///   histograms; requires Options::statistics)
   /// "shield.stats" includes the per-level compaction table, the
   /// physical I/O split, and — when Options::statistics is set — the
   /// full ticker/histogram dump (util/statistics.h).
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// Starts recording a trace of this DB's activity into `trace_path`
+  /// (written through the physical env): spans for DB ops, flush and
+  /// compaction jobs, crypto work, KDS round trips, DS fabric
+  /// transfers, and physical I/O (util/trace.h describes the format;
+  /// tools/trace_replay analyzes and re-executes it). One trace can be
+  /// active per process; a second StartTrace returns Busy. Default
+  /// implementation returns NotSupported (read-only instances).
+  virtual Status StartTrace(const TraceOptions& trace_options,
+                            const std::string& trace_path) {
+    (void)trace_options;
+    (void)trace_path;
+    return Status::NotSupported("tracing not supported by this DB");
+  }
+
+  /// Stops the active trace, draining all span buffers to the file.
+  /// Returns the first trace-file write error, if any.
+  virtual Status EndTrace() {
+    return Status::NotSupported("tracing not supported by this DB");
+  }
 
   /// Walks every live SST and verifies each block's CRC — and, on
   /// authenticated files, its HMAC tag — with fresh reads that bypass

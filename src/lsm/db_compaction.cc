@@ -4,7 +4,9 @@
 #include "lsm/file_names.h"
 #include "lsm/sst_builder.h"
 #include "util/clock.h"
+#include "util/perf_context.h"
 #include "util/retry.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -297,6 +299,42 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   CompactionStats stats;
   stats.count = 1;
 
+  TraceSpan comp_span(SpanType::kCompactionJob);
+  comp_span.SetArgs(static_cast<uint64_t>(c->level()),
+                    static_cast<uint64_t>(c->output_level()));
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("compaction_begin");
+    w.Add("level", c->level());
+    w.Add("output_level", c->output_level());
+    w.Add("inputs_level", c->num_input_files(0));
+    w.Add("inputs_output_level", c->num_input_files(1));
+    w.Add("offloaded", options_.compaction_service != nullptr);
+    event_logger_->Emit(&w);
+  }
+  // Every rewritten output gets a fresh DEK under SHIELD, so
+  // output_files doubles as the DEK-rotation count for the job.
+  auto emit_compaction_end = [this, c](const Status& s, int num_outputs,
+                                       const CompactionStats& cs) {
+    if (event_logger_ == nullptr) {
+      return;
+    }
+    JsonWriter w = event_logger_->NewEvent("compaction_end");
+    w.Add("level", c->level());
+    w.Add("output_level", c->output_level());
+    w.Add("output_files", num_outputs);
+    if (options_.encryption.mode == EncryptionMode::kShield) {
+      w.Add("dek_rotations", num_outputs);
+    }
+    w.Add("bytes_read", static_cast<uint64_t>(cs.bytes_read));
+    w.Add("bytes_written", static_cast<uint64_t>(cs.bytes_written));
+    w.Add("micros", static_cast<uint64_t>(cs.micros));
+    w.Add("ok", s.ok());
+    if (!s.ok()) {
+      w.Add("error", s.ToString());
+    }
+    event_logger_->Emit(&w);
+  };
+
   // Ticker + listener reporting for an installed compaction. Called
   // with mutex_ held, after LogAndApply succeeded.
   auto report_compaction = [this, c](const CompactionStats& cs, int nfiles) {
@@ -342,6 +380,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       if (s.ok()) {
         report_compaction(stats, num_outputs);
       }
+      comp_span.MarkStatus(s);
+      emit_compaction_end(s, num_outputs, stats);
       return s;
     }
     // The remote service failed after its retry budget. Its outputs
@@ -361,11 +401,20 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       *reason = BackgroundErrorReason::kOffload;
       stats.micros = static_cast<int64_t>(NowMicros() - start_micros);
       stats_[c->output_level()].Add(stats);
+      comp_span.MarkStatus(s);
+      emit_compaction_end(s, 0, stats);
       return s;
     }
     // Fall back to running the same compaction locally: an unreachable
     // or flaky storage service must not stall the LSM shape.
     offload_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (event_logger_ != nullptr) {
+      JsonWriter w = event_logger_->NewEvent("offload_fallback");
+      w.Add("level", c->level());
+      w.Add("output_level", c->output_level());
+      w.Add("error", s.ToString());
+      event_logger_->Emit(&w);
+    }
     stats = CompactionStats();
     stats.count = 1;
   }
@@ -491,6 +540,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       pending_outputs_.erase(out.number);
     }
   }
+  comp_span.MarkStatus(status);
+  emit_compaction_end(status, static_cast<int>(compact->outputs.size()),
+                      stats);
   return status;
 }
 
@@ -533,10 +585,22 @@ Status DBImpl::DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
     pending_outputs_.insert(number);
   }
 
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("offload_dispatch");
+    w.Add("level", job.level);
+    w.Add("output_level", job.output_level);
+    w.Add("inputs", static_cast<uint64_t>(job.inputs0.size() +
+                                          job.inputs1.size()));
+    w.Add("input_bytes", input_bytes);
+    event_logger_->Emit(&w);
+  }
+
   CompactionJobResult result;
   Status s;
   {
     mutex_.unlock();
+    TraceSpan rpc_span(SpanType::kOffloadRpc);
+    rpc_span.SetArgs(input_bytes, 0);
     // Transient service failures (network faults, brief worker
     // unavailability) are retried with backoff before the job is
     // declared failed; each attempt restarts from the same spec and
@@ -549,6 +613,7 @@ Status DBImpl::DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
       result = CompactionJobResult();
       return options_.compaction_service->RunCompaction(job, &result);
     });
+    rpc_span.MarkStatus(s);
     mutex_.lock();
   }
 
@@ -617,6 +682,10 @@ Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   if (read_only_) {
     return Status::NotSupported("read-only instance");
   }
+  PerfOpBoundary();
+  TraceSpan span(SpanType::kDbCompactRange);
+  StopWatch watch(options_.statistics.get(),
+                  Histograms::kDbCompactRangeMicros);
   Status s = Flush();
   if (!s.ok()) {
     return s;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "crypto/cipher.h"
 #include "encfs/encrypted_env.h"
+#include "env/trace_env.h"
 #include "kds/local_kds.h"
 #include "lsm/db_iter.h"
 #include "lsm/file_names.h"
 #include "lsm/merger.h"
 #include "util/clock.h"
+#include "util/logger.h"
 
 namespace shield {
 
@@ -109,6 +112,72 @@ DBImpl::~DBImpl() {
   table_cache_.reset();
 }
 
+void DBImpl::SetupInfoLog() {
+  // mutex_ held; raw_env_ captured. The LOG goes through the physical
+  // env on purpose: it is plaintext-by-design and must survive (and
+  // help debug) encryption-layer failures. No keys, passkeys or user
+  // data are ever written to it.
+  if (options_.info_log == nullptr) {
+    Status s = NewFileLogger(raw_env_, InfoLogFileName(dbname_),
+                             options_.max_log_file_size,
+                             options_.keep_log_file_num,
+                             options_.info_log_level, &options_.info_log);
+    if (!s.ok()) {
+      // A DB without a LOG is fully functional; don't fail Open.
+      options_.info_log = NewNullLogger();
+    }
+  } else {
+    options_.info_log->SetInfoLogLevel(options_.info_log_level);
+  }
+  event_logger_ = std::make_unique<EventLogger>(options_.info_log.get(),
+                                                options_.statistics.get());
+
+  const EncryptionOptions& enc = options_.encryption;
+  const char* mode = "none";
+  switch (enc.mode) {
+    case EncryptionMode::kNone:
+      mode = "none";
+      break;
+    case EncryptionMode::kEncFS:
+      mode = "encfs";
+      break;
+    case EncryptionMode::kShield:
+      mode = "shield";
+      break;
+  }
+  JsonWriter w = event_logger_->NewEvent("db_open");
+  w.Add("db", dbname_);
+  w.Add("read_only", read_only_);
+  w.Add("format_version_base",
+        static_cast<uint64_t>(kShieldFormatVersionBase));
+  w.Add("format_version_auth",
+        static_cast<uint64_t>(kShieldFormatVersionAuth));
+  w.Add("encryption_mode", mode);
+  w.Add("cipher", crypto::CipherKindName(enc.cipher));
+  w.Add("authenticate_blocks", enc.authenticate_blocks);
+  w.Add("encrypt_wal", enc.encrypt_wal);
+  w.Add("wal_buffer_size", static_cast<uint64_t>(enc.wal_buffer_size));
+  w.Add("sst_chunk_size", static_cast<uint64_t>(enc.sst_chunk_size));
+  w.Add("encryption_threads", enc.encryption_threads);
+  w.Add("secure_dek_cache", enc.use_secure_dek_cache);
+  w.Add("offloaded_compaction", options_.compaction_service != nullptr);
+  w.Add("replica_source", options_.replica_source != nullptr);
+  w.Add("write_buffer_size",
+        static_cast<uint64_t>(options_.write_buffer_size));
+  w.Add("block_cache_size",
+        static_cast<uint64_t>(options_.block_cache_size));
+  w.Add("num_levels", options_.num_levels);
+  w.Add("compaction_style",
+        options_.compaction_style == CompactionStyle::kLeveled ? "leveled"
+        : options_.compaction_style == CompactionStyle::kUniversal
+            ? "universal"
+            : "fifo");
+  w.Add("max_background_jobs", options_.max_background_jobs);
+  w.Add("sync_wal", options_.sync_wal);
+  w.Add("paranoid_checks", options_.paranoid_checks);
+  event_logger_->Emit(&w);
+}
+
 Status DBImpl::SetupEncryption() {
   const EncryptionOptions& enc = options_.encryption;
   switch (enc.mode) {
@@ -150,6 +219,9 @@ Status DBImpl::SetupEncryption() {
       dek_manager_ = std::make_unique<DekManager>(kds_.get(), enc.server_id,
                                                   secure_dek_cache_.get(),
                                                   options_.statistics.get());
+      if (event_logger_ != nullptr) {
+        dek_manager_->SetEventLogger(event_logger_.get());
+      }
       if (enc.encryption_threads > 1) {
         encryption_pool_ =
             std::make_unique<ThreadPool>(enc.encryption_threads);
@@ -254,9 +326,6 @@ void DBImpl::RemoveObsoleteFiles() {
 Status DBImpl::Recover() {
   std::unique_lock<std::mutex> lock(mutex_);
 
-  error_handler_.Configure(options_.background_error_resume_policy,
-                           options_.listeners);
-
   Status s = options_.env->CreateDirIfMissing(dbname_);
   if (!s.ok()) {
     return s;
@@ -265,8 +334,15 @@ Status DBImpl::Recover() {
   // may interpose the EncFS env: quarantine/repair move on-disk images
   // byte-for-byte.
   raw_env_ = options_.env;
-  // Interpose the counting env below the encryption layer so io.*
-  // accounting reflects physical (ciphertext) traffic.
+  SetupInfoLog();
+  error_handler_.Configure(options_.background_error_resume_policy,
+                           options_.listeners, event_logger_.get());
+  // Interpose the tracing env directly above the physical env, then the
+  // counting env, then encryption: both observability layers see
+  // ciphertext traffic (what actually hits storage), and the tracing
+  // wrapper is a single relaxed atomic load when no trace is active.
+  owned_tracing_env_ = NewIOTracingEnv(options_.env);
+  options_.env = owned_tracing_env_.get();
   io_stats_.SetStatisticsSink(options_.statistics.get());
   owned_counting_env_ = NewCountingEnv(options_.env, &io_stats_);
   options_.env = owned_counting_env_.get();
@@ -308,6 +384,7 @@ Status DBImpl::Recover() {
   }
 
   // Replay WALs newer than the manifest state.
+  TraceSpan recover_span(SpanType::kRecovery, Slice(dbname_));
   SequenceNumber max_sequence = 0;
   const uint64_t min_log = versions_->LogNumber();
   std::vector<std::string> filenames;
@@ -339,6 +416,12 @@ Status DBImpl::Recover() {
         // hence unacknowledged — data can be missing. Salvage and
         // continue.
         recovery_salvaged_logs_.fetch_add(1, std::memory_order_relaxed);
+        if (event_logger_ != nullptr && event_logger_->enabled()) {
+          JsonWriter w = event_logger_->NewEvent("wal_salvage");
+          w.Add("log_number", log_number);
+          w.Add("error", s.ToString());
+          event_logger_->Emit(&w);
+        }
         s = Status::OK();
       } else {
         return s;
@@ -559,6 +642,55 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         scrub_quarantined_files_.load(std::memory_order_relaxed));
     return true;
   }
+  if (in == Slice("levelstats")) {
+    // One row per level: "level files bytes" (machine-friendly; the
+    // human table lives under "shield.stats").
+    char buf[64];
+    value->append("level files bytes\n");
+    for (int level = 0; level < versions_->num_levels(); level++) {
+      snprintf(buf, sizeof(buf), "%d %d %lld\n", level,
+               versions_->NumLevelFiles(level),
+               static_cast<long long>(versions_->NumLevelBytes(level)));
+      value->append(buf);
+    }
+    return true;
+  }
+  if (in == Slice("dek-cache-stats")) {
+    char buf[160];
+    snprintf(buf, sizeof(buf),
+             "hits=%llu misses=%llu evictions=%llu entries=%llu",
+             static_cast<unsigned long long>(
+                 dek_manager_ ? dek_manager_->cache_hits() : 0),
+             static_cast<unsigned long long>(
+                 dek_manager_ ? dek_manager_->cache_misses() : 0),
+             static_cast<unsigned long long>(
+                 dek_manager_ ? dek_manager_->evictions() : 0),
+             static_cast<unsigned long long>(
+                 dek_manager_ ? dek_manager_->entries() : 0));
+    *value = buf;
+    return true;
+  }
+  if (in == Slice("metrics")) {
+    if (options_.statistics == nullptr) {
+      return false;
+    }
+    *value = options_.statistics->ToPrometheusText();
+    // DB-level gauges that live outside the Statistics registry.
+    char buf[128];
+    value->append("# TYPE shield_level_files gauge\n");
+    for (int level = 0; level < versions_->num_levels(); level++) {
+      snprintf(buf, sizeof(buf), "shield_level_files{level=\"%d\"} %d\n",
+               level, versions_->NumLevelFiles(level));
+      value->append(buf);
+    }
+    value->append("# TYPE shield_level_bytes gauge\n");
+    for (int level = 0; level < versions_->num_levels(); level++) {
+      snprintf(buf, sizeof(buf), "shield_level_bytes{level=\"%d\"} %lld\n",
+               level, static_cast<long long>(versions_->NumLevelBytes(level)));
+      value->append(buf);
+    }
+    return true;
+  }
   return false;
 }
 
@@ -570,6 +702,43 @@ Status DBImpl::Resume() {
     MaybeScheduleFlush();
     MaybeScheduleCompaction();
     background_work_finished_signal_.notify_all();
+  }
+  return s;
+}
+
+Status DBImpl::StartTrace(const TraceOptions& trace_options,
+                          const std::string& trace_path) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  if (tracer_.active()) {
+    return Status::Busy("this DB already has an active trace");
+  }
+  // The trace is written through the physical env: plaintext on
+  // purpose (span labels are file names, never keys or user data), and
+  // replayable against a raw directory.
+  Status s = tracer_.Start(raw_env_, trace_path, trace_options,
+                           options_.statistics.get());
+  if (s.ok() && event_logger_ != nullptr && event_logger_->enabled()) {
+    JsonWriter w = event_logger_->NewEvent("trace_start");
+    w.Add("path", trace_path);
+    event_logger_->Emit(&w);
+  }
+  return s;
+}
+
+Status DBImpl::EndTrace() {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  if (!tracer_.active()) {
+    return Status::InvalidArgument("no active trace on this DB");
+  }
+  Status s = tracer_.Stop();
+  RecordTick(options_.statistics.get(), Tickers::kIoTraceDropped,
+             tracer_.spans_dropped());
+  if (event_logger_ != nullptr && event_logger_->enabled()) {
+    JsonWriter w = event_logger_->NewEvent("trace_end");
+    w.Add("spans_recorded", tracer_.spans_recorded());
+    w.Add("spans_dropped", tracer_.spans_dropped());
+    w.Add("status", s.ToString());
+    event_logger_->Emit(&w);
   }
   return s;
 }

@@ -20,8 +20,10 @@
 #include "lsm/version_set.h"
 #include "shield/dek_manager.h"
 #include "shield/file_crypto.h"
+#include "util/event_logger.h"
 #include "util/histogram.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -54,6 +56,9 @@ class DBImpl final : public DB {
   void WaitForIdle() override;
   Status VerifyIntegrity() override;
   Status Resume() override;
+  Status StartTrace(const TraceOptions& trace_options,
+                    const std::string& trace_path) override;
+  Status EndTrace() override;
 
   /// Startup: recover manifest + WALs. Called by DB::Open.
   Status Recover();
@@ -95,6 +100,9 @@ class DBImpl final : public DB {
   Status SetupEncryption();
   Status NewDb();
   void RemoveObsoleteFiles();  // mutex_ held
+  /// Creates the info LOG (unless Options supplied one) and emits the
+  /// db_open event with sanitized options + build info.
+  void SetupInfoLog();
 
   // Write path (db_write.cc).
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
@@ -166,6 +174,19 @@ class DBImpl final : public DB {
   // repair move on-disk images around byte-for-byte, without any
   // encryption layer transforming them.
   Env* raw_env_ = nullptr;
+
+  // Observability plane. The LOG and trace files are written through
+  // raw_env_ (deliberately plaintext; no keys or user data ever reach
+  // them). event_logger_ wraps the LOG for JSON-lines engine events;
+  // tracer_ owns the active trace started via StartTrace.
+  // Declared before the env/crypto members that may reference the
+  // event logger so it destructs after them.
+  std::unique_ptr<EventLogger> event_logger_;
+  // I/O tracing env interposed directly above the physical env (below
+  // counting + encryption) so io.* spans describe ciphertext traffic.
+  std::unique_ptr<Env> owned_tracing_env_;
+  Tracer tracer_;
+  std::mutex trace_mutex_;  // serializes StartTrace/EndTrace
 
   // Physical I/O accounting: a counting Env interposed below the
   // encryption layer, so it sees ciphertext traffic (what actually

@@ -3,6 +3,9 @@
 #include <memory>
 #include <string>
 
+#include "util/perf_context.h"
+#include "util/trace.h"
+
 namespace shield {
 
 namespace {
@@ -14,11 +17,13 @@ namespace {
 class DBIter final : public Iterator {
  public:
   DBIter(const Comparator* user_comparator, Iterator* internal_iter,
-         SequenceNumber sequence, std::function<void()> cleanup)
+         SequenceNumber sequence, std::function<void()> cleanup,
+         Statistics* stats)
       : user_comparator_(user_comparator),
         iter_(internal_iter),
         sequence_(sequence),
-        cleanup_(std::move(cleanup)) {}
+        cleanup_(std::move(cleanup)),
+        stats_(stats) {}
 
   ~DBIter() override {
     iter_.reset();
@@ -98,6 +103,7 @@ class DBIter final : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    SeekAccounting seek(this);
     direction_ = kForward;
     ClearSavedValue();
     saved_key_.clear();
@@ -112,6 +118,7 @@ class DBIter final : public Iterator {
   }
 
   void SeekToFirst() override {
+    SeekAccounting seek(this);
     direction_ = kForward;
     ClearSavedValue();
     iter_->SeekToFirst();
@@ -123,6 +130,7 @@ class DBIter final : public Iterator {
   }
 
   void SeekToLast() override {
+    SeekAccounting seek(this);
     direction_ = kReverse;
     ClearSavedValue();
     iter_->SeekToLast();
@@ -131,6 +139,28 @@ class DBIter final : public Iterator {
 
  private:
   enum Direction { kForward, kReverse };
+
+  // Shared accounting for the three positioning calls: op boundary,
+  // db.seek span, db.seek.micros histogram, iter_seek PerfContext
+  // fields.
+  class SeekAccounting {
+   public:
+    explicit SeekAccounting(DBIter* iter)
+        : span_(SpanType::kDbSeek),
+          watch_(iter->stats_, Histograms::kDbSeekMicros),
+          timer_(SeekPerfField()) {}
+
+   private:
+    static uint64_t* SeekPerfField() {
+      PerfOpBoundary();
+      PerfAdd(&PerfContext::iter_seek_count, 1);
+      return &GetPerfContext()->iter_seek_micros;
+    }
+
+    TraceSpan span_;
+    StopWatch watch_;
+    PerfTimer timer_;
+  };
 
   bool ParseKey(ParsedInternalKey* ikey) {
     if (!ParseInternalKey(iter_->key(), ikey)) {
@@ -230,6 +260,7 @@ class DBIter final : public Iterator {
   std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
   std::function<void()> cleanup_;
+  Statistics* const stats_;
 
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
@@ -242,9 +273,9 @@ class DBIter final : public Iterator {
 
 Iterator* NewDBIterator(const Comparator* user_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        std::function<void()> cleanup) {
+                        std::function<void()> cleanup, Statistics* stats) {
   return new DBIter(user_comparator, internal_iter, sequence,
-                    std::move(cleanup));
+                    std::move(cleanup), stats);
 }
 
 }  // namespace shield

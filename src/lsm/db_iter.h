@@ -5,6 +5,7 @@
 
 #include "lsm/format.h"
 #include "lsm/iterator.h"
+#include "util/statistics.h"
 
 namespace shield {
 
@@ -12,10 +13,12 @@ namespace shield {
 /// user-facing iterator at a given sequence: hides tombstones,
 /// collapses duplicate versions, strips internal key trailers. Takes
 /// ownership of `internal_iter`; invokes `cleanup` on destruction (may
-/// be null).
+/// be null). `stats` (optional, must outlive the iterator) receives
+/// the db.seek.micros histogram for Seek/SeekToFirst/SeekToLast.
 Iterator* NewDBIterator(const Comparator* user_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        std::function<void()> cleanup);
+                        std::function<void()> cleanup,
+                        Statistics* stats = nullptr);
 
 }  // namespace shield
 

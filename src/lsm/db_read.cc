@@ -4,11 +4,14 @@
 #include "lsm/db_iter.h"
 #include "lsm/merger.h"
 #include "util/perf_context.h"
+#include "util/trace.h"
 
 namespace shield {
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  PerfOpBoundary();
+  TraceSpan span(SpanType::kDbGet);
   StopWatch get_watch(options_.statistics.get(), Histograms::kDbGetMicros);
   Status s;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -53,12 +56,19 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     imm->Unref();
   }
   current->Unref();
+  // NotFound is an answer, not an error.
+  if (!s.ok() && !s.IsNotFound()) {
+    span.SetError();
+  }
   return s;
 }
 
 std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
                                      const std::vector<Slice>& keys,
                                      std::vector<std::string>* values) {
+  PerfOpBoundary();
+  TraceSpan span(SpanType::kDbMultiGet);
+  span.SetArgs(keys.size(), 0);
   StopWatch watch(options_.statistics.get(), Histograms::kDbMultiGetMicros);
   values->clear();
   values->resize(keys.size());
@@ -180,7 +190,8 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
           imm->Unref();
         }
         current->Unref();
-      });
+      },
+      options_.statistics.get());
 }
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {

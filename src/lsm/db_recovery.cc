@@ -5,6 +5,7 @@
 #include "lsm/log_reader.h"
 #include "lsm/sst_builder.h"
 #include "util/clock.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -115,6 +116,17 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   meta.number = versions_->NewFileNumber();
   pending_outputs_.insert(meta.number);
 
+  TraceSpan flush_span(SpanType::kFlushJob);
+  flush_span.SetArgs(meta.number, mem->NumEntries());
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("flush_begin");
+    w.Add("file_number", meta.number);
+    w.Add("mem_entries", static_cast<uint64_t>(mem->NumEntries()));
+    w.Add("mem_bytes",
+          static_cast<uint64_t>(mem->ApproximateMemoryUsage()));
+    event_logger_->Emit(&w);
+  }
+
   mutex_.unlock();
 
   std::unique_ptr<Iterator> iter(mem->NewIterator());
@@ -171,6 +183,18 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   stats.bytes_written = static_cast<int64_t>(meta.file_size);
   stats.count = 1;
   stats_[0].Add(stats);
+  flush_span.MarkStatus(s);
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("flush_end");
+    w.Add("file_number", meta.number);
+    w.Add("file_size", meta.file_size);
+    w.Add("micros", static_cast<uint64_t>(stats.micros));
+    w.Add("ok", s.ok());
+    if (!s.ok()) {
+      w.Add("error", s.ToString());
+    }
+    event_logger_->Emit(&w);
+  }
   if (s.ok() && meta.file_size > 0) {
     RecordTick(options_.statistics.get(), Tickers::kLsmFlushBytesWritten,
                meta.file_size);

@@ -12,6 +12,7 @@
 #include "lsm/sst_builder.h"
 #include "lsm/sst_reader.h"
 #include "util/clock.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -24,6 +25,8 @@ Status DBImpl::VerifyIntegrity() {
 }
 
 Status DBImpl::ScrubPass(bool throttle, ScrubStats* stats) {
+  TraceSpan pass_span(SpanType::kScrubPass);
+  const uint64_t pass_start = NowMicros();
   std::vector<Version::LiveFileInfo> files;
   Version* version = nullptr;
   {
@@ -36,6 +39,12 @@ Status DBImpl::ScrubPass(bool throttle, ScrubStats* stats) {
     version = versions_->current();
     version->Ref();
     version->GetAllFiles(&files);
+  }
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("scrub_begin");
+    w.Add("files", static_cast<uint64_t>(files.size()));
+    w.Add("throttled", throttle);
+    event_logger_->Emit(&w);
   }
 
   Status first_failure;
@@ -80,6 +89,20 @@ Status DBImpl::ScrubPass(bool throttle, ScrubStats* stats) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     version->Unref();
+  }
+  pass_span.SetArgs(stats->files_scanned, stats->corrupt_files);
+  pass_span.MarkStatus(first_failure);
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("scrub_end");
+    w.Add("files_scanned", stats->files_scanned);
+    w.Add("corrupt_files", stats->corrupt_files);
+    w.Add("repaired_files", stats->repaired_files);
+    w.Add("micros", NowMicros() - pass_start);
+    w.Add("ok", first_failure.ok());
+    if (!first_failure.ok()) {
+      w.Add("error", first_failure.ToString());
+    }
+    event_logger_->Emit(&w);
   }
   return first_failure;
 }
@@ -176,6 +199,12 @@ Status DBImpl::QuarantineFile(uint64_t number) {
   }
   if (s.ok()) {
     scrub_quarantined_files_.fetch_add(1, std::memory_order_relaxed);
+    if (event_logger_ != nullptr) {
+      JsonWriter w = event_logger_->NewEvent("quarantine");
+      w.Add("file_number", number);
+      w.Add("path", qname);
+      event_logger_->Emit(&w);
+    }
   }
   return s;
 }
@@ -259,6 +288,12 @@ Status DBImpl::RepairFromReplica(int level, uint64_t number,
     }
   }
   scrub_repaired_files_.fetch_add(1, std::memory_order_relaxed);
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("file_repaired");
+    w.Add("file_number", number);
+    w.Add("from_replica", true);
+    event_logger_->Emit(&w);
+  }
   return Status::OK();
 }
 
@@ -377,6 +412,14 @@ Status DBImpl::SalvageLocally(int level, uint64_t number,
       listener->OnFileRepaired(fname, /*from_replica=*/false);
     }
     scrub_repaired_files_.fetch_add(1, std::memory_order_relaxed);
+    if (event_logger_ != nullptr) {
+      JsonWriter w = event_logger_->NewEvent("file_repaired");
+      w.Add("file_number", number);
+      w.Add("from_replica", false);
+      w.Add("salvaged_entries", entries);
+      w.Add("dropped_blocks", dropped_blocks);
+      event_logger_->Emit(&w);
+    }
     // The damaged original is no longer referenced: GC deletes the
     // live name (its bytes live on in the quarantine copy). On a
     // failed salvage the unreferenced output is left to the next GC.

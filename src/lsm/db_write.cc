@@ -2,6 +2,7 @@
 #include "lsm/file_names.h"
 #include "util/clock.h"
 #include "util/perf_context.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -23,6 +24,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     return Status::NotSupported("read-only instance");
   }
 
+  PerfOpBoundary();
+  TraceSpan span(SpanType::kDbWrite);
+  if (updates != nullptr) {
+    span.SetArgs(updates->Count(), updates->ApproximateSize());
+  }
   StopWatch write_watch(options_.statistics.get(),
                         Histograms::kDbWriteMicros);
 
@@ -54,12 +60,16 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       mutex_.unlock();
       bool sync_error = false;
       {
+        TraceSpan wal_span(SpanType::kWalAppend);
+        wal_span.SetArgs(write_batch->Count(),
+                         write_batch->Contents().size());
         PerfTimer wal_timer(&GetPerfContext()->wal_write_micros);
         status = log_->AddRecord(write_batch->Contents());
         if (status.ok() && w.sync) {
           status = logfile_->Sync();
           sync_error = !status.ok();
         }
+        wal_span.MarkStatus(status);
       }
       if (status.ok()) {
         PerfTimer mem_timer(&GetPerfContext()->memtable_insert_micros);
@@ -104,6 +114,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     writers_.front()->cv.notify_one();
   }
 
+  span.MarkStatus(status);
   return status;
 }
 
@@ -229,6 +240,8 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
 Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   (void)lock;
   assert(imm_ == nullptr);
+  TraceSpan roll_span(SpanType::kWalRoll);
+  const bool was_tainted = log_tainted_;
   const uint64_t new_log_number = versions_->NewFileNumber();
   std::unique_ptr<WritableFile> lfile;
   Status s = files_->NewWritableFile(LogFileName(dbname_, new_log_number),
@@ -236,7 +249,16 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   if (!s.ok()) {
     // Avoid chewing through file numbers in a tight loop on errors.
     versions_->MarkFileNumberUsed(new_log_number);
+    roll_span.SetError();
     return s;
+  }
+  roll_span.SetArgs(logfile_number_, new_log_number);
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("wal_roll");
+    w.Add("old_log_number", logfile_number_);
+    w.Add("new_log_number", new_log_number);
+    w.Add("tainted", was_tainted);
+    event_logger_->Emit(&w);
   }
   log_.reset();
   Status close_status;
@@ -265,6 +287,9 @@ Status DBImpl::Flush() {
   if (read_only_) {
     return Status::NotSupported("read-only instance");
   }
+  PerfOpBoundary();
+  TraceSpan span(SpanType::kDbFlush);
+  StopWatch watch(options_.statistics.get(), Histograms::kDbFlushMicros);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (mem_->NumEntries() == 0 && imm_ == nullptr && !flush_scheduled_) {

@@ -50,10 +50,30 @@ const char* DbErrorStateName(DbErrorState state) {
 
 void ErrorHandler::Configure(
     const RetryPolicy& resume_policy,
-    std::vector<std::shared_ptr<EventListener>> listeners) {
+    std::vector<std::shared_ptr<EventListener>> listeners,
+    EventLogger* event_logger) {
   policy_ = resume_policy;
   listeners_ = std::move(listeners);
+  event_logger_ = event_logger;
   rnd_state_ = policy_.seed == 0 ? 0x5e7e7 : policy_.seed;
+}
+
+void ErrorHandler::TransitionTo(DbErrorState next, const char* cause) {
+  if (next == state_) {
+    return;
+  }
+  const DbErrorState prev = state_;
+  state_ = next;
+  if (event_logger_ != nullptr && event_logger_->enabled()) {
+    JsonWriter w = event_logger_->NewEvent("error_state");
+    w.Add("from", DbErrorStateName(prev));
+    w.Add("to", DbErrorStateName(next));
+    w.Add("cause", cause);
+    if (!bg_error_.ok()) {
+      w.Add("bg_error", bg_error_.ToString());
+    }
+    event_logger_->Emit(&w);
+  }
 }
 
 ErrorSeverity ErrorHandler::Classify(BackgroundErrorReason reason,
@@ -86,7 +106,7 @@ uint64_t ErrorHandler::OnBackgroundError(BackgroundErrorReason reason,
   if (s.IsTransient() && attempts_[idx] < policy_.max_attempts) {
     attempts_[idx]++;
     if (state_ == DbErrorState::kActive) {
-      state_ = DbErrorState::kRecovering;
+      TransitionTo(DbErrorState::kRecovering, BackgroundErrorReasonName(reason));
       for (const auto& l : listeners_) {
         l->OnErrorRecoveryBegin(reason, s);
       }
@@ -112,7 +132,7 @@ void ErrorHandler::OnForegroundError(BackgroundErrorReason reason,
 void ErrorHandler::OnOperationSucceeded(BackgroundErrorReason reason) {
   attempts_[static_cast<int>(reason)] = 0;
   if (state_ == DbErrorState::kRecovering && !AnyRetryPending()) {
-    state_ = DbErrorState::kActive;
+    TransitionTo(DbErrorState::kActive, "auto-resume");
     recoveries_++;
     for (const auto& l : listeners_) {
       l->OnErrorRecoveryEnd(Status::OK());
@@ -132,7 +152,7 @@ Status ErrorHandler::Resume() {
   }
   bg_error_ = Status::OK();
   attempts_.fill(0);
-  state_ = DbErrorState::kActive;
+  TransitionTo(DbErrorState::kActive, "manual-resume");
   recoveries_++;
   for (const auto& l : listeners_) {
     l->OnErrorRecoveryEnd(Status::OK());
@@ -148,9 +168,9 @@ void ErrorHandler::Escalate(BackgroundErrorReason reason, const Status& s,
   }
   // A hard error dominates an earlier soft one; never downgrade.
   if (severity == ErrorSeverity::kHard) {
-    state_ = DbErrorState::kHalted;
+    TransitionTo(DbErrorState::kHalted, BackgroundErrorReasonName(reason));
   } else if (state_ != DbErrorState::kHalted) {
-    state_ = DbErrorState::kReadOnly;
+    TransitionTo(DbErrorState::kReadOnly, BackgroundErrorReasonName(reason));
   }
   for (const auto& l : listeners_) {
     l->OnBackgroundError(reason, s, severity);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lsm/options.h"
+#include "util/event_logger.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -134,8 +135,12 @@ class ErrorHandler {
  public:
   ErrorHandler() = default;
 
+  /// `event_logger` (optional, not owned, must outlive the handler)
+  /// receives an `error_state` JSON event on every DbErrorState
+  /// transition.
   void Configure(const RetryPolicy& resume_policy,
-                 std::vector<std::shared_ptr<EventListener>> listeners);
+                 std::vector<std::shared_ptr<EventListener>> listeners,
+                 EventLogger* event_logger = nullptr);
 
   /// Pure classification; exposed for tests. `retries_exhausted` marks
   /// a transient status whose retry budget is spent.
@@ -182,9 +187,12 @@ class ErrorHandler {
   void Escalate(BackgroundErrorReason reason, const Status& s,
                 ErrorSeverity severity);
   bool AnyRetryPending() const;
+  /// Emits an error_state event when the state actually changed.
+  void TransitionTo(DbErrorState next, const char* cause);
 
   RetryPolicy policy_ = DefaultBackgroundResumePolicy();
   std::vector<std::shared_ptr<EventListener>> listeners_;
+  EventLogger* event_logger_ = nullptr;
 
   DbErrorState state_ = DbErrorState::kActive;
   Status bg_error_;

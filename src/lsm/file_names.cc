@@ -43,6 +43,10 @@ std::string DekCacheFileName(const std::string& dbname) {
   return dbname + "/DEK_CACHE";
 }
 
+std::string InfoLogFileName(const std::string& dbname) {
+  return dbname + "/LOG";
+}
+
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    DbFileType* type) {
   if (filename == "CURRENT") {

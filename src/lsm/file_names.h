@@ -24,6 +24,10 @@ std::string DescriptorFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
 std::string DekCacheFileName(const std::string& dbname);
+/// "<dbname>/LOG" — the plaintext info LOG. Not a DbFileType:
+/// ParseFileName rejects it, which is what keeps LOG and its rotations
+/// out of RemoveObsoleteFiles garbage collection.
+std::string InfoLogFileName(const std::string& dbname);
 
 /// Parses the plain (directory-less) file name. Returns false if the
 /// name is not one of ours.

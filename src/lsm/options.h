@@ -9,6 +9,7 @@
 
 #include "crypto/cipher.h"
 #include "kds/kds.h"
+#include "util/logger.h"
 #include "util/retry.h"
 #include "util/statistics.h"
 
@@ -141,6 +142,23 @@ struct Options {
   /// property. Create with CreateDBStatistics(); may be shared across
   /// DB instances to aggregate.
   std::shared_ptr<Statistics> statistics;
+
+  /// Structured info LOG. When null, DB::Open creates a rotating
+  /// file-backed logger writing `LOG` inside the DB directory (through
+  /// the *physical* env — the LOG is deliberately plaintext and must
+  /// never receive keys or user data). Engine events are emitted into
+  /// it as JSON lines (util/event_logger.h). Set to NewNullLogger() to
+  /// silence logging entirely.
+  std::shared_ptr<Logger> info_log;
+
+  /// Minimum severity written to the info LOG.
+  InfoLogLevel info_log_level = InfoLogLevel::kInfo;
+
+  /// Rotate the LOG once it reaches this many bytes (0 = never).
+  size_t max_log_file_size = 16 * 1024 * 1024;
+
+  /// Rotated LOG files kept before the oldest is deleted.
+  size_t keep_log_file_num = 4;
 
   /// Create the database if missing / error if it exists.
   bool create_if_missing = true;

@@ -3,6 +3,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/trace.h"
+
 namespace shield {
 
 ChunkEncryptor::ChunkEncryptor(const crypto::StreamCipher* cipher,
@@ -11,9 +13,13 @@ ChunkEncryptor::ChunkEncryptor(const crypto::StreamCipher* cipher,
     : cipher_(cipher), pool_(pool), threads_(threads), stats_(stats) {}
 
 Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) const {
+  TraceSpan chunk_span(SpanType::kChunkEncrypt);
+  chunk_span.SetArgs(offset, n);
   if (pool_ == nullptr || threads_ <= 1 || n < 2 * kMinShardBytes) {
     RecordTick(stats_, Tickers::kShieldChunkEncryptShards, 1);
-    return cipher_->CryptAt(offset, data, n);
+    Status s = cipher_->CryptAt(offset, data, n);
+    chunk_span.MarkStatus(s);
+    return s;
   }
 
   size_t shards = static_cast<size_t>(threads_);
@@ -28,18 +34,26 @@ Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) const {
   // `n - begin` would underflow.
   shards = (n + shard_size - 1) / shard_size;
   RecordTick(stats_, Tickers::kShieldChunkEncryptShards, shards);
+  chunk_span.SetAux(static_cast<uint8_t>(std::min<size_t>(shards, 255)));
 
   std::mutex mu;
   std::condition_variable cv;
   size_t remaining = shards;
   Status first_error;
 
+  // Pool threads have their own (empty) span stacks, so the shard
+  // spans carry the chunk span's id explicitly to keep the tree
+  // connected across the thread hop.
+  const uint64_t parent_span = chunk_span.id();
   for (size_t i = 0; i < shards; i++) {
     const size_t begin = i * shard_size;
     const size_t len = std::min(shard_size, n - begin);
-    pool_->Schedule([this, offset, data, begin, len, &mu, &cv, &remaining,
-                     &first_error] {
+    pool_->Schedule([this, offset, data, begin, len, parent_span, &mu, &cv,
+                     &remaining, &first_error] {
+      TraceSpan shard_span(SpanType::kChunkShard, parent_span, Slice());
+      shard_span.SetArgs(offset + begin, len);
       Status s = cipher_->CryptAt(offset + begin, data + begin, len);
+      shard_span.MarkStatus(s);
       std::lock_guard<std::mutex> lock(mu);
       if (!s.ok() && first_error.ok()) {
         first_error = s;
@@ -52,6 +66,7 @@ Status ChunkEncryptor::Encrypt(uint64_t offset, char* data, size_t n) const {
 
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&remaining] { return remaining == 0; });
+  chunk_span.MarkStatus(first_error);
   return first_error;
 }
 

@@ -2,6 +2,7 @@
 
 #include "util/perf_context.h"
 #include "util/retry.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -29,7 +30,13 @@ DekManager::DekManager(Kds* kds, std::string server_id,
     : kds_(kds), server_id_(std::move(server_id)),
       secure_cache_(secure_cache), stats_(stats) {}
 
-Status DekManager::KdsRoundTrip(const std::function<Status()>& op) {
+uint64_t DekManager::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_.size();
+}
+
+Status DekManager::KdsRoundTrip(const char* op_name,
+                                const std::function<Status()>& op) {
   kds_requests_.fetch_add(1, std::memory_order_relaxed);
   RecordTick(stats_, Tickers::kKdsRequests, 1);
   PerfAdd(&PerfContext::kds_request_count, 1);
@@ -37,8 +44,11 @@ Status DekManager::KdsRoundTrip(const std::function<Status()>& op) {
   int attempts = 1;
   Status s;
   {
+    TraceSpan span(SpanType::kKdsRpc, Slice(op_name));
     StopWatch watch(stats_, Histograms::kKdsLatencyMicros, &elapsed);
     s = RunWithRetry(KdsRetryPolicy(), op, &attempts);
+    span.SetArgs(static_cast<uint64_t>(attempts), 0);
+    span.MarkStatus(s);
   }
   if (attempts > 1) {
     RecordTick(stats_, Tickers::kKdsRetries,
@@ -48,12 +58,23 @@ Status DekManager::KdsRoundTrip(const std::function<Status()>& op) {
     RecordTick(stats_, Tickers::kKdsFailures, 1);
   }
   PerfAdd(&PerfContext::kds_wait_micros, elapsed);
+  if (event_logger_ != nullptr && event_logger_->enabled()) {
+    JsonWriter w = event_logger_->NewEvent("kds_lookup");
+    w.Add("op", op_name);
+    w.Add("ok", s.ok());
+    w.Add("attempts", attempts);
+    w.Add("micros", elapsed);
+    if (!s.ok()) {
+      w.Add("error", s.ToString());
+    }
+    event_logger_->Emit(&w);
+  }
   return s;
 }
 
 Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
-  Status s =
-      KdsRoundTrip([&] { return kds_->CreateDek(server_id_, kind, out); });
+  Status s = KdsRoundTrip(
+      "create", [&] { return kds_->CreateDek(server_id_, kind, out); });
   if (!s.ok()) {
     return s;
   }
@@ -88,8 +109,10 @@ Status DekManager::ResolveDek(const DekId& id, Dek* out) {
     RecordTick(stats_, Tickers::kShieldDekCacheHit, 1);
     return Status::OK();
   }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   RecordTick(stats_, Tickers::kShieldDekCacheMiss, 1);
-  Status s = KdsRoundTrip([&] { return kds_->GetDek(server_id_, id, out); });
+  Status s =
+      KdsRoundTrip("get", [&] { return kds_->GetDek(server_id_, id, out); });
   if (!s.ok()) {
     return s;
   }
@@ -106,13 +129,16 @@ Status DekManager::ResolveDek(const DekId& id, Dek* out) {
 Status DekManager::ForgetDek(const DekId& id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    memory_.erase(id);
+    if (memory_.erase(id) > 0) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (secure_cache_ != nullptr) {
     secure_cache_->Erase(id);
   }
   RecordTick(stats_, Tickers::kShieldDekDestroyed, 1);
-  Status s = KdsRoundTrip([&] { return kds_->DeleteDek(server_id_, id); });
+  Status s =
+      KdsRoundTrip("delete", [&] { return kds_->DeleteDek(server_id_, id); });
   if (s.IsNotFound()) {
     // Another server (e.g. the compaction worker) may have owned the
     // deletion; dropping a missing DEK is success.

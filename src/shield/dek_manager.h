@@ -9,6 +9,7 @@
 
 #include "kds/kds.h"
 #include "kds/secure_dek_cache.h"
+#include "util/event_logger.h"
 #include "util/statistics.h"
 
 namespace shield {
@@ -25,6 +26,13 @@ class DekManager {
   /// shield.dek.* tickers plus the KDS latency histogram.
   DekManager(Kds* kds, std::string server_id, SecureDekCache* secure_cache,
              Statistics* stats = nullptr);
+
+  /// Optional: KDS lookup outcomes are emitted as kds_lookup JSON
+  /// events (op, outcome, attempts, micros — never key material).
+  /// `event_logger` is not owned and must outlive the manager.
+  void SetEventLogger(EventLogger* event_logger) {
+    event_logger_ = event_logger;
+  }
 
   /// Requests a brand-new DEK from the KDS (one per file created).
   Status CreateDek(crypto::CipherKind kind, Dek* out);
@@ -45,23 +53,38 @@ class DekManager {
   uint64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
+  /// Resolutions that had to fall through to a KDS round trip.
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// DEKs dropped from the in-memory cache (ForgetDek on file delete).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// DEKs currently held in memory.
+  uint64_t entries() const;
 
   const std::string& server_id() const { return server_id_; }
 
  private:
-  /// One KDS round trip with retry, latency measurement, and ticker /
-  /// PerfContext accounting shared by Create/Resolve/Forget.
-  Status KdsRoundTrip(const std::function<Status()>& op);
+  /// One KDS round trip with retry, latency measurement, ticker /
+  /// PerfContext accounting, a kds.rpc trace span and a kds_lookup
+  /// event, shared by Create/Resolve/Forget. `op_name` labels the span
+  /// and event ("create" / "get" / "delete").
+  Status KdsRoundTrip(const char* op_name, const std::function<Status()>& op);
 
   Kds* const kds_;
   const std::string server_id_;
   SecureDekCache* const secure_cache_;
   Statistics* const stats_;
+  EventLogger* event_logger_ = nullptr;
 
   std::atomic<uint64_t> kds_requests_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<DekId, Dek> memory_;
 };
 

@@ -7,6 +7,7 @@
 #include "shield/chunk_encryptor.h"
 #include "util/clock.h"
 #include "util/perf_context.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -243,6 +244,9 @@ class ShieldWritableFile final : public WritableFile {
   }
 
   Status EncryptAndAppend(const char* data, size_t n) {
+    TraceSpan span(SpanType::kFileEncrypt);
+    span.SetArgs(logical_offset_, n);
+    span.SetAux(static_cast<uint8_t>(dek_.cipher));
     // Fresh cipher context per encryption operation: this is the
     // "encryption initialization" cost the paper amortizes with the
     // WAL buffer. The key schedule and scratch allocation happen here,
@@ -259,6 +263,7 @@ class ShieldWritableFile final : public WritableFile {
     if (!s.ok()) {
       // Cipher failure (e.g. ChaCha20 counter overflow): scratch_ may
       // hold partially transformed bytes; never append them.
+      span.SetError();
       return s;
     }
     RecordCryptoBytes(stats_, dek_.cipher, /*encrypt=*/true, n);
@@ -266,6 +271,7 @@ class ShieldWritableFile final : public WritableFile {
     if (s.ok()) {
       logical_offset_ += n;
     }
+    span.MarkStatus(s);
     return s;
   }
 
@@ -313,11 +319,15 @@ class ShieldRandomAccessFile final : public RandomAccessFile {
       memmove(scratch, result->data(), result->size());
     }
     {
+      TraceSpan span(SpanType::kFileDecrypt);
+      span.SetArgs(offset, result->size());
+      span.SetAux(static_cast<uint8_t>(cipher_->kind()));
       PerfTimer timer(&GetPerfContext()->decrypt_micros);
       // CTR is an XOR stream: Encrypt *is* decrypt. The chunk
       // decryptor falls back to a single synchronous CryptAt for
       // small reads.
       s = decryptor_.Encrypt(offset, scratch, result->size());
+      span.MarkStatus(s);
     }
     if (!s.ok()) {
       return s;
@@ -368,8 +378,12 @@ class ShieldSequentialFile final : public SequentialFile {
       memmove(scratch, result->data(), result->size());
     }
     {
+      TraceSpan span(SpanType::kFileDecrypt);
+      span.SetArgs(logical_offset_, result->size());
+      span.SetAux(static_cast<uint8_t>(cipher_->kind()));
       PerfTimer timer(&GetPerfContext()->decrypt_micros);
       s = cipher_->CryptAt(logical_offset_, scratch, result->size());
+      span.MarkStatus(s);
     }
     if (!s.ok()) {
       return s;

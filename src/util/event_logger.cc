@@ -1,0 +1,129 @@
+#include "util/event_logger.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/clock.h"
+
+namespace shield {
+
+void JsonWriter::AppendEscaped(std::string* out, const Slice& value) {
+  out->push_back('"');
+  for (size_t i = 0; i < value.size(); i++) {
+    const unsigned char c = static_cast<unsigned char>(value[i]);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::AppendKey(const char* key) {
+  if (!first_) {
+    out_.push_back(',');
+  }
+  first_ = false;
+  out_.push_back('"');
+  out_.append(key);
+  out_.append("\":");
+}
+
+JsonWriter& JsonWriter::Add(const char* key, const Slice& value) {
+  AppendKey(key);
+  AppendEscaped(&out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const char* key, uint64_t value) {
+  AppendKey(key);
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const char* key, int64_t value) {
+  AppendKey(key);
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const char* key, double value) {
+  AppendKey(key);
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.6g", value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Add(const char* key, bool value) {
+  AppendKey(key);
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::AddArray(const char* key,
+                                 const std::vector<uint64_t>& values) {
+  AppendKey(key);
+  out_.push_back('[');
+  for (size_t i = 0; i < values.size(); i++) {
+    if (i > 0) {
+      out_.push_back(',');
+    }
+    char buf[24];
+    snprintf(buf, sizeof(buf), "%" PRIu64, values[i]);
+    out_.append(buf);
+  }
+  out_.push_back(']');
+  return *this;
+}
+
+std::string JsonWriter::Finish() {
+  if (!finished_) {
+    out_.push_back('}');
+    finished_ = true;
+  }
+  return out_;
+}
+
+JsonWriter EventLogger::NewEvent(const char* name) const {
+  JsonWriter w;
+  w.Add("ts_micros", NowMicros());
+  w.Add("event", name);
+  return w;
+}
+
+void EventLogger::Emit(JsonWriter* writer) {
+  if (logger_ == nullptr) {
+    return;
+  }
+  const std::string line = writer->Finish();
+  logger_->LogRaw(InfoLogLevel::kInfo, Slice(line));
+  RecordTick(stats_, Tickers::kShieldEventsEmitted, 1);
+}
+
+}  // namespace shield

@@ -1,0 +1,81 @@
+#ifndef SHIELD_UTIL_EVENT_LOGGER_H_
+#define SHIELD_UTIL_EVENT_LOGGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logger.h"
+#include "util/statistics.h"
+
+namespace shield {
+
+/// Builds one flat JSON object (string/number/bool fields plus arrays
+/// of numbers). Field order follows Add() order; keys are written
+/// verbatim (callers use fixed snake_case literals), values are
+/// escaped per RFC 8259 so every emitted line parses as valid JSON.
+class JsonWriter {
+ public:
+  JsonWriter() : out_("{") {}
+
+  JsonWriter& Add(const char* key, const Slice& value);
+  JsonWriter& Add(const char* key, const std::string& value) {
+    return Add(key, Slice(value));
+  }
+  JsonWriter& Add(const char* key, const char* value) {
+    return Add(key, Slice(value));
+  }
+  JsonWriter& Add(const char* key, uint64_t value);
+  JsonWriter& Add(const char* key, int64_t value);
+  JsonWriter& Add(const char* key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonWriter& Add(const char* key, double value);
+  JsonWriter& Add(const char* key, bool value);
+  JsonWriter& AddArray(const char* key, const std::vector<uint64_t>& values);
+
+  /// Closes the object. The writer must not be reused afterwards.
+  std::string Finish();
+
+  static void AppendEscaped(std::string* out, const Slice& value);
+
+ private:
+  void AppendKey(const char* key);
+
+  std::string out_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+/// Emits typed engine events as JSON lines into the info LOG (one
+/// object per line, `"event"` names the type, `"ts_micros"` is a
+/// monotonic timestamp). Thread safe when the underlying Logger is.
+/// Null-logger safe: with a null logger every Emit is a no-op.
+///
+/// Event taxonomy (see DESIGN.md "Observability"): db_open, flush_begin,
+/// flush_end, compaction_begin, compaction_end, offload_dispatch,
+/// offload_fallback, wal_roll, wal_salvage, scrub_begin, scrub_end,
+/// quarantine, file_repaired, error_state, kds_lookup, trace_start,
+/// trace_end.
+class EventLogger {
+ public:
+  explicit EventLogger(Logger* logger, Statistics* stats = nullptr)
+      : logger_(logger), stats_(stats) {}
+
+  /// Starts an event object: {"ts_micros":…,"event":"<name>". Callers
+  /// Add() fields and pass the writer to Emit().
+  JsonWriter NewEvent(const char* name) const;
+
+  /// Finishes the object and writes it as one line at kInfo.
+  void Emit(JsonWriter* writer);
+
+  bool enabled() const { return logger_ != nullptr; }
+
+ private:
+  Logger* const logger_;
+  Statistics* const stats_;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_EVENT_LOGGER_H_

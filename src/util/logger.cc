@@ -1,0 +1,52 @@
+#include "util/logger.h"
+
+namespace shield {
+
+namespace {
+
+const char* const kLevelNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "FATAL"};
+
+class NullLogger final : public Logger {
+ public:
+  NullLogger() : Logger(InfoLogLevel::kFatal) {}
+  void Logv(InfoLogLevel /*level*/, const char* /*format*/,
+            va_list /*ap*/) override {}
+  void LogRaw(InfoLogLevel /*level*/, const Slice& /*line*/) override {}
+};
+
+}  // namespace
+
+const char* InfoLogLevelName(InfoLogLevel level) {
+  const int i = static_cast<int>(level);
+  if (i < 0 || i >= static_cast<int>(InfoLogLevel::kNumInfoLogLevels)) {
+    return "UNKNOWN";
+  }
+  return kLevelNames[i];
+}
+
+void Log(InfoLogLevel level, Logger* logger, const char* format, ...) {
+  if (logger == nullptr || level < logger->GetInfoLogLevel()) {
+    return;
+  }
+  va_list ap;
+  va_start(ap, format);
+  logger->Logv(level, format, ap);
+  va_end(ap);
+}
+
+void Log(Logger* logger, const char* format, ...) {
+  if (logger == nullptr ||
+      InfoLogLevel::kInfo < logger->GetInfoLogLevel()) {
+    return;
+  }
+  va_list ap;
+  va_start(ap, format);
+  logger->Logv(InfoLogLevel::kInfo, format, ap);
+  va_end(ap);
+}
+
+std::shared_ptr<Logger> NewNullLogger() {
+  return std::make_shared<NullLogger>();
+}
+
+}  // namespace shield

@@ -1,0 +1,87 @@
+#ifndef SHIELD_UTIL_LOGGER_H_
+#define SHIELD_UTIL_LOGGER_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace shield {
+
+class Env;
+
+/// Severity of an info-LOG line. Lines below the logger's configured
+/// level are dropped at the call site (the formatting cost is skipped
+/// too).
+enum class InfoLogLevel : int {
+  kDebug = 0,
+  kInfo,
+  kWarn,
+  kError,
+  kFatal,
+  kNumInfoLogLevels,  // not a level
+};
+
+const char* InfoLogLevelName(InfoLogLevel level);
+
+/// Destination of the DB's human- and machine-readable info LOG
+/// (Options::info_log). Thread safe. The default implementation
+/// (NewFileLogger) writes timestamped lines to <dbname>/LOG through the
+/// *physical* Env — the LOG is deliberately plaintext even when data
+/// files are encrypted, so operators and bug reports can always read
+/// it; it must therefore never contain keys or user data.
+class Logger {
+ public:
+  explicit Logger(InfoLogLevel level = InfoLogLevel::kInfo)
+      : level_(level) {}
+  virtual ~Logger() = default;
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// printf-style write. The implementation adds timestamp/level
+  /// framing and the trailing newline.
+  virtual void Logv(InfoLogLevel level, const char* format, va_list ap) = 0;
+
+  /// Writes one pre-formatted line verbatim (plus framing). Used by the
+  /// EventLogger so JSON payloads never pass through printf parsing.
+  virtual void LogRaw(InfoLogLevel level, const Slice& line) = 0;
+
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Bytes written to the current log file (0 if not file backed).
+  virtual uint64_t GetLogFileSize() const { return 0; }
+
+  InfoLogLevel GetInfoLogLevel() const { return level_; }
+  void SetInfoLogLevel(InfoLogLevel level) { level_ = level; }
+
+ private:
+  InfoLogLevel level_;
+};
+
+/// printf-style logging helpers; no-ops when `logger` is null or the
+/// line is below its level.
+void Log(InfoLogLevel level, Logger* logger, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+void Log(Logger* logger, const char* format, ...)  // kInfo
+    __attribute__((format(printf, 2, 3)));
+
+/// File-backed logger with size-based rotation: when the current file
+/// exceeds `max_log_file_size` (0 = never rotate), it is renamed to
+/// `<fname>.old.<seq>` and a fresh file is started; at most
+/// `keep_log_file_num` rotated files are kept (older ones are deleted).
+/// The file is created (truncating any previous LOG is avoided by
+/// rotating it first if present).
+Status NewFileLogger(Env* env, const std::string& fname,
+                     size_t max_log_file_size, size_t keep_log_file_num,
+                     InfoLogLevel level, std::shared_ptr<Logger>* out);
+
+/// Swallows everything; useful for tests and as a null-object.
+std::shared_ptr<Logger> NewNullLogger();
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_LOGGER_H_

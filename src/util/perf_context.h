@@ -50,6 +50,10 @@ struct PerfContext {
   uint64_t hmac_verify_count = 0;
   uint64_t hmac_micros = 0;
 
+  // Iterator positioning (Seek/SeekToFirst/SeekToLast on DB iterators).
+  uint64_t iter_seek_count = 0;
+  uint64_t iter_seek_micros = 0;
+
   // Key plane.
   uint64_t kds_request_count = 0;
   uint64_t kds_wait_micros = 0;
@@ -65,6 +69,21 @@ struct PerfContext {
 
 /// The calling thread's context. Never null.
 PerfContext* GetPerfContext();
+
+/// When enabled (default off, thread-local), every public DB operation
+/// resets the calling thread's PerfContext on entry, so the fields read
+/// after an op describe exactly that op. Off, contexts accumulate until
+/// the caller resets — the historical behaviour.
+void SetPerfAutoReset(bool enabled);
+bool GetPerfAutoReset();
+
+/// Called at the top of each public DB op (Get/MultiGet/Write/Seek/
+/// Flush/CompactRange): applies the auto-reset policy.
+inline void PerfOpBoundary() {
+  if (GetPerfAutoReset()) {
+    GetPerfContext()->Reset();
+  }
+}
 
 /// Scoped timer adding elapsed micros to `*field` of the calling
 /// thread's PerfContext — but only when the perf level is

@@ -56,13 +56,18 @@ const char* const kTickerNames[] = {
     "ds.network.bytes",
     "ds.network.requests",
     "ds.network.wait.micros",
+    "shield.events.emitted",
+    "io.trace.spans",
+    "io.trace.bytes",
+    "io.trace.dropped",
 };
 
 static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,
               "ticker name table out of sync with Tickers enum");
 
 const char* const kHistogramNames[] = {
-    "db.get.micros",      "db.multiget.micros", "db.write.micros",
+    "db.get.micros",      "db.multiget.micros",    "db.write.micros",
+    "db.seek.micros",     "db.flush.micros",       "db.compactrange.micros",
     "lsm.flush.micros",   "lsm.compaction.micros", "sst.read.micros",
     "kds.latency.micros",
 };
@@ -102,6 +107,53 @@ std::string Statistics::ToString() const {
                   "\n",
                   kHistogramNames[i], h.Count(), h.Average(),
                   h.Percentile(50.0), h.Percentile(99.0), h.Max());
+    out.append(buf);
+  }
+  return out;
+}
+
+namespace {
+
+/// "io.sst.read.bytes" -> "shield_io_sst_read_bytes".
+std::string PrometheusMetricName(const char* dotted) {
+  std::string out = "shield_";
+  for (const char* p = dotted; *p != '\0'; ++p) {
+    out.push_back(*p == '.' ? '_' : *p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Statistics::ToPrometheusText() const {
+  std::string out;
+  char buf[256];
+  for (size_t i = 0; i < kNumTickers; ++i) {
+    const std::string name = PrometheusMetricName(kTickerNames[i]);
+    out.append("# TYPE ").append(name).append(" counter\n");
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                  tickers_[i].load(std::memory_order_relaxed));
+    out.append(buf);
+  }
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const Histogram& h = histograms_[i];
+    const std::string name = PrometheusMetricName(kHistogramNames[i]);
+    out.append("# TYPE ").append(name).append(" summary\n");
+    static const struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 50.0}, {"0.99", 99.0}, {"0.999", 99.9}};
+    for (const auto& q : kQuantiles) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %.1f\n",
+                    name.c_str(), q.label,
+                    h.Count() > 0 ? h.Percentile(q.q) : 0.0);
+      out.append(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.0f\n", name.c_str(),
+                  h.Average() * static_cast<double>(h.Count()));
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                  h.Count());
     out.append(buf);
   }
   return out;

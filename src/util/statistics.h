@@ -86,6 +86,12 @@ enum class Tickers : uint32_t {
   kDsNetworkRequests,
   kDsNetworkWaitMicros,
 
+  // Observability plane (util/event_logger.h, util/trace.h).
+  kShieldEventsEmitted,
+  kIoTraceSpans,
+  kIoTraceBytes,
+  kIoTraceDropped,
+
   kTickerMax,  // not a ticker
 };
 
@@ -99,6 +105,9 @@ enum class Histograms : uint32_t {
   kDbGetMicros = 0,
   kDbMultiGetMicros,
   kDbWriteMicros,
+  kDbSeekMicros,
+  kDbFlushMicros,
+  kDbCompactRangeMicros,
   kFlushMicros,
   kCompactionMicros,
   kSstReadMicros,
@@ -145,6 +154,12 @@ class Statistics {
 
   /// Human-readable dump of every ticker and non-empty histogram.
   std::string ToString() const;
+
+  /// Prometheus text exposition (version 0.0.4): tickers become
+  /// `shield_<name>` counters (dots → underscores), histograms become
+  /// summaries with p50/p99/p999 quantiles plus _sum/_count. Served by
+  /// DB::GetProperty("shield.metrics").
+  std::string ToPrometheusText() const;
 
  private:
   std::atomic<uint64_t> tickers_[kNumTickers];

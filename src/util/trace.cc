@@ -1,0 +1,449 @@
+// Tracing core (declared in util/trace.h; compiled into shield_env
+// because the trace file is written through an Env, which util must
+// not depend on).
+
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "env/env.h"
+#include "util/clock.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace shield {
+
+namespace {
+
+/// Process-local sequential thread ids (stable, small, and free of the
+/// platform pitfalls of hashing std::thread::id into a u64).
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread stack of open span ids for automatic parenting. A plain
+/// vector: spans are strictly nested on one thread (RAII).
+thread_local std::vector<uint64_t> t_span_stack;
+
+}  // namespace
+
+struct Tracer::Core {
+  Env* env = nullptr;
+  TraceOptions options;
+  Statistics* stats = nullptr;
+
+  std::atomic<bool> active{false};
+  std::atomic<uint64_t> next_span_id{1};
+  std::atomic<uint64_t> recorded{0};
+  std::atomic<uint64_t> dropped{0};
+
+  // Per-thread buffers live here (not in TLS) so Stop() can drain
+  // buffers of threads that never record again. Each buffer has its
+  // own mutex — uncontended on the hot path; Stop() and drains take it
+  // briefly.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::string encoded;  // pre-encoded records, appended back to back
+    size_t count = 0;
+  };
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+
+  std::mutex file_mu;
+  std::unique_ptr<WritableFile> file;  // null after Stop()
+  Status write_status;                 // first error, sticky
+
+  ThreadBuffer* RegisterThreadBuffer() {
+    auto buf = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = buf.get();
+    std::lock_guard<std::mutex> lock(registry_mu);
+    buffers.push_back(std::move(buf));
+    return raw;
+  }
+
+  // Appends `encoded` to the file; records the first failure.
+  void WriteChunk(const std::string& encoded, size_t count) {
+    std::lock_guard<std::mutex> lock(file_mu);
+    if (file == nullptr) {
+      dropped.fetch_add(count, std::memory_order_relaxed);
+      return;
+    }
+    Status s = file->Append(Slice(encoded));
+    if (!s.ok()) {
+      if (write_status.ok()) {
+        write_status = s;
+      }
+      dropped.fetch_add(count, std::memory_order_relaxed);
+      return;
+    }
+    recorded.fetch_add(count, std::memory_order_relaxed);
+    RecordTick(stats, Tickers::kIoTraceSpans, count);
+    RecordTick(stats, Tickers::kIoTraceBytes, encoded.size());
+  }
+
+  void Record(SpanRecord* record, ThreadBuffer* buf) {
+    if (record->span_id == 0) {
+      record->span_id = next_span_id.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (record->label.size() > options.max_label_size) {
+      record->label.resize(options.max_label_size);
+    }
+    std::string flush;
+    size_t flush_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      EncodeSpanRecord(*record, &buf->encoded);
+      buf->count++;
+      if (buf->count >= options.per_thread_buffer) {
+        flush.swap(buf->encoded);
+        flush_count = buf->count;
+        buf->count = 0;
+      }
+    }
+    if (flush_count > 0) {
+      WriteChunk(flush, flush_count);
+    }
+  }
+
+  // Drains every registered buffer and closes the file.
+  Status Finish() {
+    active.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(registry_mu);
+      for (auto& buf : buffers) {
+        std::string flush;
+        size_t flush_count = 0;
+        {
+          std::lock_guard<std::mutex> buf_lock(buf->mu);
+          flush.swap(buf->encoded);
+          flush_count = buf->count;
+          buf->count = 0;
+        }
+        if (flush_count > 0) {
+          WriteChunk(flush, flush_count);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(file_mu);
+    if (file != nullptr) {
+      Status s = file->Flush();
+      if (s.ok()) {
+        s = file->Close();
+      }
+      if (write_status.ok() && !s.ok()) {
+        write_status = s;
+      }
+      file.reset();
+    }
+    return write_status;
+  }
+};
+
+namespace {
+
+// Global active trace. `g_active_core` is the hot-path gate (one
+// relaxed load when idle); `g_generation` invalidates the TLS-cached
+// shared_ptr so late-arriving spans from a previous trace cannot touch
+// a new one, and the shared_ptr itself keeps a stopping core alive
+// until every thread has let go.
+std::mutex g_trace_mu;
+std::shared_ptr<Tracer::Core> g_core;  // guarded by g_trace_mu
+std::atomic<Tracer::Core*> g_active_core{nullptr};
+std::atomic<uint64_t> g_generation{0};
+
+struct TlsTraceRef {
+  uint64_t generation = 0;
+  std::shared_ptr<Tracer::Core> core;
+  Tracer::Core::ThreadBuffer* buffer = nullptr;
+};
+thread_local TlsTraceRef t_trace_ref;
+
+/// Resolves the active core for this thread, refreshing the TLS cache
+/// when a new trace started. Returns nullptr when tracing is off.
+Tracer::Core* ResolveCore(Tracer::Core::ThreadBuffer** buffer) {
+  if (g_active_core.load(std::memory_order_acquire) == nullptr) {
+    return nullptr;
+  }
+  const uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (t_trace_ref.generation != gen || t_trace_ref.core == nullptr) {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    t_trace_ref.core = g_core;
+    t_trace_ref.generation = g_generation.load(std::memory_order_relaxed);
+    t_trace_ref.buffer = t_trace_ref.core != nullptr
+                             ? t_trace_ref.core->RegisterThreadBuffer()
+                             : nullptr;
+  }
+  Tracer::Core* core = t_trace_ref.core.get();
+  if (core == nullptr || !core->active.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  *buffer = t_trace_ref.buffer;
+  return core;
+}
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer::~Tracer() { (void)Stop(); }
+
+Status Tracer::Start(Env* env, const std::string& path,
+                     const TraceOptions& options, Statistics* stats) {
+  auto core = std::make_shared<Core>();
+  core->env = env;
+  core->options = options;
+  core->stats = stats;
+  if (core->options.per_thread_buffer == 0) {
+    core->options.per_thread_buffer = 1;
+  }
+
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(path, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::string header;
+  header.append(kTraceMagic, kTraceMagicSize);
+  PutFixed32(&header, kTraceFormatVersion);
+  PutFixed64(&header, NowMicros());
+  s = file->Append(Slice(header));
+  if (!s.ok()) {
+    (void)file->Close();
+    return s;
+  }
+  core->file = std::move(file);
+
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_active_core.load(std::memory_order_acquire) != nullptr) {
+    (void)core->file->Close();
+    return Status::Busy("another trace is already active");
+  }
+  core->active.store(true, std::memory_order_release);
+  core_ = core;
+  g_core = core;
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+  g_active_core.store(core.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Tracer::Stop() {
+  std::shared_ptr<Core> core;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    // core_ is kept (not reset) so spans_recorded()/spans_dropped()
+    // remain readable after Stop; Core::Finish is idempotent.
+    core = core_;
+    if (core != nullptr &&
+        g_active_core.load(std::memory_order_acquire) == core.get()) {
+      g_active_core.store(nullptr, std::memory_order_release);
+      g_core.reset();
+      g_generation.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  if (core == nullptr) {
+    return Status::OK();
+  }
+  return core->Finish();
+}
+
+bool Tracer::active() const {
+  return core_ != nullptr && core_->active.load(std::memory_order_acquire);
+}
+
+uint64_t Tracer::spans_recorded() const {
+  return core_ != nullptr ? core_->recorded.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+uint64_t Tracer::spans_dropped() const {
+  return core_ != nullptr ? core_->dropped.load(std::memory_order_relaxed) : 0;
+}
+
+bool Tracer::AnyActive() {
+  return g_active_core.load(std::memory_order_relaxed) != nullptr;
+}
+
+void Tracer::Record(SpanRecord* record) {
+  Core::ThreadBuffer* buffer = nullptr;
+  Core* core = ResolveCore(&buffer);
+  if (core == nullptr) {
+    return;
+  }
+  if (record->thread_id == 0) {
+    record->thread_id = ThisThreadId();
+  }
+  core->Record(record, buffer);
+}
+
+uint64_t Tracer::NextSpanId() {
+  Core::ThreadBuffer* buffer = nullptr;
+  Core* core = ResolveCore(&buffer);
+  if (core == nullptr) {
+    return 0;
+  }
+  return core->next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::CurrentSpanId() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+TraceSpan::TraceSpan(SpanType type, const Slice& label)
+    : TraceSpan(type, Tracer::CurrentSpanId(), label) {}
+
+TraceSpan::TraceSpan(SpanType type, uint64_t parent, const Slice& label)
+    : active_(Tracer::AnyActive()) {
+  if (!active_) {
+    return;
+  }
+  record_.span_id = Tracer::NextSpanId();
+  if (record_.span_id == 0) {
+    // Trace raced to inactive between the gate check and id allocation.
+    active_ = false;
+    return;
+  }
+  record_.parent_id = parent;
+  record_.type = type;
+  record_.start_micros = NowMicros();
+  record_.label.assign(label.data(), label.size());
+  t_span_stack.push_back(record_.span_id);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) {
+    return;
+  }
+  // Pop our frame. Spans are strictly nested per thread, so ours is the
+  // top — but be defensive if a caller leaked an order violation.
+  if (!t_span_stack.empty() && t_span_stack.back() == record_.span_id) {
+    t_span_stack.pop_back();
+  }
+  const uint64_t now = NowMicros();
+  record_.duration_micros =
+      now >= record_.start_micros ? now - record_.start_micros : 0;
+  Tracer::Record(&record_);
+}
+
+const char* SpanTypeName(SpanType type) {
+  static const char* const kNames[] = {
+      "db.get",         "db.multiget",    "db.write",      "db.seek",
+      "db.flush",       "db.compactrange",
+      "job.flush",      "job.compaction", "job.scrub",     "job.recovery",
+      "wal.append",     "wal.roll",       "block.read",
+      "crypto.encrypt", "crypto.decrypt", "crypto.chunk",  "crypto.shard",
+      "kds.rpc",
+      "ds.transfer",    "ds.replica_fetch", "ds.offload_rpc",
+      "ds.compaction_rpc",
+      "io.read",        "io.write",       "io.sync",
+  };
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumSpanTypes,
+                "span name table out of sync with SpanType");
+  const size_t i = static_cast<size_t>(type);
+  if (i >= kNumSpanTypes) {
+    return "unknown";
+  }
+  return kNames[i];
+}
+
+void EncodeSpanRecord(const SpanRecord& record, std::string* out) {
+  std::string payload;
+  payload.reserve(64 + record.label.size());
+  payload.push_back(static_cast<char>(record.type));
+  payload.push_back(static_cast<char>(record.flags));
+  payload.push_back(static_cast<char>(record.aux));
+  PutFixed64(&payload, record.span_id);
+  PutFixed64(&payload, record.parent_id);
+  PutFixed64(&payload, record.thread_id);
+  PutFixed64(&payload, record.start_micros);
+  PutFixed64(&payload, record.duration_micros);
+  PutFixed64(&payload, record.a);
+  PutFixed64(&payload, record.b);
+  payload.append(record.label);
+
+  PutVarint32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutFixed32(out, crc32c::Value(payload.data(), payload.size()));
+}
+
+namespace {
+// Fixed part of the payload: type/flags/aux + 7 fixed64 fields.
+constexpr size_t kSpanPayloadFixedSize = 3 + 7 * 8;
+}  // namespace
+
+Status TraceReader::Open(Env* env, const std::string& path,
+                         std::unique_ptr<TraceReader>* out) {
+  out->reset();
+  std::string contents;
+  Status s = ReadFileToString(env, path, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.size() < kTraceMagicSize + 4 + 8 ||
+      memcmp(contents.data(), kTraceMagic, kTraceMagicSize) != 0) {
+    return Status::Corruption("not a SHIELD trace file: " + path);
+  }
+  const uint32_t version = DecodeFixed32(contents.data() + kTraceMagicSize);
+  if (version != kTraceFormatVersion) {
+    return Status::NotSupported("unsupported trace format version");
+  }
+  std::unique_ptr<TraceReader> reader(new TraceReader());
+  reader->trace_start_micros_ =
+      DecodeFixed64(contents.data() + kTraceMagicSize + 4);
+  reader->pos_ = kTraceMagicSize + 4 + 8;
+  reader->contents_ = std::move(contents);
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+bool TraceReader::Next(SpanRecord* record) {
+  if (truncated_ || pos_ >= contents_.size()) {
+    return false;
+  }
+  Slice input(contents_.data() + pos_, contents_.size() - pos_);
+  uint32_t payload_len = 0;
+  if (!GetVarint32(&input, &payload_len)) {
+    truncated_ = true;
+    parse_status_ = Status::Corruption("truncated record length");
+    return false;
+  }
+  if (payload_len < kSpanPayloadFixedSize ||
+      input.size() < static_cast<size_t>(payload_len) + 4) {
+    truncated_ = true;
+    parse_status_ = Status::Corruption("truncated record payload");
+    return false;
+  }
+  const char* payload = input.data();
+  const uint32_t expected_crc = DecodeFixed32(payload + payload_len);
+  if (crc32c::Value(payload, payload_len) != expected_crc) {
+    truncated_ = true;
+    parse_status_ = Status::Corruption("record checksum mismatch");
+    return false;
+  }
+
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  record->type = type < static_cast<uint8_t>(SpanType::kMaxSpanType)
+                     ? static_cast<SpanType>(type)
+                     : SpanType::kMaxSpanType;
+  record->flags = static_cast<uint8_t>(payload[1]);
+  record->aux = static_cast<uint8_t>(payload[2]);
+  record->span_id = DecodeFixed64(payload + 3);
+  record->parent_id = DecodeFixed64(payload + 11);
+  record->thread_id = DecodeFixed64(payload + 19);
+  record->start_micros = DecodeFixed64(payload + 27);
+  record->duration_micros = DecodeFixed64(payload + 35);
+  record->a = DecodeFixed64(payload + 43);
+  record->b = DecodeFixed64(payload + 51);
+  record->label.assign(payload + kSpanPayloadFixedSize,
+                       payload_len - kSpanPayloadFixedSize);
+
+  pos_ = static_cast<size_t>(payload + payload_len + 4 - contents_.data());
+  records_read_++;
+  return true;
+}
+
+}  // namespace shield

@@ -1,0 +1,423 @@
+// Tests for the tracing subsystem (util/trace.h, env/trace_env.h) and
+// its integration with DB::StartTrace/EndTrace: record round-trips,
+// span parenting, seeded-workload reproducibility, error tagging under
+// injected faults, and damage-tolerant reading of truncated traces.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/fault_injection_env.h"
+#include "gtest/gtest.h"
+#include "kds/local_kds.h"
+#include "lsm/db.h"
+#include "test_util.h"
+#include "util/coding.h"
+#include "util/trace.h"
+
+namespace shield {
+namespace {
+
+// Builds a syntactically valid trace file header (magic | version |
+// start time) that hand-encoded records can be appended to.
+std::string TraceHeader(uint64_t start_micros) {
+  std::string out(kTraceMagic, kTraceMagicSize);
+  PutFixed32(&out, kTraceFormatVersion);
+  PutFixed64(&out, start_micros);
+  return out;
+}
+
+SpanRecord MakeRecord(uint64_t id, SpanType type, const std::string& label) {
+  SpanRecord rec;
+  rec.span_id = id;
+  rec.parent_id = id / 2;
+  rec.thread_id = 7;
+  rec.start_micros = 1000 + id;
+  rec.duration_micros = 10 * id;
+  rec.a = id * 100;
+  rec.b = id * 200;
+  rec.type = type;
+  rec.flags = (id % 2 == 0) ? kSpanFlagError : 0;
+  rec.aux = static_cast<uint8_t>(id);
+  rec.label = label;
+  return rec;
+}
+
+void ExpectRecordsEqual(const SpanRecord& want, const SpanRecord& got) {
+  EXPECT_EQ(want.span_id, got.span_id);
+  EXPECT_EQ(want.parent_id, got.parent_id);
+  EXPECT_EQ(want.thread_id, got.thread_id);
+  EXPECT_EQ(want.start_micros, got.start_micros);
+  EXPECT_EQ(want.duration_micros, got.duration_micros);
+  EXPECT_EQ(want.a, got.a);
+  EXPECT_EQ(want.b, got.b);
+  EXPECT_EQ(want.type, got.type);
+  EXPECT_EQ(want.flags, got.flags);
+  EXPECT_EQ(want.aux, got.aux);
+  EXPECT_EQ(want.label, got.label);
+}
+
+TEST(TraceEncodingTest, RoundTripThroughReader) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::string contents = TraceHeader(123456);
+  std::vector<SpanRecord> want;
+  want.push_back(MakeRecord(1, SpanType::kDbGet, ""));
+  want.push_back(MakeRecord(2, SpanType::kIoRead, "000005.sst"));
+  want.push_back(MakeRecord(3, SpanType::kChunkShard, ""));
+  want.push_back(MakeRecord(4, SpanType::kKdsRpc, "dek"));
+  for (const SpanRecord& rec : want) {
+    EncodeSpanRecord(rec, &contents);
+  }
+  ASSERT_TRUE(WriteStringToFile(env.get(), contents, "/t", false).ok());
+
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env.get(), "/t", &reader).ok());
+  EXPECT_EQ(123456u, reader->trace_start_micros());
+  SpanRecord got;
+  for (const SpanRecord& rec : want) {
+    ASSERT_TRUE(reader->Next(&got));
+    ExpectRecordsEqual(rec, got);
+  }
+  EXPECT_FALSE(reader->Next(&got));
+  EXPECT_FALSE(reader->truncated());
+  EXPECT_TRUE(reader->parse_status().ok());
+  EXPECT_EQ(want.size(), reader->records_read());
+}
+
+TEST(TraceEncodingTest, OpenRejectsNonTraceFiles) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::unique_ptr<TraceReader> reader;
+  EXPECT_FALSE(TraceReader::Open(env.get(), "/missing", &reader).ok());
+
+  ASSERT_TRUE(WriteStringToFile(env.get(), "not a trace at all", "/bad",
+                                false).ok());
+  EXPECT_FALSE(TraceReader::Open(env.get(), "/bad", &reader).ok());
+
+  // Magic alone, header cut short.
+  ASSERT_TRUE(WriteStringToFile(env.get(), Slice(kTraceMagic, kTraceMagicSize),
+                                "/short", false).ok());
+  EXPECT_FALSE(TraceReader::Open(env.get(), "/short", &reader).ok());
+}
+
+TEST(TracerTest, RecordsSpansWithParenting) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Tracer tracer;
+  ASSERT_TRUE(tracer.Start(env.get(), "/t", TraceOptions()).ok());
+  EXPECT_TRUE(Tracer::AnyActive());
+
+  uint64_t outer_id = 0;
+  uint64_t captured_parent = 0;
+  {
+    TraceSpan outer(SpanType::kDbGet, Slice("op"));
+    outer.SetArgs(11, 22);
+    outer_id = outer.id();
+    ASSERT_NE(0u, outer_id);
+    EXPECT_EQ(outer_id, Tracer::CurrentSpanId());
+    {
+      TraceSpan inner(SpanType::kIoRead, Slice("000001.sst"));
+      inner.SetError();
+    }
+    // Simulates the chunk-pool pattern: capture the parent id, then
+    // open the child with it as an explicit parent.
+    captured_parent = Tracer::CurrentSpanId();
+    { TraceSpan hopped(SpanType::kChunkShard, captured_parent, Slice()); }
+  }
+  { TraceSpan root(SpanType::kDbWrite); (void)root; }
+
+  ASSERT_TRUE(tracer.Stop().ok());
+  EXPECT_FALSE(Tracer::AnyActive());
+  EXPECT_EQ(4u, tracer.spans_recorded());
+
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env.get(), "/t", &reader).ok());
+  std::map<uint64_t, SpanRecord> by_id;
+  std::map<SpanType, SpanRecord> by_type;
+  SpanRecord rec;
+  while (reader->Next(&rec)) {
+    by_id[rec.span_id] = rec;
+    by_type[rec.type] = rec;
+  }
+  ASSERT_EQ(4u, by_id.size());
+
+  const SpanRecord& outer = by_type[SpanType::kDbGet];
+  EXPECT_EQ(outer_id, outer.span_id);
+  EXPECT_EQ(0u, outer.parent_id);
+  EXPECT_EQ(11u, outer.a);
+  EXPECT_EQ(22u, outer.b);
+  EXPECT_EQ("op", outer.label);
+
+  const SpanRecord& inner = by_type[SpanType::kIoRead];
+  EXPECT_EQ(outer_id, inner.parent_id);  // TLS auto-parenting
+  EXPECT_EQ(kSpanFlagError, inner.flags & kSpanFlagError);
+  EXPECT_EQ("000001.sst", inner.label);
+
+  EXPECT_EQ(outer_id, captured_parent);
+  EXPECT_EQ(outer_id, by_type[SpanType::kChunkShard].parent_id);
+  EXPECT_EQ(0u, by_type[SpanType::kDbWrite].parent_id);
+}
+
+TEST(TracerTest, SecondTracerIsBusyAndSpansAreFreeWhenIdle) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  EXPECT_FALSE(Tracer::AnyActive());
+  {
+    // Spans outside any trace are inert: no ids, no recording.
+    TraceSpan idle(SpanType::kDbGet);
+    EXPECT_FALSE(idle.active());
+    EXPECT_EQ(0u, idle.id());
+  }
+  Tracer first;
+  ASSERT_TRUE(first.Start(env.get(), "/a", TraceOptions()).ok());
+  Tracer second;
+  EXPECT_TRUE(second.Start(env.get(), "/b", TraceOptions()).IsBusy());
+  ASSERT_TRUE(first.Stop().ok());
+  // Stop released the global slot; a new trace can start.
+  ASSERT_TRUE(second.Start(env.get(), "/b", TraceOptions()).ok());
+  ASSERT_TRUE(second.Stop().ok());
+}
+
+// --- DB integration ---------------------------------------------------------
+
+// Runs one fixed seeded workload under tracing and returns the span
+// count per type. Used twice to check reproducibility.
+std::map<SpanType, uint64_t> TracedWorkloadCounts(Env* env,
+                                                  const std::string& dbname,
+                                                  const std::string& trace) {
+  Options options;
+  options.env = env;
+  options.encryption.mode = EncryptionMode::kShield;
+  options.encryption.kds = std::make_shared<LocalKds>();
+  DB* raw = nullptr;
+  EXPECT_TRUE(DB::Open(options, dbname, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  EXPECT_TRUE(db->StartTrace(TraceOptions(), trace).ok());
+  for (int i = 0; i < 50; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%04d", i);
+    EXPECT_TRUE(db->Put(WriteOptions(), key, std::string(100, 'v')).ok());
+  }
+  EXPECT_TRUE(db->Flush().ok());
+  std::string value;
+  for (int i = 0; i < 20; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%04d", i);
+    EXPECT_TRUE(db->Get(ReadOptions(), key, &value).ok());
+  }
+  std::vector<std::string> values;
+  db->MultiGet(ReadOptions(), {"key0001", "key0030", "nope"}, &values);
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    it->Seek("key0025");
+    EXPECT_TRUE(it->Valid());
+    it->Seek("key0040");
+  }
+  EXPECT_TRUE(db->EndTrace().ok());
+  db.reset();
+
+  std::unique_ptr<TraceReader> reader;
+  EXPECT_TRUE(TraceReader::Open(env, trace, &reader).ok());
+  std::map<SpanType, uint64_t> counts;
+  SpanRecord rec;
+  while (reader->Next(&rec)) {
+    counts[rec.type]++;
+  }
+  EXPECT_FALSE(reader->truncated());
+  return counts;
+}
+
+TEST(DBTraceTest, SeededWorkloadSpanCountsReproduce) {
+  std::unique_ptr<Env> env1(NewMemEnv());
+  std::unique_ptr<Env> env2(NewMemEnv());
+  const auto run1 = TracedWorkloadCounts(env1.get(), "/db", "/trace");
+  const auto run2 = TracedWorkloadCounts(env2.get(), "/db", "/trace");
+
+  // Every stage the workload drives deterministically must reproduce
+  // exactly; Flush() is synchronous, so the flush job is included.
+  for (SpanType type :
+       {SpanType::kDbWrite, SpanType::kWalAppend, SpanType::kDbGet,
+        SpanType::kDbMultiGet, SpanType::kDbSeek, SpanType::kDbFlush,
+        SpanType::kFlushJob}) {
+    EXPECT_EQ(run1.at(type), run2.at(type)) << SpanTypeName(type);
+  }
+  // 50 Puts, plus possibly Flush's internal memtable-switch write.
+  EXPECT_GE(run1.at(SpanType::kDbWrite), 50u);
+  EXPECT_EQ(20u, run1.at(SpanType::kDbGet));
+  EXPECT_EQ(1u, run1.at(SpanType::kDbMultiGet));
+  EXPECT_EQ(2u, run1.at(SpanType::kDbSeek));
+  EXPECT_EQ(1u, run1.at(SpanType::kFlushJob));
+
+  // The full pipeline must be represented: crypto, key plane, and
+  // physical I/O spans all appear in the trace.
+  EXPECT_GT(run1.at(SpanType::kFileEncrypt), 0u);
+  EXPECT_GT(run1.at(SpanType::kIoWrite), 0u);
+  EXPECT_GT(run1.at(SpanType::kIoSync), 0u);
+  EXPECT_GT(run1.count(SpanType::kFileDecrypt) ? run1.at(SpanType::kFileDecrypt)
+                                               : 0u,
+            0u);
+}
+
+TEST(DBTraceTest, SecondStartTraceIsBusy) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options options;
+  options.env = env.get();
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  ASSERT_TRUE(db->StartTrace(TraceOptions(), "/trace").ok());
+  EXPECT_TRUE(db->StartTrace(TraceOptions(), "/trace2").IsBusy());
+  EXPECT_TRUE(db->EndTrace().ok());
+  // EndTrace with no active trace reports the absence, not a crash.
+  EXPECT_FALSE(db->EndTrace().ok());
+}
+
+TEST(DBTraceTest, FaultInjectedReadsProduceErrorSpans) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionOptions fopts;
+  fopts.seed = 42;
+  FaultInjectionEnv fault_env(base.get(), fopts);
+  fault_env.SetFaultsEnabled(false);
+
+  Options options;
+  options.env = &fault_env;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 20; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%04d", i);
+    ASSERT_TRUE(db->Put(WriteOptions(), key, std::string(50, 'v')).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  // Reopen so the first Get must hit the SST on the medium rather than
+  // any block cached while the table was built.
+  db.reset();
+  raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  db.reset(raw);
+
+  // Fail every SST read, permanently. The trace file itself is kOther,
+  // so tracing keeps working while data reads fail underneath it.
+  fopts.read_error_probability = 1.0;
+  fopts.permanent_error_ratio = 1.0;
+  fopts.fault_kind_mask = FileKindBit(FileKind::kSst);
+  fault_env.SetOptions(fopts);
+
+  ASSERT_TRUE(db->StartTrace(TraceOptions(), "/trace").ok());
+  fault_env.SetFaultsEnabled(true);
+  std::string value;
+  Status s = db->Get(ReadOptions(), "key0003", &value);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsNotFound());
+  fault_env.SetFaultsEnabled(false);
+  ASSERT_TRUE(db->EndTrace().ok());
+
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(&fault_env, "/trace", &reader).ok());
+  uint64_t io_read_errors = 0;
+  uint64_t db_get_errors = 0;
+  SpanRecord rec;
+  while (reader->Next(&rec)) {
+    if ((rec.flags & kSpanFlagError) == 0) {
+      continue;
+    }
+    if (rec.type == SpanType::kIoRead) {
+      io_read_errors++;
+    } else if (rec.type == SpanType::kDbGet) {
+      db_get_errors++;
+    }
+  }
+  // The injected failure is visible both at the physical layer and on
+  // the public op that absorbed it.
+  EXPECT_GT(io_read_errors, 0u);
+  EXPECT_GT(db_get_errors, 0u);
+}
+
+// --- Damage tolerance -------------------------------------------------------
+
+// Produces a well-formed trace with `n` spans and returns its bytes.
+std::string RecordTrace(Env* env, int n) {
+  Tracer tracer;
+  EXPECT_TRUE(tracer.Start(env, "/t", TraceOptions()).ok());
+  for (int i = 0; i < n; i++) {
+    TraceSpan span(SpanType::kIoRead, Slice("000001.sst"));
+    span.SetArgs(i * 4096, 4096);
+  }
+  EXPECT_TRUE(tracer.Stop().ok());
+  std::string contents;
+  EXPECT_TRUE(ReadFileToString(env, "/t", &contents).ok());
+  return contents;
+}
+
+uint64_t CountValidPrefix(Env* env, const std::string& contents,
+                          bool* truncated) {
+  EXPECT_TRUE(WriteStringToFile(env, contents, "/damaged", false).ok());
+  std::unique_ptr<TraceReader> reader;
+  EXPECT_TRUE(TraceReader::Open(env, "/damaged", &reader).ok());
+  SpanRecord rec;
+  uint64_t count = 0;
+  while (reader->Next(&rec)) {
+    EXPECT_EQ(SpanType::kIoRead, rec.type);
+    count++;
+  }
+  *truncated = reader->truncated();
+  return count;
+}
+
+TEST(TraceDamageTest, TruncatedTraceYieldsValidPrefix) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  const int kSpans = 32;
+  const std::string full = RecordTrace(env.get(), kSpans);
+  const size_t header = kTraceMagicSize + 4 + 8;
+  ASSERT_GT(full.size(), header);
+
+  bool truncated = false;
+  // Intact file: everything, no damage flag.
+  EXPECT_EQ(static_cast<uint64_t>(kSpans),
+            CountValidPrefix(env.get(), full, &truncated));
+  EXPECT_FALSE(truncated);
+
+  // Every record is identical here, so the file is header + kSpans
+  // equal-sized records and any cut position has an exactly known
+  // outcome: the complete records before it, and a damage flag unless
+  // the cut falls precisely on a record boundary.
+  ASSERT_EQ(0u, (full.size() - header) % kSpans);
+  const size_t record_size = (full.size() - header) / kSpans;
+  for (size_t cut = header + 1; cut < full.size(); cut += 13) {
+    const uint64_t count =
+        CountValidPrefix(env.get(), full.substr(0, cut), &truncated);
+    EXPECT_EQ((cut - header) / record_size, count) << "cut=" << cut;
+    EXPECT_EQ((cut - header) % record_size != 0, truncated) << "cut=" << cut;
+  }
+
+  // Header only: zero records, clean end (nothing was torn).
+  EXPECT_EQ(0u, CountValidPrefix(env.get(), full.substr(0, header),
+                                 &truncated));
+  EXPECT_FALSE(truncated);
+}
+
+TEST(TraceDamageTest, CorruptPayloadStopsAtDamage) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  const std::string full = RecordTrace(env.get(), 8);
+  const size_t header = kTraceMagicSize + 4 + 8;
+
+  // Flip a byte two-thirds in: the CRC of that record fails; every
+  // record before it is still returned.
+  std::string corrupt = full;
+  const size_t victim = header + (full.size() - header) * 2 / 3;
+  corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0xFF);
+  bool truncated = false;
+  const uint64_t count = CountValidPrefix(env.get(), corrupt, &truncated);
+  EXPECT_LT(count, 8u);
+  EXPECT_TRUE(truncated);
+
+  // Garbage appended after a clean end is damage too, not records.
+  std::string padded = full + std::string(11, '\xAB');
+  const uint64_t padded_count =
+      CountValidPrefix(env.get(), padded, &truncated);
+  EXPECT_LE(padded_count, 8u);
+  EXPECT_TRUE(truncated);
+}
+
+}  // namespace
+}  // namespace shield

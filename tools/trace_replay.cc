@@ -1,0 +1,289 @@
+// trace_replay: analyzer + replayer for SHIELD binary trace files
+// (see util/trace.h for the format and DESIGN.md "Observability").
+//
+//   trace_replay TRACE                   per-span-type latency breakdown
+//   trace_replay --json TRACE            same, as one JSON object
+//   trace_replay --replay --dir D TRACE  re-issue recorded io.read ops
+//                                        against the files in D
+//
+// Exit codes: 0 clean; 1 usage or open failure; 2 the trace ends in
+// damage (torn tail, CRC mismatch) — suppressed by --allow-truncated,
+// which still replays/analyzes the valid prefix.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "env/readahead_file.h"
+#include "util/clock.h"
+#include "util/event_logger.h"
+#include "util/histogram.h"
+#include "util/trace.h"
+
+namespace shield {
+namespace {
+
+struct TypeStats {
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  uint64_t bytes = 0;
+  Histogram latency;
+};
+
+struct Options {
+  std::string trace_path;
+  std::string dir;
+  size_t readahead_bytes = 0;
+  bool replay = false;
+  bool json = false;
+  bool allow_truncated = false;
+};
+
+void Usage() {
+  fprintf(stderr,
+          "usage: trace_replay [options] <trace-file>\n"
+          "  --replay            re-issue recorded io.read operations\n"
+          "  --dir DIR           directory holding the traced files "
+          "(with --replay)\n"
+          "  --readahead BYTES   wrap replayed files in a prefetch buffer\n"
+          "  --json              print the summary as one JSON object\n"
+          "  --allow-truncated   exit 0 even if the trace ends in damage\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--replay") {
+      opts->replay = true;
+    } else if (arg == "--json") {
+      opts->json = true;
+    } else if (arg == "--allow-truncated") {
+      opts->allow_truncated = true;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      opts->dir = argv[++i];
+    } else if (arg == "--readahead" && i + 1 < argc) {
+      opts->readahead_bytes =
+          static_cast<size_t>(strtoull(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else if (opts->trace_path.empty()) {
+      opts->trace_path = arg;
+    } else {
+      fprintf(stderr, "extra argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->trace_path.empty()) {
+    return false;
+  }
+  if (opts->replay && opts->dir.empty()) {
+    fprintf(stderr, "--replay requires --dir\n");
+    return false;
+  }
+  return true;
+}
+
+bool IsIoType(SpanType t) {
+  return t == SpanType::kIoRead || t == SpanType::kIoWrite ||
+         t == SpanType::kIoSync;
+}
+
+// One traced file being replayed: the open handle plus its optional
+// prefetch window.
+struct ReplayFile {
+  std::unique_ptr<RandomAccessFile> file;
+  std::unique_ptr<FilePrefetchBuffer> prefetch;
+};
+
+struct ReplayStats {
+  uint64_t reads = 0;
+  uint64_t bytes = 0;
+  uint64_t failed = 0;
+  uint64_t skipped = 0;  // unknown file or zero-length record
+  Histogram latency;
+};
+
+void ReplayRead(const SpanRecord& rec, Env* env, const Options& opts,
+                std::map<std::string, ReplayFile>* files,
+                std::string* scratch, ReplayStats* stats) {
+  if (rec.label.empty() || rec.b == 0) {
+    stats->skipped++;
+    return;
+  }
+  auto it = files->find(rec.label);
+  if (it == files->end()) {
+    ReplayFile rf;
+    const std::string path = opts.dir + "/" + rec.label;
+    if (!env->NewRandomAccessFile(path, &rf.file).ok()) {
+      // The file may have been compacted away since the trace was
+      // recorded; count it once and skip its reads.
+      it = files->emplace(rec.label, ReplayFile()).first;
+    } else {
+      if (opts.readahead_bytes > 0) {
+        rf.prefetch = std::make_unique<FilePrefetchBuffer>(
+            rf.file.get(), opts.readahead_bytes, opts.readahead_bytes,
+            /*stats=*/nullptr);
+      }
+      it = files->emplace(rec.label, std::move(rf)).first;
+    }
+  }
+  ReplayFile& rf = it->second;
+  if (rf.file == nullptr) {
+    stats->skipped++;
+    return;
+  }
+  if (scratch->size() < rec.b) {
+    scratch->resize(rec.b);
+  }
+  Slice result;
+  const uint64_t t0 = NowMicros();
+  const Status s = rf.prefetch != nullptr
+                       ? rf.prefetch->ReadWithReadahead(rec.a, rec.b, &result,
+                                                        scratch->data())
+                       : rf.file->Read(rec.a, rec.b, &result,
+                                       scratch->data());
+  stats->latency.Add(NowMicros() - t0);
+  stats->reads++;
+  if (s.ok()) {
+    stats->bytes += result.size();
+  } else {
+    stats->failed++;
+  }
+}
+
+void PrintText(const std::map<SpanType, TypeStats>& by_type,
+               const TraceReader& reader, const Options& opts,
+               const ReplayStats* replay) {
+  printf("trace: %s\n", opts.trace_path.c_str());
+  printf("records: %" PRIu64 "%s\n", reader.records_read(),
+         reader.truncated() ? " (truncated tail)" : "");
+  printf("%-22s %10s %8s %10s %10s %10s %10s\n", "span", "count", "errors",
+         "p50_us", "p99_us", "p999_us", "max_us");
+  for (const auto& [type, ts] : by_type) {
+    printf("%-22s %10" PRIu64 " %8" PRIu64 " %10.0f %10.0f %10.0f %10" PRIu64
+           "\n",
+           SpanTypeName(type), ts.count, ts.errors, ts.latency.Percentile(50),
+           ts.latency.Percentile(99), ts.latency.Percentile(99.9),
+           ts.latency.Max());
+  }
+  if (replay != nullptr) {
+    printf("\nreplay: %" PRIu64 " reads, %" PRIu64 " bytes, %" PRIu64
+           " failed, %" PRIu64 " skipped\n",
+           replay->reads, replay->bytes, replay->failed, replay->skipped);
+    printf("replay latency: p50 %.0fus p99 %.0fus p999 %.0fus\n",
+           replay->latency.Percentile(50), replay->latency.Percentile(99),
+           replay->latency.Percentile(99.9));
+  }
+}
+
+void PrintJson(const std::map<SpanType, TypeStats>& by_type,
+               const TraceReader& reader, const Options& opts,
+               const ReplayStats* replay) {
+  // Nested objects assembled from flat JsonWriter fragments: the
+  // writer emits one flat object, so inner objects are rendered first
+  // and spliced in as pre-serialized values.
+  std::string out = "{";
+  JsonWriter::AppendEscaped(&out, "trace");
+  out += ":";
+  JsonWriter::AppendEscaped(&out, opts.trace_path);
+  char buf[128];
+  snprintf(buf, sizeof(buf),
+           ",\"records\":%" PRIu64 ",\"truncated\":%s,\"spans\":{",
+           reader.records_read(), reader.truncated() ? "true" : "false");
+  out += buf;
+  bool first = true;
+  for (const auto& [type, ts] : by_type) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    JsonWriter::AppendEscaped(&out, SpanTypeName(type));
+    snprintf(buf, sizeof(buf),
+             ":{\"count\":%" PRIu64 ",\"errors\":%" PRIu64
+             ",\"bytes\":%" PRIu64
+             ",\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f}",
+             ts.count, ts.errors, ts.bytes, ts.latency.Percentile(50),
+             ts.latency.Percentile(99), ts.latency.Percentile(99.9));
+    out += buf;
+  }
+  out += "}";
+  if (replay != nullptr) {
+    snprintf(buf, sizeof(buf),
+             ",\"replay\":{\"reads\":%" PRIu64 ",\"bytes\":%" PRIu64
+             ",\"failed\":%" PRIu64 ",\"skipped\":%" PRIu64
+             ",\"p50_us\":%.1f,\"p99_us\":%.1f}",
+             replay->reads, replay->bytes, replay->failed, replay->skipped,
+             replay->latency.Percentile(50), replay->latency.Percentile(99));
+    out += buf;
+  }
+  out += "}";
+  printf("%s\n", out.c_str());
+}
+
+int Run(const Options& opts) {
+  Env* env = Env::Default();
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::Open(env, opts.trace_path, &reader);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot open trace: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::map<SpanType, TypeStats> by_type;
+  std::map<std::string, ReplayFile> files;
+  ReplayStats replay_stats;
+  std::string scratch;
+
+  SpanRecord rec;
+  while (reader->Next(&rec)) {
+    if (rec.type >= SpanType::kMaxSpanType) {
+      continue;  // newer producer; count nothing we cannot name
+    }
+    TypeStats& ts = by_type[rec.type];
+    ts.count++;
+    ts.latency.Add(rec.duration_micros);
+    if (rec.flags & kSpanFlagError) {
+      ts.errors++;
+    }
+    if (IsIoType(rec.type)) {
+      ts.bytes += rec.b;
+    }
+    if (opts.replay && rec.type == SpanType::kIoRead) {
+      ReplayRead(rec, env, opts, &files, &scratch, &replay_stats);
+    }
+  }
+
+  const ReplayStats* replay = opts.replay ? &replay_stats : nullptr;
+  if (opts.json) {
+    PrintJson(by_type, *reader, opts, replay);
+  } else {
+    PrintText(by_type, *reader, opts, replay);
+  }
+
+  if (reader->truncated() && !opts.allow_truncated) {
+    fprintf(stderr, "trace ends in damage: %s\n",
+            reader->parse_status().ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace shield
+
+int main(int argc, char** argv) {
+  shield::Options opts;
+  if (!shield::ParseArgs(argc, argv, &opts)) {
+    shield::Usage();
+    return 1;
+  }
+  return shield::Run(opts);
+}
