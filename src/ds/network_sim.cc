@@ -12,6 +12,7 @@ NetworkSimulator::NetworkSimulator(NetworkSimOptions options)
       bandwidth_(options.bandwidth_bytes_per_sec == 0
                      ? 1
                      : options.bandwidth_bytes_per_sec),
+      clock_(options.clock != nullptr ? options.clock : SystemClock()),
       fault_options_(options),
       rnd_(options.fault_seed) {}
 
@@ -29,7 +30,7 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   {
     // Reserve link time on the shared pipe: concurrent transfers queue.
     std::lock_guard<std::mutex> lock(mu_);
-    const uint64_t now = NowMicros();
+    const uint64_t now = clock_->NowMicros();
     link_busy_until_micros_ =
         std::max(link_busy_until_micros_, now) + serialization_micros;
     finish_at = link_busy_until_micros_;
@@ -37,7 +38,7 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   if (pay_rtt) {
     finish_at += rtt_micros_.load(std::memory_order_relaxed);
   }
-  const uint64_t now = NowMicros();
+  const uint64_t now = clock_->NowMicros();
   // Only sleep once the reserved backlog is large enough to be
   // observable: an OS sleep costs tens of microseconds regardless of
   // the requested duration, so sub-threshold sleeps would overcharge
@@ -48,7 +49,7 @@ void NetworkSimulator::SimulateTransfer(uint64_t bytes, bool pay_rtt) {
   constexpr uint64_t kMinSleepMicros = 150;
   if (finish_at > now + kMinSleepMicros) {
     RecordTick(stats, Tickers::kDsNetworkWaitMicros, finish_at - now);
-    SleepForMicros(finish_at - now);
+    clock_->SleepForMicros(finish_at - now);
   }
 }
 
@@ -60,7 +61,7 @@ Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
     std::lock_guard<std::mutex> lock(mu_);
     if (partition_until_micros_ != 0) {
       if (partition_until_micros_ == UINT64_MAX ||
-          NowMicros() < partition_until_micros_) {
+          clock_->NowMicros() < partition_until_micros_) {
         injected_faults_.fetch_add(1, std::memory_order_relaxed);
         span.SetError();
         return Status::TryAgain("network partitioned (injected)");
@@ -78,7 +79,7 @@ Status NetworkSimulator::TryTransfer(uint64_t bytes, bool pay_rtt) {
     }
   }
   if (timeout_micros > 0) {
-    SleepForMicros(timeout_micros);
+    clock_->SleepForMicros(timeout_micros);
     injected_faults_.fetch_add(1, std::memory_order_relaxed);
     span.SetError();
     return Status::TryAgain("network request timed out (injected)");
@@ -94,7 +95,21 @@ void NetworkSimulator::StartPartition() {
 
 void NetworkSimulator::StartPartitionFor(uint64_t micros) {
   std::lock_guard<std::mutex> lock(mu_);
-  partition_until_micros_ = NowMicros() + micros;
+  if (partition_until_micros_ == UINT64_MAX) {
+    // An unbounded partition is already active; a timed request must
+    // not silently re-arm (shorten) it under queued senders. It stays
+    // severed until an explicit HealPartition().
+    return;
+  }
+  const uint64_t now = clock_->NowMicros();
+  uint64_t until = now + micros;
+  if (partition_until_micros_ > now && partition_until_micros_ > until) {
+    // A longer timed window is active: keep its deadline. Senders that
+    // queued behind the original window would otherwise start flowing
+    // early after the overwrite.
+    until = partition_until_micros_;
+  }
+  partition_until_micros_ = until;
 }
 
 void NetworkSimulator::HealPartition() {
@@ -108,7 +123,7 @@ bool NetworkSimulator::partitioned() {
     return false;
   }
   if (partition_until_micros_ != UINT64_MAX &&
-      NowMicros() >= partition_until_micros_) {
+      clock_->NowMicros() >= partition_until_micros_) {
     partition_until_micros_ = 0;
     return false;
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/clock.h"
 #include "util/random.h"
 #include "util/statistics.h"
 #include "util/status.h"
@@ -29,6 +30,11 @@ struct NetworkSimOptions {
   /// timeout_micros and then gets Status::TryAgain.
   double timeout_probability = 0.0;
   uint64_t timeout_micros = 0;
+
+  /// Time source for link reservation, sleeps and partition windows.
+  /// Null: the process clock (SystemClock()), i.e. real time in
+  /// production, virtual time under the deterministic simulator.
+  Clock* clock = nullptr;
 };
 
 /// Models a shared network link: every transfer pays serialization
@@ -54,6 +60,11 @@ class NetworkSimulator {
 
   /// Severs the link until HealPartition() (or, with the _For variant,
   /// until `micros` from now): every TryTransfer fails immediately.
+  /// Requesting a partition while one is active only ever *extends*
+  /// the outage: a timed window never shortens a longer timed window
+  /// already armed, and never downgrades an unbounded StartPartition()
+  /// — sends queued behind the original window stay failed until the
+  /// latest deadline (or an explicit HealPartition()).
   void StartPartition();
   void StartPartitionFor(uint64_t micros);
   void HealPartition();
@@ -97,6 +108,7 @@ class NetworkSimulator {
   std::atomic<uint64_t> total_requests_{0};
   std::atomic<uint64_t> injected_faults_{0};
   std::atomic<Statistics*> stats_{nullptr};
+  Clock* const clock_;
 
   std::mutex mu_;
   uint64_t link_busy_until_micros_ = 0;

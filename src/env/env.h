@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/clock.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -88,6 +89,13 @@ class Env {
   /// The process-wide local-disk environment (never deleted).
   static Env* Default();
 
+  /// The time source used by everything running on top of this Env.
+  /// Defaults to the process clock (SystemClock()), which is the real
+  /// steady clock unless the deterministic simulator has installed a
+  /// virtual one. Wrappers forward to their target so the clock is
+  /// decided once, at the bottom of the env stack.
+  virtual Clock* clock() { return SystemClock(); }
+
   virtual Status NewSequentialFile(const std::string& fname,
                                    std::unique_ptr<SequentialFile>* result) = 0;
   virtual Status NewRandomAccessFile(
@@ -114,6 +122,8 @@ class EnvWrapper : public Env {
   explicit EnvWrapper(Env* target) : target_(target) {}
 
   Env* target() const { return target_; }
+
+  Clock* clock() override { return target_->clock(); }
 
   Status NewSequentialFile(const std::string& f,
                            std::unique_ptr<SequentialFile>* r) override {

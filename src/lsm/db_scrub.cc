@@ -114,6 +114,17 @@ Status DBImpl::ScrubFile(int level, uint64_t number, uint64_t file_size,
   std::unique_ptr<RandomAccessFile> file;
   Status s = files_->NewRandomAccessFile(fname, &file);
   if (!s.ok()) {
+    if (s.IsNotFound()) {
+      // DEK resolution happens during the file-factory open (the
+      // SHIELD header is read and its DEK id looked up before the
+      // table is touched). An unknown DEK id on a live SST the engine
+      // itself wrote means the stored id is damaged — a bit flip in
+      // the header, not a key the service legitimately never issued —
+      // so classify as corruption to route the file into repair.
+      // (Transient KDS trouble surfaces as TryAgain/Busy and is still
+      // reported without condemning the file.)
+      return Status::Corruption("embedded DEK id unresolvable", s.ToString());
+    }
     return s;
   }
   // A private Table with no block cache: every block comes straight
@@ -122,6 +133,16 @@ Status DBImpl::ScrubFile(int level, uint64_t number, uint64_t file_size,
   s = Table::Open(options_, &internal_comparator_, fname, std::move(file),
                   file_size, /*block_cache=*/nullptr, &table);
   if (!s.ok()) {
+    if (s.IsNotFound()) {
+      // The KDS does not know the DEK id embedded in this live SST.
+      // DEK ids are random 128-bit values, so on a file the engine
+      // itself wrote this means the stored id is damaged (e.g. a bit
+      // flip in the header), not that the key service legitimately
+      // lost a key — classify as corruption so the repair path runs.
+      // (Transient KDS trouble surfaces as TryAgain/Busy and is still
+      // reported without condemning the file.)
+      return Status::Corruption("embedded DEK id unresolvable", s.ToString());
+    }
     return s;
   }
 

@@ -1,0 +1,30 @@
+#include "sim/sim_clock.h"
+
+#include <thread>
+
+namespace shield {
+namespace sim {
+
+void SimClock::SleepForMicros(uint64_t micros) {
+  sleep_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (micros > 0) {
+    slept_micros_.fetch_add(micros, std::memory_order_relaxed);
+    now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+  // Yield so real background threads (flush/compaction workers) that
+  // the sleeper is implicitly waiting on get CPU time. This is the only
+  // real-time cost of a simulated sleep.
+  std::this_thread::yield();
+}
+
+void SimClock::AdvanceTo(uint64_t when_micros) {
+  uint64_t now = now_micros_.load(std::memory_order_acquire);
+  while (when_micros > now &&
+         !now_micros_.compare_exchange_weak(now, when_micros,
+                                            std::memory_order_acq_rel)) {
+    // `now` reloaded by compare_exchange on failure.
+  }
+}
+
+}  // namespace sim
+}  // namespace shield

@@ -1,0 +1,80 @@
+#ifndef SHIELD_SIM_SIM_CLOCK_H_
+#define SHIELD_SIM_SIM_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace shield {
+namespace sim {
+
+/// Virtual time for the deterministic whole-cluster simulator.
+///
+/// SimClock is a logical clock: NowMicros() returns simulated time, and
+/// SleepForMicros(d) *advances* simulated time by d and yields the CPU
+/// instead of blocking. Idle waits therefore cost nothing — a retry
+/// loop backing off through 10 simulated minutes of KDS outage
+/// completes in microseconds of wall time — while every duration-based
+/// mechanism in the stack (retry deadlines, partition windows, KDS
+/// outage windows, network link reservation) still sees time move
+/// forward consistently.
+///
+/// Any thread may sleep; concurrent sleepers each advance the shared
+/// clock (time is a monotonic atomic counter, never a source of
+/// blocking), so the simulation can never deadlock on time. The
+/// deterministic event *order* of a simulated run comes from the
+/// SimScheduler and the harness's seeded schedules, not from wall-clock
+/// alignment — see DESIGN.md "Deterministic simulation".
+///
+/// Installed process-wide via ScopedClockOverride (util/clock.h) for
+/// the lifetime of a simulated run, so every component that reads the
+/// process clock — backoff sleeps, stall waits, stopwatch latencies,
+/// event timestamps — runs on virtual time.
+class SimClock final : public Clock {
+ public:
+  /// Starts at a large epoch so elapsed-time subtraction never wraps.
+  static constexpr uint64_t kDefaultStartMicros = uint64_t{1} << 40;
+
+  explicit SimClock(uint64_t start_micros = kDefaultStartMicros)
+      : now_micros_(start_micros), start_micros_(start_micros) {}
+
+  uint64_t NowMicros() override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+
+  void SleepForMicros(uint64_t micros) override;
+
+  /// Moves the clock forward to `when_micros` if it is ahead of now
+  /// (never backwards). Used by the scheduler when dispatching timers.
+  void AdvanceTo(uint64_t when_micros);
+
+  void AdvanceBy(uint64_t micros) {
+    if (micros > 0) {
+      now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Virtual time elapsed since construction.
+  uint64_t ElapsedMicros() { return NowMicros() - start_micros_; }
+
+  uint64_t sleep_calls() const {
+    return sleep_calls_.load(std::memory_order_relaxed);
+  }
+  /// Total virtual duration skipped by sleeps (the wall time a real
+  /// clock would have burned blocking).
+  uint64_t slept_micros() const {
+    return slept_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_micros_;
+  const uint64_t start_micros_;
+  std::atomic<uint64_t> sleep_calls_{0};
+  std::atomic<uint64_t> slept_micros_{0};
+};
+
+}  // namespace sim
+}  // namespace shield
+
+#endif  // SHIELD_SIM_SIM_CLOCK_H_

@@ -1,0 +1,305 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+
+namespace shield {
+namespace sim {
+
+namespace {
+
+// Generous virtual-time budget per driver op: every fault window the
+// harness arms is far shorter than this, and backoff sleeps advance
+// virtual time, so a retried op always outlives the outage. Wall-clock
+// cost is negligible (virtual sleeps only yield).
+RetryPolicy DriverRetryPolicy(uint64_t seed) {
+  RetryPolicy p;
+  p.max_attempts = 500;
+  p.initial_backoff_micros = 2 * 1000;
+  p.max_backoff_micros = 1000 * 1000;
+  p.multiplier = 2.0;
+  p.jitter = 0.5;
+  p.deadline_micros = 120ull * 1000 * 1000;
+  p.seed = seed ^ 0xd21fe2;
+  return p;
+}
+
+}  // namespace
+
+SimCluster::SimCluster(const SimClusterOptions& options)
+    : options_(options),
+      driver_policy_(DriverRetryPolicy(options.seed)),
+      retry_rnd_(options.seed ^ 0x2e7251) {}
+
+SimCluster::~SimCluster() {
+  // Replicas first (they hold read handles into shared files), then
+  // the writer, then the infrastructure members in reverse declaration
+  // order.
+  replicas_.clear();
+  writer_.reset();
+}
+
+Options SimCluster::WriterOptions() {
+  Options o;
+  o.env = writer_env_.get();
+  o.write_buffer_size = options_.write_buffer_size;
+  o.info_log = options_.info_log;
+  o.encryption.mode = EncryptionMode::kShield;
+  o.encryption.kds = faulty_kds_;
+  o.encryption.server_id = "writer";
+  o.compaction_service = worker_.get();
+  o.offload_fallback_to_local = true;
+  o.replica_source = service_.get();
+  // Transient storage/KDS outages must never strand the writer in
+  // read-only mode mid-simulation: keep auto-resume retrying until the
+  // (virtual-time) fault window has passed.
+  o.background_error_resume_policy.max_attempts = 10000;
+  o.background_error_resume_policy.deadline_micros = 0;
+  return o;
+}
+
+Options SimCluster::ReplicaOptions(int i) {
+  Options o;
+  o.env = replica_envs_[i].get();
+  o.write_buffer_size = options_.write_buffer_size;
+  o.info_log = options_.info_log;
+  o.encryption.mode = EncryptionMode::kShield;
+  o.encryption.kds = faulty_kds_;
+  o.encryption.server_id = "replica-" + std::to_string(i);
+  return o;
+}
+
+Status SimCluster::Start() {
+  backing_ = NewMemEnv();
+
+  FaultInjectionOptions fopts;
+  fopts.seed = options_.seed ^ 0xfa117;
+  // Crash cuts must be a pure function of sync tracking, not of an
+  // extra PRNG draw whose consumption depends on background-write
+  // interleaving.
+  fopts.torn_write_probability = 0.0;
+  fault_env_ = std::make_unique<FaultInjectionEnv>(backing_.get(), fopts);
+  fault_env_->SetFaultsEnabled(false);
+
+  NetworkSimOptions net;
+  net.rtt_micros = options_.network_rtt_micros;
+  net.bandwidth_bytes_per_sec = options_.network_bandwidth_bytes_per_sec;
+  // Probabilistic packet faults stay off: the simulator injects
+  // network trouble as timed partition windows, which heal on their
+  // own under virtual time (and exercise StartPartitionFor re-arming).
+  service_ = std::make_unique<StorageService>(fault_env_.get(), net,
+                                              /*replicate=*/true);
+
+  writer_env_ = NewRemoteEnv(service_.get(), nullptr);
+  for (int i = 0; i < options_.num_replicas; i++) {
+    replica_envs_.push_back(NewRemoteEnv(service_.get(), nullptr));
+  }
+
+  SimKdsOptions kopts;
+  kopts.request_latency_us = options_.kds_latency_micros;
+  kopts.require_authorization = true;
+  sim_kds_ = std::make_shared<SimKds>(kopts);
+  sim_kds_->AuthorizeServer("writer");
+  sim_kds_->AuthorizeServer("worker");
+  for (int i = 0; i < options_.num_replicas; i++) {
+    sim_kds_->AuthorizeServer("replica-" + std::to_string(i));
+  }
+
+  FaultyKdsOptions fkopts;
+  fkopts.seed = options_.seed ^ 0x6d5;
+  faulty_kds_ = std::make_shared<FaultyKds>(sim_kds_, fkopts);
+  faulty_kds_->SetFaultsEnabled(false);
+
+  event_logger_ = std::make_unique<EventLogger>(options_.info_log.get());
+
+  RemoteCompactionWorker::WorkerOptions wopts;
+  wopts.env = service_->server_env();
+  wopts.db_options = Options();
+  wopts.db_options.env = service_->server_env();
+  wopts.db_options.write_buffer_size = options_.write_buffer_size;
+  wopts.db_options.info_log = options_.info_log;
+  wopts.db_options.encryption.mode = EncryptionMode::kShield;
+  wopts.db_options.encryption.kds = faulty_kds_;
+  wopts.db_options.encryption.server_id = "worker";
+  wopts.server_id = "worker";
+  worker_ = std::make_unique<RemoteCompactionWorker>(wopts);
+
+  DB* raw = nullptr;
+  Status s = RunOp("open-writer", [&] {
+    return DB::Open(WriterOptions(), options_.db_path, &raw);
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  writer_.reset(raw);
+
+  // Replicas need persisted state (CURRENT + manifest) to attach to.
+  s = Quiesce();
+  if (!s.ok()) {
+    return s;
+  }
+  for (int i = 0; i < options_.num_replicas; i++) {
+    s = OpenReplica(i);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status SimCluster::RunOp(const char* what,
+                         const std::function<Status()>& op) {
+  RetryContext ctx;
+  ctx.rnd = &retry_rnd_;
+  Status s = RunWithRetry(driver_policy_, op, nullptr, ctx);
+  if (!s.ok() && event_logger_->enabled()) {
+    JsonWriter w = event_logger_->NewEvent("sim_driver_op_failed");
+    w.Add("op", what).Add("status", s.ToString());
+    event_logger_->Emit(&w);
+  }
+  return s;
+}
+
+Status SimCluster::Put(const std::string& key, const std::string& value,
+                       bool sync) {
+  WriteOptions w;
+  w.sync = sync;
+  return RunOp("put", [&] { return writer_->Put(w, key, value); });
+}
+
+Status SimCluster::Delete(const std::string& key, bool sync) {
+  WriteOptions w;
+  w.sync = sync;
+  return RunOp("delete", [&] { return writer_->Delete(w, key); });
+}
+
+Status SimCluster::FlushWriter() {
+  return RunOp("flush", [&] { return writer_->Flush(); });
+}
+
+Status SimCluster::CompactAll() {
+  return RunOp("compact", [&] {
+    writer_->CompactRange(nullptr, nullptr);
+    return Status::OK();
+  });
+}
+
+Status SimCluster::Quiesce() {
+  // One retried compound op: flush, drain background work, and require
+  // the error handler back in "active". Any intermediate failure
+  // (including a lagging auto-resume) reports TryAgain so the retry
+  // loop sleeps virtual time forward and the resume deadline passes.
+  return RunOp("quiesce", [&] {
+    Status fs = writer_->Flush();
+    if (!fs.ok()) {
+      return fs;
+    }
+    writer_->WaitForIdle();
+    std::string state;
+    writer_->GetProperty("shield.error-handler-state", &state);
+    if (state != "active") {
+      return Status::TryAgain("error handler state: " + state);
+    }
+    return Status::OK();
+  });
+}
+
+Status SimCluster::CatchUpReplicas() {
+  if (options_.inject_stale_replica_bug) {
+    // Regression hook: lie about having caught up. The oracle must
+    // notice (tests/sim_test.cc OracleCatchesStaleReplica).
+    return Status::OK();
+  }
+  for (auto& r : replicas_) {
+    Status s = RunOp("catch-up", [&] { return r->TryCatchUp(); });
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status SimCluster::OpenReplica(int i) {
+  DB* raw = nullptr;
+  Status s = RunOp("open-replica", [&] {
+    return DB::OpenReadOnly(ReplicaOptions(i), options_.db_path, &raw);
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  if (static_cast<size_t>(i) < replicas_.size()) {
+    replicas_[i].reset(raw);
+  } else {
+    replicas_.emplace_back(raw);
+  }
+  return Status::OK();
+}
+
+Status SimCluster::RestartReplicas() {
+  for (int i = 0; i < static_cast<int>(replicas_.size()); i++) {
+    replicas_[i].reset();
+    Status s = OpenReplica(i);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status SimCluster::BitFlipSomeSst(uint64_t raw_pick, uint64_t raw_bit) {
+  std::vector<std::string> children;
+  Status s = fault_env_->GetChildren(options_.db_path, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<std::string> ssts;
+  for (const auto& c : children) {
+    if (c.size() > 4 && c.compare(c.size() - 4, 4, ".sst") == 0) {
+      ssts.push_back(c);
+    }
+  }
+  if (ssts.empty()) {
+    return Status::NotFound("no live SSTs to corrupt");
+  }
+  std::sort(ssts.begin(), ssts.end());
+  const std::string& victim = ssts[raw_pick % ssts.size()];
+  // FlipBit reduces the bit index modulo the file size itself.
+  return fault_env_->FlipBit(options_.db_path + "/" + victim, raw_bit);
+}
+
+Status SimCluster::VerifyAndRepair() {
+  return RunOp("verify", [&] { return writer_->VerifyIntegrity(); });
+}
+
+Status SimCluster::CrashAndRecoverWriter() {
+  HealAllFaults();
+  Status s = fault_env_->SimulateCrash();
+  if (!s.ok()) {
+    return s;
+  }
+  // Destroying the DB after the crash models the process dying with
+  // it: the destructor's close-path WAL flush lands *after* the
+  // truncation point, leaving the kind of gap the salvage-based
+  // recovery path must tolerate.
+  writer_.reset();
+  DB* raw = nullptr;
+  s = RunOp("reopen-writer", [&] {
+    return DB::Open(WriterOptions(), options_.db_path, &raw);
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  writer_.reset(raw);
+  return Quiesce();
+}
+
+void SimCluster::HealAllFaults() {
+  fault_env_->SetFaultsEnabled(false);
+  faulty_kds_->SetFaultsEnabled(false);
+  faulty_kds_->HealOutage();
+  service_->network()->HealPartition();
+}
+
+}  // namespace sim
+}  // namespace shield

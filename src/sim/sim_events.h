@@ -1,0 +1,95 @@
+#ifndef SHIELD_SIM_SIM_EVENTS_H_
+#define SHIELD_SIM_SIM_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/event_logger.h"
+
+namespace shield {
+namespace sim {
+
+/// The simulator's determinism journal plus observability mirror.
+///
+/// Every simulation event is written twice from the same field set:
+///
+///  * into the journal — a raw JSON line with NO timestamp, containing
+///    only logical facts (epoch numbers, seeded fault parameters, op
+///    counts, oracle verdicts, content hashes). Two runs with the same
+///    seed must produce byte-identical journals; this is the string the
+///    reproducibility tests and `sim_runner --json` compare/print.
+///
+///  * through the shared EventLogger (when one is attached) — the same
+///    fields plus the usual `ts_micros` (virtual time under the
+///    simulator), so sim events land in the node's event log alongside
+///    flush/compaction/scrub events for post-mortem timelines.
+///
+/// Keep wall-clock-dependent or compaction-shape-dependent values
+/// (file numbers, byte counts of background work, attempt counts of
+/// races) OUT of journal events — they vary run to run and would break
+/// bit-for-bit reproducibility. Route such detail to the EventLogger
+/// only, via a separate elog-only event.
+class SimJournal {
+ public:
+  explicit SimJournal(EventLogger* elog = nullptr) : elog_(elog) {}
+
+  class Event {
+   public:
+    template <typename T>
+    Event& Add(const char* key, const T& value) {
+      journal_.Add(key, value);
+      if (mirrored_) {
+        elog_writer_.Add(key, value);
+      }
+      return *this;
+    }
+
+    /// Appends the journal line and (if mirrored) emits to the
+    /// EventLogger. The event must not be reused.
+    void Emit() {
+      parent_->Append(journal_.Finish());
+      if (mirrored_) {
+        parent_->elog_->Emit(&elog_writer_);
+      }
+    }
+
+   private:
+    friend class SimJournal;
+    Event(SimJournal* parent, const char* name)
+        : parent_(parent),
+          mirrored_(parent->elog_ != nullptr && parent->elog_->enabled()),
+          elog_writer_(mirrored_ ? parent->elog_->NewEvent(name)
+                                 : JsonWriter()) {
+      journal_.Add("event", name);
+    }
+
+    SimJournal* parent_;
+    bool mirrored_;
+    JsonWriter journal_;
+    JsonWriter elog_writer_;
+  };
+
+  Event NewEvent(const char* name) { return Event(this, name); }
+
+  /// The full deterministic journal: one JSON object per line.
+  const std::string& text() const { return text_; }
+  uint64_t lines() const { return lines_; }
+
+ private:
+  friend class Event;
+  void Append(std::string line) {
+    text_ += line;
+    text_ += '\n';
+    lines_++;
+  }
+
+  EventLogger* elog_;
+  std::string text_;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace sim
+}  // namespace shield
+
+#endif  // SHIELD_SIM_SIM_EVENTS_H_

@@ -1,0 +1,533 @@
+#include "sim/sim_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_clock.h"
+#include "sim/sim_cluster.h"
+#include "sim/sim_events.h"
+#include "sim/sim_oracle.h"
+#include "sim/sim_scheduler.h"
+#include "util/clock.h"
+
+namespace shield {
+namespace sim {
+
+const char* FaultProfileName(FaultProfile profile) {
+  switch (profile) {
+    case FaultProfile::kNone:
+      return "none";
+    case FaultProfile::kStorage:
+      return "storage";
+    case FaultProfile::kNetwork:
+      return "network";
+    case FaultProfile::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+bool ParseFaultProfile(const std::string& name, FaultProfile* out) {
+  if (name == "none") {
+    *out = FaultProfile::kNone;
+  } else if (name == "storage") {
+    *out = FaultProfile::kStorage;
+  } else if (name == "network") {
+    *out = FaultProfile::kNetwork;
+  } else if (name == "mixed") {
+    *out = FaultProfile::kMixed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Active (op/fault-scheduling) window of each epoch, before the heal
+/// + barrier phase.
+constexpr uint64_t kEpochActiveMicros = 2 * 1000 * 1000;
+/// Driver-only writes issued between the barrier and a simulated
+/// crash (the deterministic crash-loss window).
+constexpr int kPostBarrierCrashOps = 30;
+
+/// One simulated cluster lifetime. All mutable state lives here; the
+/// public RunSimulation() below is a thin wrapper.
+class SimulationRun {
+ public:
+  explicit SimulationRun(const SimConfig& config)
+      : cfg_(config),
+        override_(&clock_),
+        sched_(&clock_, config.seed),
+        ops_rnd_(config.seed ^ 0x09555),
+        faults_rnd_(config.seed ^ 0xfa0175),
+        check_rnd_(config.seed ^ 0xc4ec55) {}
+
+  SimReport Run() {
+    const auto wall_start = std::chrono::steady_clock::now();
+    report_.seed = cfg_.seed;
+
+    SimClusterOptions copts;
+    copts.seed = cfg_.seed;
+    copts.num_replicas = cfg_.num_replicas;
+    copts.info_log = cfg_.info_log;
+    copts.inject_stale_replica_bug = cfg_.inject_stale_replica_bug;
+    cluster_ = std::make_unique<SimCluster>(copts);
+    Status s = cluster_->Start();
+    journal_ = std::make_unique<SimJournal>(cluster_->event_logger());
+    if (!s.ok()) {
+      Fail("cluster start: " + s.ToString());
+    } else {
+      // Epoch count is a pure function of the config — deriving it
+      // from elapsed virtual time would be nondeterministic (stall and
+      // backoff loops advance the clock by amounts that depend on real
+      // thread interleaving).
+      const uint64_t epochs =
+          std::max<uint64_t>(1, cfg_.duration_sec * 1000 * 1000 /
+                                    std::max<uint64_t>(1, cfg_.epoch_idle_micros));
+      for (uint64_t e = 0; e < epochs && report_.failure.empty(); e++) {
+        RunEpoch(e);
+        report_.epochs_run = e + 1;
+      }
+    }
+
+    report_.ok = report_.failure.empty();
+    report_.model_hash = oracle_.ModelHash();
+    {
+      auto done = journal_->NewEvent("sim_done");
+      done.Add("ok", report_.ok)
+          .Add("epochs", report_.epochs_run)
+          .Add("ops", report_.ops_acknowledged)
+          .Add("oracle_checks", report_.oracle_checks)
+          .Add("crashes", report_.crashes)
+          .Add("faults", report_.faults_injected)
+          .Add("model_hash", report_.model_hash);
+      done.Emit();
+    }
+
+    // Tear the cluster down while the virtual clock is still
+    // installed: destructors sleep through it.
+    cluster_.reset();
+
+    report_.virtual_micros = clock_.ElapsedMicros();
+    report_.wall_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    report_.journal = journal_->text();
+    return report_;
+  }
+
+ private:
+  void Fail(const std::string& why) {
+    if (!report_.failure.empty()) {
+      return;  // keep the first failure
+    }
+    report_.failure = why;
+    auto ev = journal_->NewEvent("sim_failed");
+    ev.Add("reason", why);
+    ev.Emit();
+  }
+
+  bool Failed() const { return !report_.failure.empty(); }
+
+  bool IsStorageProfile() const {
+    return cfg_.profile == FaultProfile::kStorage ||
+           cfg_.profile == FaultProfile::kMixed;
+  }
+  bool IsNetworkProfile() const {
+    return cfg_.profile == FaultProfile::kNetwork ||
+           cfg_.profile == FaultProfile::kMixed;
+  }
+
+  void RunEpoch(uint64_t e) {
+    {
+      auto ev = journal_->NewEvent("sim_epoch");
+      ev.Add("epoch", e).Add("profile", FaultProfileName(cfg_.profile));
+      ev.Emit();
+    }
+
+    // Snapshot taken at the (quiesced) start of the epoch; verified
+    // against a frozen copy of the model after the barrier.
+    const Snapshot* snap = cluster_->writer()->GetSnapshot();
+    const std::map<std::string, std::string> snap_model = oracle_.latest();
+
+    ArmFaults(e);
+    ScheduleOps(e);
+    sched_.RunUntilIdle();
+
+    // Heal + durability barrier. Oracle checks always run on a
+    // healthy, quiesced cluster; fault effects on *timing* are over.
+    cluster_->HealAllFaults();
+    if (!Failed()) {
+      Status s = cluster_->Quiesce();
+      if (!s.ok()) {
+        Fail("quiesce: " + s.ToString());
+      }
+    }
+    if (!Failed()) {
+      oracle_.MarkDurableBarrier();
+      CheckSnapshot(e, snap, snap_model);
+    }
+    cluster_->writer()->ReleaseSnapshot(snap);
+    if (Failed()) {
+      return;
+    }
+
+    if (cfg_.maintenance_every > 0 && e > 0 &&
+        e % static_cast<uint64_t>(cfg_.maintenance_every) == 0 &&
+        IsStorageProfile()) {
+      RunMaintenance(e);
+      if (Failed()) {
+        return;
+      }
+    }
+
+    RunOracleChecks(e);
+    if (Failed()) {
+      return;
+    }
+
+    if (cfg_.crash_every > 0 && e > 0 &&
+        e % static_cast<uint64_t>(cfg_.crash_every) == 0 &&
+        IsStorageProfile()) {
+      RunCrashEpoch(e);
+      if (Failed()) {
+        return;
+      }
+    }
+
+    sched_.RunFor(cfg_.epoch_idle_micros);
+  }
+
+  /// Draws this epoch's fault plan from faults_rnd_ — always the same
+  /// number of draws, regardless of which faults end up armed, so the
+  /// PRNG stream never depends on simulation state.
+  void ArmFaults(uint64_t e) {
+    uint64_t r[10];
+    for (auto& v : r) {
+      v = faults_rnd_.Next64();
+    }
+    if (cfg_.profile == FaultProfile::kNone) {
+      return;
+    }
+
+    if (IsStorageProfile()) {
+      // Transient-only I/O error burst for the whole active window.
+      // (No permanent errors or short reads: those surface
+      // non-retryable statuses by design and would fail driver ops.)
+      const bool io_burst = r[0] % 100 < 70;
+      if (io_burst) {
+        FaultEvent(e, "io_errors", 0, kEpochActiveMicros);
+        sched_.ScheduleAt(sched_.now(), "fault:io:" + std::to_string(e), [this] {
+          FaultInjectionOptions fo;
+          fo.seed = cfg_.seed ^ 0xfa117;  // options swap keeps PRNG state
+          fo.read_error_probability = 0.02;
+          fo.write_error_probability = 0.02;
+          fo.metadata_error_probability = 0.01;
+          fo.permanent_error_ratio = 0.0;
+          fo.torn_write_probability = 0.0;
+          cluster_->fault_env()->SetOptions(fo);
+          cluster_->fault_env()->SetFaultsEnabled(true);
+        });
+      }
+      const bool kds_outage = r[1] % 100 < 60;
+      if (kds_outage) {
+        const uint64_t offset = r[2] % 1500000;
+        const uint64_t window = 300000 + r[3] % 1200000;
+        FaultEvent(e, "kds_outage", offset, window);
+        sched_.ScheduleAfter(offset, "fault:kds:" + std::to_string(e),
+                             [this, window] {
+                               cluster_->faulty_kds()->SetFaultsEnabled(true);
+                               cluster_->faulty_kds()->StartOutageFor(window);
+                             });
+      }
+    }
+    if (IsNetworkProfile()) {
+      const bool partition = r[4] % 100 < 70;
+      if (partition) {
+        const uint64_t offset = r[5] % 1200000;
+        const uint64_t window = 200000 + r[6] % 900000;
+        FaultEvent(e, "partition", offset, window);
+        sched_.ScheduleAfter(offset, "fault:net:" + std::to_string(e),
+                             [this, window] {
+                               cluster_->network()->StartPartitionFor(window);
+                             });
+        // Overlapping re-arm half-way through the first window: per
+        // the NetworkSimulator contract this only ever extends the
+        // outage (the satellite-2 semantics, exercised continuously).
+        const bool rearm = r[7] % 100 < 50;
+        if (rearm) {
+          const uint64_t offset2 = offset + window / 2;
+          const uint64_t window2 = 100000 + r[8] % 900000;
+          FaultEvent(e, "partition_rearm", offset2, window2);
+          sched_.ScheduleAfter(offset2, "fault:net2:" + std::to_string(e),
+                               [this, window2] {
+                                 cluster_->network()->StartPartitionFor(window2);
+                               });
+        }
+      }
+    }
+  }
+
+  void FaultEvent(uint64_t e, const char* kind, uint64_t offset,
+                  uint64_t window) {
+    report_.faults_injected++;
+    auto ev = journal_->NewEvent("sim_fault_injected");
+    ev.Add("epoch", e)
+        .Add("kind", kind)
+        .Add("offset_micros", offset)
+        .Add("window_micros", window);
+    ev.Emit();
+  }
+
+  void ScheduleOps(uint64_t e) {
+    uint64_t puts = 0, dels = 0, syncs = 0;
+    for (int i = 0; i < cfg_.ops_per_epoch; i++) {
+      const uint64_t offset = ops_rnd_.Next64() % kEpochActiveMicros;
+      const std::string key =
+          "k" + std::to_string(ops_rnd_.Uniform(cfg_.key_space));
+      const bool is_delete = ops_rnd_.OneIn(8);
+      const bool sync = ops_rnd_.OneIn(12);
+      std::string value;
+      if (!is_delete) {
+        value = "v-" + std::to_string(e) + "-" + std::to_string(i) + "-" +
+                std::to_string(ops_rnd_.Next64());
+        value.resize(40 + ops_rnd_.Uniform(120), 'x');
+      }
+      (is_delete ? dels : puts)++;
+      if (sync) {
+        syncs++;
+      }
+      const std::string label =
+          "op:" + std::to_string(e) + ":" + std::to_string(i);
+      sched_.ScheduleAfter(offset, label, [this, key, value, is_delete, sync] {
+        if (Failed()) {
+          return;  // first failure wins; skip the rest of the epoch
+        }
+        Status s = is_delete ? cluster_->Delete(key, sync)
+                             : cluster_->Put(key, value, sync);
+        if (!s.ok()) {
+          Fail("driver op on " + key + ": " + s.ToString());
+          return;
+        }
+        if (is_delete) {
+          oracle_.RecordDelete(key, sync);
+        } else {
+          oracle_.RecordPut(key, value, sync);
+        }
+        report_.ops_acknowledged++;
+      });
+    }
+    auto ev = journal_->NewEvent("sim_ops");
+    ev.Add("epoch", e)
+        .Add("scheduled", static_cast<uint64_t>(cfg_.ops_per_epoch))
+        .Add("puts", puts)
+        .Add("deletes", dels)
+        .Add("syncs", syncs);
+    ev.Emit();
+  }
+
+  void CheckSnapshot(uint64_t e, const Snapshot* snap,
+                     const std::map<std::string, std::string>& snap_model) {
+    if (snap_model.empty()) {
+      return;
+    }
+    ReadOptions ropts;
+    ropts.snapshot = snap;
+    uint64_t checked = 0;
+    for (int i = 0; i < 8; i++) {
+      auto it = snap_model.begin();
+      std::advance(it, check_rnd_.Uniform(static_cast<int>(snap_model.size())));
+      std::string got;
+      Status s = cluster_->writer()->Get(ropts, it->first, &got);
+      checked++;
+      if (!s.ok() || got != it->second) {
+        OracleEvent(e, "writer", "snapshot", false, checked);
+        Fail("snapshot read of " + it->first + " diverged: " +
+             (s.ok() ? "wrong value" : s.ToString()));
+        return;
+      }
+    }
+    report_.oracle_checks++;
+    OracleEvent(e, "writer", "snapshot", true, checked);
+  }
+
+  void RunMaintenance(uint64_t e) {
+    const uint64_t raw_pick = faults_rnd_.Next64();
+    const uint64_t raw_bit = faults_rnd_.Next64();
+    Status s = cluster_->BitFlipSomeSst(raw_pick, raw_bit);
+    {
+      auto ev = journal_->NewEvent("sim_maintenance");
+      ev.Add("epoch", e).Add("bitflip", s.ok());
+      ev.Emit();
+    }
+    if (s.IsNotFound()) {
+      return;  // no SSTs yet (only possible in the first epochs)
+    }
+    if (!s.ok()) {
+      Fail("bit flip: " + s.ToString());
+      return;
+    }
+    report_.faults_injected++;
+    s = cluster_->VerifyAndRepair();
+    if (!s.ok()) {
+      Fail("scrub repair after bit flip: " + s.ToString());
+      return;
+    }
+    // Replicas may hold table-cache handles to the pre-repair bytes;
+    // restart them so their next reads see the repaired file.
+    s = cluster_->RestartReplicas();
+    if (!s.ok()) {
+      Fail("replica restart: " + s.ToString());
+    }
+  }
+
+  void RunOracleChecks(uint64_t e) {
+    Status s = cluster_->CatchUpReplicas();
+    if (!s.ok()) {
+      Fail("replica catch-up: " + s.ToString());
+      return;
+    }
+    const bool scan_epoch =
+        cfg_.scan_every > 0 && e % static_cast<uint64_t>(cfg_.scan_every) == 0;
+
+    if (!CheckOne(e, "writer", cluster_->writer(), scan_epoch)) {
+      return;
+    }
+    for (int i = 0; i < cluster_->num_replicas(); i++) {
+      if (!CheckOne(e, "replica-" + std::to_string(i), cluster_->replica(i),
+                    scan_epoch)) {
+        return;
+      }
+    }
+  }
+
+  /// Runs the read check (and optionally the scan check) for one node,
+  /// journaling verdicts. False when the epoch must stop.
+  bool CheckOne(uint64_t e, const std::string& who, DB* db, bool scan) {
+    OracleVerdict v = oracle_.CheckReads(who, db, &check_rnd_,
+                                         static_cast<size_t>(cfg_.sample_reads));
+    report_.oracle_checks++;
+    OracleEvent(e, who, "reads", v.ok, v.keys_checked);
+    if (!v.ok) {
+      Fail("oracle: " + v.detail);
+      return false;
+    }
+    if (scan) {
+      v = oracle_.CheckScan(who, db);
+      report_.oracle_checks++;
+      auto ev = journal_->NewEvent("oracle_check");
+      ev.Add("epoch", e)
+          .Add("who", who)
+          .Add("kind", "scan")
+          .Add("ok", v.ok)
+          .Add("keys", v.keys_checked)
+          .Add("model_hash", oracle_.ModelHash());
+      ev.Emit();
+      if (!v.ok) {
+        Fail("oracle: " + v.detail);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void OracleEvent(uint64_t e, const std::string& who, const char* kind,
+                   bool ok, uint64_t keys) {
+    auto ev = journal_->NewEvent("oracle_check");
+    ev.Add("epoch", e).Add("who", who).Add("kind", kind).Add("ok", ok).Add(
+        "keys", keys);
+    ev.Emit();
+  }
+
+  void RunCrashEpoch(uint64_t e) {
+    // Driver-only writes past the barrier form the potential loss
+    // window: no background flush runs (they fit well inside the write
+    // buffer), so what survives is exactly the WAL's synced prefix.
+    // Values are a few hundred bytes so the encrypted WAL buffer
+    // flushes file-appended-but-unsynced bytes mid-window.
+    for (int i = 0; i < kPostBarrierCrashOps; i++) {
+      const std::string key =
+          "k" + std::to_string(ops_rnd_.Uniform(cfg_.key_space));
+      std::string value = "crash-" + std::to_string(e) + "-" +
+                          std::to_string(i) + "-" +
+                          std::to_string(ops_rnd_.Next64());
+      value.resize(200 + ops_rnd_.Uniform(200), 'c');
+      const bool sync = (i % 10 == 0);
+      Status s = cluster_->Put(key, value, sync);
+      if (!s.ok()) {
+        Fail("pre-crash op: " + s.ToString());
+        return;
+      }
+      oracle_.RecordPut(key, value, sync);
+      report_.ops_acknowledged++;
+    }
+
+    Status s = cluster_->CrashAndRecoverWriter();
+    if (!s.ok()) {
+      Fail("crash recovery: " + s.ToString());
+      return;
+    }
+    report_.crashes++;
+
+    uint64_t cut = 0, lost = 0;
+    OracleVerdict v = oracle_.CheckCrashRecovery(cluster_->writer(), &cut, &lost);
+    report_.oracle_checks++;
+    {
+      auto ev = journal_->NewEvent("sim_crash");
+      ev.Add("epoch", e)
+          .Add("post_barrier_ops", static_cast<uint64_t>(kPostBarrierCrashOps))
+          .Add("ok", v.ok)
+          .Add("survived_ops", cut)
+          .Add("lost_ops", lost);
+      ev.Emit();
+    }
+    if (!v.ok) {
+      Fail("oracle: " + v.detail);
+      return;
+    }
+
+    // Bring the replicas to the recovered state and spot-check them.
+    s = cluster_->CatchUpReplicas();
+    if (!s.ok()) {
+      Fail("post-crash replica catch-up: " + s.ToString());
+      return;
+    }
+    for (int i = 0; i < cluster_->num_replicas(); i++) {
+      const std::string who = "replica-" + std::to_string(i);
+      OracleVerdict rv =
+          oracle_.CheckReads(who, cluster_->replica(i), &check_rnd_, 8);
+      report_.oracle_checks++;
+      OracleEvent(e, who, "post_crash_reads", rv.ok, rv.keys_checked);
+      if (!rv.ok) {
+        Fail("oracle: " + rv.detail);
+        return;
+      }
+    }
+  }
+
+  const SimConfig cfg_;
+  SimClock clock_;
+  ScopedClockOverride override_;
+  SimScheduler sched_;
+  Random ops_rnd_;
+  Random faults_rnd_;
+  Random check_rnd_;
+  SimOracle oracle_;
+  std::unique_ptr<SimCluster> cluster_;
+  std::unique_ptr<SimJournal> journal_;
+  SimReport report_;
+};
+
+}  // namespace
+
+SimReport RunSimulation(const SimConfig& config) {
+  SimulationRun run(config);
+  return run.Run();
+}
+
+}  // namespace sim
+}  // namespace shield

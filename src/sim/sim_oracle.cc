@@ -1,0 +1,324 @@
+#include "sim/sim_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "lsm/iterator.h"
+#include "util/crc32c.h"
+
+namespace shield {
+namespace sim {
+
+namespace {
+
+// One key/value pair folded into an order-independent hash: hash each
+// entry independently (with length prefixes so ("ab","c") != ("a","bc"))
+// and sum. Addition commutes, so iteration order does not matter.
+uint64_t HashEntry(const std::string& key, const std::string& value) {
+  char sizes[8];
+  const uint32_t ks = static_cast<uint32_t>(key.size());
+  const uint32_t vs = static_cast<uint32_t>(value.size());
+  std::memcpy(sizes, &ks, 4);
+  std::memcpy(sizes + 4, &vs, 4);
+  uint32_t c = crc32c::Value(sizes, 8);
+  c = crc32c::Extend(c, key.data(), key.size());
+  c = crc32c::Extend(c, value.data(), value.size());
+  // Spread the 32-bit CRC across 64 bits so summed collisions are
+  // vanishingly unlikely.
+  uint64_t h = c;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+uint64_t HashMap(const std::map<std::string, std::string>& m) {
+  uint64_t sum = 0x517e1d00ULL + m.size();
+  for (const auto& kv : m) {
+    sum += HashEntry(kv.first, kv.second);
+  }
+  return sum;
+}
+
+}  // namespace
+
+void SimOracle::RecordPut(const std::string& key, const std::string& value,
+                          bool synced) {
+  pending_.push_back(Op{key, value, /*is_delete=*/false, synced});
+  latest_[key] = value;
+  recent_keys_.push_back(key);
+}
+
+void SimOracle::RecordDelete(const std::string& key, bool synced) {
+  pending_.push_back(Op{key, std::string(), /*is_delete=*/true, synced});
+  latest_.erase(key);
+  recent_keys_.push_back(key);
+}
+
+void SimOracle::MarkDurableBarrier() {
+  barrier_state_ = latest_;
+  pending_.clear();
+  recent_keys_.clear();
+}
+
+bool SimOracle::Expect(const std::string& key, std::string* value) const {
+  auto it = latest_.find(key);
+  if (it == latest_.end()) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = it->second;
+  }
+  return true;
+}
+
+uint64_t SimOracle::ModelHash() const { return HashMap(latest_); }
+
+OracleVerdict SimOracle::CheckReads(const std::string& who, DB* db,
+                                    Random* rnd, size_t sample) const {
+  OracleVerdict v;
+  // Build the probe set: seeded picks biased toward keys touched since
+  // the last barrier (where staleness bugs live), padded with keys from
+  // the whole model, plus one key that must not exist.
+  std::vector<std::string> probes;
+  if (!recent_keys_.empty()) {
+    const size_t recent_n = std::min(sample - sample / 3, recent_keys_.size());
+    for (size_t i = 0; i < recent_n; i++) {
+      probes.push_back(
+          recent_keys_[rnd->Uniform(static_cast<int>(recent_keys_.size()))]);
+    }
+  }
+  if (!latest_.empty()) {
+    while (probes.size() < sample) {
+      auto it = latest_.begin();
+      std::advance(it, rnd->Uniform(static_cast<int>(latest_.size())));
+      probes.push_back(it->first);
+    }
+  }
+  probes.push_back("~absent~/" + std::to_string(rnd->Next64()));
+
+  ReadOptions ropts;
+  for (const auto& key : probes) {
+    std::string got;
+    Status s = db->Get(ropts, key, &got);
+    std::string want;
+    const bool present = Expect(key, &want);
+    v.keys_checked++;
+    if (present) {
+      if (s.IsNotFound()) {
+        v.ok = false;
+        v.detail = who + ": Get(" + key + ") lost (expected " +
+                   std::to_string(want.size()) + "B value)";
+        return v;
+      }
+      if (!s.ok()) {
+        v.ok = false;
+        v.detail = who + ": Get(" + key + ") error: " + s.ToString();
+        return v;
+      }
+      if (got != want) {
+        v.ok = false;
+        v.detail = who + ": Get(" + key + ") stale/wrong value (" +
+                   std::to_string(got.size()) + "B != expected " +
+                   std::to_string(want.size()) + "B)";
+        return v;
+      }
+    } else {
+      if (s.ok()) {
+        v.ok = false;
+        v.detail = who + ": Get(" + key + ") phantom (expected NotFound)";
+        return v;
+      }
+      if (!s.IsNotFound()) {
+        v.ok = false;
+        v.detail = who + ": Get(" + key + ") error: " + s.ToString();
+        return v;
+      }
+    }
+  }
+
+  // Same probe set through MultiGet: must agree with the model (and
+  // therefore with the sequential Gets above).
+  std::vector<Slice> keys;
+  keys.reserve(probes.size());
+  for (const auto& p : probes) {
+    keys.push_back(Slice(p));
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db->MultiGet(ropts, keys, &values);
+  for (size_t i = 0; i < probes.size(); i++) {
+    std::string want;
+    const bool present = Expect(probes[i], &want);
+    v.keys_checked++;
+    if (present) {
+      if (!statuses[i].ok() || values[i] != want) {
+        v.ok = false;
+        v.detail = who + ": MultiGet(" + probes[i] + ") " +
+                   (statuses[i].ok() ? "wrong value" : statuses[i].ToString());
+        return v;
+      }
+    } else if (!statuses[i].IsNotFound()) {
+      v.ok = false;
+      v.detail = who + ": MultiGet(" + probes[i] + ") expected NotFound, got " +
+                 statuses[i].ToString();
+      return v;
+    }
+  }
+  return v;
+}
+
+OracleVerdict SimOracle::CheckScan(const std::string& who, DB* db) const {
+  OracleVerdict v;
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  auto expect = latest_.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    v.keys_checked++;
+    if (expect == latest_.end()) {
+      v.ok = false;
+      v.detail = who + ": scan yielded extra key " + it->key().ToString();
+      return v;
+    }
+    if (it->key().ToString() != expect->first) {
+      v.ok = false;
+      v.detail = who + ": scan expected key " + expect->first + ", got " +
+                 it->key().ToString();
+      return v;
+    }
+    if (it->value().ToString() != expect->second) {
+      v.ok = false;
+      v.detail = who + ": scan wrong value for key " + expect->first;
+      return v;
+    }
+    ++expect;
+  }
+  if (!it->status().ok()) {
+    v.ok = false;
+    v.detail = who + ": scan error: " + it->status().ToString();
+    return v;
+  }
+  if (expect != latest_.end()) {
+    v.ok = false;
+    v.detail = who + ": scan missing key " + expect->first;
+    return v;
+  }
+  return v;
+}
+
+Status SimOracle::ScanAll(DB* db, std::map<std::string, std::string>* out) {
+  out->clear();
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    (*out)[it->key().ToString()] = it->value().ToString();
+  }
+  return it->status();
+}
+
+OracleVerdict SimOracle::CheckCrashRecovery(DB* db, uint64_t* cut_ops,
+                                            uint64_t* lost_ops) {
+  OracleVerdict v;
+  std::map<std::string, std::string> observed;
+  Status s = ScanAll(db, &observed);
+  if (!s.ok()) {
+    v.ok = false;
+    v.detail = "crash-recovery scan error: " + s.ToString();
+    return v;
+  }
+  v.keys_checked = observed.size();
+
+  // The earliest legal cut is after the last synced pending op (synced
+  // writes must survive a crash); the latest is the full pending list.
+  size_t min_cut = 0;
+  for (size_t i = 0; i < pending_.size(); i++) {
+    if (pending_[i].synced) {
+      min_cut = i + 1;
+    }
+  }
+
+  // Walk the cuts from the barrier forward, maintaining state and a
+  // count of keys where state and observation disagree — O(ops + keys)
+  // instead of rebuilding the map per cut.
+  std::map<std::string, std::string> state = barrier_state_;
+  size_t mismatches = 0;
+  for (const auto& kv : state) {
+    auto it = observed.find(kv.first);
+    if (it == observed.end() || it->second != kv.second) {
+      mismatches++;
+    }
+  }
+  for (const auto& kv : observed) {
+    if (state.find(kv.first) == state.end()) {
+      mismatches++;
+    }
+  }
+
+  auto mismatched = [&](const std::string& key) {
+    auto st = state.find(key);
+    auto ob = observed.find(key);
+    if (st == state.end()) {
+      return ob != observed.end();
+    }
+    return ob == observed.end() || ob->second != st->second;
+  };
+
+  size_t found_cut = pending_.size() + 1;  // sentinel: none
+  if (mismatches == 0 && min_cut == 0) {
+    found_cut = 0;
+  }
+  for (size_t i = 0; i < pending_.size(); i++) {
+    const Op& op = pending_[i];
+    const bool was_bad = mismatched(op.key);
+    if (op.is_delete) {
+      state.erase(op.key);
+    } else {
+      state[op.key] = op.value;
+    }
+    const bool now_bad = mismatched(op.key);
+    if (was_bad && !now_bad) {
+      mismatches--;
+    } else if (!was_bad && now_bad) {
+      mismatches++;
+    }
+    if (mismatches == 0 && i + 1 >= min_cut && found_cut > pending_.size()) {
+      found_cut = i + 1;
+      // Keep applying: if several cuts match we only need one, but we
+      // must leave `state` == the adopted cut. Rebuild below instead.
+      break;
+    }
+  }
+
+  if (found_cut > pending_.size()) {
+    v.ok = false;
+    v.detail = "crash recovery is not a prefix cut of acknowledged history "
+               "(pending=" +
+               std::to_string(pending_.size()) +
+               " min_cut=" + std::to_string(min_cut) +
+               " observed_keys=" + std::to_string(observed.size()) + ")";
+    return v;
+  }
+
+  if (cut_ops != nullptr) {
+    *cut_ops = found_cut;
+  }
+  if (lost_ops != nullptr) {
+    *lost_ops = pending_.size() - found_cut;
+  }
+
+  // Adopt the recovered state as the new durable truth; the lost
+  // suffix was never acknowledged as durable.
+  barrier_state_ = observed;
+  latest_ = std::move(observed);
+  pending_.clear();
+  recent_keys_.clear();
+  return v;
+}
+
+uint64_t SimOracle::ContentHash(DB* db) {
+  std::map<std::string, std::string> all;
+  if (!ScanAll(db, &all).ok()) {
+    return 0;
+  }
+  return HashMap(all);
+}
+
+}  // namespace sim
+}  // namespace shield

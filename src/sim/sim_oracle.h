@@ -1,0 +1,117 @@
+#ifndef SHIELD_SIM_SIM_ORACLE_H_
+#define SHIELD_SIM_SIM_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lsm/db.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace shield {
+namespace sim {
+
+/// Result of one oracle check.
+struct OracleVerdict {
+  bool ok = true;
+  uint64_t keys_checked = 0;
+  /// First divergence, for the failure report (empty when ok).
+  std::string detail;
+};
+
+/// Shadow-model oracle for the deterministic simulator.
+///
+/// The oracle tracks every *acknowledged* write (the cluster driver
+/// records a Put/Delete only after the writer returned OK) and decides
+/// whether observed reads are linearizable against that history. The
+/// cluster is single-writer, and the harness only reads at quiesced
+/// barriers, so linearizability reduces to three obligations:
+///
+///  1. Writer reads (Get/MultiGet/iterators) must return exactly the
+///     latest acknowledged value for every key — no lost, stale, or
+///     phantom data.
+///  2. Replica reads after a successful catch-up must match the same
+///     latest-state map (the writer's WAL is appended before any ack,
+///     and catch-up replays manifest + WAL, so a correct replica is
+///     never behind an acknowledged write at a barrier).
+///  3. After a crash + recovery, the surviving state must be a
+///     *prefix cut* of the acknowledged history: some point C at or
+///     after the last durable barrier (and at or after every synced
+///     write) such that every key holds exactly its latest value among
+///     ops[0..C). Crash loss is only legal as an un-synced suffix —
+///     never a hole in the middle, never a resurrected delete.
+///
+/// After a successful crash check the oracle adopts the recovered
+/// state as the new truth (the lost suffix was never durable), so the
+/// simulation continues seamlessly.
+class SimOracle {
+ public:
+  SimOracle() = default;
+
+  // --- Acknowledged-write history -----------------------------------
+  void RecordPut(const std::string& key, const std::string& value,
+                 bool synced);
+  void RecordDelete(const std::string& key, bool synced);
+
+  /// Everything acknowledged so far is now durable (the driver flushed
+  /// the writer and quiesced background work). Crash cuts can no
+  /// longer land before this point.
+  void MarkDurableBarrier();
+
+  // --- Expected state -----------------------------------------------
+  /// True if `key` should be present, filling `*value`.
+  bool Expect(const std::string& key, std::string* value) const;
+  const std::map<std::string, std::string>& latest() const { return latest_; }
+  size_t model_size() const { return latest_.size(); }
+  /// Order-independent CRC over the expected key/value map.
+  uint64_t ModelHash() const;
+  /// Keys written (put or deleted) since the last durable barrier.
+  const std::vector<std::string>& recent_keys() const { return recent_keys_; }
+
+  // --- Checks -------------------------------------------------------
+  /// Point-reads `sample` seeded keys (biased toward recent writes)
+  /// plus one definitely-absent key via Get, then re-reads the batch
+  /// via MultiGet; both must agree with the model.
+  OracleVerdict CheckReads(const std::string& who, DB* db, Random* rnd,
+                           size_t sample) const;
+
+  /// Full forward scan: the iterator must yield exactly the model's
+  /// keys, in order, with the model's values.
+  OracleVerdict CheckScan(const std::string& who, DB* db) const;
+
+  /// Prefix-cut crash check (obligation 3). On success adopts the
+  /// recovered state; `*cut_ops` (optional) receives how many
+  /// post-barrier ops survived and `*lost_ops` how many were cut.
+  OracleVerdict CheckCrashRecovery(DB* db, uint64_t* cut_ops,
+                                   uint64_t* lost_ops);
+
+  /// Order-independent CRC of the DB's full contents (for the
+  /// determinism journal; equals ModelHash() whenever CheckScan
+  /// passes).
+  static uint64_t ContentHash(DB* db);
+
+ private:
+  struct Op {
+    std::string key;
+    std::string value;
+    bool is_delete;
+    bool synced;
+  };
+
+  static Status ScanAll(DB* db, std::map<std::string, std::string>* out);
+
+  /// Durable truth at the last barrier.
+  std::map<std::string, std::string> barrier_state_;
+  /// Acknowledged ops since the barrier, in ack order.
+  std::vector<Op> pending_;
+  /// barrier_state_ + pending_ applied (what non-crash reads must see).
+  std::map<std::string, std::string> latest_;
+  std::vector<std::string> recent_keys_;
+};
+
+}  // namespace sim
+}  // namespace shield
+
+#endif  // SHIELD_SIM_SIM_ORACLE_H_

@@ -1,0 +1,62 @@
+#include "sim/sim_scheduler.h"
+
+#include <limits>
+#include <utility>
+
+namespace shield {
+namespace sim {
+
+void SimScheduler::ScheduleAt(uint64_t when_micros, std::string label,
+                              Task fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.when = when_micros;
+  e.tiebreak = rnd_.Next64();
+  e.seq = next_seq_++;
+  e.label = std::move(label);
+  e.fn = std::move(fn);
+  queue_.push(std::move(e));
+}
+
+bool SimScheduler::PopDue(uint64_t limit, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty() || queue_.top().when > limit) {
+    return false;
+  }
+  *out = queue_.top();
+  queue_.pop();
+  executed_.push_back(out->label);
+  return true;
+}
+
+size_t SimScheduler::RunUntilIdle() {
+  size_t ran = 0;
+  Entry e;
+  while (PopDue(std::numeric_limits<uint64_t>::max(), &e)) {
+    clock_->AdvanceTo(e.when);
+    e.fn();
+    ran++;
+  }
+  return ran;
+}
+
+size_t SimScheduler::RunFor(uint64_t virtual_micros) {
+  const uint64_t until = clock_->NowMicros() + virtual_micros;
+  size_t ran = 0;
+  Entry e;
+  while (PopDue(until, &e)) {
+    clock_->AdvanceTo(e.when);
+    e.fn();
+    ran++;
+  }
+  clock_->AdvanceTo(until);
+  return ran;
+}
+
+size_t SimScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace sim
+}  // namespace shield

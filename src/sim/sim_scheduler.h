@@ -1,0 +1,99 @@
+#ifndef SHIELD_SIM_SIM_SCHEDULER_H_
+#define SHIELD_SIM_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/sim_clock.h"
+#include "util/random.h"
+
+namespace shield {
+namespace sim {
+
+/// The simulator's single-threaded event loop: owns every simulated
+/// timer/actor and interleaves them deterministically.
+///
+/// Tasks are scheduled at virtual timestamps and executed in
+/// (timestamp, tiebreak, sequence) order on the caller's thread.
+/// The tiebreak is drawn from a single seeded PRNG when the task is
+/// scheduled, so tasks landing on the same virtual instant run in a
+/// seeded-random — but fully reproducible — order. This is what makes a
+/// fault onset racing a batch of writes replay identically from a
+/// seed: the interleaving is a pure function of (seed, schedule),
+/// never of wall-clock thread timing.
+///
+/// A running task may schedule further tasks (including at its own
+/// timestamp — they are ordered behind it by sequence). RunUntilIdle
+/// drains the queue, advancing the SimClock to each task's timestamp
+/// before dispatching it.
+///
+/// Thread-compatibility: scheduling is mutex-protected, but Run* must
+/// only be called from one driver thread at a time (the simulation's
+/// main loop).
+class SimScheduler {
+ public:
+  SimScheduler(SimClock* clock, uint64_t seed)
+      : clock_(clock), rnd_(seed ^ 0x5c4ed01e) {}
+
+  using Task = std::function<void()>;
+
+  void ScheduleAt(uint64_t when_micros, std::string label, Task fn);
+  void ScheduleAfter(uint64_t delay_micros, std::string label, Task fn) {
+    ScheduleAt(clock_->NowMicros() + delay_micros, std::move(label),
+               std::move(fn));
+  }
+
+  /// Runs queued tasks (in deterministic order) until the queue is
+  /// empty. Returns the number of tasks executed.
+  size_t RunUntilIdle();
+
+  /// Runs tasks scheduled up to now + `virtual_micros`, then advances
+  /// the clock to that point (an idle wait). Returns tasks executed.
+  size_t RunFor(uint64_t virtual_micros);
+
+  size_t pending() const;
+  uint64_t now() { return clock_->NowMicros(); }
+  SimClock* clock() { return clock_; }
+
+  /// Labels of every executed task, in execution order — the
+  /// scheduler's deterministic interleaving trace (compared verbatim
+  /// by reproducibility tests).
+  const std::vector<std::string>& executed_labels() const {
+    return executed_;
+  }
+
+ private:
+  struct Entry {
+    uint64_t when;
+    uint64_t tiebreak;
+    uint64_t seq;
+    std::string label;
+    Task fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.tiebreak != b.tiebreak) return a.tiebreak > b.tiebreak;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next entry due at or before `limit`; false when none.
+  bool PopDue(uint64_t limit, Entry* out);
+
+  SimClock* const clock_;
+  Random rnd_;
+  uint64_t next_seq_ = 0;
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::string> executed_;
+};
+
+}  // namespace sim
+}  // namespace shield
+
+#endif  // SHIELD_SIM_SIM_SCHEDULER_H_

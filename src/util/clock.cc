@@ -1,0 +1,58 @@
+#include "util/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace shield {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  uint64_t NowNanos() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepForMicros(uint64_t micros) override {
+    if (micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+  }
+};
+
+std::atomic<Clock*> g_system_clock{nullptr};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock real;
+  return &real;
+}
+
+Clock* SystemClock() {
+  Clock* clock = g_system_clock.load(std::memory_order_acquire);
+  return clock != nullptr ? clock : Clock::Real();
+}
+
+Clock* SwapSystemClock(Clock* clock) {
+  return g_system_clock.exchange(clock, std::memory_order_acq_rel);
+}
+
+uint64_t NowMicros() { return SystemClock()->NowMicros(); }
+
+uint64_t NowNanos() { return SystemClock()->NowNanos(); }
+
+void SleepForMicros(uint64_t micros) { SystemClock()->SleepForMicros(micros); }
+
+}  // namespace shield

@@ -1,34 +1,64 @@
 #ifndef SHIELD_UTIL_CLOCK_H_
 #define SHIELD_UTIL_CLOCK_H_
 
-#include <chrono>
 #include <cstdint>
-#include <thread>
 
 namespace shield {
 
-/// Monotonic time in microseconds. All latency measurement in the
-/// library and benchmarks goes through these helpers so the time source
-/// is swappable in one place.
-inline uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// Monotonic time source. All waiting and latency measurement in the
+/// library goes through a Clock so the time source is swappable in one
+/// place: production uses the steady-clock-backed real clock, the
+/// deterministic simulator (src/sim) installs a virtual clock whose
+/// sleeps advance simulated time instead of blocking the thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
 
-inline uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+  /// Monotonic time in microseconds.
+  virtual uint64_t NowMicros() = 0;
 
-inline void SleepForMicros(uint64_t micros) {
-  if (micros > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
-  }
-}
+  /// Monotonic time in nanoseconds. Default derives from NowMicros();
+  /// the real clock overrides with full resolution.
+  virtual uint64_t NowNanos() { return NowMicros() * 1000; }
+
+  /// Blocks (or, on a virtual clock, advances simulated time) for the
+  /// given duration.
+  virtual void SleepForMicros(uint64_t micros) = 0;
+
+  /// The process-wide real (steady_clock) clock. Never deleted.
+  static Clock* Real();
+};
+
+/// The clock behind the free functions below. Defaults to Clock::Real();
+/// the simulator swaps in a virtual clock for the whole process (the
+/// FDB-style single-process simulation boundary). Thread safe.
+Clock* SystemClock();
+
+/// Installs `clock` as the process clock and returns the previous one
+/// (nullptr means the real clock was active). Pass nullptr to restore
+/// the real clock. The caller keeps ownership and must keep `clock`
+/// alive until it is swapped back out and all threads have quiesced.
+Clock* SwapSystemClock(Clock* clock);
+
+/// RAII system-clock override for tests and the simulator: installs
+/// `clock` on construction, restores the previous clock on destruction.
+class ScopedClockOverride {
+ public:
+  explicit ScopedClockOverride(Clock* clock) : prev_(SwapSystemClock(clock)) {}
+  ~ScopedClockOverride() { SwapSystemClock(prev_); }
+
+  ScopedClockOverride(const ScopedClockOverride&) = delete;
+  ScopedClockOverride& operator=(const ScopedClockOverride&) = delete;
+
+ private:
+  Clock* prev_;
+};
+
+// --- Convenience free functions (route through SystemClock()) ---
+
+uint64_t NowMicros();
+uint64_t NowNanos();
+void SleepForMicros(uint64_t micros);
 
 }  // namespace shield
 

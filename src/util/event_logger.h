@@ -56,7 +56,9 @@ class JsonWriter {
 /// flush_end, compaction_begin, compaction_end, offload_dispatch,
 /// offload_fallback, wal_roll, wal_salvage, scrub_begin, scrub_end,
 /// quarantine, file_repaired, error_state, kds_lookup, trace_start,
-/// trace_end.
+/// trace_end; and, emitted by the deterministic simulator (src/sim):
+/// sim_epoch, sim_fault_injected, sim_ops, sim_crash, oracle_check,
+/// sim_done.
 class EventLogger {
  public:
   explicit EventLogger(Logger* logger, Statistics* stats = nullptr)

@@ -2,23 +2,41 @@
 
 #include <algorithm>
 
-#include "util/clock.h"
-#include "util/random.h"
-
 namespace shield {
 
-uint64_t RetryPolicy::BackoffMicros(int attempt, uint64_t* rnd_state) const {
+namespace {
+
+/// The exponential ladder before jitter: initial * multiplier^(attempt-2),
+/// capped at max_backoff_micros. Attempt 1 never waits.
+uint64_t BaseBackoffMicros(const RetryPolicy& policy, int attempt) {
   if (attempt <= 1) {
     return 0;
   }
-  double backoff = static_cast<double>(initial_backoff_micros);
+  double backoff = static_cast<double>(policy.initial_backoff_micros);
   for (int i = 2; i < attempt; i++) {
-    backoff *= multiplier;
-    if (backoff >= static_cast<double>(max_backoff_micros)) {
+    backoff *= policy.multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_micros)) {
       break;
     }
   }
-  uint64_t micros = std::min(static_cast<uint64_t>(backoff), max_backoff_micros);
+  return std::min(static_cast<uint64_t>(backoff), policy.max_backoff_micros);
+}
+
+}  // namespace
+
+uint64_t RetryPolicy::BackoffMicros(int attempt, Random* rnd) const {
+  uint64_t micros = BaseBackoffMicros(*this, attempt);
+  if (jitter > 0 && micros > 0 && rnd != nullptr) {
+    const uint64_t span = static_cast<uint64_t>(jitter * micros);
+    if (span > 0) {
+      micros = micros - span + rnd->Uniform(span + 1);
+    }
+  }
+  return micros;
+}
+
+uint64_t RetryPolicy::BackoffMicros(int attempt, uint64_t* rnd_state) const {
+  uint64_t micros = BaseBackoffMicros(*this, attempt);
   if (jitter > 0 && micros > 0) {
     Random rnd(*rnd_state);
     const uint64_t span = static_cast<uint64_t>(jitter * micros);
@@ -33,27 +51,41 @@ uint64_t RetryPolicy::BackoffMicros(int attempt, uint64_t* rnd_state) const {
 bool IsRetryableStatus(const Status& s) { return s.IsTransient(); }
 
 Status RunWithRetry(const RetryPolicy& policy,
-                    const std::function<Status()>& op, int* attempts_out) {
-  const uint64_t start = NowMicros();
-  uint64_t rnd_state = policy.seed == 0 ? 0x5e7e7 : policy.seed;
+                    const std::function<Status()>& op, int* attempts_out,
+                    const RetryContext& ctx) {
+  Clock* clock = ctx.clock != nullptr ? ctx.clock : SystemClock();
+  Random local_rnd(policy.seed == 0 ? 0x5e7e7 : policy.seed);
+  Random* rnd = ctx.rnd != nullptr ? ctx.rnd : &local_rnd;
+
+  const uint64_t start = clock->NowMicros();
+  const int max_attempts = std::max(policy.max_attempts, 1);
   Status s;
-  int attempt = 0;
-  for (attempt = 1; attempt <= std::max(policy.max_attempts, 1); attempt++) {
-    const uint64_t backoff = policy.BackoffMicros(attempt, &rnd_state);
+  int attempts_done = 0;
+  for (int attempt = 1; attempt <= max_attempts; attempt++) {
+    uint64_t backoff = policy.BackoffMicros(attempt, rnd);
     if (backoff > 0) {
-      SleepForMicros(backoff);
+      if (policy.deadline_micros > 0) {
+        const uint64_t elapsed = clock->NowMicros() - start;
+        if (elapsed >= policy.deadline_micros) {
+          break;  // budget exhausted before this retry could start
+        }
+        // Never sleep past the deadline: cap to the remaining budget.
+        backoff = std::min(backoff, policy.deadline_micros - elapsed);
+      }
+      clock->SleepForMicros(backoff);
     }
     s = op();
+    attempts_done = attempt;
     if (s.ok() || !IsRetryableStatus(s)) {
       break;
     }
     if (policy.deadline_micros > 0 &&
-        NowMicros() - start >= policy.deadline_micros) {
+        clock->NowMicros() - start >= policy.deadline_micros) {
       break;
     }
   }
   if (attempts_out != nullptr) {
-    *attempts_out = std::min(attempt, std::max(policy.max_attempts, 1));
+    *attempts_out = std::max(attempts_done, 1);
   }
   return s;
 }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/clock.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace shield {
@@ -42,8 +44,28 @@ struct RetryPolicy {
 
   /// Returns the backoff (with jitter applied) to sleep before the
   /// given 1-based retry attempt (attempt 2 is the first retry).
-  /// `rnd_state` threads the jitter PRNG state between calls.
+  /// Jitter is drawn from `rnd`, the caller's injectable source — the
+  /// policy never consults an implicit or global generator, so fault
+  /// schedules replay bit-for-bit from a seed.
+  uint64_t BackoffMicros(int attempt, Random* rnd) const;
+
+  /// Legacy form threading raw PRNG state between calls; delegates to
+  /// the Random overload.
   uint64_t BackoffMicros(int attempt, uint64_t* rnd_state) const;
+};
+
+/// Injectable dependencies for RunWithRetry. Defaults reproduce the
+/// historical behaviour: a private jitter PRNG seeded from
+/// RetryPolicy::seed and the process clock (SystemClock() — the real
+/// clock, or the simulator's virtual clock when one is installed).
+struct RetryContext {
+  /// Jitter source shared across calls (e.g. one seeded Random per
+  /// simulated actor). Null: a fresh Random(policy.seed) per call.
+  Random* rnd = nullptr;
+
+  /// Time source for backoff sleeps and the deadline. Null:
+  /// SystemClock().
+  Clock* clock = nullptr;
 };
 
 /// True when `s` is worth retrying under a RetryPolicy: transient
@@ -54,11 +76,16 @@ bool IsRetryableStatus(const Status& s);
 
 /// Runs `op` until it succeeds, returns a non-retryable error, or the
 /// policy is exhausted (attempts or deadline). Sleeps the backoff
-/// between attempts. Returns the final status. If `attempts_out` is
-/// non-null it receives the number of attempts performed.
+/// between attempts through `ctx.clock`; a backoff never sleeps past
+/// the deadline (the sleep is capped to the remaining budget and the
+/// deadline is re-checked before every retry), so retries terminate
+/// promptly under both real and virtual time. Returns the final
+/// status. If `attempts_out` is non-null it receives the number of
+/// attempts performed.
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& op,
-                    int* attempts_out = nullptr);
+                    int* attempts_out = nullptr,
+                    const RetryContext& ctx = RetryContext());
 
 }  // namespace shield
 

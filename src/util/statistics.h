@@ -177,9 +177,10 @@ inline void MeasureTime(Statistics* stats, Histograms histogram,
   if (stats != nullptr) stats->MeasureTime(histogram, micros);
 }
 
-/// Scoped wall-clock timer feeding a histogram (and optionally an
-/// elapsed-micros out-param). No-ops entirely when `stats` is null
-/// and `elapsed` is null.
+/// Scoped timer feeding a histogram (and optionally an elapsed-micros
+/// out-param). Reads the process clock (util/clock.h), so under the
+/// deterministic simulator it measures virtual time. No-ops entirely
+/// when `stats` is null and `elapsed` is null.
 class StopWatch {
  public:
   StopWatch(Statistics* stats, Histograms histogram,

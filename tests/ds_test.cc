@@ -6,6 +6,7 @@
 #include "gtest/gtest.h"
 #include "kds/sim_kds.h"
 #include "lsm/db.h"
+#include "sim/sim_clock.h"
 #include "test_util.h"
 #include "util/clock.h"
 #include "util/random.h"
@@ -50,6 +51,82 @@ TEST(NetworkSimTest, RuntimeReconfiguration) {
   EXPECT_EQ(3000u, net.rtt_micros());
   net.set_bandwidth_bytes_per_sec(0);  // clamped, no div-by-zero
   EXPECT_EQ(1u, net.bandwidth_bytes_per_sec());
+}
+
+// --- Partition windows (virtual time) ----------------------------------------
+//
+// These run on a SimClock so window arithmetic is exact: the simulator
+// installs the clock process-wide, and the NetworkSimulator (built with
+// clock = nullptr) picks it up through SystemClock().
+
+class NetworkPartitionTest : public ::testing::Test {
+ protected:
+  NetworkPartitionTest() : override_(&clock_) {
+    NetworkSimOptions options;
+    options.rtt_micros = 0;
+    options.bandwidth_bytes_per_sec = 1'000'000'000'000;
+    net_ = std::make_unique<NetworkSimulator>(options);
+  }
+
+  sim::SimClock clock_;
+  ScopedClockOverride override_;
+  std::unique_ptr<NetworkSimulator> net_;
+};
+
+TEST_F(NetworkPartitionTest, TimedWindowHealsOnDeadline) {
+  net_->StartPartitionFor(1000);
+  EXPECT_TRUE(net_->partitioned());
+  EXPECT_FALSE(net_->TryTransfer(10, false).ok());
+  clock_.AdvanceBy(999);
+  EXPECT_TRUE(net_->partitioned());
+  clock_.AdvanceBy(2);
+  EXPECT_FALSE(net_->partitioned());
+  EXPECT_TRUE(net_->TryTransfer(10, false).ok());
+}
+
+TEST_F(NetworkPartitionTest, ShorterRearmNeverShortensActiveWindow) {
+  // Regression test: re-arming used to overwrite the deadline, so a
+  // short second window would heal the link early and sends queued
+  // behind the first window slipped through before its deadline.
+  net_->StartPartitionFor(1000);
+  net_->StartPartitionFor(200);  // must NOT pull 1000 down to 200
+  clock_.AdvanceBy(500);
+  EXPECT_TRUE(net_->partitioned());
+  EXPECT_FALSE(net_->TryTransfer(10, false).ok());
+  clock_.AdvanceBy(600);  // past the original deadline
+  EXPECT_FALSE(net_->partitioned());
+}
+
+TEST_F(NetworkPartitionTest, LongerRearmExtendsActiveWindow) {
+  net_->StartPartitionFor(500);
+  clock_.AdvanceBy(300);
+  net_->StartPartitionFor(500);  // now until t=800
+  clock_.AdvanceBy(300);         // t=600: original window would have healed
+  EXPECT_TRUE(net_->partitioned());
+  clock_.AdvanceBy(250);  // t=850
+  EXPECT_FALSE(net_->partitioned());
+}
+
+TEST_F(NetworkPartitionTest, TimedRearmNeverDowngradesUnboundedPartition) {
+  net_->StartPartition();  // unbounded: only HealPartition() ends it
+  net_->StartPartitionFor(10);
+  clock_.AdvanceBy(1'000'000);
+  EXPECT_TRUE(net_->partitioned());
+  EXPECT_FALSE(net_->TryTransfer(10, false).ok());
+  net_->HealPartition();
+  EXPECT_FALSE(net_->partitioned());
+  EXPECT_TRUE(net_->TryTransfer(10, false).ok());
+}
+
+TEST_F(NetworkPartitionTest, HealThenRearmStartsAFreshWindow) {
+  net_->StartPartitionFor(1000);
+  net_->HealPartition();
+  EXPECT_FALSE(net_->partitioned());
+  // A stale (already-healed) window must not linger in the deadline.
+  net_->StartPartitionFor(100);
+  EXPECT_TRUE(net_->partitioned());
+  clock_.AdvanceBy(150);
+  EXPECT_FALSE(net_->partitioned());
 }
 
 // --- RemoteEnv over StorageService --------------------------------------------

@@ -1,12 +1,17 @@
+#include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "sim/sim_clock.h"
 #include "util/arena.h"
+#include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/histogram.h"
 #include "util/random.h"
+#include "util/retry.h"
 #include "util/slice.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -415,6 +420,103 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   }
   // All 50 jobs must have run before destruction completed.
   EXPECT_EQ(50, counter.load());
+}
+
+// --- RetryPolicy / RunWithRetry -------------------------------------
+
+TEST(RetryTest, JitterComesFromInjectedRandom) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000;
+  policy.max_backoff_micros = 100000;
+  policy.jitter = 0.5;
+
+  // Same seed, same attempt sequence → identical backoffs; different
+  // seed → (with overwhelming probability over 32 draws) different.
+  std::vector<uint64_t> a, b, c;
+  Random rnd_a(42), rnd_b(42), rnd_c(43);
+  for (int attempt = 2; attempt < 34; attempt++) {
+    a.push_back(policy.BackoffMicros(attempt, &rnd_a));
+    b.push_back(policy.BackoffMicros(attempt, &rnd_b));
+    c.push_back(policy.BackoffMicros(attempt, &rnd_c));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RetryTest, SharedRandomAdvancesAcrossCalls) {
+  // One Random threaded through successive RunWithRetry calls keeps
+  // advancing (the simulator shares a single jitter source per actor).
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 1;  // negligible real sleep
+  policy.jitter = 1.0;
+
+  Random shared(7);
+  RetryContext ctx;
+  ctx.rnd = &shared;
+  const uint64_t before = shared.Next64();
+  Random reference(7);
+  reference.Next64();
+
+  int attempts = 0;
+  Status s = RunWithRetry(
+      policy, [&] { return Status::TryAgain("transient"); }, &attempts, ctx);
+  EXPECT_TRUE(s.IsTryAgain());
+  EXPECT_EQ(3, attempts);
+  // Two retries → two jitter draws consumed from the shared source.
+  EXPECT_NE(shared.Next64(), reference.Next64());
+  (void)before;
+}
+
+TEST(RetryTest, DeadlineHonoredAgainstVirtualClock) {
+  sim::SimClock clock;
+  ScopedClockOverride override(&clock);
+
+  RetryPolicy policy;
+  policy.max_attempts = 1000000;  // deadline, not attempts, must stop it
+  policy.initial_backoff_micros = 10 * 1000;
+  policy.max_backoff_micros = 50 * 1000;
+  policy.deadline_micros = 300 * 1000;
+
+  int attempts = 0;
+  const uint64_t start = clock.NowMicros();
+  Status s = RunWithRetry(
+      policy, [] { return Status::TryAgain("always"); }, &attempts);
+  EXPECT_TRUE(s.IsTryAgain());
+  EXPECT_GT(attempts, 1);
+  EXPECT_LT(attempts, 1000);
+  // Backoff sleeps advanced the virtual clock, and the final sleep was
+  // capped to the remaining budget: total elapsed stays at the
+  // deadline (plus at most one op's worth of slack — the op itself
+  // consumes no virtual time here).
+  const uint64_t elapsed = clock.NowMicros() - start;
+  EXPECT_GE(elapsed, policy.deadline_micros);
+  EXPECT_LE(elapsed, policy.deadline_micros + policy.max_backoff_micros);
+}
+
+TEST(RetryTest, VirtualClockSleepsCostNoWallTime) {
+  sim::SimClock clock;
+  ScopedClockOverride override(&clock);
+
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.initial_backoff_micros = 1000 * 1000;  // 1 virtual second each
+  policy.max_backoff_micros = 1000 * 1000;
+  policy.deadline_micros = 0;
+  policy.jitter = 0.0;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  Status s = RunWithRetry(
+      policy, [] { return Status::TryAgain("always"); }, &attempts);
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+  EXPECT_TRUE(s.IsTryAgain());
+  EXPECT_EQ(200, attempts);
+  // ~199 virtual seconds of backoff...
+  EXPECT_GE(clock.ElapsedMicros(), 190ull * 1000 * 1000);
+  // ...in well under a real second.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(wall).count(),
+            1000);
 }
 
 }  // namespace
