@@ -1,0 +1,166 @@
+#include "kds/failover_kds.h"
+
+#include <cassert>
+
+#include "util/clock.h"
+#include "util/event_logger.h"
+
+namespace shield {
+
+FailoverKds::FailoverKds(std::vector<std::shared_ptr<Kds>> endpoints,
+                         FailoverKdsOptions options)
+    : options_(options) {
+  assert(!endpoints.empty());
+  endpoints_.reserve(endpoints.size());
+  for (auto& kds : endpoints) {
+    Endpoint ep;
+    ep.kds = std::move(kds);
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+FailoverKds::~FailoverKds() = default;
+
+void FailoverKds::SetEventLogger(EventLogger* event_logger) {
+  event_logger_.store(event_logger, std::memory_order_release);
+}
+
+const char* FailoverKds::BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+FailoverKds::BreakerState FailoverKds::endpoint_state(int i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_[static_cast<size_t>(i)].state;
+}
+
+void FailoverKds::EmitTransition(size_t i, BreakerState from, BreakerState to,
+                                 const char* what) {
+  EventLogger* elog = event_logger_.load(std::memory_order_acquire);
+  if (elog == nullptr || !elog->enabled()) {
+    return;
+  }
+  JsonWriter w = elog->NewEvent("kds_failover");
+  w.Add("endpoint", static_cast<int>(i))
+      .Add("from", BreakerStateName(from))
+      .Add("to", BreakerStateName(to))
+      .Add("op", what);
+  elog->Emit(&w);
+}
+
+bool FailoverKds::AdmitLocked(size_t i, uint64_t now_micros) {
+  Endpoint& ep = endpoints_[i];
+  switch (ep.state) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      // A half-open endpoint admits probes; concurrent probes are
+      // harmless (each outcome moves the breaker the same way).
+      return true;
+    case BreakerState::kOpen:
+      if (now_micros >= ep.open_until_micros) {
+        ep.state = BreakerState::kHalfOpen;
+        return true;
+      }
+      breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+  }
+  return false;
+}
+
+void FailoverKds::RecordOutcomeLocked(size_t i, bool transient_failure,
+                                      uint64_t now_micros, const char* what) {
+  Endpoint& ep = endpoints_[i];
+  const BreakerState before = ep.state;
+  if (!transient_failure) {
+    ep.consecutive_failures = 0;
+    ep.state = BreakerState::kClosed;
+    ep.open_until_micros = 0;
+  } else {
+    ep.consecutive_failures++;
+    if (before == BreakerState::kHalfOpen ||
+        ep.consecutive_failures >= options_.failure_threshold) {
+      ep.state = BreakerState::kOpen;
+      ep.open_until_micros = now_micros + options_.open_micros;
+      ep.consecutive_failures = 0;
+      if (before != BreakerState::kOpen) {
+        breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (ep.state != before) {
+    EmitTransition(i, before, ep.state, what);
+  }
+}
+
+Status FailoverKds::Dispatch(const char* what,
+                             const std::function<Status(Kds*)>& op) {
+  Status last = Status::Busy("all KDS endpoints unavailable (breaker open)",
+                             what);
+  for (size_t i = 0; i < endpoints_.size(); i++) {
+    Kds* target = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!AdmitLocked(i, NowMicros())) {
+        continue;
+      }
+      target = endpoints_[i].kds.get();
+    }
+    // The endpoint call happens outside mu_: a KDS round-trip sleeps
+    // for simulated service latency and must not serialize unrelated
+    // requests (or deadlock against a breaker inspection).
+    Status s = op(target);
+    const bool transient =
+        s.IsTryAgain() || s.IsBusy() || s.IsIOError();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordOutcomeLocked(i, transient, NowMicros(), what);
+    }
+    if (!transient) {
+      // Definitive answer (including policy denials): never fail over
+      // past it.
+      if (i > 0) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return s;
+    }
+    last = s;
+  }
+  return last;
+}
+
+Status FailoverKds::CreateDek(const std::string& server_id,
+                              crypto::CipherKind kind, Dek* out) {
+  return Dispatch("CreateDek", [&](Kds* kds) {
+    return kds->CreateDek(server_id, kind, out);
+  });
+}
+
+Status FailoverKds::GetDek(const std::string& server_id, const DekId& id,
+                           Dek* out) {
+  return Dispatch("GetDek", [&](Kds* kds) {
+    return kds->GetDek(server_id, id, out);
+  });
+}
+
+Status FailoverKds::DeleteDek(const std::string& server_id, const DekId& id) {
+  return Dispatch("DeleteDek", [&](Kds* kds) {
+    return kds->DeleteDek(server_id, id);
+  });
+}
+
+Status FailoverKds::RewrapDek(const std::string& server_id, const DekId& id,
+                              const std::string& target_server_id, Dek* out) {
+  return Dispatch("RewrapDek", [&](Kds* kds) {
+    return kds->RewrapDek(server_id, id, target_server_id, out);
+  });
+}
+
+}  // namespace shield

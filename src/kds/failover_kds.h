@@ -1,0 +1,121 @@
+#ifndef SHIELD_KDS_FAILOVER_KDS_H_
+#define SHIELD_KDS_FAILOVER_KDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kds/kds.h"
+
+namespace shield {
+
+class EventLogger;
+
+/// Tuning for the per-endpoint circuit breaker in FailoverKds.
+struct FailoverKdsOptions {
+  /// Consecutive transient failures (TryAgain/Busy/IOError) before an
+  /// endpoint's breaker opens and requests stop being sent to it.
+  int failure_threshold = 3;
+
+  /// How long an open breaker rejects requests before letting one
+  /// probe through (half-open).
+  uint64_t open_micros = 5 * 1000 * 1000;
+};
+
+/// FailoverKds fronts an ordered list of KDS endpoints (primary first)
+/// with per-endpoint health tracking and a classic closed / open /
+/// half-open circuit breaker:
+///
+///   closed    — requests flow; consecutive transient failures are
+///               counted and reset on any definitive answer.
+///   open      — after `failure_threshold` consecutive transient
+///               failures the endpoint is skipped for `open_micros`
+///               (no point hammering a dead KDS between retries).
+///   half-open — once the cooldown elapses, exactly the next request
+///               is let through as a probe; success closes the
+///               breaker, failure re-opens it for another cooldown.
+///
+/// A request tries endpoints in order and returns the first definitive
+/// answer (OK, NotFound, PermissionDenied, NotSupported, Corruption —
+/// policy answers must not fail over, or a revoked server could just
+/// ask the next replica). Only transient statuses advance to the next
+/// endpoint. If every endpoint is open or fails transiently, the last
+/// transient error is returned and the caller's RetryPolicy backoff
+/// rides out the outage. Thread safe; time comes from the process
+/// clock, so breakers behave deterministically under the simulator's
+/// virtual clock.
+class FailoverKds : public Kds {
+ public:
+  FailoverKds(std::vector<std::shared_ptr<Kds>> endpoints,
+              FailoverKdsOptions options = {});
+  ~FailoverKds() override;
+
+  Status CreateDek(const std::string& server_id, crypto::CipherKind kind,
+                   Dek* out) override;
+  Status GetDek(const std::string& server_id, const DekId& id,
+                Dek* out) override;
+  Status DeleteDek(const std::string& server_id, const DekId& id) override;
+  Status RewrapDek(const std::string& server_id, const DekId& id,
+                   const std::string& target_server_id, Dek* out) override;
+
+  /// Mirrors breaker transitions and failovers as "kds_failover"
+  /// events. The logger must outlive this object; null disables.
+  void SetEventLogger(EventLogger* event_logger);
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  static const char* BreakerStateName(BreakerState state);
+
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+  /// Current breaker state of endpoint `i` (tests/observability).
+  BreakerState endpoint_state(int i) const;
+
+  // --- Counters ---
+  /// Requests answered definitively by a non-primary endpoint.
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  /// closed/half-open -> open transitions across all endpoints.
+  uint64_t breaker_opens() const {
+    return breaker_opens_.load(std::memory_order_relaxed);
+  }
+  /// Requests skipped because an endpoint's breaker was open.
+  uint64_t breaker_rejections() const {
+    return breaker_rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Endpoint {
+    std::shared_ptr<Kds> kds;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    uint64_t open_until_micros = 0;
+  };
+
+  /// Runs `op` against endpoints in order under the breaker protocol.
+  Status Dispatch(const char* what,
+                  const std::function<Status(Kds*)>& op);
+  /// True when the breaker admits a request to endpoint `i` right now
+  /// (possibly transitioning open -> half-open). mu_ must be held.
+  bool AdmitLocked(size_t i, uint64_t now_micros);
+  void RecordOutcomeLocked(size_t i, bool transient_failure,
+                           uint64_t now_micros, const char* what);
+  void EmitTransition(size_t i, BreakerState from, BreakerState to,
+                      const char* what);
+
+  const FailoverKdsOptions options_;
+  std::vector<Endpoint> endpoints_;
+
+  mutable std::mutex mu_;
+  std::atomic<EventLogger*> event_logger_{nullptr};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> breaker_opens_{0};
+  std::atomic<uint64_t> breaker_rejections_{0};
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_KDS_FAILOVER_KDS_H_

@@ -110,6 +110,20 @@ Status FaultyKds::GetDek(const std::string& server_id, const DekId& id,
   return s;
 }
 
+Status FaultyKds::RewrapDek(const std::string& server_id, const DekId& id,
+                            const std::string& target_server_id, Dek* out) {
+  Status s = MaybeFail("RewrapDek");
+  if (!s.ok()) {
+    return s;
+  }
+  s = base_->RewrapDek(server_id, id, target_server_id, out);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seen_[out->id] = *out;
+  }
+  return s;
+}
+
 Status FaultyKds::DeleteDek(const std::string& server_id, const DekId& id) {
   Status s = MaybeFail("DeleteDek");
   if (!s.ok()) {

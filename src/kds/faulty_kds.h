@@ -49,6 +49,8 @@ class FaultyKds : public Kds {
   Status GetDek(const std::string& server_id, const DekId& id,
                 Dek* out) override;
   Status DeleteDek(const std::string& server_id, const DekId& id) override;
+  Status RewrapDek(const std::string& server_id, const DekId& id,
+                   const std::string& target_server_id, Dek* out) override;
 
   /// The next `n` requests fail with Status::Busy (a deterministic
   /// outage window measured in requests, so tests can assert exactly

@@ -35,6 +35,23 @@ class Kds {
   /// Permanently destroys a DEK (called when the file it protects is
   /// deleted, completing DEK rotation).
   virtual Status DeleteDek(const std::string& server_id, const DekId& id) = 0;
+
+  /// Re-wraps an existing DEK for a different server identity: issues a
+  /// brand-new DEK id carrying the *same* key material and cipher,
+  /// provisioned to `target_server_id`. Used by encrypted
+  /// backup/restore so an instance can be moved between servers — the
+  /// source's ids can then be revoked and deleted without losing the
+  /// data keys. The caller is `server_id` (must itself be able to
+  /// resolve `id`). Implementations that cannot re-wrap return
+  /// NotSupported.
+  virtual Status RewrapDek(const std::string& server_id, const DekId& id,
+                           const std::string& target_server_id, Dek* out) {
+    (void)server_id;
+    (void)id;
+    (void)target_server_id;
+    (void)out;
+    return Status::NotSupported("RewrapDek not implemented by this KDS");
+  }
 };
 
 }  // namespace shield

@@ -40,6 +40,24 @@ Status LocalKds::DeleteDek(const std::string& server_id, const DekId& id) {
   return Status::OK();
 }
 
+Status LocalKds::RewrapDek(const std::string& server_id, const DekId& id,
+                           const std::string& target_server_id, Dek* out) {
+  (void)server_id;
+  (void)target_server_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deks_.find(id);
+  if (it == deks_.end()) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  Dek rewrapped;
+  rewrapped.id = DekId::Generate();
+  rewrapped.cipher = it->second.cipher;
+  rewrapped.key = it->second.key;
+  deks_[rewrapped.id] = rewrapped;
+  *out = std::move(rewrapped);
+  return Status::OK();
+}
+
 size_t LocalKds::NumDeks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return deks_.size();

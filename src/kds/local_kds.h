@@ -18,6 +18,8 @@ class LocalKds : public Kds {
   Status GetDek(const std::string& server_id, const DekId& id,
                 Dek* out) override;
   Status DeleteDek(const std::string& server_id, const DekId& id) override;
+  Status RewrapDek(const std::string& server_id, const DekId& id,
+                   const std::string& target_server_id, Dek* out) override;
 
   /// Number of DEKs currently held.
   size_t NumDeks() const;

@@ -13,9 +13,12 @@ namespace shield {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'H', 'D', 'C', 'A', 'C', 'H', '1'};
+constexpr char kMagicV1[8] = {'S', 'H', 'D', 'C', 'A', 'C', 'H', '1'};
+constexpr char kMagicV2[8] = {'S', 'H', 'D', 'C', 'A', 'C', 'H', '2'};
+constexpr size_t kMagicSize = 8;
 constexpr size_t kSaltSize = 16;
 constexpr size_t kNonceSize = 16;
+constexpr size_t kCtLenSize = 8;
 constexpr size_t kMacSize = 32;
 
 /// Cache-file I/O retries transient storage faults; losing a persist
@@ -53,9 +56,25 @@ Status SecureDekCache::Open(Env* env, const std::string& path,
   }
   std::unique_ptr<SecureDekCache> cache(
       new SecureDekCache(env, path, passkey));
+  // A stale .tmp is a persist that never reached its rename; the real
+  // file (if any) is authoritative.
+  if (env->FileExists(path + ".tmp")) {
+    env->RemoveFile(path + ".tmp");
+  }
   if (env->FileExists(path)) {
     Status s = cache->Load();
-    if (!s.ok()) {
+    if (s.IsCorruption()) {
+      // Torn/truncated file (crash mid-write on a filesystem without
+      // atomic rename, or media damage). Every cached DEK can be
+      // re-fetched from the KDS, so quarantine the damaged file and
+      // start empty rather than failing the open.
+      cache->deks_.clear();
+      cache->salt_ = crypto::SecureRandomString(kSaltSize);
+      cache->recovered_ = true;
+      env->RenameFile(path, path + ".corrupt");  // best effort
+    } else if (!s.ok()) {
+      // PermissionDenied (wrong passkey / tampering) and I/O errors
+      // still fail the open: the file is intact, the caller is wrong.
       return s;
     }
   } else {
@@ -109,15 +128,28 @@ Status SecureDekCache::Load() {
   if (!s.ok()) {
     return s;
   }
-  const size_t header = sizeof(kMagic) + kSaltSize + kNonceSize;
-  if (contents.size() < header + kMacSize ||
-      memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+  const bool v2 = contents.size() >= kMagicSize &&
+                  memcmp(contents.data(), kMagicV2, kMagicSize) == 0;
+  const bool v1 = !v2 && contents.size() >= kMagicSize &&
+                  memcmp(contents.data(), kMagicV1, kMagicSize) == 0;
+  const size_t header =
+      kMagicSize + kSaltSize + kNonceSize + (v2 ? kCtLenSize : 0);
+  if ((!v1 && !v2) || contents.size() < header + kMacSize) {
     return Status::Corruption("bad secure DEK cache file", path_);
   }
-  salt_ = contents.substr(sizeof(kMagic), kSaltSize);
-  const std::string nonce = contents.substr(sizeof(kMagic) + kSaltSize,
-                                            kNonceSize);
-  const size_t ct_len = contents.size() - header - kMacSize;
+  salt_ = contents.substr(kMagicSize, kSaltSize);
+  const std::string nonce =
+      contents.substr(kMagicSize + kSaltSize, kNonceSize);
+  size_t ct_len = contents.size() - header - kMacSize;
+  if (v2) {
+    // The declared length must match the bytes actually present;
+    // anything else is a torn write, not a passkey problem.
+    const uint64_t declared =
+        DecodeFixed64(contents.data() + kMagicSize + kSaltSize + kNonceSize);
+    if (declared != ct_len) {
+      return Status::Corruption("truncated secure DEK cache file", path_);
+    }
+  }
   std::string ciphertext = contents.substr(header, ct_len);
   const Slice stored_mac(contents.data() + header + ct_len, kMacSize);
 
@@ -162,9 +194,10 @@ Status SecureDekCache::Persist() {
   }
 
   std::string file;
-  file.append(kMagic, sizeof(kMagic));
+  file.append(kMagicV2, kMagicSize);
   file.append(salt_);
   file.append(nonce);
+  PutFixed64(&file, plaintext.size());
   file.append(plaintext);  // now ciphertext
   const std::string mac_key = DeriveMacKey(passkey_, salt_);
   file.append(crypto::HmacSha256(mac_key, file));

@@ -20,15 +20,24 @@ namespace shield {
 /// LSM-KVS instances on the same server may share one cache as long as
 /// they hold the passkey.
 ///
-/// On-disk layout:
-///   magic(8) | salt(16) | nonce(16) | ciphertext | hmac(32)
+/// On-disk layout (v2):
+///   magic(8) | salt(16) | nonce(16) | ct_len(8) | ciphertext | hmac(32)
 /// ciphertext = AES-256-CTR(serialized entries), HMAC over everything
-/// before it.
+/// before it. The explicit ciphertext length makes a torn or truncated
+/// file distinguishable from a wrong passkey: a size that does not add
+/// up is Corruption (recoverable — every entry can be re-fetched from
+/// the KDS), while an intact file whose MAC fails is PermissionDenied
+/// (fatal — silently discarding a cache someone may rely on for
+/// one-time-provisioned keys is not safe). v1 files (no length field)
+/// are still readable.
 class SecureDekCache {
  public:
-  /// Opens (or creates) the cache at `path` using `passkey`. Fails with
-  /// PermissionDenied if an existing cache does not authenticate under
-  /// this passkey.
+  /// Opens (or creates) the cache at `path` using `passkey`. A
+  /// structurally corrupt (torn) cache file is quarantined to
+  /// `path.corrupt` and the cache starts empty, so resolution falls
+  /// through to the KDS instead of failing the open. Fails with
+  /// PermissionDenied if a structurally intact cache does not
+  /// authenticate under this passkey.
   static Status Open(Env* env, const std::string& path,
                      const std::string& passkey,
                      std::unique_ptr<SecureDekCache>* out);
@@ -44,6 +53,10 @@ class SecureDekCache {
 
   size_t NumDeks() const;
 
+  /// True when Open found a torn cache file and recovered by starting
+  /// empty (the damaged file was quarantined).
+  bool recovered_from_corruption() const { return recovered_; }
+
  private:
   SecureDekCache(Env* env, std::string path, std::string passkey);
 
@@ -57,6 +70,7 @@ class SecureDekCache {
   const std::string path_;
   const std::string passkey_;
   std::string salt_;
+  bool recovered_ = false;
 
   mutable std::mutex mu_;
   std::map<DekId, Dek> deks_;

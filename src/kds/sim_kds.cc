@@ -85,6 +85,35 @@ Status SimKds::DeleteDek(const std::string& server_id, const DekId& id) {
   return Status::OK();
 }
 
+Status SimKds::RewrapDek(const std::string& server_id, const DekId& id,
+                         const std::string& target_server_id, Dek* out) {
+  SimulateLatency();
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = CheckAuthorized(server_id);
+  if (!s.ok()) {
+    return s;
+  }
+  if (revoked_.count(target_server_id) > 0) {
+    return Status::PermissionDenied("target server revoked",
+                                    target_server_id);
+  }
+  auto it = deks_.find(id);
+  if (it == deks_.end()) {
+    return Status::NotFound("unknown DEK id", id.ToHex());
+  }
+  Dek rewrapped;
+  rewrapped.id = DekId::Generate();
+  rewrapped.cipher = it->second.cipher;
+  rewrapped.key = it->second.key;
+  deks_[rewrapped.id] = rewrapped;
+  // The rewrapped id belongs to the target identity: under a one-time
+  // policy the target's first fetch must still succeed, so only the
+  // *source* is recorded as having consumed it.
+  provisioned_[rewrapped.id].insert(server_id);
+  *out = std::move(rewrapped);
+  return Status::OK();
+}
+
 void SimKds::AuthorizeServer(const std::string& server_id) {
   std::lock_guard<std::mutex> lock(mu_);
   authorized_.insert(server_id);

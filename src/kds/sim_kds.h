@@ -40,6 +40,8 @@ class SimKds : public Kds {
   Status GetDek(const std::string& server_id, const DekId& id,
                 Dek* out) override;
   Status DeleteDek(const std::string& server_id, const DekId& id) override;
+  Status RewrapDek(const std::string& server_id, const DekId& id,
+                   const std::string& target_server_id, Dek* out) override;
 
   /// Grants `server_id` access to the KDS.
   void AuthorizeServer(const std::string& server_id);

@@ -14,6 +14,61 @@
 
 namespace shield {
 
+/// Controls DB::RotateDeks.
+struct RotateOptions {
+  /// Only SSTs whose DEK is older than this are rewritten; 0 rotates
+  /// every live SST. Files whose DEK age is unknown (created before
+  /// this process started) are treated as infinitely old.
+  uint64_t max_dek_age_micros = 0;
+
+  /// At most this many files are rewritten per call; 0 = no limit.
+  /// A bounded call leaves the remainder persisted in the rotation
+  /// manifest, to be finished by a later call, the background rotation
+  /// job, or resume-after-reopen.
+  uint64_t max_files = 0;
+
+  /// Throttle on rewrite throughput (bytes of source SST per second);
+  /// 0 = unthrottled. Overrides Options::rotation_bytes_per_second.
+  uint64_t bytes_per_second = 0;
+};
+
+/// What DB::RotateDeks accomplished.
+struct RotateResult {
+  /// Files rewritten to a fresh DEK by this call.
+  uint64_t files_rotated = 0;
+  /// Source bytes rewritten.
+  uint64_t bytes_rotated = 0;
+  /// Planned files skipped because they left the live version before
+  /// their turn (compacted away — their DEKs died with them).
+  uint64_t files_skipped = 0;
+  /// Files still pending in the rotation manifest (non-zero only when
+  /// RotateOptions::max_files cut the pass short or a file failed).
+  uint64_t files_pending = 0;
+};
+
+/// Controls DB::CreateBackup.
+struct BackupOptions {
+  /// Server identity the backup's DEKs are re-wrapped for (via
+  /// Kds::RewrapDek). Empty: DEK ids are copied as-is, and the restore
+  /// target must be able to resolve the *source's* ids.
+  std::string target_server_id;
+
+  /// Key for the backup's per-file HMAC-SHA256 integrity tags. Both
+  /// sides of a backup/restore must agree on it.
+  std::string hmac_key = "shield-backup";
+
+  /// Flush the memtable first so the backup captures everything
+  /// acknowledged before the call (the WAL is copied either way).
+  bool flush_before_backup = true;
+};
+
+/// Controls DB::RestoreBackup.
+struct RestoreOptions {
+  /// Must match the BackupOptions::hmac_key the backup was created
+  /// with.
+  std::string hmac_key = "shield-backup";
+};
+
 /// The public LSM-KVS interface. Thread safe: concurrent reads and
 /// writes from any number of threads.
 ///
@@ -88,6 +143,8 @@ class DB {
   ///   "shield.scrub-repaired-files", "shield.scrub-quarantined-files",
   ///   "shield.levelstats" (files/bytes per level, one row per level),
   ///   "shield.dek-cache-stats" (hits/misses/evictions/entries),
+  ///   "shield.rotation-state" ("idle" | "running" | "pending:<n>"),
+  ///   "shield.rotation-files-rotated", "shield.dek.pending-deletes",
   ///   "shield.metrics" (Prometheus text exposition of all tickers and
   ///   histograms; requires Options::statistics)
   /// "shield.stats" includes the per-level compaction table, the
@@ -123,6 +180,52 @@ class DB {
   /// Returns OK when every live file verified clean or was repaired;
   /// otherwise the first unrepaired corruption.
   virtual Status VerifyIntegrity() = 0;
+
+  /// Online DEK rotation (active key lifecycle, beyond the paper's
+  /// passive rotation-via-compaction): rewrites live SSTs selected by
+  /// `options` to fresh DEKs through the table-rewrite path, persisting
+  /// progress in a rotation manifest after every file so a crash
+  /// resumes instead of restarting. The old DEK is destroyed only
+  /// after the replacement is durable. Pauses (returns the background
+  /// error) when the DB is read-only or halted. Only meaningful under
+  /// kShield; other modes return NotSupported.
+  virtual Status RotateDeks(const RotateOptions& options,
+                            RotateResult* result) {
+    (void)options;
+    (void)result;
+    return Status::NotSupported("DEK rotation not supported by this DB");
+  }
+
+  /// Encrypted backup: copies the current version's SSTs, the version
+  /// MANIFEST, CURRENT and the live WAL into `backup_dir` with a
+  /// per-file HMAC manifest; under kShield every embedded DEK id is
+  /// re-wrapped for BackupOptions::target_server_id so the backup can
+  /// be restored by a different server identity even after the
+  /// source's keys are revoked. `backup_dir` must not already contain
+  /// a backup.
+  virtual Status CreateBackup(const std::string& backup_dir,
+                              const BackupOptions& options) {
+    (void)backup_dir;
+    (void)options;
+    return Status::NotSupported("backup not supported by this DB");
+  }
+
+  /// Restores a backup created by CreateBackup into `dbname` (which
+  /// must not exist), verifying the backup manifest's MAC and every
+  /// file's HMAC first. The restored directory is opened normally with
+  /// DB::Open — under kShield, with Options whose server_id is the
+  /// backup's target identity.
+  static Status RestoreBackup(const Options& options,
+                              const std::string& backup_dir,
+                              const std::string& dbname,
+                              const RestoreOptions& restore_options);
+
+  /// Verifies a backup without restoring it: checks the backup
+  /// manifest's MAC and every listed file's size and HMAC. Exactly the
+  /// checks RestoreBackup performs before writing anything.
+  static Status VerifyBackup(const Options& options,
+                             const std::string& backup_dir,
+                             const RestoreOptions& restore_options);
 
   /// Manual operator recovery after a soft background error put the DB
   /// in read-only state: clears the sticky error and resumes background

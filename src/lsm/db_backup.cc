@@ -1,0 +1,393 @@
+// Encrypted backup and restore. A backup is a directory holding the
+// physical (encrypted) images of the current version's SSTs, the
+// version MANIFEST, CURRENT and the live WAL, plus a BACKUP_MANIFEST
+// that records an HMAC-SHA256 tag per file and is itself MAC'd under
+// the backup key — a tampered or truncated backup is detected before a
+// single byte lands in the restore target.
+//
+// Under SHIELD the files stay encrypted at rest in the backup, but
+// every embedded DEK id is re-wrapped (Kds::RewrapDek) for the
+// restore target's server identity and patched into the plaintext
+// file header. Re-wrapping mints a new id over the SAME key material,
+// so ciphertext and per-block authentication tags (keyed from DEK key
+// and nonce, not the id) are byte-for-byte unchanged — which is what
+// lets a backup restore on a fresh server even after the source
+// identity's keys are revoked. The source's secure DEK cache is
+// deliberately NOT backed up: it is bound to the source passkey, and
+// the restore target rebuilds its own from the KDS.
+//
+// Consistency: CreateBackup pins the current version (its SSTs cannot
+// be GC'd) and pauses manifest appends for the copy, so the MANIFEST
+// image ends at a record boundary that exactly describes the pinned
+// version. The WAL is copied live; a torn tail record is dropped by
+// normal WAL recovery, so the backup captures at least everything
+// acknowledged before the call (everything, when flush_before_backup
+// emptied the memtable).
+
+#include <sstream>
+
+#include "crypto/hmac.h"
+#include "lsm/db_impl.h"
+#include "lsm/file_names.h"
+#include "shield/file_crypto.h"
+#include "util/trace.h"
+
+namespace shield {
+
+namespace {
+
+constexpr char kBackupMagic[] = "SHLDBAK1";
+constexpr uint32_t kBackupFormatVersion = 1;
+
+std::string BackupManifestName(const std::string& backup_dir) {
+  return backup_dir + "/BACKUP_MANIFEST";
+}
+
+std::string ToHexString(const Slice& data) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (size_t i = 0; i < data.size(); i++) {
+    const uint8_t b = static_cast<uint8_t>(data[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+struct BackupFileEntry {
+  std::string name;  // basename within the backup directory
+  uint64_t size = 0;
+  std::string hmac_hex;
+  std::string old_dek_hex = "-";  // "-" when the file carries no DEK
+  std::string new_dek_hex = "-";
+};
+
+// The manifest is line-oriented text:
+//   SHLDBAK1
+//   format 1
+//   target <server id or ->
+//   file <name> <size> <hmac hex> <old dek hex|-> <new dek hex|->
+//   ...
+//   mac <hmac hex over every preceding byte>
+std::string EncodeBackupManifest(const std::string& target_server_id,
+                                 const std::vector<BackupFileEntry>& files,
+                                 const std::string& hmac_key) {
+  std::string out;
+  out.append(kBackupMagic);
+  out.append("\n");
+  out.append("format " + std::to_string(kBackupFormatVersion) + "\n");
+  out.append("target " +
+             (target_server_id.empty() ? std::string("-") : target_server_id) +
+             "\n");
+  for (const auto& f : files) {
+    out.append("file " + f.name + " " + std::to_string(f.size) + " " +
+               f.hmac_hex + " " + f.old_dek_hex + " " + f.new_dek_hex + "\n");
+  }
+  out.append("mac " + ToHexString(crypto::HmacSha256(hmac_key, out)) + "\n");
+  return out;
+}
+
+Status DecodeBackupManifest(const std::string& data,
+                            const std::string& hmac_key, std::string* target,
+                            std::vector<BackupFileEntry>* files) {
+  // The MAC covers everything up to (and including) the newline before
+  // the "mac " line.
+  const size_t mac_pos = data.rfind("mac ");
+  if (mac_pos == std::string::npos ||
+      (mac_pos != 0 && data[mac_pos - 1] != '\n')) {
+    return Status::Corruption("backup manifest missing MAC line");
+  }
+  const std::string body = data.substr(0, mac_pos);
+  std::string mac_line = data.substr(mac_pos + 4);
+  while (!mac_line.empty() &&
+         (mac_line.back() == '\n' || mac_line.back() == '\r')) {
+    mac_line.pop_back();
+  }
+  if (mac_line != ToHexString(crypto::HmacSha256(hmac_key, body))) {
+    return Status::Corruption(
+        "backup manifest MAC mismatch (tampered backup or wrong key)");
+  }
+
+  std::istringstream in(body);
+  std::string line;
+  if (!std::getline(in, line) || line != kBackupMagic) {
+    return Status::Corruption("bad backup manifest magic");
+  }
+  if (!std::getline(in, line) ||
+      line != "format " + std::to_string(kBackupFormatVersion)) {
+    return Status::NotSupported("unsupported backup manifest format");
+  }
+  if (!std::getline(in, line) || line.rfind("target ", 0) != 0) {
+    return Status::Corruption("backup manifest missing target line");
+  }
+  *target = line.substr(7);
+  if (*target == "-") {
+    target->clear();
+  }
+  files->clear();
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    BackupFileEntry entry;
+    fields >> tag >> entry.name >> entry.size >> entry.hmac_hex >>
+        entry.old_dek_hex >> entry.new_dek_hex;
+    if (fields.fail() || tag != "file" || entry.name.empty() ||
+        entry.name.find('/') != std::string::npos ||
+        entry.name.find("..") != std::string::npos) {
+      return Status::Corruption("bad backup manifest file entry: " + line);
+    }
+    files->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DBImpl::CreateBackup(const std::string& backup_dir,
+                            const BackupOptions& backup_options) {
+  if (read_only_) {
+    return Status::NotSupported(
+        "backups are created from the primary instance");
+  }
+  TraceSpan span(SpanType::kBackup);
+  const bool shield_mode =
+      options_.encryption.mode == EncryptionMode::kShield;
+  if (!backup_options.target_server_id.empty() && !shield_mode) {
+    return Status::InvalidArgument(
+        "target_server_id requires SHIELD encryption");
+  }
+
+  Status s = raw_env_->CreateDirIfMissing(backup_dir);
+  if (!s.ok()) {
+    return s;
+  }
+  if (raw_env_->FileExists(BackupManifestName(backup_dir))) {
+    return Status::InvalidArgument("backup_dir already contains a backup",
+                                   backup_dir);
+  }
+
+  if (backup_options.flush_before_backup) {
+    s = Flush();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  // Freeze the consistency point: pin the current version and pause
+  // manifest appends, so the descriptor log on disk exactly describes
+  // the pinned version for the whole copy.
+  Version* version = nullptr;
+  std::vector<Version::LiveFileInfo> live_files;
+  uint64_t wal_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_handler_.reads_allowed()) {
+      return error_handler_.bg_error();
+    }
+    versions_->PauseManifestAppends(&mutex_);
+    version = versions_->current();
+    version->Ref();
+    version->GetAllFiles(&live_files);
+    wal_number = logfile_number_;
+  }
+
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("backup_begin");
+    w.Add("path", backup_dir);
+    w.Add("ssts", static_cast<uint64_t>(live_files.size()));
+    w.Add("target",
+          backup_options.target_server_id.empty()
+              ? Slice("-")
+              : Slice(backup_options.target_server_id));
+    event_logger_->Emit(&w);
+  }
+
+  // Source paths, all copied as physical (already encrypted) bytes.
+  std::vector<std::string> sources;
+  for (const auto& f : live_files) {
+    sources.push_back(TableFileName(dbname_, f.number));
+  }
+  std::string current_contents;
+  s = ReadFileToString(raw_env_, CurrentFileName(dbname_), &current_contents);
+  if (s.ok()) {
+    std::string manifest_base = current_contents;
+    while (!manifest_base.empty() && (manifest_base.back() == '\n' ||
+                                      manifest_base.back() == '\r')) {
+      manifest_base.pop_back();
+    }
+    if (manifest_base.empty()) {
+      s = Status::Corruption("CURRENT file is empty");
+    } else {
+      sources.push_back(dbname_ + "/" + manifest_base);
+      // CURRENT itself, so the restored directory opens without any
+      // reconstruction step.
+      sources.push_back(CurrentFileName(dbname_));
+    }
+  }
+  if (s.ok() && wal_number != 0 &&
+      raw_env_->FileExists(LogFileName(dbname_, wal_number))) {
+    sources.push_back(LogFileName(dbname_, wal_number));
+  }
+
+  std::vector<BackupFileEntry> entries;
+  uint64_t total_bytes = 0;
+  for (const auto& src : sources) {
+    if (!s.ok()) {
+      break;
+    }
+    std::string contents;
+    s = ReadFileToString(raw_env_, src, &contents);
+    if (!s.ok()) {
+      break;
+    }
+    BackupFileEntry entry;
+    entry.name = src.substr(src.rfind('/') + 1);
+
+    // Re-wrap the embedded DEK for the restore target. Non-SHIELD
+    // files (and all files when no target identity was given) are
+    // copied untouched.
+    ShieldFileHeader header;
+    if (shield_mode && !backup_options.target_server_id.empty() &&
+        ParseShieldFileHeader(contents, &header).ok()) {
+      Dek rewrapped;
+      s = dek_manager_->RewrapDek(header.dek_id,
+                                  backup_options.target_server_id,
+                                  &rewrapped);
+      if (!s.ok()) {
+        break;
+      }
+      entry.old_dek_hex = header.dek_id.ToHex();
+      entry.new_dek_hex = rewrapped.id.ToHex();
+      // dek_id occupies bytes [12, 12 + DekId::kSize) of the plaintext
+      // header (shield/file_crypto.cc). Ciphertext and block tags are
+      // keyed from the key material and nonce, both unchanged.
+      memcpy(contents.data() + 12, rewrapped.id.bytes.data(), DekId::kSize);
+    }
+
+    entry.size = contents.size();
+    entry.hmac_hex = ToHexString(
+        crypto::HmacSha256(backup_options.hmac_key, contents));
+    s = WriteStringToFile(raw_env_, contents, backup_dir + "/" + entry.name,
+                          /*sync=*/true);
+    if (!s.ok()) {
+      break;
+    }
+    total_bytes += contents.size();
+    RecordTick(options_.statistics.get(), Tickers::kShieldBackupFiles, 1);
+    RecordTick(options_.statistics.get(), Tickers::kShieldBackupBytes,
+               contents.size());
+    entries.push_back(std::move(entry));
+  }
+
+  if (s.ok()) {
+    // The backup manifest is the commit point: a directory without one
+    // (interrupted backup) never verifies, so it can never be restored.
+    s = WriteStringToFile(
+        raw_env_,
+        EncodeBackupManifest(backup_options.target_server_id, entries,
+                             backup_options.hmac_key),
+        BackupManifestName(backup_dir), /*sync=*/true);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    versions_->ResumeManifestAppends();
+    version->Unref();
+  }
+
+  if (event_logger_ != nullptr) {
+    JsonWriter w = event_logger_->NewEvent("backup_end");
+    w.Add("path", backup_dir);
+    w.Add("files", static_cast<uint64_t>(entries.size()));
+    w.Add("bytes", total_bytes);
+    w.Add("ok", s.ok());
+    if (!s.ok()) {
+      w.Add("error", s.ToString());
+    }
+    event_logger_->Emit(&w);
+  }
+  span.MarkStatus(s);
+  return s;
+}
+
+namespace {
+
+// Loads the manifest, checks its MAC, then reads and HMAC-verifies
+// every listed file into *images (aligned with *entries).
+Status LoadAndVerifyBackup(Env* env, const std::string& backup_dir,
+                           const std::string& hmac_key,
+                           std::vector<BackupFileEntry>* entries,
+                           std::vector<std::string>* images) {
+  std::string manifest_data;
+  Status s =
+      ReadFileToString(env, BackupManifestName(backup_dir), &manifest_data);
+  if (!s.ok()) {
+    return s;
+  }
+  std::string target;
+  s = DecodeBackupManifest(manifest_data, hmac_key, &target, entries);
+  if (!s.ok()) {
+    return s;
+  }
+  images->resize(entries->size());
+  for (size_t i = 0; i < entries->size(); i++) {
+    const BackupFileEntry& entry = (*entries)[i];
+    s = ReadFileToString(env, backup_dir + "/" + entry.name, &(*images)[i]);
+    if (!s.ok()) {
+      return s;
+    }
+    if ((*images)[i].size() != entry.size ||
+        ToHexString(crypto::HmacSha256(hmac_key, (*images)[i])) !=
+            entry.hmac_hex) {
+      return Status::Corruption("backup file failed HMAC verification",
+                                entry.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DB::VerifyBackup(const Options& options, const std::string& backup_dir,
+                        const RestoreOptions& restore_options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  std::vector<BackupFileEntry> entries;
+  std::vector<std::string> images;
+  return LoadAndVerifyBackup(env, backup_dir, restore_options.hmac_key,
+                             &entries, &images);
+}
+
+Status DB::RestoreBackup(const Options& options,
+                         const std::string& backup_dir,
+                         const std::string& dbname,
+                         const RestoreOptions& restore_options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+
+  if (env->FileExists(CurrentFileName(dbname))) {
+    return Status::InvalidArgument("restore target already contains a DB",
+                                   dbname);
+  }
+
+  // Verify everything BEFORE writing anything: a bad backup leaves the
+  // target directory untouched.
+  std::vector<BackupFileEntry> entries;
+  std::vector<std::string> images;
+  Status s = LoadAndVerifyBackup(env, backup_dir, restore_options.hmac_key,
+                                 &entries, &images);
+  if (!s.ok()) {
+    return s;
+  }
+
+  s = env->CreateDirIfMissing(dbname);
+  for (size_t i = 0; s.ok() && i < entries.size(); i++) {
+    s = WriteStringToFile(env, images[i], dbname + "/" + entries[i].name,
+                          /*sync=*/true);
+  }
+  return s;
+}
+
+}  // namespace shield

@@ -63,7 +63,20 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       internal_comparator_(options_.comparator) {}
 
 DBImpl::~DBImpl() {
-  // Stop the scrubber first: a scrub pass holds version references and
+  // Stop the rotation job first: a pass rewrites files through the
+  // manifest, and RunRotation checks rotation_stop_ between files so
+  // this returns promptly (leaving the remainder persisted in the
+  // rotation manifest for resume-at-reopen).
+  if (rotation_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(rotation_mutex_);
+      rotation_stop_ = true;
+    }
+    rotation_cv_.notify_all();
+    rotation_thread_.join();
+  }
+
+  // Stop the scrubber next: a scrub pass holds version references and
   // may schedule repairs that touch the manifest.
   if (scrub_thread_.joinable()) {
     {
@@ -221,6 +234,15 @@ Status DBImpl::SetupEncryption() {
                                                   options_.statistics.get());
       if (event_logger_ != nullptr) {
         dek_manager_->SetEventLogger(event_logger_.get());
+      }
+      if (!read_only_) {
+        // Reload DEK deletions deferred by an earlier incarnation
+        // (KDS unreachable at ForgetDek time); rotation passes drain
+        // them. Best effort: an unreadable queue file must not block
+        // opening — those deletions are retried next time the file is
+        // readable.
+        (void)dek_manager_->ConfigurePendingDeletes(
+            raw_env_, PendingDekDeletesFileName(dbname_));
       }
       if (enc.encryption_threads > 1) {
         encryption_pool_ =
@@ -474,6 +496,17 @@ Status DBImpl::Recover() {
   if (options_.scrub_interval_micros > 0) {
     scrub_thread_ = std::thread([this] { ScrubLoop(); });
   }
+
+  if (options_.encryption.mode == EncryptionMode::kShield) {
+    // A ROTATION manifest on disk means a rotation was interrupted;
+    // the rotation thread finishes it before anything else, even when
+    // no periodic rotation is configured (one-shot resume).
+    rotation_pending_at_open_ = ResumePendingRotation();
+    if (options_.dek_rotation_interval_micros > 0 ||
+        rotation_pending_at_open_) {
+      rotation_thread_ = std::thread([this] { RotationLoop(); });
+    }
+  }
   return Status::OK();
 }
 
@@ -640,6 +673,26 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   if (in == Slice("scrub-quarantined-files")) {
     *value = std::to_string(
         scrub_quarantined_files_.load(std::memory_order_relaxed));
+    return true;
+  }
+  if (in == Slice("rotation-state")) {
+    if (rotation_running_.load(std::memory_order_acquire)) {
+      *value = "running";
+    } else {
+      const uint64_t pending =
+          rotation_pending_files_.load(std::memory_order_relaxed);
+      *value = pending > 0 ? "pending:" + std::to_string(pending) : "idle";
+    }
+    return true;
+  }
+  if (in == Slice("rotation-files-rotated")) {
+    *value = std::to_string(
+        rotation_files_rotated_.load(std::memory_order_relaxed));
+    return true;
+  }
+  if (in == Slice("dek.pending-deletes")) {
+    *value = std::to_string(
+        dek_manager_ != nullptr ? dek_manager_->pending_deletes() : 0);
     return true;
   }
   if (in == Slice("levelstats")) {

@@ -16,6 +16,7 @@
 #include "lsm/error_handler.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
+#include "lsm/rotation_manifest.h"
 #include "lsm/snapshot.h"
 #include "lsm/version_set.h"
 #include "shield/dek_manager.h"
@@ -59,6 +60,10 @@ class DBImpl final : public DB {
   Status StartTrace(const TraceOptions& trace_options,
                     const std::string& trace_path) override;
   Status EndTrace() override;
+  Status RotateDeks(const RotateOptions& options,
+                    RotateResult* result) override;
+  Status CreateBackup(const std::string& backup_dir,
+                      const BackupOptions& options) override;
 
   /// Startup: recover manifest + WALs. Called by DB::Open.
   Status Recover();
@@ -163,6 +168,22 @@ class DBImpl final : public DB {
   Status QuarantineFile(uint64_t number);
   void ScrubLoop();
 
+  // Online DEK rotation (db_rotation.cc).
+  /// Executes (or resumes) the rotation described by `manifest`,
+  /// persisting progress after every file. rotation_pass_mutex_ held.
+  Status RunRotation(RotationManifest* manifest, const RotateOptions& opts,
+                     RotateResult* result);
+  /// Rewrites one live SST to a fresh DEK via the table-rewrite path.
+  /// Returns OK with *skipped=true when `number` already left the live
+  /// version (stale manifest entry).
+  Status RotateFile(uint64_t number, uint64_t* bytes, bool* skipped);
+  /// Background rotation job: resumes a pending rotation at open, then
+  /// runs age-based passes every dek_rotation_interval_micros.
+  void RotationLoop();
+  /// True when a rotation manifest is pending on disk at open time
+  /// (set by Recover, consumed by RotationLoop).
+  bool ResumePendingRotation();
+
   // State below.
   const std::string dbname_;
   Options options_;  // env_ may be rewritten to the EncFS wrapper
@@ -254,6 +275,27 @@ class DBImpl final : public DB {
   std::condition_variable scrub_cv_;
   bool scrub_stop_ = false;  // guarded by scrub_mutex_
   std::mutex scrub_pass_mutex_;
+
+  // Background DEK rotation (db_rotation.cc). Same shape as the
+  // scrubber: the thread sleeps on rotation_cv_ between passes;
+  // rotation_pass_mutex_ serializes passes (the thread vs on-demand
+  // RotateDeks).
+  std::thread rotation_thread_;
+  std::mutex rotation_mutex_;
+  std::condition_variable rotation_cv_;
+  bool rotation_stop_ = false;  // guarded by rotation_mutex_
+  std::mutex rotation_pass_mutex_;
+  // True when Recover found a ROTATION manifest on disk; the rotation
+  // thread (or, with no thread configured, a one-shot resume) finishes
+  // that rotation before anything else.
+  bool rotation_pending_at_open_ = false;
+  std::atomic<bool> rotation_running_{false};
+  std::atomic<uint64_t> rotation_files_rotated_{0};
+  std::atomic<uint64_t> rotation_passes_{0};
+  // Files still owed by the persisted rotation manifest (for the
+  // "shield.rotation-state" property).
+  std::atomic<uint64_t> rotation_pending_files_{0};
+
   std::atomic<uint64_t> scrub_corruptions_detected_{0};
   std::atomic<uint64_t> scrub_repaired_files_{0};
   std::atomic<uint64_t> scrub_quarantined_files_{0};

@@ -18,6 +18,8 @@ const char* BackgroundErrorReasonName(BackgroundErrorReason reason) {
       return "offload";
     case BackgroundErrorReason::kScrub:
       return "scrub";
+    case BackgroundErrorReason::kRotation:
+      return "rotation";
   }
   return "unknown";
 }

@@ -26,9 +26,10 @@ enum class BackgroundErrorReason {
   kManifestWrite,
   kOffload,
   kScrub,
+  kRotation,
 };
 
-constexpr int kNumBackgroundErrorReasons = 7;
+constexpr int kNumBackgroundErrorReasons = 8;
 
 /// How bad a background failure is.
 ///   kTransient — retry in place with backoff; no durable state lost.

@@ -47,6 +47,14 @@ std::string InfoLogFileName(const std::string& dbname) {
   return dbname + "/LOG";
 }
 
+std::string RotationManifestFileName(const std::string& dbname) {
+  return dbname + "/ROTATION";
+}
+
+std::string PendingDekDeletesFileName(const std::string& dbname) {
+  return dbname + "/PENDING_DEK_DELETES";
+}
+
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    DbFileType* type) {
   if (filename == "CURRENT") {

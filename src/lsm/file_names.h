@@ -28,6 +28,14 @@ std::string DekCacheFileName(const std::string& dbname);
 /// ParseFileName rejects it, which is what keeps LOG and its rotations
 /// out of RemoveObsoleteFiles garbage collection.
 std::string InfoLogFileName(const std::string& dbname);
+/// "<dbname>/ROTATION" — the DEK-rotation progress manifest
+/// (lsm/rotation_manifest.h). Like LOG, rejected by ParseFileName so
+/// garbage collection leaves it alone; a completed rotation removes it
+/// explicitly.
+std::string RotationManifestFileName(const std::string& dbname);
+/// "<dbname>/PENDING_DEK_DELETES" — DekManager's persistent queue of
+/// DEK ids whose KDS delete must be retried. Also GC-exempt.
+std::string PendingDekDeletesFileName(const std::string& dbname);
 
 /// Parses the plain (directory-less) file name. Returns false if the
 /// name is not one of ours.

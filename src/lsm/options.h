@@ -266,6 +266,23 @@ struct Options {
   /// scrubber only detects and quarantines.
   bool scrub_repair = true;
 
+  /// Interval between background DEK-rotation passes (kShield only).
+  /// Each pass rewrites live SSTs whose DEK is older than
+  /// max_dek_age_micros to fresh keys. 0 (default) disables the
+  /// background job — DB::RotateDeks still rotates on demand, and a
+  /// rotation left pending by a crash is still resumed once at open.
+  uint64_t dek_rotation_interval_micros = 0;
+
+  /// Age bound used by background rotation passes; 0 means a pass
+  /// rotates every live SST (compliance "rotate now" semantics belong
+  /// to explicit RotateDeks calls).
+  uint64_t max_dek_age_micros = 0;
+
+  /// Rotation rewrite throughput throttle in source-bytes/second
+  /// (0 = unthrottled). Explicit RotateDeks calls may override per
+  /// call via RotateOptions::bytes_per_second.
+  uint64_t rotation_bytes_per_second = 8 * 1024 * 1024;
+
   EncryptionOptions encryption;
 };
 

@@ -1,0 +1,62 @@
+#ifndef SHIELD_LSM_ROTATION_MANIFEST_H_
+#define SHIELD_LSM_ROTATION_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace shield {
+
+/// Durable progress record of an online DEK rotation (the "ROTATION"
+/// file in the db directory). The rotation job persists it after every
+/// rewritten file, so a crash mid-rotation resumes from the next
+/// pending file instead of restarting — and, critically, an old DEK is
+/// only destroyed after its replacement file is durable in both the
+/// version MANIFEST and this file's `done` list.
+///
+/// Contents are file *numbers* only (no key material, nothing secret),
+/// so the manifest is plaintext and written through the raw Env:
+///   magic(8) | version(u32) | rotation_id(u64) | state(u8)
+///   | n_pending(u32) pending... | n_done(u32) done... | crc32c(u32)
+/// Writes are atomic (temp file + fsync + rename); the CRC makes a
+/// torn write detectable, in which case recovery restarts the rotation
+/// from scratch — safe, because rewriting an already-rotated file is
+/// idempotent (file numbers no longer in the live version are skipped
+/// as stale).
+struct RotationManifest {
+  enum class State : uint8_t {
+    kRunning = 1,
+    kDone = 2,
+  };
+
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Unique id of this rotation (allocated from the version set's file
+  /// number space, so it is unique without consulting a clock).
+  uint64_t rotation_id = 0;
+  State state = State::kRunning;
+  /// Table-file numbers still to be rewritten, in rewrite order.
+  std::vector<uint64_t> pending;
+  /// Table-file numbers already rewritten (old numbers; their
+  /// replacements live in the version MANIFEST).
+  std::vector<uint64_t> done;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(const Slice& data);
+
+  /// Atomically persists to RotationManifestFileName(dbname).
+  Status Save(Env* env, const std::string& dbname) const;
+  /// Loads the manifest; NotFound when no rotation is in progress,
+  /// Corruption on a torn or damaged file.
+  static Status Load(Env* env, const std::string& dbname,
+                     RotationManifest* out);
+  /// Removes the manifest file (rotation complete). Idempotent.
+  static Status Remove(Env* env, const std::string& dbname);
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_LSM_ROTATION_MANIFEST_H_

@@ -147,6 +147,23 @@ class VersionSet {
   }
   uint64_t ManifestFileNumber() const { return manifest_file_number_; }
 
+  /// Blocks new manifest appends (and waits out any in-flight one).
+  /// While paused, the descriptor log on disk is frozen at a record
+  /// boundary that exactly matches current() — the consistency point
+  /// backups copy. Call with *mu held; pair with
+  /// ResumeManifestAppends() (also under *mu). Flushes and compactions
+  /// that reach LogAndApply meanwhile simply wait.
+  void PauseManifestAppends(std::mutex* mu) {
+    std::unique_lock<std::mutex> lock(*mu, std::adopt_lock);
+    manifest_cv_.wait(lock, [this] { return !writing_manifest_; });
+    lock.release();
+    writing_manifest_ = true;
+  }
+  void ResumeManifestAppends() {
+    writing_manifest_ = false;
+    manifest_cv_.notify_all();
+  }
+
   SequenceNumber LastSequence() const { return last_sequence_; }
   void SetLastSequence(SequenceNumber s) {
     assert(s >= last_sequence_);

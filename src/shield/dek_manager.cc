@@ -1,5 +1,10 @@
 #include "shield/dek_manager.h"
 
+#include <cstdint>
+#include <vector>
+
+#include "env/env.h"
+#include "util/clock.h"
 #include "util/perf_context.h"
 #include "util/retry.h"
 #include "util/trace.h"
@@ -82,6 +87,7 @@ Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     memory_[out->id] = *out;
+    created_micros_[out->id] = NowMicros();
   }
   if (secure_cache_ != nullptr) {
     // Best effort: a failed cache write costs a KDS round-trip later
@@ -132,6 +138,7 @@ Status DekManager::ForgetDek(const DekId& id) {
     if (memory_.erase(id) > 0) {
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+    created_micros_.erase(id);
   }
   if (secure_cache_ != nullptr) {
     secure_cache_->Erase(id);
@@ -144,7 +151,116 @@ Status DekManager::ForgetDek(const DekId& id) {
     // deletion; dropping a missing DEK is success.
     return Status::OK();
   }
+  if (!s.ok()) {
+    // The key is already unreachable locally but still alive in the
+    // KDS. Callers on the file-deletion path ignore this status, so a
+    // transient KDS failure used to leak the DEK forever; queue it and
+    // let a background drain finish the destruction.
+    EnqueuePendingDelete(id);
+    return Status::OK();
+  }
   return s;
+}
+
+Status DekManager::RewrapDek(const DekId& id,
+                             const std::string& target_server_id, Dek* out) {
+  return KdsRoundTrip("rewrap", [&] {
+    return kds_->RewrapDek(server_id_, id, target_server_id, out);
+  });
+}
+
+void DekManager::EnqueuePendingDelete(const DekId& id) {
+  RecordTick(stats_, Tickers::kShieldDekDeleteDeferred, 1);
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (pending_.insert(id).second) {
+    PersistPendingLocked();
+  }
+}
+
+void DekManager::PersistPendingLocked() {
+  if (pending_env_ == nullptr || pending_path_.empty()) {
+    return;
+  }
+  std::string data;
+  for (const DekId& id : pending_) {
+    data.append(id.ToHex());
+    data.push_back('\n');
+  }
+  // Best effort, atomically: a torn queue file must never be read back
+  // as a valid id, and a failed persist only costs re-deleting an
+  // already-deleted DEK (NotFound == success) after a crash.
+  const std::string tmp = pending_path_ + ".tmp";
+  if (WriteStringToFile(pending_env_, data, tmp, /*sync=*/true).ok()) {
+    pending_env_->RenameFile(tmp, pending_path_);
+  }
+}
+
+Status DekManager::ConfigurePendingDeletes(Env* env, const std::string& path) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_env_ = env;
+  pending_path_ = path;
+  if (!env->FileExists(path)) {
+    return Status::OK();
+  }
+  std::string data;
+  Status s = ReadFileToString(env, path, &data);
+  if (!s.ok()) {
+    return s;
+  }
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) {
+      end = data.size();
+    }
+    const std::string line = data.substr(start, end - start);
+    DekId id;
+    if (!line.empty() && DekId::FromHex(line, &id)) {
+      pending_.insert(id);
+    }
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+Status DekManager::TryDrainPendingDeletes() {
+  std::vector<DekId> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    batch.assign(pending_.begin(), pending_.end());
+  }
+  Status last;
+  bool changed = false;
+  for (const DekId& id : batch) {
+    Status s = KdsRoundTrip(
+        "delete", [&] { return kds_->DeleteDek(server_id_, id); });
+    if (s.ok() || s.IsNotFound()) {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      changed |= pending_.erase(id) > 0;
+    } else {
+      last = s;
+    }
+  }
+  if (changed) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    PersistPendingLocked();
+  }
+  return last;
+}
+
+uint64_t DekManager::pending_deletes() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.size();
+}
+
+uint64_t DekManager::DekAgeMicros(const DekId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = created_micros_.find(id);
+  if (it == created_micros_.end()) {
+    return UINT64_MAX;
+  }
+  const uint64_t now = NowMicros();
+  return now > it->second ? now - it->second : 0;
 }
 
 }  // namespace shield

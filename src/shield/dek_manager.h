@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "kds/kds.h"
@@ -13,6 +14,8 @@
 #include "util/statistics.h"
 
 namespace shield {
+
+class Env;
 
 /// Per-instance DEK resolution chain (paper Section 5.2): DEKs live in
 /// memory while the instance runs; on restart they are resolved from
@@ -42,8 +45,39 @@ class DekManager {
 
   /// Drops a DEK everywhere (memory, secure cache, KDS). Called when
   /// the file it protected is deleted; after this the old key can no
-  /// longer decrypt anything (completing rotation).
+  /// longer decrypt anything (completing rotation). If the KDS delete
+  /// fails transiently even after retries, the id is moved to the
+  /// pending-delete queue (persistent when configured) and OK is
+  /// returned — the key WILL be destroyed by a later drain instead of
+  /// leaking in the KDS forever.
   Status ForgetDek(const DekId& id);
+
+  /// Re-wraps `id` for `target_server_id` (backup/migration): the KDS
+  /// issues a new id with the same key material, provisioned to the
+  /// target. The result is deliberately NOT cached here — it belongs
+  /// to the target identity, not this server.
+  Status RewrapDek(const DekId& id, const std::string& target_server_id,
+                   Dek* out);
+
+  /// Backs the pending-delete queue with `path` (one hex DEK id per
+  /// line — ids are public, they sit in plaintext file headers) and
+  /// loads ids left over from a previous run. `env` must outlive the
+  /// manager. Without this the queue is memory-only.
+  Status ConfigurePendingDeletes(Env* env, const std::string& path);
+
+  /// Retries one KDS DeleteDek for every queued id; ids that still
+  /// fail transiently stay queued for the next drain. Returns the last
+  /// transient error (or OK). Safe to call from any thread.
+  Status TryDrainPendingDeletes();
+
+  /// Ids currently awaiting a successful KDS delete.
+  uint64_t pending_deletes() const;
+
+  /// Age of a DEK created by this manager, or UINT64_MAX when the
+  /// creation time is unknown (created before this process started —
+  /// i.e. at least as old as the process, so rotation treats unknown
+  /// as infinitely old).
+  uint64_t DekAgeMicros(const DekId& id) const;
 
   /// KDS round-trips performed (creates + fetches + deletes).
   uint64_t kds_requests() const {
@@ -73,6 +107,11 @@ class DekManager {
   /// and event ("create" / "get" / "delete").
   Status KdsRoundTrip(const char* op_name, const std::function<Status()>& op);
 
+  /// Appends `id` to the pending-delete queue and persists it.
+  void EnqueuePendingDelete(const DekId& id);
+  /// Rewrites the queue file from pending_. pending_mu_ must be held.
+  void PersistPendingLocked();
+
   Kds* const kds_;
   const std::string server_id_;
   SecureDekCache* const secure_cache_;
@@ -86,6 +125,14 @@ class DekManager {
 
   mutable std::mutex mu_;
   std::map<DekId, Dek> memory_;
+  // Creation time of DEKs created by this manager (for max_dek_age
+  // rotation eligibility).
+  std::map<DekId, uint64_t> created_micros_;
+
+  mutable std::mutex pending_mu_;
+  std::set<DekId> pending_;
+  Env* pending_env_ = nullptr;
+  std::string pending_path_;
 };
 
 }  // namespace shield

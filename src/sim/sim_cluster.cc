@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "shield/file_crypto.h"
 #include "util/clock.h"
 
 namespace shield {
@@ -46,7 +47,9 @@ Options SimCluster::WriterOptions() {
   o.write_buffer_size = options_.write_buffer_size;
   o.info_log = options_.info_log;
   o.encryption.mode = EncryptionMode::kShield;
-  o.encryption.kds = faulty_kds_;
+  o.encryption.kds = failover_kds_ != nullptr
+                         ? std::static_pointer_cast<Kds>(failover_kds_)
+                         : std::static_pointer_cast<Kds>(faulty_kds_);
   o.encryption.server_id = "writer";
   o.compaction_service = worker_.get();
   o.offload_fallback_to_local = true;
@@ -112,6 +115,18 @@ Status SimCluster::Start() {
   faulty_kds_->SetFaultsEnabled(false);
 
   event_logger_ = std::make_unique<EventLogger>(options_.info_log.get());
+
+  if (options_.use_failover_kds) {
+    // Secondary endpoint over the same key store; its fault injection
+    // stays off, so a primary outage is survivable by failing over.
+    FaultyKdsOptions skopts;
+    skopts.seed = options_.seed ^ 0x5ec0;
+    secondary_kds_ = std::make_shared<FaultyKds>(sim_kds_, skopts);
+    secondary_kds_->SetFaultsEnabled(false);
+    failover_kds_ = std::make_shared<FailoverKds>(
+        std::vector<std::shared_ptr<Kds>>{faulty_kds_, secondary_kds_});
+    failover_kds_->SetEventLogger(event_logger_.get());
+  }
 
   RemoteCompactionWorker::WorkerOptions wopts;
   wopts.env = service_->server_env();
@@ -270,6 +285,49 @@ Status SimCluster::BitFlipSomeSst(uint64_t raw_pick, uint64_t raw_bit) {
 
 Status SimCluster::VerifyAndRepair() {
   return RunOp("verify", [&] { return writer_->VerifyIntegrity(); });
+}
+
+Status SimCluster::RotateWriterDeks(uint64_t max_files,
+                                    RotateResult* result) {
+  return RunOp("rotate", [&] {
+    RotateOptions opts;
+    opts.max_files = max_files;
+    return writer_->RotateDeks(opts, result);
+  });
+}
+
+Status SimCluster::WaitRotationIdle() {
+  return RunOp("rotation-idle", [&] {
+    std::string state;
+    writer_->GetProperty("shield.rotation-state", &state);
+    if (state != "idle") {
+      return Status::TryAgain("rotation state: " + state);
+    }
+    return Status::OK();
+  });
+}
+
+Status SimCluster::CollectWriterSstDekIds(std::vector<std::string>* dek_ids) {
+  dek_ids->clear();
+  std::vector<std::string> children;
+  Status s = fault_env_->GetChildren(options_.db_path, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  for (const auto& c : children) {
+    if (c.size() <= 4 || c.compare(c.size() - 4, 4, ".sst") != 0) {
+      continue;
+    }
+    ShieldFileHeader header;
+    s = ReadShieldFileHeader(fault_env_.get(), options_.db_path + "/" + c,
+                             &header);
+    if (!s.ok()) {
+      return s;
+    }
+    dek_ids->push_back(header.dek_id.ToHex());
+  }
+  std::sort(dek_ids->begin(), dek_ids->end());
+  return Status::OK();
 }
 
 Status SimCluster::CrashAndRecoverWriter() {

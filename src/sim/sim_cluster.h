@@ -9,6 +9,7 @@
 #include "ds/compaction_worker.h"
 #include "ds/storage_service.h"
 #include "env/fault_injection_env.h"
+#include "kds/failover_kds.h"
 #include "kds/faulty_kds.h"
 #include "kds/sim_kds.h"
 #include "lsm/db.h"
@@ -41,6 +42,13 @@ struct SimClusterOptions {
 
   /// Shared info log for all nodes (event-log mirror). Null: no logs.
   std::shared_ptr<Logger> info_log;
+
+  /// Front the writer's KDS with a FailoverKds over two endpoints:
+  /// the (fault-injected) primary and a clean secondary, both over the
+  /// same SimKds key store. Used by the rotation campaign to prove a
+  /// rotation survives a primary-KDS outage longer than any retry
+  /// deadline. Replicas and the compaction worker stay on the primary.
+  bool use_failover_kds = false;
 
   /// Regression hook for the oracle's own test (tests/sim_test.cc):
   /// when true, CatchUpReplicas() silently skips the catch-up while
@@ -113,6 +121,20 @@ class SimCluster {
   /// replica).
   Status VerifyAndRepair();
 
+  /// Online DEK rotation on the writer (at most `max_files` files when
+  /// non-zero). Retried like every driver op; rotation resumes from
+  /// its persisted manifest, so retries are idempotent.
+  Status RotateWriterDeks(uint64_t max_files, RotateResult* result);
+
+  /// Blocks (virtual time) until the writer reports no rotation
+  /// running and none pending — i.e. a resume-at-reopen rotation has
+  /// finished.
+  Status WaitRotationIdle();
+
+  /// DEK ids (hex, sorted) embedded in the writer's live SST headers,
+  /// read physically beneath the storage service.
+  Status CollectWriterSstDekIds(std::vector<std::string>* dek_ids);
+
   /// Kills the writer at the storage level (drop unsynced bytes),
   /// destroys the DB object, and recovers it with DB::Open. Faults
   /// must be healed first. Replicas stay up (their state is checked —
@@ -124,6 +146,8 @@ class SimCluster {
   FaultyKds* faulty_kds() { return faulty_kds_.get(); }
   NetworkSimulator* network() { return service_->network(); }
   SimKds* sim_kds() { return sim_kds_.get(); }
+  /// Non-null only with SimClusterOptions::use_failover_kds.
+  FailoverKds* failover_kds() { return failover_kds_.get(); }
 
   /// Disables every probabilistic fault source and heals all active
   /// outage/partition windows.
@@ -154,6 +178,8 @@ class SimCluster {
 
   std::shared_ptr<SimKds> sim_kds_;
   std::shared_ptr<FaultyKds> faulty_kds_;
+  std::shared_ptr<FaultyKds> secondary_kds_;
+  std::shared_ptr<FailoverKds> failover_kds_;
 
   std::unique_ptr<RemoteCompactionWorker> worker_;
   std::unique_ptr<EventLogger> event_logger_;

@@ -25,6 +25,8 @@ const char* FaultProfileName(FaultProfile profile) {
       return "network";
     case FaultProfile::kMixed:
       return "mixed";
+    case FaultProfile::kRotation:
+      return "rotation";
   }
   return "unknown";
 }
@@ -38,6 +40,8 @@ bool ParseFaultProfile(const std::string& name, FaultProfile* out) {
     *out = FaultProfile::kNetwork;
   } else if (name == "mixed") {
     *out = FaultProfile::kMixed;
+  } else if (name == "rotation") {
+    *out = FaultProfile::kRotation;
   } else {
     return false;
   }
@@ -74,6 +78,7 @@ class SimulationRun {
     copts.num_replicas = cfg_.num_replicas;
     copts.info_log = cfg_.info_log;
     copts.inject_stale_replica_bug = cfg_.inject_stale_replica_bug;
+    copts.use_failover_kds = cfg_.profile == FaultProfile::kRotation;
     cluster_ = std::make_unique<SimCluster>(copts);
     Status s = cluster_->Start();
     journal_ = std::make_unique<SimJournal>(cluster_->event_logger());
@@ -185,6 +190,13 @@ class SimulationRun {
       }
     }
 
+    if (cfg_.profile == FaultProfile::kRotation && e >= 2) {
+      RunRotationEpoch(e);
+      if (Failed()) {
+        return;
+      }
+    }
+
     RunOracleChecks(e);
     if (Failed()) {
       return;
@@ -210,7 +222,12 @@ class SimulationRun {
     for (auto& v : r) {
       v = faults_rnd_.Next64();
     }
-    if (cfg_.profile == FaultProfile::kNone) {
+    if (cfg_.profile == FaultProfile::kNone ||
+        cfg_.profile == FaultProfile::kRotation) {
+      // The rotation campaign injects its faults inside
+      // RunRotationEpoch (they must bracket specific rotation steps,
+      // not land at seeded offsets in the op window); the draws above
+      // still happen so the PRNG stream is profile-independent.
       return;
     }
 
@@ -383,6 +400,184 @@ class SimulationRun {
     if (!s.ok()) {
       Fail("replica restart: " + s.ToString());
     }
+  }
+
+  /// One rotation scenario per epoch, cycling with the epoch number:
+  ///   0 — bounded rotation, then writer crash; reopen must resume the
+  ///       persisted rotation manifest in the background.
+  ///   1 — full rotation under a primary-KDS outage that outlives the
+  ///       driver retry deadline; only the failover endpoint can
+  ///       finish it.
+  ///   2 — bounded rotation, bit flip on the half-rotated file set,
+  ///       scrub repair, then finish the rotation.
+  /// Every scenario ends with an unbounded rotation pass (which also
+  /// drains deferred DEK deletes), then the DEK-lifecycle oracle:
+  /// no pre-rotation SST DEK id may resolve, every live one must.
+  void RunRotationEpoch(uint64_t e) {
+    // Fixed draw count per epoch regardless of scenario, so the fault
+    // PRNG stream never depends on scenario internals.
+    const uint64_t raw_pick = faults_rnd_.Next64();
+    const uint64_t raw_bit = faults_rnd_.Next64();
+    const int scenario = static_cast<int>(e % 3);
+
+    std::vector<std::string> pre_ids;
+    Status s = cluster_->CollectWriterSstDekIds(&pre_ids);
+    if (!s.ok()) {
+      Fail("collect pre-rotation DEK ids: " + s.ToString());
+      return;
+    }
+
+    RotateResult result;
+    bool planned_any = false;
+    bool crashed = false;
+    bool outage = false;
+    bool bitflip = false;
+
+    if (scenario == 0) {
+      s = cluster_->RotateWriterDeks(/*max_files=*/2, &result);
+      if (!s.ok()) {
+        Fail("bounded rotation: " + s.ToString());
+        return;
+      }
+      planned_any = result.files_rotated + result.files_skipped +
+                        result.files_pending >
+                    0;
+      s = cluster_->CrashAndRecoverWriter();
+      if (!s.ok()) {
+        Fail("crash mid-rotation: " + s.ToString());
+        return;
+      }
+      crashed = true;
+      report_.crashes++;
+    } else if (scenario == 1) {
+      // 200 virtual seconds of primary-KDS outage: longer than the
+      // 120 s driver retry deadline, so riding it out is impossible —
+      // the rotation below completes only if the writer fails over.
+      outage = true;
+      report_.faults_injected++;
+      cluster_->faulty_kds()->SetFaultsEnabled(true);
+      cluster_->faulty_kds()->StartOutageFor(200ull * 1000 * 1000);
+    } else {
+      s = cluster_->RotateWriterDeks(/*max_files=*/2, &result);
+      if (!s.ok()) {
+        Fail("bounded rotation: " + s.ToString());
+        return;
+      }
+      planned_any = result.files_rotated + result.files_skipped +
+                        result.files_pending >
+                    0;
+      Status fs = cluster_->BitFlipSomeSst(raw_pick, raw_bit);
+      if (fs.ok()) {
+        bitflip = true;
+        report_.faults_injected++;
+        s = cluster_->VerifyAndRepair();
+        if (!s.ok()) {
+          Fail("scrub repair mid-rotation: " + s.ToString());
+          return;
+        }
+      } else if (!fs.IsNotFound()) {
+        Fail("bit flip mid-rotation: " + s.ToString());
+        return;
+      }
+    }
+
+    // Complete the rotation. The pass mutex serializes this behind a
+    // crash-resumed background pass, and the fresh unbounded plan
+    // re-covers anything the bounded pass never reached.
+    s = cluster_->RotateWriterDeks(/*max_files=*/0, &result);
+    if (!s.ok()) {
+      Fail("complete rotation: " + s.ToString());
+      return;
+    }
+    planned_any = planned_any || result.files_rotated +
+                                         result.files_skipped +
+                                         result.files_pending >
+                                     0;
+    if (outage) {
+      cluster_->HealAllFaults();
+    }
+    s = cluster_->WaitRotationIdle();
+    if (!s.ok()) {
+      Fail("rotation did not reach idle: " + s.ToString());
+      return;
+    }
+    // Rotated-away files are deleted; replicas must drop their stale
+    // table-cache handles before the epoch's oracle reads.
+    s = cluster_->RestartReplicas();
+    if (!s.ok()) {
+      Fail("replica restart after rotation: " + s.ToString());
+      return;
+    }
+
+    const bool stale_gone = CheckStaleDeksGone(pre_ids);
+    const bool live_ok = Failed() ? false : CheckLiveDeksResolve();
+    std::string pending;
+    cluster_->writer()->GetProperty("shield.dek.pending-deletes", &pending);
+    const bool drained = pending == "0";
+    report_.oracle_checks++;
+
+    {
+      auto ev = journal_->NewEvent("sim_rotation");
+      ev.Add("epoch", e)
+          .Add("scenario", scenario)
+          .Add("planned", planned_any)
+          .Add("crashed", crashed)
+          .Add("kds_outage", outage)
+          .Add("bitflip", bitflip)
+          .Add("stale_deks_gone", stale_gone)
+          .Add("live_deks_ok", live_ok)
+          .Add("deletes_drained", drained);
+      ev.Emit();
+    }
+    if (!drained) {
+      Fail("deferred DEK deletes not drained after rotation: " + pending);
+    }
+  }
+
+  /// True when every pre-rotation SST DEK id now resolves to NotFound
+  /// at the KDS (checked beneath the fault layers). Fails the run
+  /// otherwise.
+  bool CheckStaleDeksGone(const std::vector<std::string>& pre_ids) {
+    for (const auto& hex : pre_ids) {
+      DekId id;
+      if (!DekId::FromHex(hex, &id)) {
+        Fail("unparsable DEK id: " + hex);
+        return false;
+      }
+      Dek dek;
+      Status g = cluster_->sim_kds()->GetDek("writer", id, &dek);
+      if (!g.IsNotFound()) {
+        Fail("pre-rotation DEK id still resolvable: " + hex + " -> " +
+             g.ToString());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when every live SST's embedded DEK id resolves at the KDS
+  /// (no key was lost to the rotation). Fails the run otherwise.
+  bool CheckLiveDeksResolve() {
+    std::vector<std::string> live_ids;
+    Status s = cluster_->CollectWriterSstDekIds(&live_ids);
+    if (!s.ok()) {
+      Fail("collect live DEK ids: " + s.ToString());
+      return false;
+    }
+    for (const auto& hex : live_ids) {
+      DekId id;
+      if (!DekId::FromHex(hex, &id)) {
+        Fail("unparsable DEK id: " + hex);
+        return false;
+      }
+      Dek dek;
+      Status g = cluster_->sim_kds()->GetDek("writer", id, &dek);
+      if (!g.ok()) {
+        Fail("live DEK id not resolvable: " + hex + " -> " + g.ToString());
+        return false;
+      }
+    }
+    return true;
   }
 
   void RunOracleChecks(uint64_t e) {

@@ -17,10 +17,18 @@ enum class FaultProfile {
   kStorage,  // seeded I/O error bursts + KDS outages + bit-flips
   kNetwork,  // seeded (overlapping) fabric partition windows
   kMixed,    // both of the above plus periodic writer crashes
+  // DEK-rotation campaign: each epoch runs one rotation scenario —
+  // writer crash mid-rotation (resume-at-reopen), a primary-KDS
+  // outage longer than the driver retry deadline (survivable only via
+  // KDS failover), or a bit flip on a half-rotated file (scrub repair
+  // mid-rotation). After every scenario the oracle asserts that no
+  // pre-rotation DEK id resolves and every live file's DEK does.
+  kRotation,
 };
 
 const char* FaultProfileName(FaultProfile profile);
-/// Parses "none"/"storage"/"network"/"mixed"; false on anything else.
+/// Parses "none"/"storage"/"network"/"mixed"/"rotation"; false on
+/// anything else.
 bool ParseFaultProfile(const std::string& name, FaultProfile* out);
 
 struct SimConfig {

@@ -60,6 +60,13 @@ const char* const kTickerNames[] = {
     "io.trace.spans",
     "io.trace.bytes",
     "io.trace.dropped",
+    "shield.rotation.passes",
+    "shield.rotation.files",
+    "shield.rotation.bytes",
+    "shield.rotation.skipped.stale",
+    "shield.dek.delete.deferred",
+    "shield.backup.files",
+    "shield.backup.bytes",
 };
 
 static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,

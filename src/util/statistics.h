@@ -92,6 +92,17 @@ enum class Tickers : uint32_t {
   kIoTraceBytes,
   kIoTraceDropped,
 
+  // Key lifecycle: online DEK rotation (lsm/db_rotation.cc), deferred
+  // KDS deletes (shield/dek_manager.cc), encrypted backup
+  // (lsm/db_backup.cc).
+  kShieldRotationPasses,
+  kShieldRotationFilesRewritten,
+  kShieldRotationBytesRewritten,
+  kShieldRotationSkippedStale,
+  kShieldDekDeleteDeferred,
+  kShieldBackupFiles,
+  kShieldBackupBytes,
+
   kTickerMax,  // not a ticker
 };
 

@@ -340,6 +340,7 @@ const char* SpanTypeName(SpanType type) {
       "ds.transfer",    "ds.replica_fetch", "ds.offload_rpc",
       "ds.compaction_rpc",
       "io.read",        "io.write",       "io.sync",
+      "job.rotation",   "job.backup",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumSpanTypes,
                 "span name table out of sync with SpanType");

@@ -57,6 +57,10 @@ enum class SpanType : uint8_t {
   kIoWrite,
   kIoSync,
 
+  // Key lifecycle (append-only: values are persisted in trace files).
+  kRotationPass,
+  kBackup,
+
   kMaxSpanType,  // not a type
 };
 
