@@ -14,9 +14,10 @@ namespace crypto {
 /// uses AES exclusively in CTR mode, which never needs the inverse
 /// cipher. Supports 128/192/256-bit keys.
 ///
-/// The implementation is a portable 32-bit T-table design (no AES-NI);
-/// see DESIGN.md for why a portable cipher preserves the paper's
-/// relative-cost phenomena.
+/// Single blocks go through a portable 32-bit T-table design; bulk
+/// multi-block encryption dispatches to AES-NI at runtime when the CPU
+/// has it (the paper's OpenSSL baseline is AES-NI), with the T-table
+/// loop as the fallback. Both produce identical ciphertext.
 class Aes {
  public:
   static constexpr size_t kBlockSize = 16;
@@ -31,10 +32,20 @@ class Aes {
   void EncryptBlock(const uint8_t in[kBlockSize],
                     uint8_t out[kBlockSize]) const;
 
+  /// Encrypts `nblocks` consecutive 16-byte blocks:
+  /// out[16*i .. 16*i+15] = E_k(in[16*i .. 16*i+15]). `in` and `out`
+  /// may alias exactly. AES-NI when available, else EncryptBlock in a
+  /// loop.
+  void EncryptBlocks(const uint8_t* in, uint8_t* out,
+                     size_t nblocks) const;
+
   bool initialized() const { return rounds_ != 0; }
 
  private:
   uint32_t round_keys_[60] = {};  // up to 14 rounds + 1, 4 words each
+  // The same schedule as round-key byte strings (what AESENC takes);
+  // filled unconditionally by Init so dispatch is per-call.
+  alignas(16) uint8_t round_key_bytes_[15 * 16] = {};
   int rounds_ = 0;
 };
 

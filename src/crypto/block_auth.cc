@@ -22,34 +22,43 @@ std::string DeriveBlockMacKey(const Slice& file_key, const Slice& file_nonce) {
 
 BlockAuthenticator::BlockAuthenticator(std::string mac_key,
                                        std::unique_ptr<StreamCipher> cipher)
-    : mac_key_(std::move(mac_key)), cipher_(std::move(cipher)) {}
+    : mac_key_(std::move(mac_key)), mac_(mac_key_), cipher_(std::move(cipher)) {}
 
 BlockAuthenticator::~BlockAuthenticator() = default;
 
 Status BlockAuthenticator::ComputeTag(uint64_t offset,
                                       std::initializer_list<Slice> parts,
                                       char* tag) const {
-  std::string msg;
-  size_t total = sizeof(uint64_t);
-  for (const Slice& part : parts) {
-    total += part.size();
-  }
-  msg.reserve(total);
-  msg.resize(sizeof(uint64_t));
-  EncodeFixed64(msg.data(), offset);
-  for (const Slice& part : parts) {
-    msg.append(part.data(), part.size());
-  }
   PerfTimer timer(&GetPerfContext()->hmac_micros);
+  Sha256 inner = mac_.Begin();
+  char prefix[sizeof(uint64_t)];
+  EncodeFixed64(prefix, offset);
+  inner.Update(prefix, sizeof(prefix));
   // Re-encrypt the plaintext at its logical offset to recover the
-  // ciphertext image; the offset prefix stays plaintext.
-  Status s = cipher_->CryptAt(offset, msg.data() + sizeof(uint64_t),
-                              msg.size() - sizeof(uint64_t));
-  if (!s.ok()) {
-    return s;
+  // ciphertext image, one stack-sized chunk at a time; the offset
+  // prefix stays plaintext. Streaming through a fixed chunk avoids
+  // allocating a copy of the whole record per tag.
+  uint64_t cursor = offset;
+  char chunk[4096];
+  for (const Slice& part : parts) {
+    const char* p = part.data();
+    size_t n = part.size();
+    while (n > 0) {
+      const size_t take = n < sizeof(chunk) ? n : sizeof(chunk);
+      std::memcpy(chunk, p, take);
+      Status s = cipher_->CryptAt(cursor, chunk, take);
+      if (!s.ok()) {
+        return s;
+      }
+      inner.Update(chunk, take);
+      cursor += take;
+      p += take;
+      n -= take;
+    }
   }
-  const std::string mac = HmacSha256(mac_key_, msg);
-  std::memcpy(tag, mac.data(), kBlockAuthTagSize);
+  uint8_t mac[Sha256::kDigestSize];
+  mac_.Finish(&inner, mac);
+  std::memcpy(tag, mac, kBlockAuthTagSize);
   RecordTick(stats_.load(std::memory_order_relaxed),
              Tickers::kCryptoHmacComputed, 1);
   PerfAdd(&PerfContext::hmac_compute_count, 1);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "crypto/cipher.h"
+#include "crypto/hmac.h"
 #include "util/slice.h"
 #include "util/statistics.h"
 
@@ -76,6 +77,7 @@ class BlockAuthenticator {
 
  private:
   std::string mac_key_;
+  HmacSha256Keyed mac_;  // key schedule hoisted out of the per-tag path
   std::unique_ptr<StreamCipher> cipher_;
   std::atomic<Statistics*> stats_{nullptr};
 };

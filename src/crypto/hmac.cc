@@ -7,7 +7,7 @@
 namespace shield {
 namespace crypto {
 
-std::string HmacSha256(const Slice& key, const Slice& message) {
+HmacSha256Keyed::HmacSha256Keyed(const Slice& key) {
   uint8_t key_block[Sha256::kBlockSize] = {};
   if (key.size() > Sha256::kBlockSize) {
     const std::string hashed = Sha256::Digest(key);
@@ -16,24 +16,32 @@ std::string HmacSha256(const Slice& key, const Slice& message) {
     memcpy(key_block, key.data(), key.size());
   }
 
-  uint8_t ipad[Sha256::kBlockSize];
-  uint8_t opad[Sha256::kBlockSize];
+  uint8_t pad[Sha256::kBlockSize];
   for (size_t i = 0; i < Sha256::kBlockSize; i++) {
-    ipad[i] = key_block[i] ^ 0x36;
-    opad[i] = key_block[i] ^ 0x5c;
+    pad[i] = key_block[i] ^ 0x36;
   }
+  inner_.Update(pad, sizeof(pad));
+  for (size_t i = 0; i < Sha256::kBlockSize; i++) {
+    pad[i] = key_block[i] ^ 0x5c;
+  }
+  outer_.Update(pad, sizeof(pad));
+}
 
-  Sha256 inner;
-  inner.Update(ipad, sizeof(ipad));
-  inner.Update(message);
+void HmacSha256Keyed::Finish(Sha256* inner,
+                             uint8_t mac[Sha256::kDigestSize]) const {
   uint8_t inner_digest[Sha256::kDigestSize];
-  inner.Final(inner_digest);
-
-  Sha256 outer;
-  outer.Update(opad, sizeof(opad));
+  inner->Final(inner_digest);
+  Sha256 outer = outer_;
   outer.Update(inner_digest, sizeof(inner_digest));
-  uint8_t mac[Sha256::kDigestSize];
   outer.Final(mac);
+}
+
+std::string HmacSha256(const Slice& key, const Slice& message) {
+  HmacSha256Keyed keyed(key);
+  Sha256 inner = keyed.Begin();
+  inner.Update(message);
+  uint8_t mac[Sha256::kDigestSize];
+  keyed.Finish(&inner, mac);
   return std::string(reinterpret_cast<char*>(mac), sizeof(mac));
 }
 

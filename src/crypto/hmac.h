@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "crypto/sha256.h"
 #include "util/slice.h"
 
 namespace shield {
@@ -13,6 +14,32 @@ std::string HmacSha256(const Slice& key, const Slice& message);
 
 /// Constant-time comparison of two MACs. Returns true iff equal.
 bool ConstantTimeEqual(const Slice& a, const Slice& b);
+
+/// HMAC-SHA256 with the key schedule hoisted out of the per-message
+/// path. Keying HMAC costs two SHA-256 blocks (ipad and opad); on the
+/// WAL write path every record pays that on top of hashing a message
+/// that is often shorter than one block. This class compresses the pad
+/// blocks once at construction and hands out copies of the midstates,
+/// so a tag over a short message costs ~2 compressions instead of ~4.
+///
+/// Thread-compatible after construction: Begin()/Finish() only read
+/// the cached midstates.
+class HmacSha256Keyed {
+ public:
+  explicit HmacSha256Keyed(const Slice& key);
+
+  /// Returns an inner hash already primed with key^ipad. Stream the
+  /// message into it with Update(), then pass it to Finish().
+  Sha256 Begin() const { return inner_; }
+
+  /// Finalizes `inner` and completes the outer hash, writing the
+  /// 32-byte MAC. `inner` must not be reused afterwards.
+  void Finish(Sha256* inner, uint8_t mac[Sha256::kDigestSize]) const;
+
+ private:
+  Sha256 inner_;  // midstate after the key^ipad block
+  Sha256 outer_;  // midstate after the key^opad block
+};
 
 }  // namespace crypto
 }  // namespace shield

@@ -1,0 +1,167 @@
+#include "crypto/keystream_prefetcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/clock.h"
+#include "util/perf_context.h"
+
+namespace shield {
+namespace crypto {
+
+Status KeystreamPrefetcher::Create(CipherKind kind, const std::string& key,
+                                   const std::string& nonce, size_t window,
+                                   Statistics* stats,
+                                   std::unique_ptr<KeystreamPrefetcher>* out) {
+  out->reset();
+  if (window == 0) {
+    return Status::InvalidArgument("keystream window must be non-zero");
+  }
+  std::unique_ptr<StreamCipher> cipher;
+  Status s = NewStreamCipher(kind, key, nonce, &cipher);
+  if (!s.ok()) {
+    return s;
+  }
+  out->reset(new KeystreamPrefetcher(std::move(cipher), window, stats));
+  return Status::OK();
+}
+
+KeystreamPrefetcher::KeystreamPrefetcher(std::unique_ptr<StreamCipher> cipher,
+                                         size_t window, Statistics* stats)
+    : cipher_(std::move(cipher)), window_(window), stats_(stats) {
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+KeystreamPrefetcher::~KeystreamPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  space_cv_.notify_all();
+  produced_cv_.notify_all();
+  producer_.join();
+}
+
+void KeystreamPrefetcher::ProducerLoop() {
+  std::string chunk;
+  for (;;) {
+    uint64_t produce_at;
+    size_t produce_n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock, [&] {
+        return stopping_ || !error_.ok() ||
+               buf_start_ + buf_.size() <
+                   std::max(watermark_ + 2 * window_, requested_end_);
+      });
+      if (stopping_ || !error_.ok()) {
+        return;
+      }
+      const uint64_t produced_end = buf_start_ + buf_.size();
+      const uint64_t target =
+          std::max(watermark_ + 2 * window_, requested_end_);
+      produce_at = produced_end;
+      produce_n = static_cast<size_t>(
+          std::min<uint64_t>(window_, target - produced_end));
+    }
+    // Generate keystream outside the lock: encrypting zeros yields the
+    // raw keystream, so the consumer's XOR reproduces the inline
+    // cipher's ciphertext exactly.
+    chunk.assign(produce_n, '\0');
+    Status s = cipher_->CryptAt(produce_at, chunk.data(), produce_n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+      if (!s.ok()) {
+        // E.g. the ChaCha20 offset ceiling. Surface on the next Crypt;
+        // everything already produced stays consumable.
+        error_ = s;
+        produced_cv_.notify_all();
+        return;
+      }
+      // Advance() may have trimmed the front meanwhile, but trimming
+      // moves buf_start_ forward by exactly the bytes it removes, so
+      // buf_start_ + buf_.size() still equals produce_at.
+      buf_.append(chunk);
+      RecordTick(stats_, Tickers::kShieldWalKeystreamBytes, produce_n);
+      produced_cv_.notify_all();
+    }
+  }
+}
+
+Status KeystreamPrefetcher::Crypt(uint64_t offset, char* data, size_t n) {
+  if (n == 0) {
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (offset < buf_start_) {
+    return Status::InvalidArgument("keystream range already discarded");
+  }
+  const uint64_t end = offset + n;
+  if (buf_start_ + buf_.size() < end) {
+    // A batch group larger than both slots: raise the production
+    // target past the usual two-window cap and wait it out.
+    requested_end_ = std::max(requested_end_, end);
+    const uint64_t t0 = NowMicros();
+    while (buf_start_ + buf_.size() < end && error_.ok() && !stopping_) {
+      space_cv_.notify_all();
+      produced_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+    const uint64_t waited = NowMicros() - t0;
+    stall_micros_ += waited;
+    RecordTick(stats_, Tickers::kLsmWalPipelineStallMicros, waited);
+    PerfAdd(&PerfContext::wal_keystream_stall_micros, waited);
+  }
+  if (buf_start_ + buf_.size() < end) {
+    return !error_.ok() ? error_
+                        : Status::IOError("keystream prefetcher stopped");
+  }
+  const char* ks = buf_.data() + (offset - buf_start_);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word, kword;
+    std::memcpy(&word, data + i, 8);
+    std::memcpy(&kword, ks + i, 8);
+    word ^= kword;
+    std::memcpy(data + i, &word, 8);
+  }
+  for (; i < n; i++) {
+    data[i] = static_cast<char>(data[i] ^ ks[i]);
+  }
+  return Status::OK();
+}
+
+void KeystreamPrefetcher::Advance(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset <= watermark_) {
+    return;
+  }
+  watermark_ = offset;
+  // Trim lazily: erasing the buffer front memmoves everything behind
+  // it, so pay that once per window of consumed keystream instead of
+  // once per record (WAL records are a few hundred bytes; per-record
+  // trims of a 2-window buffer dwarfed the cipher work they saved).
+  // Until the trim, buf_ covers [buf_start_, watermark_ + lookahead),
+  // at most 3 windows.
+  if (watermark_ >= buf_start_ + window_) {
+    const size_t drop = static_cast<size_t>(
+        std::min<uint64_t>(watermark_ - buf_start_, buf_.size()));
+    buf_.erase(0, drop);
+    buf_start_ += drop;
+    space_cv_.notify_one();
+  } else if (buf_start_ + buf_.size() < watermark_ + window_) {
+    // Running low ahead of the watermark; top the producer up early
+    // rather than waking it for every record.
+    space_cv_.notify_one();
+  }
+}
+
+uint64_t KeystreamPrefetcher::stall_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_micros_;
+}
+
+}  // namespace crypto
+}  // namespace shield

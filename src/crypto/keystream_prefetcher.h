@@ -1,0 +1,96 @@
+#ifndef SHIELD_CRYPTO_KEYSTREAM_PREFETCHER_H_
+#define SHIELD_CRYPTO_KEYSTREAM_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "crypto/cipher.h"
+#include "util/statistics.h"
+#include "util/status.h"
+
+namespace shield {
+namespace crypto {
+
+/// Precomputes CTR/ChaCha20 keystream ahead of a sequentially-growing
+/// file offset so the cipher work for WAL group N overlaps the disk
+/// write and Sync() of group N-1 (the SHIELD write-path pipeline).
+///
+/// CTR-family keystream is a pure function of (key, nonce, offset), so
+/// XORing plaintext against a precomputed window yields ciphertext
+/// bit-identical to running the cipher inline — the on-disk format is
+/// unchanged. A helper thread keeps up to two `window`-sized slots of
+/// keystream ahead of the consumed watermark; the consumer XORs
+/// against the cache and only advances the watermark once the
+/// ciphertext has durably left the process (append success), so a
+/// retried append after a transient failure re-reads the same
+/// keystream range.
+///
+/// Threading: exactly one consumer thread (the WAL writer under the
+/// group-commit leader lock) plus the internal producer thread.
+class KeystreamPrefetcher {
+ public:
+  /// Fails (returning a null prefetcher) when the cipher cannot be
+  /// constructed from (kind, key, nonce); callers fall back to inline
+  /// encryption.
+  static Status Create(CipherKind kind, const std::string& key,
+                       const std::string& nonce, size_t window,
+                       Statistics* stats,
+                       std::unique_ptr<KeystreamPrefetcher>* out);
+
+  ~KeystreamPrefetcher();
+
+  KeystreamPrefetcher(const KeystreamPrefetcher&) = delete;
+  KeystreamPrefetcher& operator=(const KeystreamPrefetcher&) = delete;
+
+  /// XORs data[0..n) with the keystream at absolute logical offset
+  /// `offset`. Blocks until the producer has covered the range
+  /// (recording the wait in lsm.wal.pipeline_stall_micros and the
+  /// calling thread's PerfContext). `offset` must lie at or after the
+  /// current watermark — the producer has already discarded everything
+  /// below it. Safe to call again for the same range until Advance().
+  Status Crypt(uint64_t offset, char* data, size_t n);
+
+  /// Durability watermark: keystream below `offset` is no longer
+  /// needed (the ciphertext was appended successfully) and may be
+  /// discarded; the producer refills the freed slot in the background.
+  void Advance(uint64_t offset);
+
+  /// Cumulative micros Crypt() spent waiting on the producer.
+  uint64_t stall_micros() const;
+
+ private:
+  KeystreamPrefetcher(std::unique_ptr<StreamCipher> cipher, size_t window,
+                      Statistics* stats);
+
+  void ProducerLoop();
+
+  const std::unique_ptr<StreamCipher> cipher_;
+  const size_t window_;
+  Statistics* const stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable produced_cv_;  // producer -> consumer
+  std::condition_variable space_cv_;     // consumer -> producer
+  // Contiguous keystream for [buf_start_, buf_start_ + buf_.size()).
+  std::string buf_;
+  uint64_t buf_start_ = 0;
+  // Everything below this offset has been durably appended.
+  uint64_t watermark_ = 0;
+  // Highest offset a Crypt() call has asked for; lets one oversized
+  // batch group push production past the two-window cap.
+  uint64_t requested_end_ = 0;
+  Status error_;
+  bool stopping_ = false;
+  uint64_t stall_micros_ = 0;
+
+  std::thread producer_;
+};
+
+}  // namespace crypto
+}  // namespace shield
+
+#endif  // SHIELD_CRYPTO_KEYSTREAM_PREFETCHER_H_

@@ -78,13 +78,12 @@ class DBImpl final : public DB {
 
   // A queued writer (group commit).
   struct Writer {
-    explicit Writer(std::mutex* mu) : cv(), mu_(mu) {}
+    Writer() = default;
     Status status;
     WriteBatch* batch = nullptr;
     bool sync = false;
     bool done = false;
     std::condition_variable cv;
-    std::mutex* mu_;
   };
 
   struct CompactionStats {
@@ -113,6 +112,11 @@ class DBImpl final : public DB {
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
   WriteBatch* BuildBatchGroup(Writer** last_writer);
   Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+  /// Applies a verified batch group to mem_, one thread per memtable
+  /// shard for large groups (the shard partitions are disjoint, so
+  /// each shard keeps a single inserting thread). REQUIRES: mutex_
+  /// NOT held; calling thread is the group-commit leader.
+  Status ApplyGroupToMemTable(WriteBatch* write_batch);
 
   // Read path (db_read.cc).
   Iterator* NewInternalIterator(const ReadOptions& options,
@@ -247,8 +251,13 @@ class DBImpl final : public DB {
   // MakeRoomForWrite rolls to a fresh WAL before the next write.
   bool log_tainted_ = false;  // guarded by mutex_
 
-  std::deque<Writer*> writers_;
-  WriteBatch tmp_batch_;
+  // The write queue has a dedicated mutex so arriving writers can
+  // enqueue while the leader works under mutex_ (or no lock): groups
+  // only form when the queue is reachable during the leader's service
+  // time. Lock order: mutex_ before writers_mutex_.
+  std::mutex writers_mutex_;
+  std::deque<Writer*> writers_;  // guarded by writers_mutex_
+  WriteBatch tmp_batch_;         // touched only by the group leader
 
   SnapshotList snapshots_;
   std::set<uint64_t> pending_outputs_;
@@ -257,6 +266,11 @@ class DBImpl final : public DB {
   std::vector<uint64_t> offload_pending_outputs_;
 
   std::unique_ptr<ThreadPool> bg_pool_;
+  // Workers for the parallel shard apply in the write path; non-null
+  // only when options_.memtable_shards > 1. Kept separate from
+  // bg_pool_ so a long compaction can never starve a committed group's
+  // memtable apply.
+  std::unique_ptr<ThreadPool> apply_pool_;
   bool flush_scheduled_ = false;
   bool compaction_scheduled_ = false;
   bool manual_compaction_running_ = false;

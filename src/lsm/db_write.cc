@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "lsm/db_impl.h"
 #include "lsm/file_names.h"
 #include "util/clock.h"
@@ -32,93 +36,221 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   StopWatch write_watch(options_.statistics.get(),
                         Histograms::kDbWriteMicros);
 
-  Writer w(&mutex_);
+  Writer w;
   w.batch = updates;
   w.sync = options.sync || options_.sync_wal;
   w.done = false;
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  // The write queue has its own mutex, held only for queue edits: a
+  // writer arriving while the leader works (which it does holding
+  // mutex_ or no lock at all, never writers_mutex_) gets into the
+  // queue immediately and rides the next group. Guarding the queue
+  // with mutex_ itself would serialize arrivals behind the leader's
+  // service time — every write becomes its own group (one futex
+  // hand-off per op) and group commit never actually groups.
+  std::unique_lock<std::mutex> qlock(writers_mutex_);
   writers_.push_back(&w);
-  w.cv.wait(lock, [&w, this] { return w.done || &w == writers_.front(); });
+  w.cv.wait(qlock, [&w, this] { return w.done || &w == writers_.front(); });
   if (w.done) {
     return w.status;
   }
+  qlock.unlock();
 
-  // We are the group leader.
+  // Group-commit window: give runnable-but-unscheduled writers a
+  // chance to enqueue before the group is sealed. Without this a
+  // non-sync leader monopolizes the CPU on saturated machines and
+  // every write degenerates into a group of one.
+  if (updates != nullptr && options_.write_group_yields > 0) {
+    for (int i = 0; i < options_.write_group_yields; i++) {
+      std::this_thread::yield();
+      std::lock_guard<std::mutex> qcheck(writers_mutex_);
+      if (writers_.size() > 1) {
+        break;
+      }
+    }
+  }
+
+  // We are the group leader. Lock order is mutex_ then writers_mutex_.
+  std::unique_lock<std::mutex> lock(mutex_);
   Status status = MakeRoomForWrite(lock, updates == nullptr);
   SequenceNumber last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
+  // The group, leader first, in queue order. Members leave this vector
+  // only via early release below; everyone still in it is completed by
+  // the final loop.
+  std::vector<Writer*> group;
+  group.push_back(&w);
   if (status.ok() && updates != nullptr) {
-    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
-    write_batch->SetSequence(last_sequence + 1);
-    last_sequence += write_batch->Count();
-
-    // Append to the WAL and apply to the memtable. The mutex can be
-    // released: &w is the only awake writer, and memtable inserts are
-    // only performed by the group leader.
+    WriteBatch* write_batch = nullptr;
     {
-      mutex_.unlock();
-      bool sync_error = false;
-      {
-        TraceSpan wal_span(SpanType::kWalAppend);
-        wal_span.SetArgs(write_batch->Count(),
-                         write_batch->Contents().size());
-        PerfTimer wal_timer(&GetPerfContext()->wal_write_micros);
-        status = log_->AddRecord(write_batch->Contents());
-        if (status.ok() && w.sync) {
-          status = logfile_->Sync();
-          sync_error = !status.ok();
+      std::lock_guard<std::mutex> qguard(writers_mutex_);
+      write_batch = BuildBatchGroup(&last_writer);
+      if (last_writer != &w) {
+        for (auto iter = writers_.begin() + 1; iter != writers_.end();
+             ++iter) {
+          group.push_back(*iter);
+          if (*iter == last_writer) {
+            break;
+          }
         }
-        wal_span.MarkStatus(status);
       }
-      if (status.ok()) {
-        PerfTimer mem_timer(&GetPerfContext()->memtable_insert_micros);
-        status = write_batch->InsertInto(mem_);
+    }
+    write_batch->SetSequence(last_sequence + 1);
+    const uint32_t group_count = static_cast<uint32_t>(write_batch->Count());
+    last_sequence += group_count;
+    RecordTick(options_.statistics.get(), Tickers::kLsmWriteGroups, 1);
+    RecordTick(options_.statistics.get(), Tickers::kLsmWriteGroupSize,
+               group_count);
+    PerfAdd(&PerfContext::write_group_size, group_count);
+
+    // Pipeline stages, mutex released (&w is the only awake writer and
+    // memtable inserts happen only under the leader):
+    //   verify -> WAL append -> shard apply -> publish -> Sync.
+    // The keystream prefetcher (shield/file_crypto.cc) overlaps the
+    // cipher work for this group with the previous group's Sync.
+    mutex_.unlock();
+    bool wal_error = false;
+    bool sync_error = false;
+    bool applied = false;
+    // All-or-nothing: a malformed batch is rejected before it reaches
+    // the WAL or any memtable shard. Verification depends only on the
+    // rep bytes, so a batch that passes cannot fail the apply below —
+    // the group is never left half-applied, and a corrupt record never
+    // poisons WAL replay.
+    status = write_batch->Verify();
+    if (status.ok()) {
+      TraceSpan wal_span(SpanType::kWalAppend);
+      wal_span.SetArgs(write_batch->Count(), write_batch->Contents().size());
+      PerfTimer wal_timer(&GetPerfContext()->wal_write_micros);
+      status = log_->AddRecord(write_batch->Contents());
+      wal_error = !status.ok();
+      wal_span.MarkStatus(status);
+    }
+    bool apply_error = false;
+    if (status.ok()) {
+      PerfTimer mem_timer(&GetPerfContext()->memtable_insert_micros);
+      status = ApplyGroupToMemTable(write_batch);
+      applied = status.ok();
+      // Unreachable after a successful Verify (the apply walks the
+      // same bytes), but if it ever fires the WAL holds a record the
+      // memtable only partially reflects — contain it like WAL damage
+      // so the next write rolls to a fresh log + memtable.
+      apply_error = !applied;
+    }
+    mutex_.lock();
+    if (applied) {
+      // Publish only after the group landed in both the WAL and the
+      // memtable: a failed group must not advance the sequence (the
+      // gap would stand for entries that never existed).
+      versions_->SetLastSequence(last_sequence);
+      if (w.sync) {
+        // The group is applied and visible; followers that did not ask
+        // for durability need not wait out the leader's Sync below.
+        std::lock_guard<std::mutex> qguard(writers_mutex_);
+        for (size_t i = 1; i < group.size();) {
+          Writer* member = group[i];
+          if (!member->sync) {
+            auto pos = std::find(writers_.begin(), writers_.end(), member);
+            assert(pos != writers_.end());
+            writers_.erase(pos);
+            group.erase(group.begin() + i);
+            member->status = Status::OK();
+            member->done = true;
+            member->cv.notify_one();
+          } else {
+            ++i;
+          }
+        }
       }
+    }
+    if (status.ok() && w.sync) {
+      mutex_.unlock();
+      TraceSpan sync_span(SpanType::kWalAppend);
+      sync_span.SetArgs(0, 0);
+      PerfTimer wal_timer(&GetPerfContext()->wal_write_micros);
+      status = logfile_->Sync();
+      sync_error = !status.ok();
+      sync_span.MarkStatus(status);
       mutex_.lock();
-      if (!status.ok()) {
-        // The WAL may now end in a torn record; replay stops at the
-        // first damage, so later appends to this file could vanish at
-        // recovery even if synced. Roll it before the next write.
-        log_tainted_ = true;
-        // Surface the failure to listeners/counters; the state machine
-        // is untouched because taint-and-roll already contains the
-        // damage (the failed write was never acknowledged).
-        error_handler_.OnForegroundError(
-            sync_error ? BackgroundErrorReason::kWalSync
-                       : BackgroundErrorReason::kWalAppend,
-            status);
-      }
+    }
+    if (wal_error || sync_error || apply_error) {
+      // The WAL may now end in a torn record; replay stops at the
+      // first damage, so later appends to this file could vanish at
+      // recovery even if synced. Roll it before the next write.
+      log_tainted_ = true;
+      // Surface the failure to listeners/counters; the state machine
+      // is untouched because taint-and-roll already contains the
+      // damage. A failed Sync after a successful apply keeps the
+      // published sequence: the entries exist and stay visible; only
+      // the durability promise failed, and every sync writer in the
+      // group is told so below.
+      error_handler_.OnForegroundError(
+          sync_error ? BackgroundErrorReason::kWalSync
+                     : BackgroundErrorReason::kWalAppend,
+          status);
     }
     if (write_batch == &tmp_batch_) {
       tmp_batch_.Clear();
     }
-
-    versions_->SetLastSequence(last_sequence);
   }
+  lock.unlock();
 
-  while (true) {
-    Writer* ready = writers_.front();
-    writers_.pop_front();
-    if (ready != &w) {
-      ready->status = status;
-      ready->done = true;
-      ready->cv.notify_one();
+  {
+    std::lock_guard<std::mutex> qguard(writers_mutex_);
+    for (Writer* ready : group) {
+      assert(writers_.front() == ready);
+      writers_.pop_front();
+      if (ready != &w) {
+        ready->status = status;
+        ready->done = true;
+        ready->cv.notify_one();
+      }
     }
-    if (ready == last_writer) {
-      break;
+    if (!writers_.empty()) {
+      writers_.front()->cv.notify_one();
     }
-  }
-
-  if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
   }
 
   span.MarkStatus(status);
   return status;
 }
 
-// REQUIRES: mutex held, this thread is at the front of writers_.
+Status DBImpl::ApplyGroupToMemTable(WriteBatch* write_batch) {
+  // mem_ only changes under the leader itself (SwitchMemTable), so the
+  // unlocked read is safe: no other thread writes it while we lead.
+  MemTable* mem = mem_;
+  const int shards = mem->shard_count();
+  if (shards <= 1 || apply_pool_ == nullptr ||
+      write_batch->Count() < shards * 4) {
+    // Small groups do not amortize the dispatch; insert inline.
+    return write_batch->InsertInto(mem);
+  }
+  struct ApplyState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending;
+    Status status;
+  } state;
+  state.pending = shards - 1;
+  for (int shard = 1; shard < shards; shard++) {
+    apply_pool_->Schedule([write_batch, mem, shard, &state] {
+      Status s = write_batch->InsertIntoShard(mem, shard);
+      std::lock_guard<std::mutex> guard(state.mu);
+      if (!s.ok() && state.status.ok()) {
+        state.status = s;
+      }
+      if (--state.pending == 0) {
+        state.cv.notify_one();
+      }
+    });
+  }
+  Status leader_status = write_batch->InsertIntoShard(mem, 0);
+  std::unique_lock<std::mutex> guard(state.mu);
+  state.cv.wait(guard, [&state] { return state.pending == 0; });
+  return leader_status.ok() ? state.status : leader_status;
+}
+
+// REQUIRES: writers_mutex_ held, this thread is at the front of writers_.
 WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
   assert(!writers_.empty());
   Writer* first = writers_.front();
@@ -161,10 +293,9 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
   return result;
 }
 
-// REQUIRES: mutex held, this thread is at the front of writers_.
+// REQUIRES: mutex_ held, this thread leads the write queue.
 Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
                                 bool force) {
-  assert(!writers_.empty());
   bool allow_delay = !force;
   Status s;
   auto record_stall = [this](uint64_t micros) {
@@ -236,7 +367,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
   return s;
 }
 
-// REQUIRES: mutex held.
+// REQUIRES: mutex_ held.
 Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   (void)lock;
   assert(imm_ == nullptr);
@@ -277,7 +408,7 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   log_tainted_ = false;
   imm_ = mem_;
   has_imm_.store(true, std::memory_order_release);
-  mem_ = new MemTable(internal_comparator_);
+  mem_ = new MemTable(internal_comparator_, options_.memtable_shards);
   mem_->Ref();
   MaybeScheduleFlush();
   return close_status;
@@ -293,7 +424,10 @@ Status DBImpl::Flush() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (mem_->NumEntries() == 0 && imm_ == nullptr && !flush_scheduled_) {
-      return Status::OK();  // nothing to flush
+      // Nothing to flush, but do not mask a standing background error:
+      // the slow path below would have surfaced it, and callers use
+      // Flush() as a durability barrier.
+      return error_handler_.bg_error();
     }
   }
   // A null batch forces a memtable switch via MakeRoomForWrite.

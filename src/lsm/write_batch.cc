@@ -95,15 +95,32 @@ class MemTableInserter final : public WriteBatch::Handler {
  public:
   SequenceNumber sequence;
   MemTable* mem;
+  // < 0: apply everything; otherwise apply only this shard's keys.
+  // Sequence numbers advance for skipped entries too, so every entry
+  // lands with the same number regardless of how the work is split.
+  int shard = -1;
 
   void Put(const Slice& key, const Slice& value) override {
-    mem->Add(sequence, kTypeValue, key, value);
+    if (shard < 0 || mem->ShardIndex(key) == shard) {
+      mem->Add(sequence, kTypeValue, key, value);
+    }
     sequence++;
   }
   void Delete(const Slice& key) override {
-    mem->Add(sequence, kTypeDeletion, key, Slice());
+    if (shard < 0 || mem->ShardIndex(key) == shard) {
+      mem->Add(sequence, kTypeDeletion, key, Slice());
+    }
     sequence++;
   }
+};
+
+class NoopHandler final : public WriteBatch::Handler {
+ public:
+  void Put(const Slice& key, const Slice& value) override {
+    (void)key;
+    (void)value;
+  }
+  void Delete(const Slice& key) override { (void)key; }
 };
 
 }  // namespace
@@ -113,6 +130,19 @@ Status WriteBatch::InsertInto(MemTable* memtable) const {
   inserter.sequence = Sequence();
   inserter.mem = memtable;
   return Iterate(&inserter);
+}
+
+Status WriteBatch::InsertIntoShard(MemTable* memtable, int shard) const {
+  MemTableInserter inserter;
+  inserter.sequence = Sequence();
+  inserter.mem = memtable;
+  inserter.shard = shard;
+  return Iterate(&inserter);
+}
+
+Status WriteBatch::Verify() const {
+  NoopHandler handler;
+  return Iterate(&handler);
 }
 
 }  // namespace shield

@@ -45,8 +45,10 @@ Options SimCluster::WriterOptions() {
   Options o;
   o.env = writer_env_.get();
   o.write_buffer_size = options_.write_buffer_size;
+  o.memtable_shards = options_.memtable_shards;
   o.info_log = options_.info_log;
   o.encryption.mode = EncryptionMode::kShield;
+  o.encryption.wal_pipeline_window = options_.wal_pipeline_window;
   o.encryption.kds = failover_kds_ != nullptr
                          ? std::static_pointer_cast<Kds>(failover_kds_)
                          : std::static_pointer_cast<Kds>(faulty_kds_);

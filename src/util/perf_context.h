@@ -62,6 +62,12 @@ struct PerfContext {
   uint64_t memtable_insert_micros = 0;
   uint64_t wal_write_micros = 0;
   uint64_t write_stall_micros = 0;
+  // Group commit: size of the batch group this thread led (leaders
+  // only; followers leave it 0).
+  uint64_t write_group_size = 0;
+  // Micros the WAL append spent waiting for the keystream-prefetch
+  // pipeline to catch up (0 when the pipeline is disabled or ahead).
+  uint64_t wal_keystream_stall_micros = 0;
 
   void Reset() { *this = PerfContext(); }
   std::string ToString() const;

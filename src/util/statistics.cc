@@ -67,6 +67,10 @@ const char* const kTickerNames[] = {
     "shield.dek.delete.deferred",
     "shield.backup.files",
     "shield.backup.bytes",
+    "lsm.write.groups",
+    "lsm.write.group_size",
+    "lsm.wal.pipeline_stall_micros",
+    "shield.wal.keystream.bytes",
 };
 
 static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,

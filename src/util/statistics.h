@@ -103,6 +103,13 @@ enum class Tickers : uint32_t {
   kShieldBackupFiles,
   kShieldBackupBytes,
 
+  // Parallel write path (lsm/db_write.cc, shield/file_crypto.cc):
+  // group-commit shape and WAL keystream-pipeline health.
+  kLsmWriteGroups,
+  kLsmWriteGroupSize,
+  kLsmWalPipelineStallMicros,
+  kShieldWalKeystreamBytes,
+
   kTickerMax,  // not a ticker
 };
 

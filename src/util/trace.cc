@@ -341,6 +341,7 @@ const char* SpanTypeName(SpanType type) {
       "ds.compaction_rpc",
       "io.read",        "io.write",       "io.sync",
       "job.rotation",   "job.backup",
+      "wal.encrypt",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumSpanTypes,
                 "span name table out of sync with SpanType");

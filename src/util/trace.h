@@ -61,6 +61,10 @@ enum class SpanType : uint8_t {
   kRotationPass,
   kBackup,
 
+  // Parallel write path: keystream XOR + append of one encrypted WAL
+  // chunk (shield/file_crypto.cc).
+  kWalEncrypt,
+
   kMaxSpanType,  // not a type
 };
 

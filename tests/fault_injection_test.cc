@@ -926,6 +926,26 @@ void RunFaultSchedule(uint64_t seed, EncryptionMode mode,
         }
       } else if (dice < 26) {
         if (db->Flush().ok()) {
+          // A write that failed its durability step may still have been
+          // applied to the memtable (the group is applied before the WAL
+          // sync so non-sync followers can be released early); the flush
+          // just made whatever landed durable. Dirty keys are ambiguous
+          // until observed, so adopt the live state before clearing.
+          // (Pure observation: pause injection so reads can't fault.)
+          fenv.SetFaultsEnabled(false);
+          for (const std::string& dkey : dirty) {
+            std::string got;
+            Status s = db->Get(ReadOptions(), dkey, &got);
+            if (s.ok()) {
+              model[dkey] = got;
+            } else if (s.IsNotFound()) {
+              model.erase(dkey);
+            } else {
+              FAIL() << "corrupt read of dirty key " << dkey << ": "
+                     << s.ToString();
+            }
+          }
+          fenv.SetFaultsEnabled(true);
           dirty.clear();  // everything acknowledged is now in SSTs
         }
       } else {

@@ -33,7 +33,9 @@ void Usage() {
       "usage: sim_runner [options]\n"
       "  --seed=N           PRNG seed for the whole run (default 1)\n"
       "  --duration=SECS    simulated (virtual) seconds to cover (default 60)\n"
-      "  --faults=PROFILE   none | storage | network | mixed | rotation (default mixed)\n"
+      "  --faults=PROFILE   none | storage | network | mixed | rotation |\n"
+      "                     write (default mixed; \"write\" runs the sharded\n"
+      "                     memtable + pipelined-WAL crash campaign)\n"
       "  --replicas=N       read-only replicas (default 2)\n"
       "  --ops=N            writer ops per epoch (default 120)\n"
       "  --json             print the report as one JSON object\n"
