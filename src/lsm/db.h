@@ -69,6 +69,43 @@ struct RestoreOptions {
   std::string hmac_key = "shield-backup";
 };
 
+/// Controls DB::IngestExternalFile.
+struct IngestOptions {
+  /// Delete the source file after a successful ingest (the DB owns its
+  /// own copy either way; this just cleans up migration staging).
+  bool move_file = false;
+};
+
+/// What DB::IngestExternalFile accomplished.
+struct IngestResult {
+  /// File number the table was installed under.
+  uint64_t file_number = 0;
+  /// Entries in the ingested table.
+  uint64_t entries = 0;
+  /// Physical bytes now referenced by the DB.
+  uint64_t bytes = 0;
+  /// True when the file arrived SHIELD-encrypted and its embedded DEK
+  /// was re-wrapped onto this instance's identity (kShield only).
+  bool dek_rewrapped = false;
+};
+
+/// Controls DB::DumpRange.
+struct DumpOptions {
+  /// Server identity the dump's DEKs are re-wrapped for (via
+  /// Kds::RewrapDek), so the dump can be ingested by that identity
+  /// even after this instance's keys are revoked. Empty: the dump
+  /// files keep DEK ids provisioned to *this* instance. kShield only.
+  std::string target_server_id;
+
+  /// Key for the dump manifest's per-file HMAC-SHA256 integrity tags.
+  /// Both sides of a dump/restore must agree on it.
+  std::string hmac_key = "shield-backup";
+
+  /// Output SSTs are cut at roughly this many (logical) bytes so a
+  /// large range dumps as a set of ingestible pieces.
+  uint64_t max_file_bytes = 8 * 1024 * 1024;
+};
+
 /// The public LSM-KVS interface. Thread safe: concurrent reads and
 /// writes from any number of threads.
 ///
@@ -226,6 +263,57 @@ class DB {
   static Status VerifyBackup(const Options& options,
                              const std::string& backup_dir,
                              const RestoreOptions& restore_options);
+
+  /// Bulk ingest: installs an externally produced SST (in this
+  /// engine's table format — e.g. a DumpRange output) as a level-0
+  /// file. A plaintext SST is re-built through the DB's own encryption
+  /// path (fresh DEK under kShield); a SHIELD-encrypted SST is adopted
+  /// byte-for-byte after its embedded DEK is re-wrapped onto this
+  /// instance's identity via Kds::RewrapDek and registered with the
+  /// DekManager. Fails closed: a malformed SHIELD header, an
+  /// unresolvable DEK or a table that does not parse rejects the file
+  /// without touching DB state. `result` may be null.
+  virtual Status IngestExternalFile(const std::string& file_path,
+                                    const IngestOptions& options,
+                                    IngestResult* result) {
+    (void)file_path;
+    (void)options;
+    (void)result;
+    return Status::NotSupported("ingest not supported by this DB");
+  }
+
+  /// Bulk export: writes the live data in [begin, end] (nullptr =
+  /// open-ended; latest visible versions, tombstones resolved) into
+  /// `dump_dir` as a set of freshly built SSTs plus a MAC'd
+  /// DUMP_MANIFEST, each file encrypted under a fresh DEK re-wrapped
+  /// for DumpOptions::target_server_id. Together with
+  /// IngestExternalFile/RestoreDump this seeds and migrates fleet
+  /// members between KDS identities without copying a whole DB
+  /// directory. `dump_dir` must not already contain a dump.
+  virtual Status DumpRange(const std::string& dump_dir, const Slice* begin,
+                           const Slice* end, const DumpOptions& options) {
+    (void)dump_dir;
+    (void)begin;
+    (void)end;
+    (void)options;
+    return Status::NotSupported("dump not supported by this DB");
+  }
+
+  /// Restores a DumpRange output into the DB at `dbname` (created with
+  /// `options` if missing — under kShield, with Options whose
+  /// server_id is the dump's target identity), verifying the dump
+  /// manifest's MAC and every file's HMAC first, then ingesting each
+  /// file and running VerifyIntegrity.
+  static Status RestoreDump(const Options& options,
+                            const std::string& dump_dir,
+                            const std::string& dbname,
+                            const RestoreOptions& restore_options);
+
+  /// Verifies a dump without restoring it: manifest MAC plus every
+  /// listed file's size and HMAC.
+  static Status VerifyDump(const Options& options,
+                           const std::string& dump_dir,
+                           const RestoreOptions& restore_options);
 
   /// Manual operator recovery after a soft background error put the DB
   /// in read-only state: clears the sticky error and resumes background

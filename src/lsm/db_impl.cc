@@ -32,6 +32,10 @@ Options SanitizeOptions(const Options& src) {
   if (result.encryption.encryption_threads < 1) {
     result.encryption.encryption_threads = 1;
   }
+  // Normalized once here so the WAL writer and the group-commit batch
+  // shaping agree on the exact bucket set.
+  result.encryption.wal_padding_buckets =
+      log::SanitizePaddingBuckets(result.encryption.wal_padding_buckets);
   result.memtable_shards = std::max(1, std::min(result.memtable_shards, 64));
   // A freshly-created memtable already holds one arena block per shard
   // (each shard's skiplist head), so a write buffer at or below that
@@ -478,7 +482,9 @@ Status DBImpl::Recover() {
   }
   logfile_ = std::move(lfile);
   logfile_number_ = new_log_number;
-  log_ = std::make_unique<log::Writer>(logfile_.get());
+  log_ = std::make_unique<log::Writer>(
+      logfile_.get(), 0, options_.encryption.wal_padding_buckets,
+      options_.statistics.get());
   edit.SetLogNumber(new_log_number);
 
   s = versions_->LogAndApply(&edit, &mutex_);

@@ -64,6 +64,11 @@ class DBImpl final : public DB {
                     RotateResult* result) override;
   Status CreateBackup(const std::string& backup_dir,
                       const BackupOptions& options) override;
+  Status IngestExternalFile(const std::string& file_path,
+                            const IngestOptions& options,
+                            IngestResult* result) override;
+  Status DumpRange(const std::string& dump_dir, const Slice* begin,
+                   const Slice* end, const DumpOptions& options) override;
 
   /// Startup: recover manifest + WALs. Called by DB::Open.
   Status Recover();
@@ -171,6 +176,25 @@ class DBImpl final : public DB {
   Status SalvageLocally(int level, uint64_t number, uint64_t file_size);
   Status QuarantineFile(uint64_t number);
   void ScrubLoop();
+
+  // Bulk ingest/dump (db_ingest.cc).
+  /// Adopts a SHIELD-encrypted SST byte-for-byte: re-wraps the
+  /// embedded DEK onto our identity, patches the header copy and
+  /// registers the key. On success *contents holds the patched
+  /// physical image to install.
+  Status PrepareEncryptedIngest(const std::string& file_path,
+                                std::string* contents, bool* rewrapped);
+  /// Re-builds a plaintext SST through the DB's own encryption path
+  /// into `fname` (already-reserved table file name). *file_size is
+  /// the logical size of the rebuilt table.
+  Status RebuildPlaintextIngest(const std::string& file_path,
+                                const std::string& fname,
+                                uint64_t* file_size);
+  /// Opens the freshly installed table (logical size `file_size`) to
+  /// recover its key range and max sequence, then publishes it at
+  /// level 0 and bumps the sequence horizon past its entries.
+  Status InstallIngestedFile(uint64_t file_number, uint64_t file_size,
+                             IngestResult* result);
 
   // Online DEK rotation (db_rotation.cc).
   /// Executes (or resumes) the rotation described by `manifest`,

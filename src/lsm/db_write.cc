@@ -266,6 +266,17 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
     max_size = size + (128 << 10);
   }
 
+  // Batch shaping (WAL leakage countermeasure): with padding buckets
+  // configured the group's WAL record is padded up to a bucket
+  // boundary regardless of its exact size, so a follower whose bytes
+  // fit inside the bucket this group already commits to rides in
+  // would-be padding — admit it even past max_size. Coalescing real
+  // payload into the pad both shrinks overhead and removes a
+  // group-count channel (N small writes and one shaped group are
+  // indistinguishable on the wire).
+  const std::vector<uint32_t>& buckets =
+      options_.encryption.wal_padding_buckets;
+
   *last_writer = first;
   for (auto iter = writers_.begin() + 1; iter != writers_.end(); ++iter) {
     Writer* w = *iter;
@@ -277,10 +288,14 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
     if (w->batch == nullptr) {
       break;  // a force-compaction marker; handle separately
     }
-    size += w->batch->ApproximateSize();
-    if (size > max_size) {
+    const size_t new_size = size + w->batch->ApproximateSize();
+    if (new_size > max_size &&
+        (buckets.empty() ||
+         log::PaddedEnvelopeSize(buckets, new_size) !=
+             log::PaddedEnvelopeSize(buckets, size))) {
       break;
     }
+    size = new_size;
     if (result == first->batch) {
       // Switch to the scratch batch instead of disturbing the caller's.
       result = &tmp_batch_;
@@ -402,7 +417,9 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   }
   logfile_ = std::move(lfile);
   logfile_number_ = new_log_number;
-  log_ = std::make_unique<log::Writer>(logfile_.get());
+  log_ = std::make_unique<log::Writer>(
+      logfile_.get(), 0, options_.encryption.wal_padding_buckets,
+      options_.statistics.get());
   // Any damage recorded against the outgoing WAL stays with it: the
   // replacement is fresh even if closing the old file failed above.
   log_tainted_ = false;

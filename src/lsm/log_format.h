@@ -24,13 +24,34 @@ enum RecordType {
   kFirstAuthType = 6,
   kMiddleAuthType = 7,
   kLastAuthType = 8,
+  // Padded variants (WAL leakage countermeasure): the logical payload
+  // is an envelope `fixed32 real_len | data | zeros`, padded up to a
+  // configured bucket size before it reaches the block format, so the
+  // ciphertext record sizes an adversary observes on the storage tier
+  // come from a small fixed set instead of mirroring operation sizes.
+  // Only the Full/First positions need padded variants: padded-ness is
+  // a property of the whole logical record and is established at its
+  // first fragment (continuation fragments reuse kMiddle/kLast). The
+  // reader strips the envelope after reassembly, so callers above the
+  // log layer never see padding.
+  kPadFullType = 9,
+  kPadFirstType = 10,
+  // Authenticated + padded.
+  kPadFullAuthType = 11,
+  kPadFirstAuthType = 12,
 };
-static constexpr int kMaxRecordType = kLastAuthType;
+static constexpr int kMaxRecordType = kPadFirstAuthType;
 // Distance between an authenticated record type and its base type.
 static constexpr int kAuthTypeOffset = kFullAuthType - kFullType;
+// Same distance for the padded pair (which has no middle/last slots).
+static constexpr int kPadAuthTypeOffset = kPadFullAuthType - kPadFullType;
 
 static constexpr int kBlockSize = 32768;
 static constexpr int kHeaderSize = 4 + 2 + 1;
+
+// Bytes of the padded-record envelope that prefix the caller's data
+// (the fixed32 real length).
+static constexpr int kPadEnvelopeSize = 4;
 
 }  // namespace log
 }  // namespace shield

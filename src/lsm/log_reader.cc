@@ -21,25 +21,36 @@ bool Reader::ReadRecord(Slice* record, std::string* scratch) {
   scratch->clear();
   record->clear();
   bool in_fragmented_record = false;
+  // True when the record being reassembled carries the padded-envelope
+  // wrapping (established by its first fragment's type; continuation
+  // fragments are plain kMiddle/kLast).
+  bool padded_record = false;
 
   Slice fragment;
   while (true) {
     const unsigned int record_type = ReadPhysicalRecord(&fragment);
     switch (record_type) {
       case kFullType:
+      case kPadFullType:
         if (in_fragmented_record) {
           ReportCorruption(scratch->size(), "partial record without end(1)");
         }
         scratch->clear();
         *record = fragment;
+        if (record_type == kPadFullType && !StripPadding(record)) {
+          in_fragmented_record = false;
+          break;
+        }
         return true;
 
       case kFirstType:
+      case kPadFirstType:
         if (in_fragmented_record) {
           ReportCorruption(scratch->size(), "partial record without end(2)");
         }
         scratch->assign(fragment.data(), fragment.size());
         in_fragmented_record = true;
+        padded_record = (record_type == kPadFirstType);
         break;
 
       case kMiddleType:
@@ -58,6 +69,12 @@ bool Reader::ReadRecord(Slice* record, std::string* scratch) {
         } else {
           scratch->append(fragment.data(), fragment.size());
           *record = Slice(*scratch);
+          if (padded_record && !StripPadding(record)) {
+            in_fragmented_record = false;
+            padded_record = false;
+            scratch->clear();
+            break;
+          }
           return true;
         }
         break;
@@ -89,6 +106,25 @@ bool Reader::ReadRecord(Slice* record, std::string* scratch) {
       }
     }
   }
+}
+
+bool Reader::StripPadding(Slice* record) {
+  // Envelope: fixed32 real_len | data | zeros. A malformed envelope is
+  // corruption — padding must never wedge recovery, so the record is
+  // reported and dropped rather than returned mangled.
+  if (record->size() < static_cast<size_t>(kPadEnvelopeSize)) {
+    ReportCorruption(record->size(), "padded record shorter than envelope");
+    record->clear();
+    return false;
+  }
+  const uint32_t real_len = DecodeFixed32(record->data());
+  if (static_cast<uint64_t>(real_len) + kPadEnvelopeSize > record->size()) {
+    ReportCorruption(record->size(), "padded record length overflows envelope");
+    record->clear();
+    return false;
+  }
+  *record = Slice(record->data() + kPadEnvelopeSize, real_len);
+  return true;
 }
 
 void Reader::ReportCorruption(uint64_t bytes, const char* reason) {
@@ -144,8 +180,10 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
     const unsigned int type = static_cast<unsigned int>(header[6]);
     const uint32_t length = a | (b << 8);
     const bool authenticated =
-        type >= static_cast<unsigned int>(kFullAuthType) &&
-        type <= static_cast<unsigned int>(kLastAuthType);
+        (type >= static_cast<unsigned int>(kFullAuthType) &&
+         type <= static_cast<unsigned int>(kLastAuthType)) ||
+        type == static_cast<unsigned int>(kPadFullAuthType) ||
+        type == static_cast<unsigned int>(kPadFirstAuthType);
     const size_t tag_size = authenticated ? crypto::kBlockAuthTagSize : 0;
     if (kHeaderSize + length + tag_size > buffer_.size()) {
       const size_t drop_size = buffer_.size();
@@ -193,8 +231,14 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
     buffer_.remove_prefix(kHeaderSize + length + tag_size);
     *result = Slice(header + kHeaderSize, length);
     // Callers only ever see the base fragment types; the authenticated
-    // variants are a wire-level detail.
-    return authenticated ? type - kAuthTypeOffset : type;
+    // variants are a wire-level detail. (Padded-ness, by contrast, is
+    // ReadRecord's business: it decides envelope stripping.)
+    if (!authenticated) {
+      return type;
+    }
+    return type >= static_cast<unsigned int>(kPadFullAuthType)
+               ? type - kPadAuthTypeOffset
+               : type - kAuthTypeOffset;
   }
 }
 

@@ -52,6 +52,10 @@ class Reader {
   };
 
   unsigned int ReadPhysicalRecord(Slice* result);
+  /// Strips the padded-record envelope (fixed32 real_len|data|zeros)
+  /// from a reassembled record in place. Returns false (and reports
+  /// corruption) on a malformed envelope.
+  bool StripPadding(Slice* record);
   void ReportCorruption(uint64_t bytes, const char* reason);
   void ReportDrop(uint64_t bytes, const Status& reason);
 

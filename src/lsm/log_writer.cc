@@ -1,5 +1,7 @@
 #include "lsm/log_writer.h"
 
+#include <algorithm>
+
 #include "crypto/block_auth.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -7,13 +9,47 @@
 namespace shield {
 namespace log {
 
+std::vector<uint32_t> SanitizePaddingBuckets(
+    const std::vector<uint32_t>& buckets) {
+  std::vector<uint32_t> out;
+  out.reserve(buckets.size());
+  for (uint32_t b : buckets) {
+    if (b >= static_cast<uint32_t>(kPadEnvelopeSize)) {
+      out.push_back(b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t PaddedEnvelopeSize(const std::vector<uint32_t>& buckets, uint64_t n) {
+  assert(!buckets.empty());
+  const uint64_t needed = n + kPadEnvelopeSize;
+  auto it = std::lower_bound(buckets.begin(), buckets.end(), needed);
+  if (it != buckets.end()) {
+    return *it;
+  }
+  // Beyond the largest bucket: round up to its next multiple, so large
+  // records still land on a coarse grid instead of their exact size.
+  const uint64_t largest = buckets.back();
+  return ((needed + largest - 1) / largest) * largest;
+}
+
 Writer::Writer(WritableFile* dest) : Writer(dest, 0) {}
 
 Writer::Writer(WritableFile* dest, uint64_t dest_length)
+    : Writer(dest, dest_length, {}, nullptr) {}
+
+Writer::Writer(WritableFile* dest, uint64_t dest_length,
+               const std::vector<uint32_t>& padding_buckets,
+               Statistics* stats)
     : dest_(dest),
       auth_(dest->block_authenticator()),
       block_offset_(dest_length % kBlockSize),
-      logical_offset_(dest_length) {
+      logical_offset_(dest_length),
+      pad_buckets_(SanitizePaddingBuckets(padding_buckets)),
+      stats_(stats) {
   for (int i = 0; i <= kMaxRecordType; i++) {
     char t = static_cast<char>(i);
     type_crc_[i] = crc32c::Value(&t, 1);
@@ -21,6 +57,42 @@ Writer::Writer(WritableFile* dest, uint64_t dest_length)
 }
 
 Status Writer::AddRecord(const Slice& slice) {
+  if (pad_buckets_.empty()) {
+    return AddRecordImpl(slice, /*padded=*/false);
+  }
+  // Envelope: fixed32 real length | data | zeros up to the bucket
+  // target. The zeros encrypt to ciphertext indistinguishable from
+  // payload, so the storage tier observes only the bucket size.
+  const uint64_t target = PaddedEnvelopeSize(pad_buckets_, slice.size());
+  pad_scratch_.clear();
+  pad_scratch_.reserve(target);
+  PutFixed32(&pad_scratch_, static_cast<uint32_t>(slice.size()));
+  pad_scratch_.append(slice.data(), slice.size());
+  pad_scratch_.resize(target, '\0');
+  RecordTick(stats_, Tickers::kShieldWalPaddingRecords, 1);
+  RecordTick(stats_, Tickers::kShieldWalPaddingBytes,
+             target - slice.size());
+  return AddRecordImpl(Slice(pad_scratch_), /*padded=*/true);
+}
+
+Status Writer::FillBlockTrailer() {
+  const int leftover = kBlockSize - block_offset_;
+  if (leftover > 0 && leftover < kBlockSize) {
+    // The reader skips any zero run inside a block (a kZeroType header
+    // with length 0 abandons the rest of the block), so the fill size
+    // does not matter to recovery.
+    rec_scratch_.assign(static_cast<size_t>(leftover), '\0');
+    Status s = dest_->Append(Slice(rec_scratch_));
+    if (!s.ok()) {
+      return s;
+    }
+    logical_offset_ += static_cast<uint64_t>(leftover);
+  }
+  block_offset_ = 0;
+  return Status::OK();
+}
+
+Status Writer::AddRecordImpl(const Slice& slice, bool padded) {
   const char* ptr = slice.data();
   size_t left = slice.size();
 
@@ -30,12 +102,36 @@ Status Writer::AddRecord(const Slice& slice) {
   const size_t tag_size = auth_ != nullptr ? crypto::kBlockAuthTagSize : 0;
   const int min_record = kHeaderSize + static_cast<int>(tag_size);
 
+  if (padded) {
+    // Start padded records on a fresh block when they would otherwise
+    // straddle the edge: fragment shapes then depend only on the
+    // bucket size, never on where the record happened to begin, so
+    // the on-wire size set stays small. The skipped remainder is more
+    // padding and is counted as such.
+    const int leftover = kBlockSize - block_offset_;
+    const size_t needed = static_cast<size_t>(min_record) + left;
+    if (needed > static_cast<size_t>(leftover) && block_offset_ > 0) {
+      Status s = FillBlockTrailer();
+      if (!s.ok()) {
+        return s;
+      }
+      RecordTick(stats_, Tickers::kShieldWalPaddingBytes,
+                 static_cast<uint64_t>(leftover));
+    }
+  }
+
   Status s;
   bool begin = true;
   do {
     const int leftover = kBlockSize - block_offset_;
     assert(leftover >= 0);
-    if (leftover < min_record) {
+    // Roll to the next block when the remainder cannot hold a header
+    // (and tag), and also when it could hold only an EMPTY fragment
+    // while payload bytes remain: emitting a zero-length kFirstType /
+    // kMiddleType there would be legal but useless (the reader accepts
+    // empty fragments), and with padding enabled such degenerate
+    // fragments would add block-position-dependent sizes to the wire.
+    if (leftover < min_record || (leftover == min_record && left > 0)) {
       // Fill the block trailer with zeros and switch blocks.
       if (leftover > 0) {
         static const char kZeroes[32] = {0};
@@ -59,9 +155,9 @@ Status Writer::AddRecord(const Slice& slice) {
     RecordType type;
     const bool end = (left == fragment_length);
     if (begin && end) {
-      type = kFullType;
+      type = padded ? kPadFullType : kFullType;
     } else if (begin) {
-      type = kFirstType;
+      type = padded ? kPadFirstType : kFirstType;
     } else if (end) {
       type = kLastType;
     } else {
@@ -82,8 +178,11 @@ Status Writer::EmitPhysicalRecord(RecordType t, const char* ptr,
 
   // The wire type distinguishes authenticated records so a reader can
   // tell from the header alone whether a tag follows the payload.
-  const RecordType wire_type =
-      auth_ != nullptr ? static_cast<RecordType>(t + kAuthTypeOffset) : t;
+  RecordType wire_type = t;
+  if (auth_ != nullptr) {
+    wire_type = static_cast<RecordType>(
+        t + (t >= kPadFullType ? kPadAuthTypeOffset : kAuthTypeOffset));
+  }
   const size_t tag_size = auth_ != nullptr ? crypto::kBlockAuthTagSize : 0;
   assert(block_offset_ + kHeaderSize + static_cast<int>(length + tag_size) <=
          kBlockSize);
@@ -123,11 +222,20 @@ Status Writer::EmitPhysicalRecord(RecordType t, const char* ptr,
   if (s.ok()) {
     s = dest_->Append(Slice(rec_scratch_));
     if (s.ok()) {
+      // Advance only once the bytes were accepted by the destination:
+      // a failed Append must leave the offsets where they were, so a
+      // retry on this writer (e.g. after a transient fault, before the
+      // taint/roll path replaces the file) computes its CRC-covered
+      // header and its authentication tag at the offset where the
+      // record will actually land — not one record-length beyond it.
+      // A failed Flush after a successful Append still advances: the
+      // destination owns those bytes (SHIELD's buffered WAL tracks its
+      // own durability watermark for them).
+      block_offset_ += kHeaderSize + static_cast<int>(length + tag_size);
+      logical_offset_ += kHeaderSize + length + tag_size;
       s = dest_->Flush();
     }
   }
-  block_offset_ += kHeaderSize + static_cast<int>(length + tag_size);
-  logical_offset_ += kHeaderSize + length + tag_size;
   return s;
 }
 

@@ -127,6 +127,21 @@ struct EncryptionOptions {
   /// existing files. Applies to kEncFS and kShield.
   bool authenticate_blocks = true;
 
+  /// WAL record padding (leakage countermeasure): when non-empty,
+  /// every logical WAL record is padded up to the smallest listed
+  /// bucket size before encryption (records beyond the largest bucket
+  /// round up to its next multiple), and records that would straddle a
+  /// 32 KiB block edge start on a fresh block. The storage tier then
+  /// observes ciphertext record sizes drawn from this small fixed set
+  /// instead of a size/timing channel mirroring operation sizes
+  /// (BigFoot-style WAL leakage). Padding is stripped transparently on
+  /// recovery and replica catch-up; files written without padding stay
+  /// readable and vice versa. Overhead is counted in the
+  /// shield.wal.padding.* tickers. Example: {64, 256, 1024, 4096}.
+  /// Empty (default) disables padding. Applies to WAL files only — the
+  /// manifest's append cadence is not workload-correlated.
+  std::vector<uint32_t> wal_padding_buckets;
+
   /// WAL keystream pipeline: a helper thread precomputes this many
   /// bytes of CTR keystream ahead of the WAL append offset (a two-slot
   /// pipeline holds up to 2x this window), so cipher work for group N

@@ -97,6 +97,19 @@ Status DekManager::CreateDek(crypto::CipherKind kind, Dek* out) {
   return Status::OK();
 }
 
+void DekManager::AdoptDek(const Dek& dek) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_[dek.id] = dek;
+    created_micros_[dek.id] = NowMicros();
+  }
+  if (secure_cache_ != nullptr) {
+    // Best effort, as in CreateDek: a failed cache write costs a KDS
+    // round-trip later but is not fatal.
+    secure_cache_->Put(dek);
+  }
+}
+
 Status DekManager::ResolveDek(const DekId& id, Dek* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);

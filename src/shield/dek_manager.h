@@ -59,6 +59,13 @@ class DekManager {
   Status RewrapDek(const DekId& id, const std::string& target_server_id,
                    Dek* out);
 
+  /// Registers a DEK this instance obtained out of band — an ingested
+  /// external SST's embedded DEK after a rewrap onto OUR identity — in
+  /// the memory cache (and secure cache), exactly as if CreateDek had
+  /// minted it. Reads of the ingested file then resolve locally, and
+  /// age-based rotation sees a fresh key.
+  void AdoptDek(const Dek& dek);
+
   /// Backs the pending-delete queue with `path` (one hex DEK id per
   /// line — ids are public, they sit in plaintext file headers) and
   /// loads ids left over from a previous run. `env` must outlive the

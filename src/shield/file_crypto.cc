@@ -15,6 +15,15 @@ namespace shield {
 namespace {
 constexpr char kMagic[8] = {'S', 'H', 'L', 'D', 'F', 'I', 'L', '1'};
 
+// A file that *starts* with the SHIELD magic is claimed by SHIELD: a
+// later parse failure in such a file must surface as corruption, never
+// demote the file to the plaintext fallback (which would hand
+// attacker-shaped ciphertext to the plaintext read path).
+bool HasShieldMagic(const Slice& data) {
+  return data.size() >= sizeof(kMagic) &&
+         memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
 // Accounts crypto traffic into the global tickers and the calling
 // thread's PerfContext at the single place where SHIELD files touch
 // plaintext<->ciphertext.
@@ -50,21 +59,38 @@ std::string EncodeShieldFileHeader(const ShieldFileHeader& header) {
 }
 
 Status ParseShieldFileHeader(const Slice& data, ShieldFileHeader* header) {
-  if (data.size() < kShieldHeaderSize ||
+  // Fail closed on every malformation: this parser also runs on
+  // attacker-supplied bytes (backup restore, external-SST ingest), so
+  // a header that is not exactly what the encoder emits is Corruption,
+  // never a best-effort acceptance.
+  if (data.size() < sizeof(kMagic) ||
       memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a SHIELD data file");
+  }
+  if (data.size() < kShieldHeaderSize) {
+    return Status::Corruption("truncated SHIELD file header");
   }
   const uint8_t version = static_cast<uint8_t>(data[8]);
   if (version != kShieldFormatVersionBase &&
       version != kShieldFormatVersionAuth) {
     return Status::NotSupported("unknown SHIELD file version");
   }
-  header->version = version;
-  header->cipher = static_cast<crypto::CipherKind>(data[9]);
+  const uint8_t cipher_id = static_cast<uint8_t>(data[9]);
+  if (cipher_id != static_cast<uint8_t>(crypto::CipherKind::kAes128Ctr) &&
+      cipher_id != static_cast<uint8_t>(crypto::CipherKind::kAes256Ctr) &&
+      cipher_id != static_cast<uint8_t>(crypto::CipherKind::kChaCha20)) {
+    return Status::Corruption("unknown SHIELD header cipher id");
+  }
+  const auto cipher = static_cast<crypto::CipherKind>(cipher_id);
+  if (data[11] != 0) {
+    return Status::Corruption("nonzero reserved byte in SHIELD header");
+  }
   const size_t nonce_len = static_cast<uint8_t>(data[10]);
-  if (nonce_len > 16) {
+  if (nonce_len > 16 || nonce_len != crypto::CipherNonceSize(cipher)) {
     return Status::Corruption("bad SHIELD header nonce length");
   }
+  header->version = version;
+  header->cipher = cipher;
   header->dek_id = DekId::FromSlice(Slice(data.data() + 12, DekId::kSize));
   header->nonce.assign(data.data() + 12 + DekId::kSize, nonce_len);
   return Status::OK();
@@ -92,6 +118,8 @@ static Status ReadHeaderRetrying(RandomAccessFile* file, Slice* data,
     return s;
   }
 }
+
+bool LooksLikeShieldFile(const Slice& data) { return HasShieldMagic(data); }
 
 Status ReadShieldFileHeader(Env* env, const std::string& fname,
                             ShieldFileHeader* header) {
@@ -548,7 +576,7 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     ShieldFileHeader header;
     if (!ParseShieldFileHeader(header_data, &header).ok() &&
-        !opts_.encrypt_wal) {
+        !opts_.encrypt_wal && !HasShieldMagic(header_data)) {
       // Plaintext file written under the evaluation-only knob.
       *out = std::move(base);
       return Status::OK();
@@ -592,7 +620,7 @@ class ShieldFileFactory final : public DataFileFactory {
     }
     ShieldFileHeader header;
     if (!ParseShieldFileHeader(header_data, &header).ok() &&
-        !opts_.encrypt_wal) {
+        !opts_.encrypt_wal && !HasShieldMagic(Slice(header_data))) {
       // Plaintext file (evaluation-only knob): reopen from the start.
       return env_->NewSequentialFile(fname, out);
     }

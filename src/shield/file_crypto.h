@@ -48,6 +48,11 @@ struct ShieldFileHeader {
 std::string EncodeShieldFileHeader(const ShieldFileHeader& header);
 Status ParseShieldFileHeader(const Slice& data, ShieldFileHeader* header);
 
+/// True when `data` begins with the SHIELD file magic. Does NOT
+/// validate the rest of the header: a magic-bearing file that fails
+/// ParseShieldFileHeader is corrupt, not plaintext.
+bool LooksLikeShieldFile(const Slice& data);
+
 /// Reads and parses the header of an on-disk SHIELD file.
 Status ReadShieldFileHeader(Env* env, const std::string& fname,
                             ShieldFileHeader* header);

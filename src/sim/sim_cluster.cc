@@ -49,6 +49,7 @@ Options SimCluster::WriterOptions() {
   o.info_log = options_.info_log;
   o.encryption.mode = EncryptionMode::kShield;
   o.encryption.wal_pipeline_window = options_.wal_pipeline_window;
+  o.encryption.wal_padding_buckets = options_.wal_padding_buckets;
   o.encryption.kds = failover_kds_ != nullptr
                          ? std::static_pointer_cast<Kds>(failover_kds_)
                          : std::static_pointer_cast<Kds>(faulty_kds_);

@@ -47,6 +47,12 @@ struct SimClusterOptions {
   int memtable_shards = 1;
   size_t wal_pipeline_window = 0;
 
+  /// Writer WAL record padding buckets
+  /// (EncryptionOptions::wal_padding_buckets). The write campaign sets
+  /// these to prove padded WALs recover and replicate identically
+  /// under crash faults. Empty = no padding.
+  std::vector<uint32_t> wal_padding_buckets;
+
   /// Shared info log for all nodes (event-log mirror). Null: no logs.
   std::shared_ptr<Logger> info_log;
 

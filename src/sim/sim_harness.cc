@@ -89,6 +89,10 @@ class SimulationRun {
       // window keep the virtual run cheap while still exercising both.
       copts.memtable_shards = 4;
       copts.wal_pipeline_window = 64 * 1024;
+      // Record padding rides the same campaign: crash-recovery and
+      // replica catch-up must strip it transparently, with bit-exact
+      // journals and zero synced-write loss.
+      copts.wal_padding_buckets = {64, 256, 1024, 4096};
     }
     cluster_ = std::make_unique<SimCluster>(copts);
     Status s = cluster_->Start();

@@ -71,6 +71,12 @@ const char* const kTickerNames[] = {
     "lsm.write.group_size",
     "lsm.wal.pipeline_stall_micros",
     "shield.wal.keystream.bytes",
+    "shield.wal.padding.records",
+    "shield.wal.padding.bytes",
+    "lsm.ingest.files",
+    "lsm.ingest.bytes",
+    "shield.dump.files",
+    "shield.dump.bytes",
 };
 
 static_assert(sizeof(kTickerNames) / sizeof(kTickerNames[0]) == kNumTickers,

@@ -110,6 +110,20 @@ enum class Tickers : uint32_t {
   kLsmWalPipelineStallMicros,
   kShieldWalKeystreamBytes,
 
+  // WAL leakage countermeasure (lsm/log_writer.cc): padded logical
+  // records and total pad overhead (envelope + zeros + block-roll
+  // fill) added so on-wire record sizes come from the bucket set.
+  kShieldWalPaddingRecords,
+  kShieldWalPaddingBytes,
+
+  // Bulk data lifecycle (lsm/db_ingest.cc): external SSTs ingested
+  // (files/physical bytes) and range-dump output (files/physical
+  // bytes, DEKs re-wrapped for the dump target identity).
+  kLsmIngestFiles,
+  kLsmIngestBytes,
+  kShieldDumpFiles,
+  kShieldDumpBytes,
+
   kTickerMax,  // not a ticker
 };
 

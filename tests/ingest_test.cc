@@ -1,0 +1,355 @@
+// DB::IngestExternalFile / DB::DumpRange / DB::RestoreDump: bulk data
+// lifecycle between fleet members. Plaintext SSTs are rebuilt through
+// the target's encryption path; SHIELD-encrypted SSTs are adopted
+// byte-for-byte with their embedded DEK re-wrapped onto the target's
+// identity — so a dump stays restorable after the source instance's
+// own DEKs are revoked at the KDS. Malformed inputs must fail closed
+// and leave the target untouched.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kds/local_kds.h"
+#include "lsm/db.h"
+#include "shield/file_crypto.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/statistics.h"
+
+namespace shield {
+namespace {
+
+std::string IngestKey(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "ikey-%06d", i);
+  return buf;
+}
+std::string IngestValue(int i) {
+  return "ivalue-" + std::to_string(i) + std::string(24, 'v');
+}
+
+class IngestTest : public ::testing::Test {
+ protected:
+  IngestTest() : env_(NewMemEnv()), kds_(std::make_shared<LocalKds>()) {}
+
+  Options PlainOptions() {
+    Options options;
+    options.env = env_.get();
+    options.write_buffer_size = 64 * 1024;
+    return options;
+  }
+
+  Options ShieldOptions(const std::string& server_id) {
+    Options options = PlainOptions();
+    options.encryption.mode = EncryptionMode::kShield;
+    options.encryption.kds = kds_;
+    options.encryption.server_id = server_id;
+    options.statistics = stats_;
+    return options;
+  }
+
+  std::unique_ptr<DB> OpenDb(const Options& options, const std::string& name) {
+    DB* raw = nullptr;
+    Status s = DB::Open(options, name, &raw);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return std::unique_ptr<DB>(raw);
+  }
+
+  // Fills [0, n) keys and flushes so the data sits in SSTs.
+  void FillAndFlush(DB* db, int n) {
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), IngestKey(i), IngestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+
+  // Copies the (single expected) SST out of `dbname` to `staging`.
+  void ExportOneSst(const std::string& dbname, const std::string& staging) {
+    std::vector<std::string> children;
+    ASSERT_TRUE(env_->GetChildren(dbname, &children).ok());
+    std::string sst;
+    for (const std::string& child : children) {
+      if (child.size() > 4 &&
+          child.compare(child.size() - 4, 4, ".sst") == 0) {
+        ASSERT_TRUE(sst.empty()) << "expected exactly one SST";
+        sst = child;
+      }
+    }
+    ASSERT_FALSE(sst.empty()) << "no SST produced by flush";
+    std::string contents;
+    ASSERT_TRUE(
+        ReadFileToString(env_.get(), dbname + "/" + sst, &contents).ok());
+    ASSERT_TRUE(WriteStringToFile(env_.get(), contents, staging, false).ok());
+  }
+
+  void ExpectKeys(DB* db, int n) {
+    for (int i = 0; i < n; i++) {
+      std::string value;
+      ASSERT_TRUE(db->Get(ReadOptions(), IngestKey(i), &value).ok())
+          << "missing " << IngestKey(i);
+      EXPECT_EQ(IngestValue(i), value);
+    }
+  }
+
+  std::unique_ptr<Env> env_;
+  std::shared_ptr<LocalKds> kds_;
+  std::shared_ptr<Statistics> stats_ = CreateDBStatistics();
+};
+
+TEST_F(IngestTest, PlaintextSstIntoPlaintextDb) {
+  {
+    auto source = OpenDb(PlainOptions(), "/src");
+    FillAndFlush(source.get(), 300);
+  }
+  ExportOneSst("/src", "/staging.sst");
+
+  auto target = OpenDb(PlainOptions(), "/dst");
+  IngestResult result;
+  Status s = target->IngestExternalFile("/staging.sst", IngestOptions(),
+                                        &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(300u, result.entries);
+  EXPECT_FALSE(result.dek_rewrapped);
+  ExpectKeys(target.get(), 300);
+}
+
+TEST_F(IngestTest, PlaintextSstIntoShieldDbIsReencrypted) {
+  {
+    auto source = OpenDb(PlainOptions(), "/src");
+    FillAndFlush(source.get(), 250);
+  }
+  ExportOneSst("/src", "/staging.sst");
+
+  auto target = OpenDb(ShieldOptions("target-1"), "/dst");
+  IngestResult result;
+  ASSERT_TRUE(target
+                  ->IngestExternalFile("/staging.sst", IngestOptions(),
+                                       &result)
+                  .ok());
+  EXPECT_EQ(250u, result.entries);
+  ExpectKeys(target.get(), 250);
+
+  // The installed copy must be SHIELD ciphertext, not the plaintext
+  // source bytes: its header parses and the marker values are absent
+  // from the raw file.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/dst", &children).ok());
+  bool saw_sst = false;
+  for (const std::string& child : children) {
+    if (child.size() > 4 && child.compare(child.size() - 4, 4, ".sst") == 0) {
+      saw_sst = true;
+      ShieldFileHeader header;
+      EXPECT_TRUE(
+          ReadShieldFileHeader(env_.get(), "/dst/" + child, &header).ok());
+      std::string raw;
+      ASSERT_TRUE(
+          ReadFileToString(env_.get(), "/dst/" + child, &raw).ok());
+      EXPECT_EQ(std::string::npos, raw.find("ivalue-"));
+    }
+  }
+  EXPECT_TRUE(saw_sst);
+}
+
+TEST_F(IngestTest, EncryptedSstAdoptedWithRewrappedDek) {
+  {
+    auto source = OpenDb(ShieldOptions("source-1"), "/src");
+    FillAndFlush(source.get(), 200);
+  }
+  ExportOneSst("/src", "/staging.sst");
+  ShieldFileHeader before;
+  ASSERT_TRUE(ReadShieldFileHeader(env_.get(), "/staging.sst", &before).ok());
+
+  auto target = OpenDb(ShieldOptions("target-1"), "/dst");
+  IngestResult result;
+  Status s = target->IngestExternalFile("/staging.sst", IngestOptions(),
+                                        &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(200u, result.entries);
+  EXPECT_TRUE(result.dek_rewrapped);
+  ExpectKeys(target.get(), 200);
+
+  // The adopted file carries a fresh DEK id minted for the target over
+  // the same key material — revoking the source's id must not affect
+  // reads through the target.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/dst", &children).ok());
+  for (const std::string& child : children) {
+    if (child.size() > 4 && child.compare(child.size() - 4, 4, ".sst") == 0) {
+      ShieldFileHeader after;
+      ASSERT_TRUE(
+          ReadShieldFileHeader(env_.get(), "/dst/" + child, &after).ok());
+      EXPECT_FALSE(after.dek_id == before.dek_id);
+    }
+  }
+  ASSERT_TRUE(kds_->DeleteDek("source-1", before.dek_id).ok());
+  ExpectKeys(target.get(), 200);
+}
+
+TEST_F(IngestTest, IngestedEntriesSurviveReopen) {
+  // Regression: the sequence-horizon bump must land in the manifest
+  // edit LogAndApply writes, or a reopen recovers a LastSequence below
+  // the ingested entries and hides them.
+  {
+    auto source = OpenDb(ShieldOptions("source-1"), "/src");
+    FillAndFlush(source.get(), 120);
+  }
+  ExportOneSst("/src", "/staging.sst");
+
+  Options target_options = ShieldOptions("target-1");
+  {
+    auto target = OpenDb(target_options, "/dst");
+    IngestResult result;
+    ASSERT_TRUE(target
+                    ->IngestExternalFile("/staging.sst", IngestOptions(),
+                                         &result)
+                    .ok());
+    ExpectKeys(target.get(), 120);
+  }
+  auto reopened = OpenDb(target_options, "/dst");
+  ExpectKeys(reopened.get(), 120);
+}
+
+TEST_F(IngestTest, MoveFileDeletesSource) {
+  {
+    auto source = OpenDb(PlainOptions(), "/src");
+    FillAndFlush(source.get(), 50);
+  }
+  ExportOneSst("/src", "/staging.sst");
+
+  auto target = OpenDb(ShieldOptions("target-1"), "/dst");
+  IngestOptions ingest;
+  ingest.move_file = true;
+  IngestResult result;
+  ASSERT_TRUE(
+      target->IngestExternalFile("/staging.sst", ingest, &result).ok());
+  EXPECT_FALSE(env_->FileExists("/staging.sst"));
+  ExpectKeys(target.get(), 50);
+}
+
+TEST_F(IngestTest, MalformedInputsRejectedAndTargetUntouched) {
+  auto target = OpenDb(ShieldOptions("target-1"), "/dst");
+
+  // Missing file.
+  IngestResult result;
+  EXPECT_FALSE(target
+                   ->IngestExternalFile("/nope.sst", IngestOptions(), &result)
+                   .ok());
+
+  // SHIELD magic with a garbage header: claimed by SHIELD, so it must
+  // surface as corruption — never fall back to the plaintext path.
+  // (Valid version byte so the garbage reaches the field validation.)
+  std::string claimed = "SHLDFIL1" + std::string(56, '\xff');
+  claimed[8] = 1;
+  ASSERT_TRUE(WriteStringToFile(env_.get(), claimed, "/claimed.sst", false)
+                  .ok());
+  Status s =
+      target->IngestExternalFile("/claimed.sst", IngestOptions(), &result);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // Unknown future version: fail closed as NotSupported, still never
+  // the plaintext path.
+  std::string future = claimed;
+  future[8] = '\x63';
+  ASSERT_TRUE(WriteStringToFile(env_.get(), future, "/future.sst", false)
+                  .ok());
+  s = target->IngestExternalFile("/future.sst", IngestOptions(), &result);
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+
+  // Plain junk that is not an SST.
+  ASSERT_TRUE(WriteStringToFile(env_.get(), std::string(4096, 'j'),
+                                "/junk.sst", false)
+                  .ok());
+  EXPECT_FALSE(
+      target->IngestExternalFile("/junk.sst", IngestOptions(), &result).ok());
+
+  // Nothing installed; the DB still works and holds no ingested keys.
+  std::string value;
+  EXPECT_TRUE(
+      target->Get(ReadOptions(), IngestKey(0), &value).IsNotFound());
+  ASSERT_TRUE(target->Put(WriteOptions(), "live", "yes").ok());
+  ASSERT_TRUE(target->Get(ReadOptions(), "live", &value).ok());
+}
+
+TEST_F(IngestTest, DumpRestoreSurvivesSourceDekRevocation) {
+  // The fleet-migration story end to end: dump under a target
+  // identity, revoke every DEK the source instance holds, then restore
+  // under the target identity and read everything back.
+  const int kKeys = 500;
+  {
+    auto source = OpenDb(ShieldOptions("source-1"), "/src");
+    FillAndFlush(source.get(), kKeys);
+
+    DumpOptions dump;
+    dump.target_server_id = "migrated-1";
+    Status s = source->DumpRange("/dump", nullptr, nullptr, dump);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  EXPECT_GT(stats_->GetTickerCount(Tickers::kShieldDumpFiles), 0u);
+
+  // Revoke the source's own DEKs (every live file in /src).
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/src", &children).ok());
+  int revoked = 0;
+  for (const std::string& child : children) {
+    ShieldFileHeader header;
+    if (ReadShieldFileHeader(env_.get(), "/src/" + child, &header).ok()) {
+      ASSERT_TRUE(kds_->DeleteDek("source-1", header.dek_id).ok());
+      revoked++;
+    }
+  }
+  ASSERT_GT(revoked, 0);
+
+  Options target_options = ShieldOptions("migrated-1");
+  ASSERT_TRUE(
+      DB::VerifyDump(target_options, "/dump", RestoreOptions()).ok());
+  Status s =
+      DB::RestoreDump(target_options, "/dump", "/restored", RestoreOptions());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  auto restored = OpenDb(target_options, "/restored");
+  ExpectKeys(restored.get(), kKeys);
+}
+
+TEST_F(IngestTest, DumpRangeHonorsBounds) {
+  auto source = OpenDb(ShieldOptions("source-1"), "/src");
+  FillAndFlush(source.get(), 100);
+
+  const std::string begin = IngestKey(20);
+  const std::string end = IngestKey(59);
+  Slice begin_slice(begin), end_slice(end);
+  DumpOptions dump;
+  ASSERT_TRUE(
+      source->DumpRange("/dump", &begin_slice, &end_slice, dump).ok());
+
+  Options target_options = ShieldOptions("source-1");
+  ASSERT_TRUE(
+      DB::RestoreDump(target_options, "/dump", "/restored", RestoreOptions())
+          .ok());
+  auto restored = OpenDb(target_options, "/restored");
+  for (int i = 0; i < 100; i++) {
+    std::string value;
+    Status s = restored->Get(ReadOptions(), IngestKey(i), &value);
+    if (i >= 20 && i <= 59) {
+      ASSERT_TRUE(s.ok()) << "missing in-range " << IngestKey(i);
+      EXPECT_EQ(IngestValue(i), value);
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << "out-of-range key " << IngestKey(i)
+                                  << " leaked into dump";
+    }
+  }
+}
+
+TEST_F(IngestTest, DumpRefusesExistingDump) {
+  auto source = OpenDb(ShieldOptions("source-1"), "/src");
+  FillAndFlush(source.get(), 30);
+  ASSERT_TRUE(
+      source->DumpRange("/dump", nullptr, nullptr, DumpOptions()).ok());
+  EXPECT_FALSE(
+      source->DumpRange("/dump", nullptr, nullptr, DumpOptions()).ok());
+}
+
+}  // namespace
+}  // namespace shield

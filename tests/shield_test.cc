@@ -47,6 +47,58 @@ TEST(ShieldHeaderTest, RejectsGarbage) {
   EXPECT_TRUE(ParseShieldFileHeader(not_magic, &parsed).IsCorruption());
 }
 
+TEST(ShieldHeaderTest, RejectsMalformedHeaders) {
+  // The parser runs on attacker-supplied bytes (restore, external-SST
+  // ingest): every field that is not exactly what the encoder emits
+  // must fail closed. Each case mutates one byte of a valid header.
+  ShieldFileHeader valid;
+  valid.cipher = crypto::CipherKind::kAes128Ctr;
+  valid.dek_id = DekId::Generate();
+  valid.nonce = crypto::SecureRandomString(16);
+  const std::string good = EncodeShieldFileHeader(valid);
+
+  struct Case {
+    const char* name;
+    size_t offset;     // byte to overwrite (ignored when truncate_to set)
+    char value;
+    size_t truncate_to;  // when nonzero, truncate instead of mutate
+    bool expect_not_supported;  // else Corruption
+  };
+  const Case cases[] = {
+      {"truncated to magic only", 0, 0, 8, false},
+      {"truncated mid-header", 0, 0, kShieldHeaderSize - 1, false},
+      {"corrupt magic byte", 3, 'x', 0, false},
+      {"unknown version", 8, 99, 0, true},
+      {"version zero", 8, 0, 0, true},
+      {"unknown cipher id", 9, 77, 0, false},
+      {"nonce_len over 16", 10, 17, 0, false},
+      {"nonce_len over 16 (255)", 10, static_cast<char>(255), 0, false},
+      {"nonce_len mismatching cipher", 10, 12, 0, false},
+      {"nonce_len zero", 10, 0, 0, false},
+      {"nonzero reserved byte", 11, 1, 0, false},
+  };
+  for (const Case& c : cases) {
+    std::string bytes = good;
+    if (c.truncate_to != 0) {
+      bytes.resize(c.truncate_to);
+    } else {
+      bytes[c.offset] = c.value;
+    }
+    ShieldFileHeader parsed;
+    Status s = ParseShieldFileHeader(bytes, &parsed);
+    EXPECT_FALSE(s.ok()) << c.name;
+    if (c.expect_not_supported) {
+      EXPECT_TRUE(s.IsNotSupported()) << c.name << ": " << s.ToString();
+    } else {
+      EXPECT_TRUE(s.IsCorruption()) << c.name << ": " << s.ToString();
+    }
+  }
+
+  // Sanity: the unmutated header still parses.
+  ShieldFileHeader parsed;
+  EXPECT_TRUE(ParseShieldFileHeader(good, &parsed).ok());
+}
+
 TEST(ShieldHeaderTest, ReadFromFile) {
   auto env = NewMemEnv();
   ShieldFileHeader header;

@@ -31,16 +31,49 @@
 //       suite covers that path); --plain restores exercise the full
 //       cycle stand-alone.
 //
+//   backup_tool dump    --db=PATH --dump=DIR [--begin=KEY] [--end=KEY]
+//                       [--target=SERVER_ID] [--server=SERVER_ID]
+//                       [--hmac-key=KEY] [--passkey=KEY] [--plain]
+//       Exports the live data in [begin, end] (whole DB by default) as
+//       a set of freshly built SSTs plus a MAC'd DUMP_MANIFEST. With
+//       --target every dump file's DEK is re-wrapped for that server
+//       identity, so the dump stays restorable after the source's own
+//       keys are revoked.
+//
+//   backup_tool verify-dump --dump=DIR [--hmac-key=KEY]
+//       Checks the dump manifest's MAC and every file's HMAC without
+//       touching any database.
+//
+//   backup_tool restore-dump --dump=DIR --db=PATH [--server=SERVER_ID]
+//                       [--hmac-key=KEY] [--plain]
+//       Verifies DIR, then ingests every dump file into the DB at PATH
+//       (created if missing) and runs DB::VerifyIntegrity. As with
+//       `restore`, an encrypted restore needs a KDS that can resolve
+//       the dump's DEK ids; use `cycle` for a stand-alone encrypted
+//       round-trip.
+//
+//   backup_tool cycle   --db=SCRATCH [--keys=N] [--server=SERVER_ID]
+//                       [--target=SERVER_ID] [--hmac-key=KEY]
+//       End-to-end encrypted migration proof in one process (one
+//       shared in-memory KDS): seeds an encrypted source DB under
+//       SCRATCH/source, dumps it re-wrapped for the target identity,
+//       REVOKES every DEK the source directory references, restores
+//       the dump into SCRATCH/restored under the target identity, and
+//       verifies integrity plus every key's value. Exit 0 only if the
+//       data survived with the source's keys gone.
+//
 // Exit codes: 0 success; 1 usage error; 2 operation failed.
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 #include "kds/local_kds.h"
 #include "lsm/db.h"
+#include "shield/file_crypto.h"
 
 namespace shield {
 namespace {
@@ -49,6 +82,11 @@ struct ToolOptions {
   std::string command;
   std::string db_path;
   std::string backup_dir;
+  std::string dump_dir;
+  std::string begin_key;
+  std::string end_key;
+  bool has_begin = false;
+  bool has_end = false;
   std::string server_id = "backup-tool";
   std::string target_server_id;
   std::string hmac_key = "shield-backup";
@@ -68,7 +106,15 @@ void Usage() {
           "                      [--passkey=KEY] [--plain]\n"
           "  backup_tool verify  --backup=DIR [--hmac-key=KEY]\n"
           "  backup_tool restore --backup=DIR --db=PATH [--server=ID]\n"
-          "                      [--hmac-key=KEY] [--plain]\n");
+          "                      [--hmac-key=KEY] [--plain]\n"
+          "  backup_tool dump    --db=PATH --dump=DIR [--begin=KEY]\n"
+          "                      [--end=KEY] [--target=ID] [--server=ID]\n"
+          "                      [--hmac-key=KEY] [--passkey=KEY] [--plain]\n"
+          "  backup_tool verify-dump  --dump=DIR [--hmac-key=KEY]\n"
+          "  backup_tool restore-dump --dump=DIR --db=PATH [--server=ID]\n"
+          "                      [--hmac-key=KEY] [--plain]\n"
+          "  backup_tool cycle   --db=SCRATCH [--keys=N] [--server=ID]\n"
+          "                      [--target=ID] [--hmac-key=KEY]\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -194,6 +240,176 @@ int RunRestore(const ToolOptions& t) {
   return 0;
 }
 
+int RunDump(const ToolOptions& t) {
+  DB* db = nullptr;
+  Status s = DB::Open(DbOptions(t), t.db_path, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open %s: %s\n", t.db_path.c_str(),
+            s.ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<DB> owned(db);
+  DumpOptions dopts;
+  dopts.target_server_id = t.target_server_id;
+  dopts.hmac_key = t.hmac_key;
+  const Slice begin(t.begin_key);
+  const Slice end(t.end_key);
+  s = db->DumpRange(t.dump_dir, t.has_begin ? &begin : nullptr,
+                    t.has_end ? &end : nullptr, dopts);
+  if (!s.ok()) {
+    fprintf(stderr, "dump: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  printf("dump created in %s\n", t.dump_dir.c_str());
+  return 0;
+}
+
+int RunVerifyDump(const ToolOptions& t) {
+  Options o;
+  RestoreOptions ropts;
+  ropts.hmac_key = t.hmac_key;
+  Status s = DB::VerifyDump(o, t.dump_dir, ropts);
+  if (!s.ok()) {
+    fprintf(stderr, "verify-dump: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  printf("dump %s verified\n", t.dump_dir.c_str());
+  return 0;
+}
+
+int RunRestoreDump(const ToolOptions& t) {
+  Options o = DbOptions(t);
+  o.create_if_missing = true;
+  RestoreOptions ropts;
+  ropts.hmac_key = t.hmac_key;
+  Status s = DB::RestoreDump(o, t.dump_dir, t.db_path, ropts);
+  if (!s.ok()) {
+    fprintf(stderr, "restore-dump: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  printf("restored dump %s into %s (integrity verified)\n",
+         t.dump_dir.c_str(), t.db_path.c_str());
+  return 0;
+}
+
+// One-process encrypted migration round-trip (the in-memory KDS is
+// shared across both identities): source DB -> dump re-wrapped for the
+// target -> revoke every DEK the source directory references -> restore
+// under the target identity -> verify integrity and every value.
+int RunCycle(const ToolOptions& t) {
+  Env* env = Env::Default();
+  auto kds = std::make_shared<LocalKds>();
+  const std::string source_dir = t.db_path + "/source";
+  const std::string dump_dir = t.db_path + "/dump";
+  const std::string restored_dir = t.db_path + "/restored";
+  const std::string target = t.target_server_id.empty()
+                                 ? t.server_id + "-migrated"
+                                 : t.target_server_id;
+  Status s = env->CreateDirIfMissing(t.db_path);
+  if (!s.ok()) {
+    fprintf(stderr, "mkdir %s: %s\n", t.db_path.c_str(),
+            s.ToString().c_str());
+    return 2;
+  }
+
+  Options src_opts;
+  src_opts.create_if_missing = true;
+  src_opts.encryption.mode = EncryptionMode::kShield;
+  src_opts.encryption.kds = kds;
+  src_opts.encryption.server_id = t.server_id;
+
+  char key[32];
+  char value[64];
+  {
+    DB* db = nullptr;
+    s = DB::Open(src_opts, source_dir, &db);
+    if (!s.ok()) {
+      fprintf(stderr, "open source: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::unique_ptr<DB> owned(db);
+    WriteOptions wopts;
+    for (uint64_t i = 0; s.ok() && i < t.num_keys; i++) {
+      snprintf(key, sizeof(key), "key-%08llu",
+               static_cast<unsigned long long>(i));
+      snprintf(value, sizeof(value), "value-%08llu-cycled-by-backup-tool",
+               static_cast<unsigned long long>(i));
+      s = db->Put(wopts, key, value);
+    }
+    if (s.ok()) {
+      s = db->Flush();
+    }
+    if (s.ok()) {
+      DumpOptions dopts;
+      dopts.target_server_id = target;
+      dopts.hmac_key = t.hmac_key;
+      s = db->DumpRange(dump_dir, nullptr, nullptr, dopts);
+    }
+    if (!s.ok()) {
+      fprintf(stderr, "seed+dump: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Revoke the source identity: delete every DEK referenced by a file
+  // in the source directory. The dump's re-wrapped ids are fresh ids
+  // provisioned to the target and survive this.
+  std::vector<std::string> children;
+  s = env->GetChildren(source_dir, &children);
+  if (!s.ok()) {
+    fprintf(stderr, "list source: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  uint64_t revoked = 0;
+  for (const auto& name : children) {
+    ShieldFileHeader header;
+    if (ReadShieldFileHeader(env, source_dir + "/" + name, &header).ok()) {
+      if (kds->DeleteDek(t.server_id, header.dek_id).ok()) {
+        revoked++;
+      }
+    }
+  }
+  printf("revoked %llu source DEKs\n",
+         static_cast<unsigned long long>(revoked));
+
+  Options dst_opts = src_opts;
+  dst_opts.encryption.server_id = target;
+  RestoreOptions ropts;
+  ropts.hmac_key = t.hmac_key;
+  s = DB::RestoreDump(dst_opts, dump_dir, restored_dir, ropts);
+  if (!s.ok()) {
+    fprintf(stderr, "restore-dump: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  DB* db = nullptr;
+  dst_opts.create_if_missing = false;
+  s = DB::Open(dst_opts, restored_dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open restored: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<DB> owned(db);
+  ReadOptions ropt;
+  std::string got;
+  for (uint64_t i = 0; i < t.num_keys; i++) {
+    snprintf(key, sizeof(key), "key-%08llu",
+             static_cast<unsigned long long>(i));
+    snprintf(value, sizeof(value), "value-%08llu-cycled-by-backup-tool",
+             static_cast<unsigned long long>(i));
+    s = db->Get(ropt, key, &got);
+    if (!s.ok() || got != value) {
+      fprintf(stderr, "restored value mismatch at %s: %s\n", key,
+              s.ToString().c_str());
+      return 2;
+    }
+  }
+  printf("cycle ok: %llu keys migrated %s -> %s with source DEKs revoked\n",
+         static_cast<unsigned long long>(t.num_keys), t.server_id.c_str(),
+         target.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     Usage();
@@ -205,10 +421,19 @@ int Run(int argc, char** argv) {
     const char* arg = argv[i];
     if (ParseFlag(arg, "--db", &t.db_path) ||
         ParseFlag(arg, "--backup", &t.backup_dir) ||
+        ParseFlag(arg, "--dump", &t.dump_dir) ||
         ParseFlag(arg, "--server", &t.server_id) ||
         ParseFlag(arg, "--target", &t.target_server_id) ||
         ParseFlag(arg, "--hmac-key", &t.hmac_key) ||
         ParseFlag(arg, "--passkey", &t.passkey)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--begin", &t.begin_key)) {
+      t.has_begin = true;
+      continue;
+    }
+    if (ParseFlag(arg, "--end", &t.end_key)) {
+      t.has_end = true;
       continue;
     }
     std::string keys;
@@ -253,6 +478,34 @@ int Run(int argc, char** argv) {
       return 1;
     }
     return RunRestore(t);
+  }
+  if (t.command == "dump") {
+    if (t.db_path.empty() || t.dump_dir.empty()) {
+      Usage();
+      return 1;
+    }
+    return RunDump(t);
+  }
+  if (t.command == "verify-dump") {
+    if (t.dump_dir.empty()) {
+      Usage();
+      return 1;
+    }
+    return RunVerifyDump(t);
+  }
+  if (t.command == "restore-dump") {
+    if (t.dump_dir.empty() || t.db_path.empty()) {
+      Usage();
+      return 1;
+    }
+    return RunRestoreDump(t);
+  }
+  if (t.command == "cycle") {
+    if (t.db_path.empty()) {
+      Usage();
+      return 1;
+    }
+    return RunCycle(t);
   }
   Usage();
   return 1;
