@@ -48,7 +48,15 @@ RemoteCompactionWorker::~RemoteCompactionWorker() = default;
 
 Status RemoteCompactionWorker::RunCompaction(const CompactionJobSpec& job,
                                              CompactionJobResult* result) {
-  TraceSpan span(SpanType::kCompactionRpc);
+  // Worker-side spans land in the worker node's trace (when one is
+  // bound); the RPC span parents to the dispatching DB op when the
+  // primary shipped its context, else to whatever is open on this
+  // thread (in-process offload without a per-node tracer).
+  ScopedTracerBinding binding(options_.tracer);
+  TraceSpan span(SpanType::kCompactionRpc,
+                 job.trace.valid() ? job.trace.parent_span_id
+                                   : Tracer::CurrentSpanId(),
+                 Slice());
   span.SetArgs(static_cast<uint64_t>(job.level),
                job.inputs0.size() + job.inputs1.size());
   const uint64_t start_micros = NowMicros();

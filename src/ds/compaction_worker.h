@@ -30,6 +30,11 @@ class RemoteCompactionWorker final : public CompactionService {
     Options db_options;
     /// Identity this worker presents to the KDS.
     std::string server_id = "compaction-worker-1";
+    /// Optional per-node tracer (non-exclusive). When set, RunCompaction
+    /// binds its thread to this tracer so worker-side spans land in the
+    /// worker node's trace file, parented to the dispatching DB op via
+    /// CompactionJobSpec::trace.
+    Tracer* tracer = nullptr;
   };
 
   explicit RemoteCompactionWorker(const WorkerOptions& options);

@@ -343,7 +343,14 @@ class RemoteEnv final : public EnvWrapper {
 
 Status StorageService::FetchFile(const std::string& fname,
                                  std::string* contents) {
-  TraceSpan span(SpanType::kReplicaFetch, fname);
+  // Capture the dispatching node's context before rebinding to the
+  // storage node's tracer (when one is configured): the fetch span
+  // lands in the storage node's trace file, parented across files to
+  // the client op that asked for the bytes. Without a storage tracer
+  // this degrades to plain same-thread TLS parenting.
+  const TraceContext caller = Tracer::CurrentContext();
+  ScopedTracerBinding binding(tracer_);
+  TraceSpan span(SpanType::kReplicaFetch, caller.parent_span_id, fname);
   if (replica_env_ == nullptr) {
     span.SetError();
     return Status::NotSupported("storage service replication is disabled");

@@ -8,6 +8,7 @@
 #include "env/env.h"
 #include "env/io_stats.h"
 #include "lsm/options.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -58,9 +59,16 @@ class StorageService : public FileReplicaSource {
     media_stats_.SetStatisticsSink(stats);
   }
 
+  /// Optional storage-node tracer (non-exclusive). When set, replica
+  /// fetches record their span into this tracer's file, parented to
+  /// the dispatching client op's span. Not owned; pass nullptr to
+  /// detach.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   NetworkSimulator network_;
   IoStats media_stats_;
+  Tracer* tracer_ = nullptr;
   std::unique_ptr<Env> counting_env_;
   std::unique_ptr<Env> replica_env_;      // in-memory second copy
   std::unique_ptr<Env> replicating_env_;  // tee over counting + replica

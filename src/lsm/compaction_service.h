@@ -8,6 +8,7 @@
 
 #include "lsm/format.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace shield {
 
@@ -34,6 +35,11 @@ struct CompactionJobSpec {
   /// File numbers pre-allocated by the primary for outputs; the worker
   /// consumes them in order.
   std::vector<uint64_t> output_numbers;
+  /// Tracing context of the dispatching DB operation (all zero when no
+  /// trace is active on the primary). The worker parents its
+  /// compaction-RPC span to `trace.parent_span_id`, so stitched
+  /// per-node trace files form one causal tree across the fabric.
+  TraceContext trace;
 };
 
 /// Metadata of one output file produced by the worker.

@@ -8,6 +8,7 @@
 #include "lsm/options.h"
 #include "lsm/snapshot.h"
 #include "lsm/write_batch.h"
+#include "util/health.h"
 #include "util/slice.h"
 #include "util/status.h"
 #include "util/trace.h"
@@ -320,6 +321,19 @@ class DB {
   /// work. Returns the sticky error if the DB is halted (hard errors
   /// require a re-open); OK when already active.
   virtual Status Resume() = 0;
+
+  /// Runs every registered health detector once (write-stall, L0 debt,
+  /// WAL pipeline stalls, scrub backlog, KDS reachability, DEK-rotation
+  /// progress, replica catch-up lag — see util/health.h) and returns
+  /// the level transitions this pass produced; the same transitions are
+  /// emitted as "health_transition" events and mirrored into
+  /// `shield_health_*` gauges. Current state is readable without
+  /// re-evaluating via the "shield.health" property. `transitions` may
+  /// be null.
+  virtual Status EvaluateHealth(std::vector<HealthTransition>* transitions) {
+    (void)transitions;
+    return Status::NotSupported("health monitoring not supported by this DB");
+  }
 
   /// Read-only instances: re-reads the manifest/WALs to observe the
   /// primary's latest persisted state. Primary instances return OK

@@ -153,6 +153,7 @@ Status DBImpl::CreateBackup(const std::string& backup_dir,
     return Status::NotSupported(
         "backups are created from the primary instance");
   }
+  ScopedTracerBinding trace_binding(&tracer_);
   TraceSpan span(SpanType::kBackup);
   const bool shield_mode =
       options_.encryption.mode == EncryptionMode::kShield;

@@ -299,6 +299,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   CompactionStats stats;
   stats.count = 1;
 
+  ScopedTracerBinding trace_binding(&tracer_);
   TraceSpan comp_span(SpanType::kCompactionJob);
   comp_span.SetArgs(static_cast<uint64_t>(c->level()),
                     static_cast<uint64_t>(c->output_level()));
@@ -601,6 +602,9 @@ Status DBImpl::DoOffloadedCompaction(Compaction* c, VersionEdit* edit,
     mutex_.unlock();
     TraceSpan rpc_span(SpanType::kOffloadRpc);
     rpc_span.SetArgs(input_bytes, 0);
+    // Ship the dispatching span so the worker (possibly another node
+    // with its own trace file) parents its RPC span to this one.
+    job.trace = Tracer::CurrentContext();
     // Transient service failures (network faults, brief worker
     // unavailability) are retried with backoff before the job is
     // declared failed; each attempt restarts from the same spec and
@@ -682,6 +686,7 @@ Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   if (read_only_) {
     return Status::NotSupported("read-only instance");
   }
+  ScopedTracerBinding trace_binding(&tracer_);
   PerfOpBoundary();
   TraceSpan span(SpanType::kDbCompactRange);
   StopWatch watch(options_.statistics.get(),

@@ -70,6 +70,15 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       internal_comparator_(options_.comparator) {}
 
 DBImpl::~DBImpl() {
+  // Stop the health evaluator before anything it probes is torn down,
+  // and detach the shared Statistics from our registry (the Statistics
+  // object may outlive this DB).
+  health_monitor_.StopBackground();
+  if (options_.statistics != nullptr &&
+      options_.statistics->registry() == &metrics_) {
+    options_.statistics->AttachRegistry(nullptr, std::string());
+  }
+
   // Stop the rotation job first: a pass rewrites files through the
   // manifest, and RunRotation checks rotation_stop_ between files so
   // this returns promptly (leaving the remainder persisted in the
@@ -469,6 +478,8 @@ Status DBImpl::Recover() {
       mem_ = new MemTable(internal_comparator_, options_.memtable_shards);
       mem_->Ref();
     }
+    RecordCatchupApplied();
+    SetupHealthPlane();
     return Status::OK();
   }
 
@@ -524,6 +535,7 @@ Status DBImpl::Recover() {
       rotation_thread_ = std::thread([this] { RotationLoop(); });
     }
   }
+  SetupHealthPlane();
   return Status::OK();
 }
 
@@ -591,6 +603,27 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return false;
   }
   in.remove_prefix(prefix.size());
+
+  // Properties that must not (or need not) hold mutex_: the health
+  // JSON reads monitor state only, and the catch-up probes touch the
+  // shared namespace + atomics — both may be polled by detectors or
+  // monitors while the DB mutex is busy.
+  if (in == Slice("health")) {
+    *value = health_monitor_.ToJson();
+    return true;
+  }
+  if (in == Slice("replica.catchup-lag-bytes")) {
+    uint64_t lag_bytes = 0, lag_generations = 0;
+    (void)ComputeCatchupLag(&lag_bytes, &lag_generations);
+    *value = std::to_string(lag_bytes);
+    return true;
+  }
+  if (in == Slice("replica.catchup-lag-generations")) {
+    uint64_t lag_bytes = 0, lag_generations = 0;
+    (void)ComputeCatchupLag(&lag_bytes, &lag_generations);
+    *value = std::to_string(lag_generations);
+    return true;
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (in.starts_with("num-files-at-level")) {
@@ -756,20 +789,19 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     if (options_.statistics == nullptr) {
       return false;
     }
-    *value = options_.statistics->ToPrometheusText();
-    // DB-level gauges that live outside the Statistics registry.
-    char buf[128];
-    value->append("# TYPE shield_level_files gauge\n");
-    for (int level = 0; level < versions_->num_levels(); level++) {
-      snprintf(buf, sizeof(buf), "shield_level_files{level=\"%d\"} %d\n",
-               level, versions_->NumLevelFiles(level));
-      value->append(buf);
-    }
-    value->append("# TYPE shield_level_bytes gauge\n");
-    for (int level = 0; level < versions_->num_levels(); level++) {
-      snprintf(buf, sizeof(buf), "shield_level_bytes{level=\"%d\"} %lld\n",
-               level, static_cast<long long>(versions_->NumLevelBytes(level)));
-      value->append(buf);
+    RefreshMetricsGauges();
+    if (options_.statistics->registry() == &metrics_) {
+      // One well-formed encoder over everything: ticker counters,
+      // labeled latency summaries + sliding windows, level gauges,
+      // health gauges, catch-up lag.
+      options_.statistics->SyncRegistry();
+      *value = metrics_.ToPrometheusText();
+    } else {
+      // The Statistics object is shared and mirrored into another DB's
+      // registry: emit its families from its own encoder, then our
+      // DB-level gauge families.
+      *value = options_.statistics->ToPrometheusText();
+      value->append(metrics_.ToPrometheusText());
     }
     return true;
   }
@@ -794,10 +826,17 @@ Status DBImpl::StartTrace(const TraceOptions& trace_options,
   if (tracer_.active()) {
     return Status::Busy("this DB already has an active trace");
   }
+  TraceOptions opts = trace_options;
+  if (opts.node_name.empty()) {
+    opts.node_name = options_.node_name;
+  }
   // The trace is written through the physical env: plaintext on
   // purpose (span labels are file names, never keys or user data), and
-  // replayable against a raw directory.
-  Status s = tracer_.Start(raw_env_, trace_path, trace_options,
+  // replayable against a raw directory. TraceOptions::trace_env
+  // overrides the destination (the simulator points it at a zero-cost
+  // backing store so tracing never perturbs virtual time).
+  Env* trace_env = opts.trace_env != nullptr ? opts.trace_env : raw_env_;
+  Status s = tracer_.Start(trace_env, trace_path, opts,
                            options_.statistics.get());
   if (s.ok() && event_logger_ != nullptr && event_logger_->enabled()) {
     JsonWriter w = event_logger_->NewEvent("trace_start");

@@ -22,7 +22,9 @@
 #include "shield/dek_manager.h"
 #include "shield/file_crypto.h"
 #include "util/event_logger.h"
+#include "util/health.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -60,6 +62,7 @@ class DBImpl final : public DB {
   Status StartTrace(const TraceOptions& trace_options,
                     const std::string& trace_path) override;
   Status EndTrace() override;
+  Status EvaluateHealth(std::vector<HealthTransition>* transitions) override;
   Status RotateDeks(const RotateOptions& options,
                     RotateResult* result) override;
   Status CreateBackup(const std::string& backup_dir,
@@ -195,6 +198,24 @@ class DBImpl final : public DB {
   /// level 0 and bumps the sequence horizon past its entries.
   Status InstallIngestedFile(uint64_t file_number, uint64_t file_size,
                              IngestResult* result);
+
+  // Cluster health plane (db_health.cc).
+  /// Registers the stall/L0/WAL-pipeline/scrub/KDS/rotation/catch-up
+  /// detectors with health_monitor_ and wires the transition sink to
+  /// the event logger. Called once at the end of Recover().
+  void SetupHealthPlane();
+  /// Refreshes the DB-level gauges (levels, health, catch-up lag) in
+  /// metrics_ — called while serving the "shield.metrics" property.
+  /// REQUIRES: mutex_ held.
+  void RefreshMetricsGauges();
+  /// Replica catch-up lag versus the primary's published state: bytes
+  /// of manifest not yet applied and manifest generations behind.
+  /// Writers report zero. Returns non-OK when the shared storage is
+  /// unreachable (partition) — the catch-up detector's critical edge.
+  Status ComputeCatchupLag(uint64_t* lag_bytes, uint64_t* lag_generations);
+  /// Records the manifest state a successful Recover/TryCatchUp
+  /// applied, the baseline ComputeCatchupLag compares against.
+  void RecordCatchupApplied();
 
   // Online DEK rotation (db_rotation.cc).
   /// Executes (or resumes) the rotation described by `manifest`,
@@ -346,6 +367,23 @@ class DBImpl final : public DB {
   std::atomic<uint64_t> recovery_salvaged_logs_{0};
   CompactionStats stats_[kMaxNumLevels];
   std::atomic<uint64_t> stall_micros_{0};
+
+  // Cluster health plane (db_health.cc). metrics_ is this DB's labeled
+  // registry: Options::statistics mirrors its tickers/histograms into
+  // it (AttachRegistry), and DB-level gauges (levels, health, catch-up
+  // lag) are refreshed on property reads. health_monitor_ owns the
+  // detector state machines; transitions are emitted as
+  // "health_transition" events.
+  MetricsRegistry metrics_;
+  HealthMonitor health_monitor_;
+  // Manifest state the last successful Recover/TryCatchUp applied
+  // (read-only instances): baseline for catch-up lag.
+  std::atomic<uint64_t> catchup_applied_manifest_{0};
+  std::atomic<uint64_t> catchup_applied_manifest_bytes_{0};
+  // Last published catch-up lag, mirrored into gauges and the
+  // replica.catchup detector.
+  std::atomic<uint64_t> catchup_lag_bytes_{0};
+  std::atomic<uint64_t> catchup_lag_generations_{0};
 };
 
 }  // namespace shield

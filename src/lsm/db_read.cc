@@ -10,6 +10,7 @@ namespace shield {
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  ScopedTracerBinding trace_binding(&tracer_);
   PerfOpBoundary();
   TraceSpan span(SpanType::kDbGet);
   StopWatch get_watch(options_.statistics.get(), Histograms::kDbGetMicros);
@@ -66,6 +67,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
                                      const std::vector<Slice>& keys,
                                      std::vector<std::string>* values) {
+  ScopedTracerBinding trace_binding(&tracer_);
   PerfOpBoundary();
   TraceSpan span(SpanType::kDbMultiGet);
   span.SetArgs(keys.size(), 0);

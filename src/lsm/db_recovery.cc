@@ -116,6 +116,7 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   meta.number = versions_->NewFileNumber();
   pending_outputs_.insert(meta.number);
 
+  ScopedTracerBinding trace_binding(&tracer_);
   TraceSpan flush_span(SpanType::kFlushJob);
   flush_span.SetArgs(meta.number, mem->NumEntries());
   if (event_logger_ != nullptr) {
@@ -216,6 +217,12 @@ Status DBImpl::TryCatchUp() {
     return Status::OK();
   }
 
+  // Catch-up work records into this replica's tracer (per-node trace
+  // files in the simulated cluster); the manifest/WAL reads it issues
+  // nest under this span.
+  ScopedTracerBinding trace_binding(&tracer_);
+  TraceSpan span(SpanType::kRecovery, Slice("catchup"));
+
   std::unique_lock<std::mutex> lock(mutex_);
 
   // Rebuild version state from the manifest the primary most recently
@@ -264,6 +271,11 @@ Status DBImpl::TryCatchUp() {
 
   if (versions_->LastSequence() < max_sequence) {
     versions_->SetLastSequence(max_sequence);
+  }
+  if (s.ok()) {
+    // This replica now reflects the primary's published state: reset
+    // the catch-up lag baseline the health plane measures against.
+    RecordCatchupApplied();
   }
   return s;
 }

@@ -105,6 +105,7 @@ Status DBImpl::RotateDeks(const RotateOptions& rotate_options,
 
 Status DBImpl::RunRotation(RotationManifest* manifest,
                            const RotateOptions& opts, RotateResult* result) {
+  ScopedTracerBinding trace_binding(&tracer_);
   TraceSpan span(SpanType::kRotationPass);
   rotation_running_.store(true, std::memory_order_release);
   rotation_passes_.fetch_add(1, std::memory_order_relaxed);

@@ -25,6 +25,7 @@ Status DBImpl::VerifyIntegrity() {
 }
 
 Status DBImpl::ScrubPass(bool throttle, ScrubStats* stats) {
+  ScopedTracerBinding trace_binding(&tracer_);
   TraceSpan pass_span(SpanType::kScrubPass);
   const uint64_t pass_start = NowMicros();
   std::vector<Version::LiveFileInfo> files;

@@ -28,6 +28,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     return Status::NotSupported("read-only instance");
   }
 
+  ScopedTracerBinding trace_binding(&tracer_);
   PerfOpBoundary();
   TraceSpan span(SpanType::kDbWrite);
   if (updates != nullptr) {
@@ -435,6 +436,7 @@ Status DBImpl::Flush() {
   if (read_only_) {
     return Status::NotSupported("read-only instance");
   }
+  ScopedTracerBinding trace_binding(&tracer_);
   PerfOpBoundary();
   TraceSpan span(SpanType::kDbFlush);
   StopWatch watch(options_.statistics.get(), Histograms::kDbFlushMicros);

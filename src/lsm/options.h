@@ -333,6 +333,21 @@ struct Options {
   /// call via RotateOptions::bytes_per_second.
   uint64_t rotation_bytes_per_second = 8 * 1024 * 1024;
 
+  /// Stable node identity for the cluster health plane. When set it is
+  /// stamped as the `node` label on every metric the DB exports
+  /// ("shield.metrics"), into trace-file headers (format v2) when a
+  /// trace is started without an explicit node name, and onto health
+  /// transitions. Empty (default) keeps single-node output byte-
+  /// compatible with older tooling.
+  std::string node_name;
+
+  /// Wall-clock interval between background health evaluations
+  /// (util/health.h). 0 (default) disables the background thread:
+  /// health is still evaluated on demand by DB::EvaluateHealth and the
+  /// "shield.health" property. The simulator keeps this at 0 and
+  /// drives evaluations explicitly so journals stay deterministic.
+  uint64_t health_interval_micros = 0;
+
   EncryptionOptions encryption;
 };
 

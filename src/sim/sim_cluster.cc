@@ -26,6 +26,33 @@ RetryPolicy DriverRetryPolicy(uint64_t seed) {
   return p;
 }
 
+// The sim wires the writer's CompactionService pointer straight at the
+// worker object; a real deployment crosses the storage fabric. This
+// shim charges the job-spec dispatch and the result-manifest return
+// (one RTT each) to the network simulator, so the writer-side
+// ds.offload_rpc span measurably exceeds the worker-side
+// ds.compaction_rpc span by the fabric cost. Dispatch rides the
+// control channel: it pays latency but is not subject to injected
+// data-fabric faults (offload availability under partitions is the
+// storage campaigns' job, and must not change under observability).
+class FabricCompactionService final : public CompactionService {
+ public:
+  FabricCompactionService(CompactionService* target, NetworkSimulator* net)
+      : target_(target), net_(net) {}
+
+  Status RunCompaction(const CompactionJobSpec& job,
+                       CompactionJobResult* result) override {
+    net_->SimulateTransfer(0, /*pay_rtt=*/true);
+    Status s = target_->RunCompaction(job, result);
+    net_->SimulateTransfer(0, /*pay_rtt=*/true);
+    return s;
+  }
+
+ private:
+  CompactionService* target_;
+  NetworkSimulator* net_;
+};
+
 }  // namespace
 
 SimCluster::SimCluster(const SimClusterOptions& options)
@@ -47,6 +74,10 @@ Options SimCluster::WriterOptions() {
   o.write_buffer_size = options_.write_buffer_size;
   o.memtable_shards = options_.memtable_shards;
   o.info_log = options_.info_log;
+  if (options_.observability) {
+    o.node_name = "writer";
+    o.statistics = CreateDBStatistics();
+  }
   o.encryption.mode = EncryptionMode::kShield;
   o.encryption.wal_pipeline_window = options_.wal_pipeline_window;
   o.encryption.wal_padding_buckets = options_.wal_padding_buckets;
@@ -54,7 +85,7 @@ Options SimCluster::WriterOptions() {
                          ? std::static_pointer_cast<Kds>(failover_kds_)
                          : std::static_pointer_cast<Kds>(faulty_kds_);
   o.encryption.server_id = "writer";
-  o.compaction_service = worker_.get();
+  o.compaction_service = fabric_compaction_.get();
   o.offload_fallback_to_local = true;
   o.replica_source = service_.get();
   // Transient storage/KDS outages must never strand the writer in
@@ -70,6 +101,10 @@ Options SimCluster::ReplicaOptions(int i) {
   o.env = replica_envs_[i].get();
   o.write_buffer_size = options_.write_buffer_size;
   o.info_log = options_.info_log;
+  if (options_.observability) {
+    o.node_name = "replica-" + std::to_string(i);
+    o.statistics = CreateDBStatistics();
+  }
   o.encryption.mode = EncryptionMode::kShield;
   o.encryption.kds = faulty_kds_;
   o.encryption.server_id = "replica-" + std::to_string(i);
@@ -131,6 +166,33 @@ Status SimCluster::Start() {
     failover_kds_->SetEventLogger(event_logger_.get());
   }
 
+  if (options_.observability) {
+    // Per-node tracers for the non-DB nodes. They write through the
+    // raw backing store (beneath fault injection and the network sim),
+    // so recording spans costs no virtual time.
+    Status ts = backing_->CreateDirIfMissing(options_.trace_dir);
+    if (!ts.ok()) {
+      return ts;
+    }
+    TraceOptions topts;
+    topts.exclusive = false;
+    topts.node_name = "worker";
+    worker_tracer_ = std::make_unique<Tracer>();
+    ts = worker_tracer_->Start(backing_.get(),
+                               options_.trace_dir + "/worker.trace", topts);
+    if (!ts.ok()) {
+      return ts;
+    }
+    topts.node_name = "storage";
+    storage_tracer_ = std::make_unique<Tracer>();
+    ts = storage_tracer_->Start(backing_.get(),
+                                options_.trace_dir + "/storage.trace", topts);
+    if (!ts.ok()) {
+      return ts;
+    }
+    service_->SetTracer(storage_tracer_.get());
+  }
+
   RemoteCompactionWorker::WorkerOptions wopts;
   wopts.env = service_->server_env();
   wopts.db_options = Options();
@@ -141,7 +203,10 @@ Status SimCluster::Start() {
   wopts.db_options.encryption.kds = faulty_kds_;
   wopts.db_options.encryption.server_id = "worker";
   wopts.server_id = "worker";
+  wopts.tracer = worker_tracer_.get();
   worker_ = std::make_unique<RemoteCompactionWorker>(wopts);
+  fabric_compaction_ = std::make_unique<FabricCompactionService>(
+      worker_.get(), service_->network());
 
   DB* raw = nullptr;
   Status s = RunOp("open-writer", [&] {
@@ -151,6 +216,7 @@ Status SimCluster::Start() {
     return s;
   }
   writer_.reset(raw);
+  MaybeStartTrace(writer_.get(), "writer");
 
   // Replicas need persisted state (CURRENT + manifest) to attach to.
   s = Quiesce();
@@ -251,7 +317,24 @@ Status SimCluster::OpenReplica(int i) {
   } else {
     replicas_.emplace_back(raw);
   }
+  MaybeStartTrace(raw, "replica-" + std::to_string(i));
   return Status::OK();
+}
+
+void SimCluster::MaybeStartTrace(DB* db, const std::string& node) {
+  if (!options_.observability || db == nullptr) {
+    return;
+  }
+  TraceOptions topts;
+  topts.exclusive = false;
+  topts.node_name = node;
+  // Write the trace beneath the remote/fault stack: zero virtual-time
+  // cost, and the file survives SimulateCrash (which only drops
+  // unsynced *database* bytes above this env).
+  topts.trace_env = backing_.get();
+  const std::string path = options_.trace_dir + "/" + node + "-" +
+                           std::to_string(trace_incarnation_++) + ".trace";
+  db->StartTrace(topts, path);  // best effort; tracing never fails the sim
 }
 
 Status SimCluster::RestartReplicas() {
@@ -352,7 +435,60 @@ Status SimCluster::CrashAndRecoverWriter() {
     return s;
   }
   writer_.reset(raw);
+  MaybeStartTrace(writer_.get(), "writer");
   return Quiesce();
+}
+
+Status SimCluster::CollectTraceFiles(
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (!options_.observability) {
+    return Status::OK();
+  }
+  // Drain every active trace to the backing store first.
+  if (writer_ != nullptr) {
+    writer_->EndTrace();
+  }
+  for (auto& r : replicas_) {
+    r->EndTrace();
+  }
+  if (worker_tracer_ != nullptr) {
+    worker_tracer_->Stop();
+  }
+  if (storage_tracer_ != nullptr) {
+    storage_tracer_->Stop();
+  }
+  std::vector<std::string> children;
+  Status s = backing_->GetChildren(options_.trace_dir, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  std::sort(children.begin(), children.end());
+  for (const auto& name : children) {
+    std::string contents;
+    s = ReadFileToString(backing_.get(),
+                         options_.trace_dir + "/" + name, &contents);
+    if (!s.ok()) {
+      return s;
+    }
+    out->emplace_back(name, std::move(contents));
+  }
+  return Status::OK();
+}
+
+Status SimCluster::CollectNodeMetrics(
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::string text;
+  if (writer_ != nullptr && writer_->GetProperty("shield.metrics", &text)) {
+    out->emplace_back("writer", text);
+  }
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    if (replicas_[i]->GetProperty("shield.metrics", &text)) {
+      out->emplace_back("replica-" + std::to_string(i), text);
+    }
+  }
+  return Status::OK();
 }
 
 void SimCluster::HealAllFaults() {

@@ -16,6 +16,7 @@
 #include "util/event_logger.h"
 #include "util/random.h"
 #include "util/retry.h"
+#include "util/trace.h"
 
 namespace shield {
 namespace sim {
@@ -70,6 +71,15 @@ struct SimClusterOptions {
   /// MUST fail; a run that passes with this flag set means the oracle
   /// is broken.
   bool inject_stale_replica_bug = false;
+
+  /// Cluster observability plane: give every node a name and its own
+  /// Statistics (per-node "shield.metrics" scrapes), and start one
+  /// non-exclusive tracer per node — writer, replicas, offload worker,
+  /// storage server — each writing a SHTRACE1 v2 file into trace_dir
+  /// on the zero-cost backing store, so tracing never perturbs virtual
+  /// time (journals stay bit-identical with this on or off).
+  bool observability = false;
+  std::string trace_dir = "/simtrace";
 };
 
 /// One whole SHIELD deployment inside a single process, built for the
@@ -173,11 +183,28 @@ class SimCluster {
   EventLogger* event_logger() { return event_logger_.get(); }
   StorageService* storage() { return service_.get(); }
 
+  // --- Observability plane (SimClusterOptions::observability) -------
+
+  /// Ends every node's trace (draining buffers to the backing store)
+  /// and returns each trace file as (file name, raw SHTRACE1 bytes).
+  /// Restarted nodes contribute one file per incarnation.
+  Status CollectTraceFiles(
+      std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Scrapes each DB node's "shield.metrics" property:
+  /// (node name, Prometheus text). Worker/storage nodes have no
+  /// registry and are not listed.
+  Status CollectNodeMetrics(
+      std::vector<std::pair<std::string, std::string>>* out);
+
  private:
   Options WriterOptions();
   Options ReplicaOptions(int i);
   Status OpenReplica(int i);
   Status RunOp(const char* what, const std::function<Status()>& op);
+  /// Starts a per-node non-exclusive trace on `db` (no-op without
+  /// observability). Each call gets a fresh incarnation-numbered file.
+  void MaybeStartTrace(DB* db, const std::string& node);
 
   SimClusterOptions options_;
   RetryPolicy driver_policy_;
@@ -195,7 +222,21 @@ class SimCluster {
   std::shared_ptr<FailoverKds> failover_kds_;
 
   std::unique_ptr<RemoteCompactionWorker> worker_;
+  /// Wraps worker_ so offload dispatch/result round-trips pay the
+  /// simulated fabric RTT: the writer-side ds.offload_rpc span is then
+  /// strictly longer than the worker's ds.compaction_rpc span, and
+  /// stitched traces attribute that gap as per-hop network latency.
+  std::unique_ptr<CompactionService> fabric_compaction_;
   std::unique_ptr<EventLogger> event_logger_;
+
+  /// Per-node tracers for the nodes that are not DBs (the offload
+  /// worker binds per-job, the storage service per-fetch). DB nodes
+  /// own their tracer via DB::StartTrace.
+  std::unique_ptr<Tracer> worker_tracer_;
+  std::unique_ptr<Tracer> storage_tracer_;
+  /// Distinguishes trace files across node restarts (one SHTRACE1
+  /// file per node incarnation).
+  int trace_incarnation_ = 0;
 
   std::unique_ptr<DB> writer_;
   std::vector<std::unique_ptr<DB>> replicas_;

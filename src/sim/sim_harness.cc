@@ -29,6 +29,8 @@ const char* FaultProfileName(FaultProfile profile) {
       return "rotation";
     case FaultProfile::kWrite:
       return "write";
+    case FaultProfile::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -46,6 +48,8 @@ bool ParseFaultProfile(const std::string& name, FaultProfile* out) {
     *out = FaultProfile::kRotation;
   } else if (name == "write") {
     *out = FaultProfile::kWrite;
+  } else if (name == "health") {
+    *out = FaultProfile::kHealth;
   } else {
     return false;
   }
@@ -60,6 +64,29 @@ constexpr uint64_t kEpochActiveMicros = 2 * 1000 * 1000;
 /// Driver-only writes issued between the barrier and a simulated
 /// crash (the deterministic crash-loss window).
 constexpr int kPostBarrierCrashOps = 30;
+
+/// Splits SimConfig::health_fault_classes ("kds,partition") into
+/// validated tokens; false on an empty spec or an unknown class.
+bool ParseHealthClasses(const std::string& spec,
+                        std::vector<std::string>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string token =
+        comma == std::string::npos ? spec.substr(start)
+                                   : spec.substr(start, comma - start);
+    if (token != "kds" && token != "partition") {
+      return false;
+    }
+    out->push_back(token);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
 
 /// One simulated cluster lifetime. All mutable state lives here; the
 /// public RunSimulation() below is a thin wrapper.
@@ -77,12 +104,22 @@ class SimulationRun {
     const auto wall_start = std::chrono::steady_clock::now();
     report_.seed = cfg_.seed;
 
+    if (cfg_.profile == FaultProfile::kHealth &&
+        !ParseHealthClasses(cfg_.health_fault_classes, &health_classes_)) {
+      report_.failure =
+          "invalid health fault classes: " + cfg_.health_fault_classes;
+      report_.ok = false;
+      return report_;
+    }
+
     SimClusterOptions copts;
     copts.seed = cfg_.seed;
     copts.num_replicas = cfg_.num_replicas;
     copts.info_log = cfg_.info_log;
     copts.inject_stale_replica_bug = cfg_.inject_stale_replica_bug;
     copts.use_failover_kds = cfg_.profile == FaultProfile::kRotation;
+    copts.observability =
+        cfg_.observability || cfg_.profile == FaultProfile::kHealth;
     if (cfg_.profile == FaultProfile::kWrite) {
       // The property under test: recovery of a sharded memtable from a
       // pipelined encrypted WAL. Small shards + a modest keystream
@@ -126,6 +163,13 @@ class SimulationRun {
           .Add("model_hash", report_.model_hash);
       done.Emit();
     }
+
+    // Observability exports, before teardown: drain per-node traces
+    // and take one final metrics scrape per DB node. Neither touches
+    // the journal (trace files carry virtual timestamps; metrics carry
+    // compaction-shape-dependent counters).
+    cluster_->CollectTraceFiles(&report_.trace_files);
+    cluster_->CollectNodeMetrics(&report_.node_metrics);
 
     // Tear the cluster down while the virtual clock is still
     // installed: destructors sleep through it.
@@ -229,6 +273,13 @@ class SimulationRun {
       return;
     }
 
+    if (cfg_.profile == FaultProfile::kHealth) {
+      RunHealthEpoch(e);
+      if (Failed()) {
+        return;
+      }
+    }
+
     const int crash_every = CrashCadence();
     if (crash_every > 0 && e > 0 &&
         e % static_cast<uint64_t>(crash_every) == 0 && IsStorageProfile()) {
@@ -250,11 +301,13 @@ class SimulationRun {
       v = faults_rnd_.Next64();
     }
     if (cfg_.profile == FaultProfile::kNone ||
-        cfg_.profile == FaultProfile::kRotation) {
-      // The rotation campaign injects its faults inside
-      // RunRotationEpoch (they must bracket specific rotation steps,
-      // not land at seeded offsets in the op window); the draws above
-      // still happen so the PRNG stream is profile-independent.
+        cfg_.profile == FaultProfile::kRotation ||
+        cfg_.profile == FaultProfile::kHealth) {
+      // The rotation and health campaigns inject their faults inside
+      // their own epoch phases (they must bracket specific steps —
+      // rotation passes, health evaluations — not land at seeded
+      // offsets in the op window); the draws above still happen so the
+      // PRNG stream is profile-independent.
       return;
     }
 
@@ -607,6 +660,122 @@ class SimulationRun {
     return true;
   }
 
+  /// Health-plane campaign epoch (kHealth): on the quiesced, caught-up
+  /// cluster, arm one fault class, prove it surfaces as the expected
+  /// detector transition mid-fault, heal, and prove the recovery edge.
+  /// Journal events carry only logical fields — {epoch, node,
+  /// detector, from, to, phase} — so runs are bit-identical per seed.
+  void RunHealthEpoch(uint64_t e) {
+    const std::string& cls = health_classes_[e % health_classes_.size()];
+
+    // Baseline pass: absorb steady-state edges left by the op window
+    // (write stalls, L0 debt) so the fault pass below reports exactly
+    // the fault-driven transition. Verdicts are discarded.
+    EvaluateAllNodesHealth();
+
+    {
+      auto ev = journal_->NewEvent("sim_health_fault");
+      ev.Add("epoch", e).Add("class", cls);
+      ev.Emit();
+    }
+    report_.faults_injected++;
+
+    // Windows are generous (healed explicitly below); the probes run
+    // synchronously well inside them.
+    constexpr uint64_t kHealthWindowMicros = 60ull * 1000 * 1000;
+    if (cls == "kds") {
+      cluster_->faulty_kds()->StartOutageFor(kHealthWindowMicros);
+      if (!ExpectHealthTransition(e, "writer", cluster_->writer(), "kds",
+                                  HealthLevel::kCritical, "onset")) {
+        return;
+      }
+    } else {  // "partition"
+      cluster_->network()->StartPartitionFor(kHealthWindowMicros);
+      for (int i = 0; i < cluster_->num_replicas(); i++) {
+        if (!ExpectHealthTransition(e, "replica-" + std::to_string(i),
+                                    cluster_->replica(i), "replica.catchup",
+                                    HealthLevel::kCritical, "onset")) {
+          return;
+        }
+      }
+    }
+
+    cluster_->HealAllFaults();
+    Status s = cluster_->Quiesce();
+    if (!s.ok()) {
+      Fail("health epoch quiesce: " + s.ToString());
+      return;
+    }
+    s = cluster_->CatchUpReplicas();
+    if (!s.ok()) {
+      Fail("health epoch catch-up: " + s.ToString());
+      return;
+    }
+
+    // Recovery pass: the same detectors must report the edge back to
+    // ok now that the fault is healed and replicas are caught up.
+    if (cls == "kds") {
+      if (!ExpectHealthTransition(e, "writer", cluster_->writer(), "kds",
+                                  HealthLevel::kOk, "recovered")) {
+        return;
+      }
+    } else {
+      for (int i = 0; i < cluster_->num_replicas(); i++) {
+        if (!ExpectHealthTransition(e, "replica-" + std::to_string(i),
+                                    cluster_->replica(i), "replica.catchup",
+                                    HealthLevel::kOk, "recovered")) {
+          return;
+        }
+      }
+    }
+    report_.oracle_checks++;
+  }
+
+  void EvaluateAllNodesHealth() {
+    cluster_->writer()->EvaluateHealth(nullptr);
+    for (int i = 0; i < cluster_->num_replicas(); i++) {
+      cluster_->replica(i)->EvaluateHealth(nullptr);
+    }
+  }
+
+  /// Evaluates `db`'s health plane, journals every transition of
+  /// `detector` (other detectors may flap on run-dependent state and
+  /// stay out of the journal), and requires one whose target level is
+  /// `expect`. False (run failed) otherwise.
+  bool ExpectHealthTransition(uint64_t e, const std::string& node, DB* db,
+                              const std::string& detector, HealthLevel expect,
+                              const char* phase) {
+    std::vector<HealthTransition> transitions;
+    Status s = db->EvaluateHealth(&transitions);
+    if (!s.ok()) {
+      Fail("health evaluation on " + node + ": " + s.ToString());
+      return false;
+    }
+    bool seen = false;
+    for (const auto& t : transitions) {
+      if (t.detector != detector) {
+        continue;
+      }
+      auto ev = journal_->NewEvent("health_transition");
+      ev.Add("epoch", e)
+          .Add("node", node)
+          .Add("detector", t.detector)
+          .Add("from", HealthLevelName(t.from))
+          .Add("to", HealthLevelName(t.to))
+          .Add("phase", phase);
+      ev.Emit();
+      if (t.to == expect) {
+        seen = true;
+      }
+    }
+    if (!seen) {
+      Fail("health: " + node + "/" + detector + " did not transition to " +
+           std::string(HealthLevelName(expect)) + " at " + phase);
+      return false;
+    }
+    return true;
+  }
+
   void RunOracleChecks(uint64_t e) {
     Status s = cluster_->CatchUpReplicas();
     if (!s.ok()) {
@@ -739,6 +908,7 @@ class SimulationRun {
   Random faults_rnd_;
   Random check_rnd_;
   SimOracle oracle_;
+  std::vector<std::string> health_classes_;
   std::unique_ptr<SimCluster> cluster_;
   std::unique_ptr<SimJournal> journal_;
   SimReport report_;

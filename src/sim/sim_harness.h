@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logger.h"
 
@@ -33,11 +35,20 @@ enum class FaultProfile {
   // recovery oracle asserts the synced prefix survives with zero
   // acknowledged-sync loss.
   kWrite,
+  // Cluster-health-plane campaign: every epoch arms one fault class
+  // from SimConfig::health_fault_classes (cycling), evaluates each
+  // node's HealthMonitor mid-fault and again after heal + catch-up,
+  // and journals the allowlisted detector transitions
+  // (ok→warn/critical at onset, back →ok at recovery). The epoch
+  // FAILS if the armed fault class does not surface as the expected
+  // transition on the expected node. Runs with the observability
+  // plane on (per-node tracers + metrics).
+  kHealth,
 };
 
 const char* FaultProfileName(FaultProfile profile);
-/// Parses "none"/"storage"/"network"/"mixed"/"rotation"/"write";
-/// false on anything else.
+/// Parses "none"/"storage"/"network"/"mixed"/"rotation"/"write"/
+/// "health"; false on anything else.
 bool ParseFaultProfile(const std::string& name, FaultProfile* out);
 
 struct SimConfig {
@@ -78,6 +89,17 @@ struct SimConfig {
 
   /// Oracle self-test hook — see SimClusterOptions.
   bool inject_stale_replica_bug = false;
+
+  /// Fault classes the kHealth campaign cycles through, comma
+  /// separated. Supported: "kds" (key-service outage → `kds` detector
+  /// critical on the writer) and "partition" (fabric partition →
+  /// `replica.catchup` critical on every replica).
+  std::string health_fault_classes = "kds,partition";
+
+  /// Per-node tracers + per-node Statistics/metrics (see
+  /// SimClusterOptions::observability). Forced on by the kHealth
+  /// profile; journals are unaffected either way.
+  bool observability = false;
 };
 
 struct SimReport {
@@ -101,6 +123,13 @@ struct SimReport {
   /// The deterministic journal: one JSON line per logical event, no
   /// timestamps. Byte-identical across runs with equal seed + config.
   std::string journal;
+
+  /// Observability exports (populated only with SimConfig::
+  /// observability / the kHealth profile). Trace files carry virtual
+  /// timestamps and node names; metrics are per-node Prometheus text.
+  /// Neither participates in journal determinism.
+  std::vector<std::pair<std::string, std::string>> trace_files;
+  std::vector<std::pair<std::string, std::string>> node_metrics;
 };
 
 /// Runs one simulated cluster lifetime under virtual time: installs a

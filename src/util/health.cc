@@ -1,0 +1,252 @@
+#include "util/health.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace shield {
+
+const char* HealthLevelName(HealthLevel level) {
+  switch (level) {
+    case HealthLevel::kOk:
+      return "ok";
+    case HealthLevel::kWarn:
+      return "warn";
+    case HealthLevel::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+bool ParseHealthLevel(const std::string& name, HealthLevel* out) {
+  if (name == "ok") {
+    *out = HealthLevel::kOk;
+  } else if (name == "warn") {
+    *out = HealthLevel::kWarn;
+  } else if (name == "critical") {
+    *out = HealthLevel::kCritical;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+HealthMonitor::~HealthMonitor() { StopBackground(); }
+
+void HealthMonitor::RegisterDetector(const std::string& name,
+                                     Detector detector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DetectorState state;
+  state.name = name;
+  state.fn = std::move(detector);
+  detectors_.push_back(std::move(state));
+}
+
+void HealthMonitor::SetTransitionSink(TransitionSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<HealthTransition> HealthMonitor::Evaluate() {
+  std::vector<HealthTransition> transitions;
+  TransitionSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evaluations_++;
+    sink = sink_;
+    for (auto& d : detectors_) {
+      HealthSample sample = d.fn();
+      if (d.evaluated && sample.level != d.level) {
+        HealthTransition t;
+        t.detector = d.name;
+        t.from = d.level;
+        t.to = sample.level;
+        t.value = sample.value;
+        t.detail = sample.detail;
+        transitions.push_back(std::move(t));
+      }
+      d.level = sample.level;
+      d.value = sample.value;
+      d.detail = std::move(sample.detail);
+      d.evaluated = true;
+    }
+  }
+  if (sink) {
+    for (const auto& t : transitions) {
+      sink(t);
+    }
+  }
+  return transitions;
+}
+
+std::vector<HealthStatus> HealthMonitor::CurrentStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HealthStatus> out;
+  out.reserve(detectors_.size());
+  for (const auto& d : detectors_) {
+    HealthStatus s;
+    s.detector = d.name;
+    s.level = d.level;
+    s.value = d.value;
+    s.detail = d.detail;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+HealthLevel HealthMonitor::Overall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthLevel worst = HealthLevel::kOk;
+  for (const auto& d : detectors_) {
+    if (static_cast<int>(d.level) > static_cast<int>(worst)) {
+      worst = d.level;
+    }
+  }
+  return worst;
+}
+
+uint64_t HealthMonitor::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v < 1e15 &&
+      v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string HealthMonitor::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthLevel worst = HealthLevel::kOk;
+  for (const auto& d : detectors_) {
+    if (static_cast<int>(d.level) > static_cast<int>(worst)) {
+      worst = d.level;
+    }
+  }
+  std::string out = "{\"overall\":";
+  AppendJsonString(&out, HealthLevelName(worst));
+  out.append(",\"detectors\":[");
+  bool first = true;
+  for (const auto& d : detectors_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, d.name);
+    out.append(",\"level\":");
+    AppendJsonString(&out, HealthLevelName(d.level));
+    out.append(",\"value\":");
+    AppendJsonNumber(&out, d.value);
+    out.append(",\"detail\":");
+    AppendJsonString(&out, d.detail);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+void HealthMonitor::ExportGauges(MetricsRegistry* registry,
+                                 const MetricLabels& base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthLevel worst = HealthLevel::kOk;
+  for (const auto& d : detectors_) {
+    MetricLabels labels = base;
+    labels.Set("detector", d.name);
+    registry
+        ->GetGauge("shield_health_level",
+                   "Detector level: 0 ok, 1 warn, 2 critical", labels)
+        ->Set(static_cast<double>(static_cast<int>(d.level)));
+    if (static_cast<int>(d.level) > static_cast<int>(worst)) {
+      worst = d.level;
+    }
+  }
+  registry
+      ->GetGauge("shield_health_overall",
+                 "Worst detector level: 0 ok, 1 warn, 2 critical", base)
+      ->Set(static_cast<double>(static_cast<int>(worst)));
+}
+
+void HealthMonitor::StartBackground(uint64_t interval_micros) {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_running_ || interval_micros == 0) {
+    return;
+  }
+  bg_stop_ = false;
+  bg_running_ = true;
+  bg_thread_ = std::thread([this, interval_micros] {
+    BackgroundLoop(interval_micros);
+  });
+}
+
+void HealthMonitor::StopBackground() {
+  std::thread joinme;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (!bg_running_) {
+      return;
+    }
+    bg_stop_ = true;
+    bg_cv_.notify_all();
+    joinme = std::move(bg_thread_);
+    bg_running_ = false;
+  }
+  if (joinme.joinable()) {
+    joinme.join();
+  }
+}
+
+void HealthMonitor::BackgroundLoop(uint64_t interval_micros) {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lock, std::chrono::microseconds(interval_micros),
+                    [this] { return bg_stop_; });
+    if (bg_stop_) {
+      return;
+    }
+    lock.unlock();
+    Evaluate();
+    lock.lock();
+  }
+}
+
+}  // namespace shield

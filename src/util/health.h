@@ -1,0 +1,134 @@
+#ifndef SHIELD_UTIL_HEALTH_H_
+#define SHIELD_UTIL_HEALTH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace shield {
+
+/// Detector verdict severity. Ordered: comparisons like `level >=
+/// kWarn` are meaningful.
+enum class HealthLevel : int {
+  kOk = 0,
+  kWarn = 1,
+  kCritical = 2,
+};
+
+const char* HealthLevelName(HealthLevel level);
+/// Parses "ok"/"warn"/"critical"; false on anything else.
+bool ParseHealthLevel(const std::string& name, HealthLevel* out);
+
+/// One detector's verdict at one evaluation. `value` is the
+/// detector-specific magnitude that drove the verdict (stall micros,
+/// L0 file count, lag bytes, breaker state...), `detail` a short
+/// operator-facing reason.
+struct HealthSample {
+  HealthLevel level = HealthLevel::kOk;
+  double value = 0;
+  std::string detail;
+};
+
+/// Emitted whenever a detector's level changes between evaluations
+/// (including the recovery edge back to ok).
+struct HealthTransition {
+  std::string detector;
+  HealthLevel from = HealthLevel::kOk;
+  HealthLevel to = HealthLevel::kOk;
+  double value = 0;
+  std::string detail;
+};
+
+/// Last-evaluation state of one detector.
+struct HealthStatus {
+  std::string detector;
+  HealthLevel level = HealthLevel::kOk;
+  double value = 0;
+  std::string detail;
+};
+
+/// Evaluates a set of registered detectors — on demand and/or on a
+/// background cadence — and tracks per-detector level transitions.
+/// Detectors are pure sampling closures supplied by the owner (the DB
+/// wires stall/L0/scrub/KDS/rotation/replica probes in); the monitor
+/// owns only the ok/warn/critical state machine:
+///
+///     ok ⇄ warn ⇄ critical   (any direct edge is legal; every edge
+///     ok ⇄ critical           is reported as one HealthTransition)
+///
+/// Thread safe. Evaluate() serializes concurrent callers, so detector
+/// closures never run concurrently with each other.
+class HealthMonitor {
+ public:
+  using Detector = std::function<HealthSample()>;
+  using TransitionSink = std::function<void(const HealthTransition&)>;
+
+  HealthMonitor() = default;
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Registration order is evaluation and report order. Not legal
+  /// after StartBackground().
+  void RegisterDetector(const std::string& name, Detector detector);
+
+  /// Called (outside the monitor's locks) with every transition an
+  /// evaluation produced — the DB points this at its event logger.
+  void SetTransitionSink(TransitionSink sink);
+
+  /// Runs every detector once; returns the transitions this pass
+  /// produced (also forwarded to the sink).
+  std::vector<HealthTransition> Evaluate();
+
+  std::vector<HealthStatus> CurrentStatus() const;
+  /// Worst current detector level (ok when nothing is registered).
+  HealthLevel Overall() const;
+  uint64_t evaluations() const;
+
+  /// `{"overall":"ok","detectors":[{"name":...,"level":...,
+  /// "value":...,"detail":...},...]}` — the `shield.health` property.
+  std::string ToJson() const;
+
+  /// Mirrors current levels into `shield_health_level{detector=...}`
+  /// gauges (0/1/2) plus one `shield_health_overall`.
+  void ExportGauges(MetricsRegistry* registry, const MetricLabels& base) const;
+
+  /// Background evaluation loop on a dedicated thread (wall-clock
+  /// cadence). Idempotent; StopBackground (or destruction) joins it.
+  void StartBackground(uint64_t interval_micros);
+  void StopBackground();
+
+ private:
+  struct DetectorState {
+    std::string name;
+    Detector fn;
+    HealthLevel level = HealthLevel::kOk;
+    double value = 0;
+    std::string detail;
+    bool evaluated = false;
+  };
+
+  void BackgroundLoop(uint64_t interval_micros);
+
+  mutable std::mutex mu_;
+  std::vector<DetectorState> detectors_;
+  TransitionSink sink_;
+  uint64_t evaluations_ = 0;
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  std::thread bg_thread_;
+  bool bg_stop_ = false;
+  bool bg_running_ = false;
+};
+
+}  // namespace shield
+
+#endif  // SHIELD_UTIL_HEALTH_H_

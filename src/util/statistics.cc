@@ -140,37 +140,125 @@ std::string PrometheusMetricName(const char* dotted) {
   return out;
 }
 
+/// First dotted component ("io.sst.read.bytes" -> "io").
+std::string SubsystemOf(const char* dotted) {
+  std::string out;
+  for (const char* p = dotted; *p != '\0' && *p != '.'; ++p) {
+    out.push_back(*p);
+  }
+  return out;
+}
+
+/// "db.get.micros" -> "db.get" (the op label of the latency family).
+std::string OpOf(const char* dotted) {
+  std::string out(dotted);
+  const std::string suffix = ".micros";
+  if (out.size() > suffix.size() &&
+      out.compare(out.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    out.resize(out.size() - suffix.size());
+  }
+  return out;
+}
+
+constexpr char kLatencyFamily[] = "shield_op_latency_micros";
+constexpr char kLatencyHelp[] = "Operation latency in microseconds";
+
+MetricLabels TickerLabels(const char* dotted, const std::string& node) {
+  MetricLabels labels;
+  labels.Set("subsystem", SubsystemOf(dotted));
+  if (!node.empty()) {
+    labels.Set("node", node);
+  }
+  return labels;
+}
+
+MetricLabels HistogramLabels(const char* dotted, const std::string& node) {
+  MetricLabels labels;
+  labels.Set("op", OpOf(dotted));
+  if (!node.empty()) {
+    labels.Set("node", node);
+  }
+  return labels;
+}
+
 }  // namespace
 
-std::string Statistics::ToPrometheusText() const {
-  std::string out;
-  char buf[256];
-  for (size_t i = 0; i < kNumTickers; ++i) {
-    const std::string name = PrometheusMetricName(kTickerNames[i]);
-    out.append("# TYPE ").append(name).append(" counter\n");
-    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
-                  tickers_[i].load(std::memory_order_relaxed));
-    out.append(buf);
+void Statistics::AttachRegistry(MetricsRegistry* registry,
+                                const std::string& node) {
+  if (registry == nullptr) {
+    registry_.store(nullptr, std::memory_order_release);
+    for (auto& w : windowed_) {
+      w.store(nullptr, std::memory_order_release);
+    }
+    for (auto& c : ticker_counters_) {
+      c = nullptr;
+    }
+    return;
   }
+  for (size_t i = 0; i < kNumTickers; ++i) {
+    ticker_counters_[i] =
+        registry->GetCounter(PrometheusMetricName(kTickerNames[i]), "",
+                             TickerLabels(kTickerNames[i], node));
+  }
+  registry_.store(registry, std::memory_order_release);
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    windowed_[i].store(
+        registry->GetHistogram(kLatencyFamily, kLatencyHelp,
+                               HistogramLabels(kHistogramNames[i], node)),
+        std::memory_order_release);
+  }
+}
+
+void Statistics::SyncRegistry() const {
+  if (registry_.load(std::memory_order_acquire) == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < kNumTickers; ++i) {
+    if (ticker_counters_[i] != nullptr) {
+      ticker_counters_[i]->Set(tickers_[i].load(std::memory_order_relaxed));
+    }
+  }
+}
+
+std::string Statistics::ToPrometheusText() const {
+  MetricsRegistry* attached = registry_.load(std::memory_order_acquire);
+  if (attached != nullptr) {
+    SyncRegistry();
+    return attached->ToPrometheusText();
+  }
+
+  // Standalone rendering: counters through an ephemeral registry (same
+  // escaping/_total formatting), then the latency summary family from
+  // the cumulative histograms directly (no windowed data exists
+  // without an attached registry).
+  MetricsRegistry reg;
+  for (size_t i = 0; i < kNumTickers; ++i) {
+    reg.GetCounter(PrometheusMetricName(kTickerNames[i]), "",
+                   TickerLabels(kTickerNames[i], std::string()))
+        ->Set(tickers_[i].load(std::memory_order_relaxed));
+  }
+  std::string out = reg.ToPrometheusText();
+
+  char buf[256];
+  out.append("# TYPE ").append(kLatencyFamily).append(" summary\n");
   for (size_t i = 0; i < kNumHistograms; ++i) {
     const Histogram& h = histograms_[i];
-    const std::string name = PrometheusMetricName(kHistogramNames[i]);
-    out.append("# TYPE ").append(name).append(" summary\n");
+    const std::string op = OpOf(kHistogramNames[i]);
     static const struct {
       const char* label;
       double q;
     } kQuantiles[] = {{"0.5", 50.0}, {"0.99", 99.0}, {"0.999", 99.9}};
     for (const auto& q : kQuantiles) {
-      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %.1f\n",
-                    name.c_str(), q.label,
+      std::snprintf(buf, sizeof(buf), "%s{op=\"%s\",quantile=\"%s\"} %.1f\n",
+                    kLatencyFamily, op.c_str(), q.label,
                     h.Count() > 0 ? h.Percentile(q.q) : 0.0);
       out.append(buf);
     }
-    std::snprintf(buf, sizeof(buf), "%s_sum %.0f\n", name.c_str(),
-                  h.Average() * static_cast<double>(h.Count()));
+    std::snprintf(buf, sizeof(buf), "%s_sum{op=\"%s\"} %.0f\n", kLatencyFamily,
+                  op.c_str(), h.Average() * static_cast<double>(h.Count()));
     out.append(buf);
-    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
-                  h.Count());
+    std::snprintf(buf, sizeof(buf), "%s_count{op=\"%s\"} %" PRIu64 "\n",
+                  kLatencyFamily, op.c_str(), h.Count());
     out.append(buf);
   }
   return out;

@@ -8,6 +8,7 @@
 
 #include "util/clock.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 
 namespace shield {
 
@@ -174,6 +175,11 @@ class Statistics {
 
   void MeasureTime(Histograms histogram, uint64_t micros) {
     histograms_[static_cast<size_t>(histogram)].Add(micros);
+    WindowedHistogram* w =
+        windowed_[static_cast<size_t>(histogram)].load(std::memory_order_acquire);
+    if (w != nullptr) {
+      w->Record(micros);
+    }
   }
 
   const Histogram& GetHistogram(Histograms histogram) const {
@@ -188,14 +194,37 @@ class Statistics {
   std::string ToString() const;
 
   /// Prometheus text exposition (version 0.0.4): tickers become
-  /// `shield_<name>` counters (dots → underscores), histograms become
-  /// summaries with p50/p99/p999 quantiles plus _sum/_count. Served by
-  /// DB::GetProperty("shield.metrics").
+  /// `shield_<name>_total` counters (dots → underscores, label values
+  /// escaped), histograms become one `shield_op_latency_micros` summary
+  /// family labeled by op. With a registry attached the registry's full
+  /// contents are rendered instead (same families plus node labels,
+  /// sliding-window quantiles, and whatever gauges the owner added).
+  /// Served by DB::GetProperty("shield.metrics").
   std::string ToPrometheusText() const;
+
+  /// Adapter onto the labeled MetricsRegistry: every ticker gets a
+  /// `shield_<name>` counter labeled {node, subsystem} and every timer
+  /// forwards live samples into a `shield_op_latency_micros` windowed
+  /// histogram labeled {node, op} — no call site changes. `registry`
+  /// must outlive this object or a later AttachRegistry(nullptr, "").
+  void AttachRegistry(MetricsRegistry* registry, const std::string& node);
+
+  /// Copies current ticker values into the attached registry's
+  /// counters (histogram samples stream live and need no sync).
+  void SyncRegistry() const;
+
+  MetricsRegistry* registry() const {
+    return registry_.load(std::memory_order_acquire);
+  }
 
  private:
   std::atomic<uint64_t> tickers_[kNumTickers];
   Histogram histograms_[kNumHistograms];
+
+  // Adapter state (null/empty until AttachRegistry).
+  std::atomic<MetricsRegistry*> registry_{nullptr};
+  std::atomic<WindowedHistogram*> windowed_[kNumHistograms] = {};
+  Counter* ticker_counters_[kNumTickers] = {};
 };
 
 /// Null-safe helpers so call sites do not have to test for a

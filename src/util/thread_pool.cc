@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/perf_context.h"
+
 namespace shield {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -53,6 +55,11 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     active_++;
     lock.unlock();
+    // Pooled threads outlive the ops they serve: chunk-decrypt and
+    // shard-apply jobs charge this thread's PerfContext, and whatever
+    // they leave behind would be misattributed to the next op that
+    // lands on this worker. Each job starts from a zeroed context.
+    GetPerfContext()->Reset();
     job();
     lock.lock();
     active_--;

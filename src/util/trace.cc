@@ -30,15 +30,23 @@ uint64_t ThisThreadId() {
 /// vector: spans are strictly nested on one thread (RAII).
 thread_local std::vector<uint64_t> t_span_stack;
 
+/// Span ids are process-global (not per-tracer) so a parent id captured
+/// on one node resolves unambiguously in another node's trace file —
+/// the property --stitch relies on.
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// Trace session ids, likewise process-global (TraceContext::trace_id).
+std::atomic<uint64_t> g_next_trace_id{1};
+
 }  // namespace
 
 struct Tracer::Core {
   Env* env = nullptr;
   TraceOptions options;
   Statistics* stats = nullptr;
+  uint64_t trace_id = 0;
 
   std::atomic<bool> active{false};
-  std::atomic<uint64_t> next_span_id{1};
   std::atomic<uint64_t> recorded{0};
   std::atomic<uint64_t> dropped{0};
 
@@ -88,7 +96,7 @@ struct Tracer::Core {
 
   void Record(SpanRecord* record, ThreadBuffer* buf) {
     if (record->span_id == 0) {
-      record->span_id = next_span_id.fetch_add(1, std::memory_order_relaxed);
+      record->span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
     }
     if (record->label.size() > options.max_label_size) {
       record->label.resize(options.max_label_size);
@@ -163,9 +171,45 @@ struct TlsTraceRef {
 };
 thread_local TlsTraceRef t_trace_ref;
 
-/// Resolves the active core for this thread, refreshing the TLS cache
-/// when a new trace started. Returns nullptr when tracing is off.
+/// The tracer this thread is bound to (ScopedTracerBinding), taking
+/// precedence over the process-global slot. The shared_ptr keeps a
+/// stopping core safe until the binding ends.
+thread_local std::shared_ptr<Tracer::Core> t_bound_core;
+
+/// Per-thread buffers for bound (non-exclusive) cores, keyed by core.
+/// Bounded by the number of distinct tracers ever bound on this thread
+/// (a handful of per-node tracers in the simulator).
+thread_local std::vector<
+    std::pair<std::shared_ptr<Tracer::Core>, Tracer::Core::ThreadBuffer*>>
+    t_bound_buffers;
+
+Tracer::Core::ThreadBuffer* ResolveBoundBuffer(
+    const std::shared_ptr<Tracer::Core>& core) {
+  for (auto& entry : t_bound_buffers) {
+    if (entry.first == core) {
+      return entry.second;
+    }
+  }
+  Tracer::Core::ThreadBuffer* buf = core->RegisterThreadBuffer();
+  t_bound_buffers.emplace_back(core, buf);
+  return buf;
+}
+
+/// Resolves the active core for this thread — the bound core when a
+/// ScopedTracerBinding is in effect, else the process-global slot
+/// (refreshing the TLS cache when a new trace started). Returns
+/// nullptr when tracing is off.
 Tracer::Core* ResolveCore(Tracer::Core::ThreadBuffer** buffer) {
+  if (t_bound_core != nullptr) {
+    // A binding pins this thread's spans to its node's tracer; if that
+    // tracer stopped mid-binding the spans are dropped, never leaked
+    // into an unrelated global trace.
+    if (!t_bound_core->active.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    *buffer = ResolveBoundBuffer(t_bound_core);
+    return t_bound_core.get();
+  }
   if (g_active_core.load(std::memory_order_acquire) == nullptr) {
     return nullptr;
   }
@@ -209,14 +253,31 @@ Status Tracer::Start(Env* env, const std::string& path,
   }
   std::string header;
   header.append(kTraceMagic, kTraceMagicSize);
-  PutFixed32(&header, kTraceFormatVersion);
+  const bool node_header = !core->options.node_name.empty();
+  PutFixed32(&header,
+             node_header ? kTraceFormatVersionNode : kTraceFormatVersion);
   PutFixed64(&header, NowMicros());
+  if (node_header) {
+    PutVarint32(&header,
+                static_cast<uint32_t>(core->options.node_name.size()));
+    header.append(core->options.node_name);
+  }
   s = file->Append(Slice(header));
   if (!s.ok()) {
     (void)file->Close();
     return s;
   }
   core->file = std::move(file);
+  core->trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+
+  if (!core->options.exclusive) {
+    // Non-exclusive tracers never claim the global slot: they receive
+    // spans only from threads bound via ScopedTracerBinding, so any
+    // number can run concurrently (one per simulated node).
+    core->active.store(true, std::memory_order_release);
+    core_ = core;
+    return Status::OK();
+  }
 
   std::lock_guard<std::mutex> lock(g_trace_mu);
   if (g_active_core.load(std::memory_order_acquire) != nullptr) {
@@ -265,7 +326,8 @@ uint64_t Tracer::spans_dropped() const {
 }
 
 bool Tracer::AnyActive() {
-  return g_active_core.load(std::memory_order_relaxed) != nullptr;
+  return t_bound_core != nullptr ||
+         g_active_core.load(std::memory_order_relaxed) != nullptr;
 }
 
 void Tracer::Record(SpanRecord* record) {
@@ -286,11 +348,43 @@ uint64_t Tracer::NextSpanId() {
   if (core == nullptr) {
     return 0;
   }
-  return core->next_span_id.fetch_add(1, std::memory_order_relaxed);
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t Tracer::CurrentSpanId() {
   return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+TraceContext Tracer::CurrentContext() {
+  TraceContext ctx;
+  Core::ThreadBuffer* buffer = nullptr;
+  Core* core = ResolveCore(&buffer);
+  if (core == nullptr) {
+    return ctx;
+  }
+  ctx.trace_id = core->trace_id;
+  ctx.parent_span_id = CurrentSpanId();
+  return ctx;
+}
+
+uint64_t Tracer::trace_id() const {
+  return core_ != nullptr ? core_->trace_id : 0;
+}
+
+ScopedTracerBinding::ScopedTracerBinding(Tracer* tracer) {
+  if (tracer == nullptr || tracer->core_ == nullptr ||
+      !tracer->core_->active.load(std::memory_order_acquire)) {
+    return;
+  }
+  prev_ = std::move(t_bound_core);
+  t_bound_core = tracer->core_;
+  bound_ = true;
+}
+
+ScopedTracerBinding::~ScopedTracerBinding() {
+  if (bound_) {
+    t_bound_core = std::move(prev_);
+  }
 }
 
 TraceSpan::TraceSpan(SpanType type, const Slice& label)
@@ -390,13 +484,23 @@ Status TraceReader::Open(Env* env, const std::string& path,
     return Status::Corruption("not a SHIELD trace file: " + path);
   }
   const uint32_t version = DecodeFixed32(contents.data() + kTraceMagicSize);
-  if (version != kTraceFormatVersion) {
+  if (version != kTraceFormatVersion && version != kTraceFormatVersionNode) {
     return Status::NotSupported("unsupported trace format version");
   }
   std::unique_ptr<TraceReader> reader(new TraceReader());
   reader->trace_start_micros_ =
       DecodeFixed64(contents.data() + kTraceMagicSize + 4);
-  reader->pos_ = kTraceMagicSize + 4 + 8;
+  size_t pos = kTraceMagicSize + 4 + 8;
+  if (version == kTraceFormatVersionNode) {
+    Slice input(contents.data() + pos, contents.size() - pos);
+    uint32_t node_len = 0;
+    if (!GetVarint32(&input, &node_len) || input.size() < node_len) {
+      return Status::Corruption("truncated trace node header");
+    }
+    reader->node_.assign(input.data(), node_len);
+    pos = static_cast<size_t>(input.data() + node_len - contents.data());
+  }
+  reader->pos_ = pos;
   reader->contents_ = std::move(contents);
   *out = std::move(reader);
   return Status::OK();

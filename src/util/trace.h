@@ -100,6 +100,35 @@ struct TraceOptions {
   size_t per_thread_buffer = 1024;
   /// Labels longer than this are truncated (bound per-record size).
   size_t max_label_size = 256;
+  /// Node identity stamped into the trace-file header (format v2).
+  /// Empty: a v1 header is written (single-node trace, old tools).
+  std::string node_name;
+  /// Exclusive tracers claim the process-global slot: every span on
+  /// every thread lands in them, and a second Start() returns Busy —
+  /// the historical single-trace mode. Non-exclusive tracers receive
+  /// only spans from threads bound to them via ScopedTracerBinding,
+  /// so one process can trace many nodes into per-node files (the
+  /// simulated cluster).
+  bool exclusive = true;
+  /// When non-null, DB::StartTrace writes the trace file through this
+  /// env instead of the DB's physical env (the simulator points this
+  /// at the zero-cost backing store so tracing never perturbs virtual
+  /// time). Ignored by Tracer::Start itself, which always receives an
+  /// explicit env.
+  Env* trace_env = nullptr;
+};
+
+/// Cross-node span propagation context: enough to parent a span
+/// created on another node (offload worker, replica, storage server)
+/// to the dispatching DB operation. Span ids are process-global, so a
+/// parent id resolves unambiguously across per-node trace files.
+struct TraceContext {
+  /// Id of the originating trace session (0 = none active).
+  uint64_t trace_id = 0;
+  /// Innermost open span at capture time (0 = root).
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
 };
 
 /// Records spans into a binary trace file through lock-free-on-the-hot-
@@ -120,8 +149,11 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Opens `path` via `env` and activates this tracer globally.
-  /// Fails with Busy if another tracer is active. `stats` (optional)
+  /// Opens `path` via `env` and activates this tracer. Exclusive
+  /// tracers (TraceOptions::exclusive, the default) claim the
+  /// process-global slot and fail with Busy if another exclusive
+  /// tracer is active; non-exclusive tracers activate privately and
+  /// receive spans only from bound threads. `stats` (optional)
   /// receives io.trace.* tickers.
   Status Start(Env* env, const std::string& path, const TraceOptions& options,
                Statistics* stats = nullptr);
@@ -151,13 +183,41 @@ class Tracer {
   /// pool) to parent the hopped work explicitly.
   static uint64_t CurrentSpanId();
 
+  /// Snapshot of this thread's tracing context for cross-node
+  /// propagation: {active session id, innermost open span}. All zero
+  /// when no trace is active on this thread.
+  static TraceContext CurrentContext();
+
+  /// This tracer's session id (0 before Start).
+  uint64_t trace_id() const;
+
   /// Implementation detail, public only so the file-local machinery in
   /// trace.cc can name it; not part of the API.
   struct Core;
 
  private:
   friend class TraceSpan;
+  friend class ScopedTracerBinding;
   std::shared_ptr<Core> core_;
+};
+
+/// Binds the calling thread to `tracer` for the binding's lifetime:
+/// spans recorded on this thread go to the bound tracer instead of the
+/// process-global one. Used at node entry points (DB public ops and
+/// background jobs, the offload worker's RunCompaction) so one process
+/// can write per-node trace files. Nestable (restores the previous
+/// binding); a null tracer is a no-op.
+class ScopedTracerBinding {
+ public:
+  explicit ScopedTracerBinding(Tracer* tracer);
+  ~ScopedTracerBinding();
+
+  ScopedTracerBinding(const ScopedTracerBinding&) = delete;
+  ScopedTracerBinding& operator=(const ScopedTracerBinding&) = delete;
+
+ private:
+  bool bound_ = false;
+  std::shared_ptr<Tracer::Core> prev_;
 };
 
 /// RAII span: captures start on construction, duration on destruction,
@@ -210,10 +270,14 @@ class TraceSpan {
   SpanRecord record_;
 };
 
-/// Trace file constants (shared with tools/trace_replay).
+/// Trace file constants (shared with tools/trace_replay). Version 1:
+/// magic | fixed32 version | fixed64 start_micros | records. Version 2
+/// adds `varint32 node_len | node bytes` after start_micros (written
+/// when TraceOptions::node_name is set); record encoding is identical.
 constexpr char kTraceMagic[] = "SHTRACE1";  // 8 bytes, no NUL on disk
 constexpr size_t kTraceMagicSize = 8;
 constexpr uint32_t kTraceFormatVersion = 1;
+constexpr uint32_t kTraceFormatVersionNode = 2;
 
 /// Serializes one record: varint32 payload length | payload |
 /// fixed32 crc32c(payload). Exposed for tests.
@@ -237,11 +301,14 @@ class TraceReader {
   const Status& parse_status() const { return parse_status_; }
   uint64_t records_read() const { return records_read_; }
   uint64_t trace_start_micros() const { return trace_start_micros_; }
+  /// Node name from a v2 header; empty for v1 traces.
+  const std::string& node() const { return node_; }
 
  private:
   TraceReader() = default;
 
   std::string contents_;
+  std::string node_;
   size_t pos_ = 0;
   uint64_t trace_start_micros_ = 0;
   uint64_t records_read_ = 0;

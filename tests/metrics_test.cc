@@ -1,0 +1,436 @@
+// Labeled metrics registry: strict Prometheus text-format conformance
+// (a promtool-style grammar check over every emitted line, including
+// the DB's `shield.metrics` property), windowed-histogram snapshot
+// properties under slot rotation on a controlled clock, and concurrent
+// record/snapshot traffic for TSan.
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env.h"
+#include "gtest/gtest.h"
+#include "lsm/db.h"
+#include "sim/sim_clock.h"
+#include "util/clock.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/statistics.h"
+
+namespace shield {
+namespace {
+
+// --- strict Prometheus text validator --------------------------------
+//
+// Implements the text exposition format 0.0.4 line grammar the way
+// promtool checks it: metric/label name charsets, quoted label values
+// with only \\ \" \n escapes, float-parseable sample values, TYPE
+// lines that precede their family's samples exactly once, counter
+// families suffixed _total, and no duplicate (name + label set)
+// samples. Any violation fails the test with the offending line.
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty() || !IsNameStart(s[0])) {
+    return false;
+  }
+  for (char c : s) {
+    if (!IsNameChar(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& s) {
+  if (s.empty() || s[0] == ':' || !IsNameStart(s[0])) {
+    return false;
+  }
+  for (char c : s) {
+    if (c == ':' || !IsNameChar(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Parses `name{l="v",...} value` or `name value`. Returns false with a
+// reason on any grammar violation.
+bool ParseSampleLine(const std::string& line, std::string* name,
+                     std::string* labels, std::string* reason) {
+  size_t i = 0;
+  while (i < line.size() && IsNameChar(line[i])) {
+    i++;
+  }
+  name->assign(line, 0, i);
+  if (!ValidMetricName(*name)) {
+    *reason = "bad metric name";
+    return false;
+  }
+  labels->clear();
+  if (i < line.size() && line[i] == '{') {
+    const size_t open = i;
+    std::set<std::string> seen;
+    i++;
+    while (true) {
+      size_t ls = i;
+      while (i < line.size() && IsNameChar(line[i])) {
+        i++;
+      }
+      const std::string lname = line.substr(ls, i - ls);
+      if (!ValidLabelName(lname)) {
+        *reason = "bad label name '" + lname + "'";
+        return false;
+      }
+      if (!seen.insert(lname).second) {
+        *reason = "duplicate label '" + lname + "'";
+        return false;
+      }
+      if (i >= line.size() || line[i] != '=') {
+        *reason = "expected '=' after label name";
+        return false;
+      }
+      i++;
+      if (i >= line.size() || line[i] != '"') {
+        *reason = "label value not quoted";
+        return false;
+      }
+      i++;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size() ||
+              (line[i + 1] != '\\' && line[i + 1] != '"' &&
+               line[i + 1] != 'n')) {
+            *reason = "invalid escape in label value";
+            return false;
+          }
+          i++;
+        } else if (line[i] == '\n') {
+          *reason = "raw newline in label value";
+          return false;
+        }
+        i++;
+      }
+      if (i >= line.size()) {
+        *reason = "unterminated label value";
+        return false;
+      }
+      i++;  // closing quote
+      if (i < line.size() && line[i] == ',') {
+        i++;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        i++;
+        break;
+      }
+      *reason = "expected ',' or '}' after label value";
+      return false;
+    }
+    labels->assign(line, open, i - open);
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *reason = "expected single space before value";
+    return false;
+  }
+  i++;
+  const std::string value = line.substr(i);
+  if (value.empty() || value.find(' ') != std::string::npos) {
+    *reason = "expected exactly one value token";
+    return false;
+  }
+  if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size()) {
+      *reason = "unparseable sample value '" + value + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+void ValidatePrometheusText(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ('\n', text.back()) << "exposition must end with a newline";
+
+  // exposed family name -> type; summaries admit _sum/_count children.
+  std::set<std::string> typed;
+  std::string current_family;
+  std::string current_type;
+  std::set<std::string> seen_samples;
+
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(std::string::npos, eol);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    line_no++;
+    SCOPED_TRACE("line " + std::to_string(line_no) + ": " + line);
+    ASSERT_FALSE(line.empty()) << "blank line";
+
+    if (line[0] == '#') {
+      std::string keyword, fname;
+      size_t i = 2;
+      ASSERT_EQ("# ", line.substr(0, 2));
+      size_t sp = line.find(' ', i);
+      ASSERT_NE(std::string::npos, sp);
+      keyword = line.substr(i, sp - i);
+      ASSERT_TRUE(keyword == "HELP" || keyword == "TYPE") << keyword;
+      i = sp + 1;
+      sp = line.find(' ', i);
+      ASSERT_NE(std::string::npos, sp) << "missing text after family name";
+      fname = line.substr(i, sp - i);
+      ASSERT_TRUE(ValidMetricName(fname)) << fname;
+      const std::string rest = line.substr(sp + 1);
+      if (keyword == "TYPE") {
+        ASSERT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "summary" || rest == "histogram" ||
+                    rest == "untyped")
+            << rest;
+        ASSERT_TRUE(typed.insert(fname).second)
+            << "family typed twice: " << fname;
+        if (rest == "counter") {
+          ASSERT_TRUE(fname.size() > 6 &&
+                      fname.compare(fname.size() - 6, 6, "_total") == 0)
+              << "counter family without _total suffix: " << fname;
+        }
+        current_family = fname;
+        current_type = rest;
+      } else {
+        // HELP must not contain raw newlines (escaped as \n) or a
+        // trailing bare backslash.
+        for (size_t k = 0; k < rest.size(); k++) {
+          if (rest[k] == '\\') {
+            ASSERT_LT(k + 1, rest.size()) << "dangling backslash in HELP";
+            ASSERT_TRUE(rest[k + 1] == '\\' || rest[k + 1] == 'n')
+                << "invalid HELP escape";
+            k++;
+          }
+        }
+      }
+      continue;
+    }
+
+    std::string name, labels, reason;
+    ASSERT_TRUE(ParseSampleLine(line, &name, &labels, &reason)) << reason;
+    // Samples must sit under their family's TYPE line: the family name
+    // itself, or a summary's _sum/_count children.
+    const bool in_family =
+        name == current_family ||
+        (current_type == "summary" && (name == current_family + "_sum" ||
+                                       name == current_family + "_count"));
+    ASSERT_TRUE(in_family) << "sample " << name
+                           << " outside its family's TYPE block ("
+                           << current_family << ")";
+    ASSERT_TRUE(seen_samples.insert(name + labels).second)
+        << "duplicate sample: " << name << labels;
+  }
+}
+
+// --- Prometheus conformance ------------------------------------------
+
+TEST(PrometheusFormatTest, RegistryOutputSurvivesStrictValidation) {
+  MetricsRegistry reg;
+  // Escaping torture: quotes, backslashes and newlines in label values
+  // and help text must all round-trip through the encoder as legal
+  // exposition-format escapes.
+  reg.GetCounter("shield_test_requests", "requests with \\ and\nnewline",
+                 MetricLabels{{"node", "he said \"hi\"\\"},
+                              {"op", "get\nput"}})
+      ->Add(42);
+  reg.GetCounter("shield_test_requests", "", MetricLabels{{"node", "w"}})
+      ->Add(7);
+  reg.GetGauge("shield_test_depth", "queue depth", MetricLabels{})->Set(2.5);
+  WindowedHistogram* h = reg.GetHistogram(
+      "shield_test_latency_micros", "op latency", MetricLabels{{"op", "get"}});
+  for (int i = 1; i <= 100; i++) {
+    h->Record(static_cast<uint64_t>(i) * 10);
+  }
+
+  const std::string text = reg.ToPrometheusText();
+  ValidatePrometheusText(text);
+
+  // Counters expose _total; escapes are on the wire.
+  EXPECT_NE(std::string::npos, text.find("shield_test_requests_total{"));
+  EXPECT_NE(std::string::npos, text.find("\\\"hi\\\""));
+  EXPECT_NE(std::string::npos, text.find("get\\nput"));
+  EXPECT_NE(std::string::npos, text.find("and\\nnewline"));
+  // Summaries carry cumulative quantiles and sliding-window gauges.
+  EXPECT_NE(std::string::npos,
+            text.find("shield_test_latency_micros{op=\"get\",quantile=\"0.99\"}"));
+  EXPECT_NE(std::string::npos, text.find("shield_test_latency_micros_window"));
+}
+
+TEST(PrometheusFormatTest, DbMetricsPropertyValidates) {
+  // The whole `shield.metrics` surface — mirrored tickers, latency
+  // summaries, level/health/lag gauges — must pass the same strict
+  // grammar check end to end.
+  std::unique_ptr<Env> env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  options.node_name = "writer";
+  options.statistics = CreateDBStatistics();
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/metricsdb", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), "key-" + std::to_string(i), "value").ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  std::string value;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Get(ReadOptions(), "key-" + std::to_string(i), &value).ok());
+  }
+
+  std::string text;
+  ASSERT_TRUE(db->GetProperty("shield.metrics", &text));
+  ValidatePrometheusText(text);
+  EXPECT_NE(std::string::npos, text.find("_total{"));
+  EXPECT_NE(std::string::npos, text.find("node=\"writer\""));
+  EXPECT_NE(std::string::npos, text.find("shield_health_level{"));
+}
+
+// --- windowed histogram properties -----------------------------------
+
+TEST(WindowedHistogramTest, FullSnapshotMatchesReferenceUnderRotation) {
+  // Property: however samples land across slot rotations (including
+  // folds into the ancient accumulator), the full-history snapshot is
+  // exactly the merge of everything recorded — identical counts, sum,
+  // extrema, and bucket percentiles to a plain reference histogram.
+  sim::SimClock clock;
+  ScopedClockOverride override(&clock);
+
+  Random rnd(301);
+  WindowedHistogram wh;
+  Histogram ref;
+  for (int i = 0; i < 5000; i++) {
+    const uint64_t v = rnd.Uniform(1000000);
+    wh.Record(v);
+    ref.Add(v);
+    if (rnd.OneIn(20)) {
+      // Jump up to ~3 slots; over the run this rotates the ring many
+      // times past the 60 s horizon.
+      clock.AdvanceBy(rnd.Uniform(3 * WindowedHistogram::kSlotMicros));
+    }
+  }
+
+  const HistogramSnapshot full = wh.Snapshot(0);
+  EXPECT_EQ(ref.Count(), full.count);
+  EXPECT_EQ(ref.Min(), full.min);
+  EXPECT_EQ(ref.Max(), full.max);
+  EXPECT_DOUBLE_EQ(ref.Percentile(50.0), full.p50);
+  EXPECT_DOUBLE_EQ(ref.Percentile(99.0), full.p99);
+  EXPECT_DOUBLE_EQ(ref.Percentile(99.9), full.p999);
+
+  Histogram merged;
+  wh.MergeWindow(0, &merged);
+  EXPECT_EQ(ref.Count(), merged.Count());
+  EXPECT_DOUBLE_EQ(ref.Percentile(99.0), merged.Percentile(99.0));
+}
+
+TEST(WindowedHistogramTest, SlidingWindowsCoverOnlyRecentTraffic) {
+  sim::SimClock clock;
+  ScopedClockOverride override(&clock);
+
+  WindowedHistogram wh;
+  // Era 1: a thousand fast samples, then let the whole ring age past
+  // the 60 s horizon.
+  for (int i = 0; i < 1000; i++) {
+    wh.Record(100);
+  }
+  clock.AdvanceBy(2 * WindowedHistogram::kWindowLongMicros);
+  // Era 2: a burst of slow samples in the current slot.
+  for (int i = 0; i < 50; i++) {
+    wh.Record(1000000);
+  }
+
+  const HistogramSnapshot recent =
+      wh.Snapshot(WindowedHistogram::kWindowShortMicros);
+  EXPECT_EQ(50u, recent.count);
+  EXPECT_GT(recent.p50, 100000.0) << "short window leaked era-1 samples";
+
+  const HistogramSnapshot full = wh.Snapshot(0);
+  EXPECT_EQ(1050u, full.count) << "windowing lost history";
+  EXPECT_LT(full.p50, 10000.0) << "full history dominated by era 1";
+}
+
+// --- concurrency (TSan) ----------------------------------------------
+
+TEST(MetricsConcurrencyTest, ConcurrentRecordAndSnapshot) {
+  WindowedHistogram wh;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      (void)wh.Snapshot(0);
+      (void)wh.Snapshot(WindowedHistogram::kWindowShortMicros);
+    }
+  });
+  std::vector<std::thread> recorders;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  for (int t = 0; t < kThreads; t++) {
+    recorders.emplace_back([&wh, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        wh.Record(static_cast<uint64_t>(t) * 1000 + (i % 997));
+      }
+    });
+  }
+  for (auto& t : recorders) {
+    t.join();
+  }
+  stop.store(true);
+  snapshotter.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kPerThread, wh.Snapshot(0).count);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistryUseAndEncode) {
+  MetricsRegistry reg;
+  // Seed one family so the encoder thread never sees an empty (and
+  // thus grammar-violating, no-trailing-newline) exposition.
+  reg.GetCounter("shield_conc_seed", "seed", MetricLabels{})->Add(1);
+  std::atomic<bool> stop{false};
+  std::thread encoder([&] {
+    while (!stop.load()) {
+      ValidatePrometheusText(reg.ToPrometheusText());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; t++) {
+    writers.emplace_back([&reg, t] {
+      MetricLabels labels{{"node", "n" + std::to_string(t)}};
+      for (int i = 0; i < 5000; i++) {
+        reg.GetCounter("shield_conc_ops", "ops", labels)->Add(1);
+        reg.GetGauge("shield_conc_depth", "depth", labels)
+            ->Set(static_cast<double>(i));
+        reg.GetHistogram("shield_conc_lat", "lat", labels)
+            ->Record(static_cast<uint64_t>(i % 1009));
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true);
+  encoder.join();
+  const std::string text = reg.ToPrometheusText();
+  ValidatePrometheusText(text);
+  EXPECT_NE(std::string::npos, text.find("shield_conc_ops_total{node=\"n0\"}"));
+}
+
+}  // namespace
+}  // namespace shield

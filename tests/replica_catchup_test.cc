@@ -190,5 +190,41 @@ TEST_F(ReplicaCatchupTest, ConcurrentCatchUpSeesOnlyAtomicGenerations) {
   EXPECT_GT(views, 0);
 }
 
+// The catch-up lag properties quantify how far a replica trails the
+// shared manifest: zero on a caught-up replica, nonzero once the
+// writer publishes new version edits, and back to zero after the next
+// successful TryCatchUp (the same signal the replica.catchup health
+// detector and the shield_replica_catchup_lag_* gauges consume).
+TEST_F(ReplicaCatchupTest, LagPropertiesDrainToZeroAfterCatchUp) {
+  OpenWriterAndReplica();
+
+  auto lag = [&](const char* prop) {
+    std::string v;
+    EXPECT_TRUE(replica_->GetProperty(prop, &v)) << prop;
+    return v.empty() ? 0ull : std::stoull(v);
+  };
+
+  ASSERT_TRUE(replica_->TryCatchUp().ok());
+  EXPECT_EQ(0u, lag("shield.replica.catchup-lag-generations"));
+  EXPECT_EQ(0u, lag("shield.replica.catchup-lag-bytes"));
+
+  // A flush appends version edits past the replica's applied prefix.
+  WriteGeneration(1);
+  ASSERT_TRUE(writer_->Flush().ok());
+  EXPECT_GT(lag("shield.replica.catchup-lag-generations"), 0u);
+  EXPECT_GT(lag("shield.replica.catchup-lag-bytes"), 0u);
+
+  ASSERT_TRUE(replica_->TryCatchUp().ok());
+  EXPECT_EQ(0u, lag("shield.replica.catchup-lag-generations"));
+  EXPECT_EQ(0u, lag("shield.replica.catchup-lag-bytes"));
+  EXPECT_EQ(GenValue(1), ObservedGeneration());
+
+  // The writer's own probe never reports lag: the properties are
+  // replica-only by construction.
+  std::string v;
+  ASSERT_TRUE(writer_->GetProperty("shield.replica.catchup-lag-bytes", &v));
+  EXPECT_EQ("0", v);
+}
+
 }  // namespace
 }  // namespace shield

@@ -10,6 +10,7 @@
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/histogram.h"
+#include "util/perf_context.h"
 #include "util/random.h"
 #include "util/retry.h"
 #include "util/slice.h"
@@ -408,6 +409,28 @@ TEST(ThreadPoolTest, ScheduleFromWorker) {
   }
   pool.WaitIdle();
   EXPECT_EQ(2, counter.load());
+}
+
+TEST(ThreadPoolTest, PerfContextZeroedOnReusedWorker) {
+  // Pooled threads outlive the ops they serve: a chunk-decrypt or
+  // shard-apply job that charges decrypt_micros must not leak it into
+  // the next job scheduled onto the same worker. A 1-thread pool
+  // guarantees reuse.
+  ThreadPool pool(1);
+  pool.Schedule([] {
+    GetPerfContext()->decrypt_micros += 1234;
+    GetPerfContext()->kds_request_count += 7;
+  });
+  pool.WaitIdle();
+  uint64_t leaked_micros = 99;
+  uint64_t leaked_kds = 99;
+  pool.Schedule([&] {
+    leaked_micros = GetPerfContext()->decrypt_micros;
+    leaked_kds = GetPerfContext()->kds_request_count;
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(0u, leaked_micros);
+  EXPECT_EQ(0u, leaked_kds);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

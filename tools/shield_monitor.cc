@@ -1,0 +1,354 @@
+// shield_monitor — aggregated cluster health from per-node outputs.
+//
+// Scrapes one or more inputs and merges them into a single cluster
+// view, keyed by (node, detector):
+//
+//   - sim journals (JSON lines): `health_transition` events, e.g. the
+//     file written by `sim_runner --journal=PATH`. Gives the
+//     transition history and, absent gauges, the last-known level.
+//   - Prometheus text files carrying `shield_health_level` gauges,
+//     e.g. `sim_runner --metrics-dir=DIR` exports (one <node>.prom per
+//     node). Gives the current level. A directory argument is scanned
+//     for *.prom files; a file ending in .prom is parsed as metrics,
+//     anything else as a journal.
+//
+//   shield_monitor /tmp/run/journal.json /tmp/run/metrics
+//   shield_monitor --json /tmp/run/metrics/writer.prom
+//
+// Exit code is the cluster health: 0 when every detector is ok, 1
+// when the worst level is warn, 2 when any detector is critical.
+// Usage and unreadable-input errors exit 64 so health-gating scripts
+// can tell "cluster is critical" from "monitor misused".
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "env/env.h"
+#include "util/event_logger.h"
+
+namespace shield {
+
+constexpr int kExitUsage = 64;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: shield_monitor [--json] INPUT...\n"
+      "  INPUT  a sim journal (JSON lines with health_transition\n"
+      "         events), a Prometheus *.prom file with\n"
+      "         shield_health_level gauges, or a directory scanned\n"
+      "         for *.prom files\n"
+      "  --json print one JSON object instead of the table\n"
+      "exit: 0 all ok, 1 worst level warn, 2 any critical, 64 usage\n");
+}
+
+struct Transition {
+  uint64_t epoch = 0;
+  std::string from;
+  std::string to;
+  std::string phase;
+};
+
+struct DetectorState {
+  // Current gauge level when a metrics file covered this detector;
+  // otherwise the `to` level of the last journaled transition.
+  int level = 0;
+  bool have_gauge = false;
+  std::vector<Transition> transitions;
+};
+
+int LevelFromName(const std::string& name) {
+  if (name == "warn") {
+    return 1;
+  }
+  if (name == "critical") {
+    return 2;
+  }
+  return 0;
+}
+
+const char* LevelName(int level) {
+  switch (level) {
+    case 1:
+      return "warn";
+    case 2:
+      return "critical";
+    default:
+      return "ok";
+  }
+}
+
+// Minimal field extraction for the flat, machine-written JSON lines in
+// sim journals: values there are controlled identifiers (node names,
+// detector names, ok/warn/critical) and never contain escapes, so a
+// find-to-closing-quote scan is exact.
+bool JsonStringField(const std::string& line, const char* key,
+                     std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const size_t start = pos + needle.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) {
+    return false;
+  }
+  out->assign(line, start, end - start);
+  return true;
+}
+
+bool JsonUintField(const std::string& line, const char* key, uint64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(start, &end, 10);
+  if (end == start) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+using ClusterState = std::map<std::pair<std::string, std::string>,
+                              DetectorState>;
+
+void ParseJournal(const std::string& text, ClusterState* cluster) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find("\"event\":\"health_transition\"") == std::string::npos) {
+      continue;
+    }
+    Transition t;
+    std::string node;
+    std::string detector;
+    if (!JsonStringField(line, "node", &node) ||
+        !JsonStringField(line, "detector", &detector) ||
+        !JsonStringField(line, "from", &t.from) ||
+        !JsonStringField(line, "to", &t.to)) {
+      continue;
+    }
+    JsonUintField(line, "epoch", &t.epoch);
+    JsonStringField(line, "phase", &t.phase);
+    DetectorState& d = (*cluster)[{node, detector}];
+    if (!d.have_gauge) {
+      d.level = LevelFromName(t.to);
+    }
+    d.transitions.push_back(std::move(t));
+  }
+}
+
+// Pulls one label value out of a Prometheus label set; label values in
+// our exports are identifiers, never escaped.
+bool PromLabel(const std::string& line, const char* label,
+               std::string* out) {
+  const std::string needle = std::string(label) + "=\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const size_t start = pos + needle.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) {
+    return false;
+  }
+  out->assign(line, start, end - start);
+  return true;
+}
+
+void ParseMetrics(const std::string& text, ClusterState* cluster) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, 20, "shield_health_level{") != 0) {
+      continue;
+    }
+    std::string node;
+    std::string detector;
+    const size_t close = line.find("} ");
+    if (close == std::string::npos || !PromLabel(line, "node", &node) ||
+        !PromLabel(line, "detector", &detector)) {
+      continue;
+    }
+    const int level = std::atoi(line.c_str() + close + 2);
+    DetectorState& d = (*cluster)[{node, detector}];
+    d.have_gauge = true;
+    d.level = level;
+  }
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int LoadInput(Env* env, const std::string& path, ClusterState* cluster) {
+  std::vector<std::string> children;
+  if (env->GetChildren(path, &children).ok()) {
+    // Directory: scrape every per-node metrics export inside it.
+    std::sort(children.begin(), children.end());
+    int loaded = 0;
+    for (const std::string& c : children) {
+      if (!EndsWith(c, ".prom")) {
+        continue;
+      }
+      const int n = LoadInput(env, path + "/" + c, cluster);
+      if (n < 0) {
+        return n;
+      }
+      loaded += n;
+    }
+    if (loaded == 0) {
+      std::fprintf(stderr, "shield_monitor: no *.prom files in %s\n",
+                   path.c_str());
+      return -1;
+    }
+    return loaded;
+  }
+  std::string text;
+  Status s = ReadFileToString(env, path, &text);
+  if (!s.ok()) {
+    std::fprintf(stderr, "shield_monitor: cannot read %s: %s\n",
+                 path.c_str(), s.ToString().c_str());
+    return -1;
+  }
+  if (EndsWith(path, ".prom")) {
+    ParseMetrics(text, cluster);
+  } else {
+    ParseJournal(text, cluster);
+  }
+  return 1;
+}
+
+std::string TransitionsJson(const std::vector<Transition>& ts) {
+  std::string out = "[";
+  for (size_t i = 0; i < ts.size(); i++) {
+    if (i > 0) {
+      out += ",";
+    }
+    JsonWriter w;
+    w.Add("epoch", ts[i].epoch)
+        .Add("from", ts[i].from)
+        .Add("to", ts[i].to)
+        .Add("phase", ts[i].phase);
+    out += w.Finish();
+  }
+  out += "]";
+  return out;
+}
+
+int Run(bool json, const std::vector<std::string>& inputs) {
+  Env* env = Env::Default();
+  ClusterState cluster;
+  for (const std::string& in : inputs) {
+    if (LoadInput(env, in, &cluster) < 0) {
+      return kExitUsage;
+    }
+  }
+
+  int worst = 0;
+  size_t transitions = 0;
+  std::map<std::string, int> node_worst;
+  for (const auto& [key, d] : cluster) {
+    worst = std::max(worst, d.level);
+    int& nw = node_worst[key.first];
+    nw = std::max(nw, d.level);
+    transitions += d.transitions.size();
+  }
+
+  if (json) {
+    // Nested output is assembled by hand (JsonWriter is flat):
+    // {"cluster":…,"nodes":N,"detectors":N,"transitions":N,
+    //  "detail":[{"node":…,"detector":…,"level":…,"transitions":[…]}]}
+    std::string out = "{\"cluster\":\"";
+    out += LevelName(worst);
+    out += "\",\"nodes\":" + std::to_string(node_worst.size());
+    out += ",\"detectors\":" + std::to_string(cluster.size());
+    out += ",\"transitions\":" + std::to_string(transitions);
+    out += ",\"detail\":[";
+    bool first = true;
+    for (const auto& [key, d] : cluster) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "{\"node\":";
+      JsonWriter::AppendEscaped(&out, key.first);
+      out += ",\"detector\":";
+      JsonWriter::AppendEscaped(&out, key.second);
+      out += ",\"level\":\"";
+      out += LevelName(d.level);
+      out += "\",\"transitions\":";
+      out += TransitionsJson(d.transitions);
+      out += "}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("%-12s %-16s %-9s %-11s %s\n", "node", "detector", "level",
+                "transitions", "last");
+    for (const auto& [key, d] : cluster) {
+      std::string last = "-";
+      if (!d.transitions.empty()) {
+        const Transition& t = d.transitions.back();
+        last = "epoch " + std::to_string(t.epoch) + " " + t.from + "->" +
+               t.to;
+        if (!t.phase.empty()) {
+          last += " (" + t.phase + ")";
+        }
+      }
+      std::printf("%-12s %-16s %-9s %-11zu %s\n", key.first.c_str(),
+                  key.second.c_str(), LevelName(d.level),
+                  d.transitions.size(), last.c_str());
+    }
+    std::printf("cluster: %s  nodes=%zu detectors=%zu transitions=%zu\n",
+                LevelName(worst), node_worst.size(), cluster.size(),
+                transitions);
+  }
+  return worst;
+}
+
+}  // namespace shield
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      shield::Usage();
+      return shield::kExitUsage;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    shield::Usage();
+    return shield::kExitUsage;
+  }
+  return shield::Run(json, inputs);
+}

@@ -34,12 +34,22 @@ void Usage() {
       "  --seed=N           PRNG seed for the whole run (default 1)\n"
       "  --duration=SECS    simulated (virtual) seconds to cover (default 60)\n"
       "  --faults=PROFILE   none | storage | network | mixed | rotation |\n"
-      "                     write (default mixed; \"write\" runs the sharded\n"
-      "                     memtable + pipelined-WAL crash campaign)\n"
+      "                     write | health (default mixed; \"write\" runs\n"
+      "                     the sharded memtable + pipelined-WAL crash\n"
+      "                     campaign). A comma list of health fault\n"
+      "                     classes — e.g. --faults=kds,partition — runs\n"
+      "                     the health campaign over exactly those\n"
+      "                     classes.\n"
       "  --replicas=N       read-only replicas (default 2)\n"
       "  --ops=N            writer ops per epoch (default 120)\n"
       "  --json             print the report as one JSON object\n"
       "  --print-journal    dump the deterministic event journal to stdout\n"
+      "  --journal=PATH     write the deterministic journal to this file\n"
+      "  --trace-dir=DIR    export per-node SHTRACE1 trace files here\n"
+      "                     (enables the observability plane; stitch with\n"
+      "                     trace_replay --stitch DIR/*.trace)\n"
+      "  --metrics-dir=DIR  export one Prometheus text file per DB node\n"
+      "                     (<node>.prom; enables the observability plane)\n"
       "  --log=PATH         also write engine + sim events to this file\n");
 }
 
@@ -60,6 +70,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool print_journal = false;
   std::string log_path;
+  std::string journal_path;
+  std::string trace_dir;
+  std::string metrics_dir;
 
   for (int i = 1; i < argc; i++) {
     const char* arg = argv[i];
@@ -70,10 +83,20 @@ int main(int argc, char** argv) {
                ParseUint(arg + 11, &n)) {
       config.duration_sec = n;
     } else if (std::strncmp(arg, "--faults=", 9) == 0) {
-      if (!shield::sim::ParseFaultProfile(arg + 9, &config.profile)) {
-        std::fprintf(stderr, "unknown fault profile: %s\n", arg + 9);
-        Usage();
-        return 2;
+      const std::string spec = arg + 9;
+      if (!shield::sim::ParseFaultProfile(spec, &config.profile)) {
+        // Not a profile name: accept a comma list of health fault
+        // classes ("kds,partition") as shorthand for the health
+        // campaign restricted to those classes. Validated by the
+        // harness at startup.
+        if (spec.find_first_not_of(
+                "abcdefghijklmnopqrstuvwxyz,") != std::string::npos) {
+          std::fprintf(stderr, "unknown fault profile: %s\n", arg + 9);
+          Usage();
+          return 2;
+        }
+        config.profile = shield::sim::FaultProfile::kHealth;
+        config.health_fault_classes = spec;
       }
     } else if (std::strncmp(arg, "--replicas=", 11) == 0 &&
                ParseUint(arg + 11, &n)) {
@@ -84,6 +107,14 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(arg, "--print-journal") == 0) {
       print_journal = true;
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      journal_path = arg + 10;
+    } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
+      trace_dir = arg + 12;
+      config.observability = true;
+    } else if (std::strncmp(arg, "--metrics-dir=", 14) == 0) {
+      metrics_dir = arg + 14;
+      config.observability = true;
     } else if (std::strncmp(arg, "--log=", 6) == 0) {
       log_path = arg + 6;
     } else {
@@ -105,6 +136,41 @@ int main(int argc, char** argv) {
   }
 
   const shield::sim::SimReport report = shield::sim::RunSimulation(config);
+
+  shield::Env* fs = shield::Env::Default();
+  if (!journal_path.empty()) {
+    shield::Status s = shield::WriteStringToFile(fs, report.journal,
+                                                 journal_path, /*sync=*/false);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write --journal file %s: %s\n",
+                   journal_path.c_str(), s.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!trace_dir.empty()) {
+    fs->CreateDirIfMissing(trace_dir);
+    for (const auto& [name, bytes] : report.trace_files) {
+      shield::Status s = shield::WriteStringToFile(
+          fs, bytes, trace_dir + "/" + name, /*sync=*/false);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot export trace %s: %s\n", name.c_str(),
+                     s.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  if (!metrics_dir.empty()) {
+    fs->CreateDirIfMissing(metrics_dir);
+    for (const auto& [node, text] : report.node_metrics) {
+      shield::Status s = shield::WriteStringToFile(
+          fs, text, metrics_dir + "/" + node + ".prom", /*sync=*/false);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot export metrics for %s: %s\n",
+                     node.c_str(), s.ToString().c_str());
+        return 2;
+      }
+    }
+  }
 
   if (print_journal) {
     std::fwrite(report.journal.data(), 1, report.journal.size(), stdout);

@@ -39,9 +39,11 @@ struct TypeStats {
 
 struct Options {
   std::string trace_path;
+  std::vector<std::string> stitch_paths;
   std::string dir;
   size_t readahead_bytes = 0;
   bool replay = false;
+  bool stitch = false;
   bool json = false;
   bool allow_truncated = false;
 };
@@ -49,10 +51,17 @@ struct Options {
 void Usage() {
   fprintf(stderr,
           "usage: trace_replay [options] <trace-file>\n"
+          "       trace_replay --stitch [--json] <trace-file>...\n"
           "  --replay            re-issue recorded io.read operations\n"
           "  --dir DIR           directory holding the traced files "
           "(with --replay)\n"
           "  --readahead BYTES   wrap replayed files in a prefetch buffer\n"
+          "  --stitch            merge per-node trace files (SHTRACE1 v2)\n"
+          "                      into one causal tree: span ids are\n"
+          "                      process-global, so a parent id recorded on\n"
+          "                      another node resolves across files.\n"
+          "                      Reports cross-node links with per-hop\n"
+          "                      latency attribution.\n"
           "  --json              print the summary as one JSON object\n"
           "  --allow-truncated   exit 0 even if the trace ends in damage\n");
 }
@@ -62,6 +71,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     const std::string arg = argv[i];
     if (arg == "--replay") {
       opts->replay = true;
+    } else if (arg == "--stitch") {
+      opts->stitch = true;
     } else if (arg == "--json") {
       opts->json = true;
     } else if (arg == "--allow-truncated") {
@@ -76,12 +87,20 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       return false;
     } else if (opts->trace_path.empty()) {
       opts->trace_path = arg;
+      opts->stitch_paths.push_back(arg);
     } else {
-      fprintf(stderr, "extra argument: %s\n", arg.c_str());
-      return false;
+      opts->stitch_paths.push_back(arg);
     }
   }
   if (opts->trace_path.empty()) {
+    return false;
+  }
+  if (!opts->stitch && opts->stitch_paths.size() > 1) {
+    fprintf(stderr, "multiple trace files require --stitch\n");
+    return false;
+  }
+  if (opts->replay && opts->stitch) {
+    fprintf(stderr, "--replay and --stitch are mutually exclusive\n");
     return false;
   }
   if (opts->replay && opts->dir.empty()) {
@@ -228,6 +247,178 @@ void PrintJson(const std::map<SpanType, TypeStats>& by_type,
   printf("%s\n", out.c_str());
 }
 
+// --- --stitch: merge per-node traces into one causal tree -----------
+
+/// One span loaded from one node's trace file.
+struct StitchedSpan {
+  SpanRecord rec;
+  int node_index = 0;
+};
+
+/// Aggregated stats for one (parent node/type → child node/type) edge
+/// where parent and child were recorded on different nodes.
+struct CrossLink {
+  uint64_t count = 0;
+  Histogram hop_latency;     // parent_duration - child_duration
+  Histogram child_latency;   // remote-side execution time
+};
+
+std::string NodeLabel(const std::string& header_node,
+                      const std::string& path) {
+  if (!header_node.empty()) {
+    return header_node;
+  }
+  // v1 trace (no node in the header): fall back to the file name.
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int RunStitch(const Options& opts) {
+  Env* env = Env::Default();
+  std::vector<std::string> nodes;
+  std::vector<StitchedSpan> spans;
+  std::map<uint64_t, size_t> by_id;  // span_id -> index into spans
+  bool truncated = false;
+  uint64_t duplicate_ids = 0;
+
+  for (const auto& path : opts.stitch_paths) {
+    std::unique_ptr<TraceReader> reader;
+    Status s = TraceReader::Open(env, path, &reader);
+    if (!s.ok()) {
+      fprintf(stderr, "cannot open trace %s: %s\n", path.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+    const std::string node = NodeLabel(reader->node(), path);
+    int node_index = -1;
+    for (size_t i = 0; i < nodes.size(); i++) {
+      if (nodes[i] == node) {
+        node_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (node_index < 0) {
+      node_index = static_cast<int>(nodes.size());
+      nodes.push_back(node);
+    }
+    SpanRecord rec;
+    while (reader->Next(&rec)) {
+      StitchedSpan ss;
+      ss.rec = rec;
+      ss.node_index = node_index;
+      auto [it, inserted] = by_id.emplace(rec.span_id, spans.size());
+      if (!inserted) {
+        duplicate_ids++;  // two unrelated runs mixed in one stitch
+        it->second = spans.size();
+      }
+      spans.push_back(std::move(ss));
+    }
+    if (reader->truncated()) {
+      truncated = true;
+      fprintf(stderr, "warning: %s ends in damage: %s\n", path.c_str(),
+              reader->parse_status().ToString().c_str());
+    }
+  }
+
+  // Classify every parent edge. A parent id that resolves to a span on
+  // another node is a cross-node hop — the offload dispatch, a replica
+  // fetch, catch-up reads. Hop latency is the dispatcher-side span
+  // time not spent in the remote-side span (fabric + queueing).
+  uint64_t roots = 0, intra_links = 0, cross_links = 0, orphans = 0;
+  std::map<std::string, CrossLink> links;
+  for (const auto& ss : spans) {
+    if (ss.rec.parent_id == 0) {
+      roots++;
+      continue;
+    }
+    auto it = by_id.find(ss.rec.parent_id);
+    if (it == by_id.end()) {
+      orphans++;  // parent lost to a buffer drop or missing file
+      continue;
+    }
+    const StitchedSpan& parent = spans[it->second];
+    if (parent.node_index == ss.node_index) {
+      intra_links++;
+      continue;
+    }
+    cross_links++;
+    const std::string key = std::string(SpanTypeName(parent.rec.type)) + "@" +
+                            nodes[parent.node_index] + " -> " +
+                            SpanTypeName(ss.rec.type) + "@" +
+                            nodes[ss.node_index];
+    CrossLink& link = links[key];
+    link.count++;
+    const uint64_t hop =
+        parent.rec.duration_micros > ss.rec.duration_micros
+            ? parent.rec.duration_micros - ss.rec.duration_micros
+            : 0;
+    link.hop_latency.Add(hop);
+    link.child_latency.Add(ss.rec.duration_micros);
+  }
+
+  if (opts.json) {
+    std::string out = "{";
+    char buf[192];
+    snprintf(buf, sizeof(buf),
+             "\"files\":%zu,\"spans\":%zu,\"roots\":%" PRIu64
+             ",\"intra_node_links\":%" PRIu64 ",\"cross_node_links\":%" PRIu64
+             ",\"orphans\":%" PRIu64 ",\"duplicate_ids\":%" PRIu64
+             ",\"truncated\":%s,\"nodes\":[",
+             opts.stitch_paths.size(), spans.size(), roots, intra_links,
+             cross_links, orphans, duplicate_ids,
+             truncated ? "true" : "false");
+    out += buf;
+    for (size_t i = 0; i < nodes.size(); i++) {
+      if (i > 0) {
+        out += ",";
+      }
+      JsonWriter::AppendEscaped(&out, nodes[i]);
+    }
+    out += "],\"links\":{";
+    bool first = true;
+    for (const auto& [key, link] : links) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      JsonWriter::AppendEscaped(&out, key);
+      snprintf(buf, sizeof(buf),
+               ":{\"count\":%" PRIu64
+               ",\"hop_p50_us\":%.1f,\"hop_p99_us\":%.1f,\"hop_max_us\":%" PRIu64
+               ",\"remote_p50_us\":%.1f,\"remote_p99_us\":%.1f}",
+               link.count, link.hop_latency.Percentile(50),
+               link.hop_latency.Percentile(99), link.hop_latency.Max(),
+               link.child_latency.Percentile(50),
+               link.child_latency.Percentile(99));
+      out += buf;
+    }
+    out += "}}";
+    printf("%s\n", out.c_str());
+  } else {
+    printf("stitch: %zu files, %zu spans, %zu nodes\n",
+           opts.stitch_paths.size(), spans.size(), nodes.size());
+    printf("roots %" PRIu64 ", intra-node links %" PRIu64
+           ", cross-node links %" PRIu64 ", orphans %" PRIu64 "\n",
+           roots, intra_links, cross_links, orphans);
+    if (duplicate_ids > 0) {
+      printf("warning: %" PRIu64
+             " duplicate span ids (mixed traces from separate runs?)\n",
+             duplicate_ids);
+    }
+    if (!links.empty()) {
+      printf("%-52s %8s %10s %10s %10s\n", "cross-node link", "count",
+             "hop_p50", "hop_p99", "remote_p50");
+      for (const auto& [key, link] : links) {
+        printf("%-52s %8" PRIu64 " %10.0f %10.0f %10.0f\n", key.c_str(),
+               link.count, link.hop_latency.Percentile(50),
+               link.hop_latency.Percentile(99),
+               link.child_latency.Percentile(50));
+      }
+    }
+  }
+  return truncated && !opts.allow_truncated ? 2 : 0;
+}
+
 int Run(const Options& opts) {
   Env* env = Env::Default();
   std::unique_ptr<TraceReader> reader;
@@ -285,5 +476,5 @@ int main(int argc, char** argv) {
     shield::Usage();
     return 1;
   }
-  return shield::Run(opts);
+  return opts.stitch ? shield::RunStitch(opts) : shield::Run(opts);
 }
