@@ -47,14 +47,42 @@ void HealthMonitor::SetTransitionSink(TransitionSink sink) {
 }
 
 std::vector<HealthTransition> HealthMonitor::Evaluate() {
-  std::vector<HealthTransition> transitions;
+  // eval_mu_ serializes evaluations (detector closures never run
+  // concurrently with each other), but detectors must run with mu_
+  // RELEASED: they take their owner's locks (the DB mutex) and do real
+  // I/O (KDS probe, manifest reads), while status readers — some of
+  // which already hold those owner locks, e.g. ExportGauges during a
+  // property read — take mu_. Running detectors under mu_ is an ABBA
+  // deadlock with the DB mutex and blocks every status read on
+  // detector I/O.
+  std::lock_guard<std::mutex> eval_lock(eval_mu_);
+  std::vector<Detector> fns;
   TransitionSink sink;
   {
     std::lock_guard<std::mutex> lock(mu_);
     evaluations_++;
     sink = sink_;
-    for (auto& d : detectors_) {
-      HealthSample sample = d.fn();
+    fns.reserve(detectors_.size());
+    for (const auto& d : detectors_) {
+      fns.push_back(d.fn);
+    }
+  }
+  std::vector<HealthSample> samples;
+  samples.reserve(fns.size());
+  for (auto& fn : fns) {
+    samples.push_back(fn());
+  }
+  std::vector<HealthTransition> transitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Registration only appends, so index i still names the detector
+    // whose closure produced samples[i] even if more were registered
+    // while we ran.
+    const size_t n =
+        samples.size() < detectors_.size() ? samples.size() : detectors_.size();
+    for (size_t i = 0; i < n; i++) {
+      DetectorState& d = detectors_[i];
+      HealthSample& sample = samples[i];
       if (d.evaluated && sample.level != d.level) {
         HealthTransition t;
         t.detector = d.name;
@@ -187,11 +215,14 @@ std::string HealthMonitor::ToJson() const {
 
 void HealthMonitor::ExportGauges(MetricsRegistry* registry,
                                  const MetricLabels& base) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Copy status first and touch the registry with mu_ released:
+  // callers may hold their own locks (the DB mutex during a property
+  // read), so mu_ must only ever guard plain state copies here.
+  const std::vector<HealthStatus> status = CurrentStatus();
   HealthLevel worst = HealthLevel::kOk;
-  for (const auto& d : detectors_) {
+  for (const auto& d : status) {
     MetricLabels labels = base;
-    labels.Set("detector", d.name);
+    labels.Set("detector", d.detector);
     registry
         ->GetGauge("shield_health_level",
                    "Detector level: 0 ok, 1 warn, 2 critical", labels)

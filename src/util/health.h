@@ -62,8 +62,12 @@ struct HealthStatus {
 ///     ok ⇄ warn ⇄ critical   (any direct edge is legal; every edge
 ///     ok ⇄ critical           is reported as one HealthTransition)
 ///
-/// Thread safe. Evaluate() serializes concurrent callers, so detector
-/// closures never run concurrently with each other.
+/// Thread safe. Evaluate() serializes concurrent callers (on a
+/// dedicated evaluation mutex), so detector closures never run
+/// concurrently with each other — but they run with the monitor's
+/// state lock RELEASED, so detectors may take their owner's locks and
+/// do blocking I/O, and status reads (CurrentStatus/Overall/ToJson/
+/// ExportGauges) never block on a slow detector.
 class HealthMonitor {
  public:
   using Detector = std::function<HealthSample()>;
@@ -117,6 +121,11 @@ class HealthMonitor {
 
   void BackgroundLoop(uint64_t interval_micros);
 
+  // Lock order: eval_mu_ before mu_. mu_ guards plain state copies
+  // only and is never held across a detector call or any other
+  // blocking work, so holding an outside lock (the DB mutex) while
+  // taking mu_ cannot deadlock against an evaluation.
+  mutable std::mutex eval_mu_;
   mutable std::mutex mu_;
   std::vector<DetectorState> detectors_;
   TransitionSink sink_;

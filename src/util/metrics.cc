@@ -90,12 +90,13 @@ void WindowedHistogram::RotateLocked(uint64_t now_micros) const {
     // A slot is live only while its epoch is recent enough to still be
     // addressable by the ring; anything older is folded into the
     // ancient accumulator so full history stays exact.
-    if (slot_epoch_[i] != 0 && slot_epoch_[i] + kNumSlots <= epoch) {
+    if (slot_epoch_[i] != kUnusedSlotEpoch &&
+        slot_epoch_[i] + kNumSlots <= epoch) {
       if (slots_[i].Count() > 0) {
         ancient_.Merge(slots_[i]);
         slots_[i].Clear();
       }
-      slot_epoch_[i] = 0;
+      slot_epoch_[i] = kUnusedSlotEpoch;
     }
   }
 }
@@ -107,7 +108,7 @@ void WindowedHistogram::Record(uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
   RotateLocked(now);
   if (slot_epoch_[slot] != epoch) {
-    if (slot_epoch_[slot] != 0 && slots_[slot].Count() > 0) {
+    if (slot_epoch_[slot] != kUnusedSlotEpoch && slots_[slot].Count() > 0) {
       ancient_.Merge(slots_[slot]);
     }
     slots_[slot].Clear();
@@ -131,7 +132,7 @@ void WindowedHistogram::MergeWindow(uint64_t window_micros,
   const uint64_t cutoff =
       now >= window_micros ? now - window_micros : 0;
   for (int i = 0; i < kNumSlots; i++) {
-    if (slot_epoch_[i] == 0) {
+    if (slot_epoch_[i] == kUnusedSlotEpoch) {
       continue;
     }
     // Include a slot if any part of it overlaps the trailing window.
@@ -175,19 +176,35 @@ MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
   if (it == family.instruments.end()) {
     auto inst = std::make_unique<Instrument>();
     inst->encoded_labels = encoded;
-    switch (type) {
-      case MetricType::kCounter:
-        inst->counter = std::make_unique<Counter>();
-        break;
-      case MetricType::kGauge:
-        inst->gauge = std::make_unique<Gauge>();
-        break;
-      case MetricType::kHistogram:
-        inst->histogram = std::make_unique<WindowedHistogram>();
-        break;
-    }
     it = family.instruments.emplace(encoded, std::move(inst)).first;
   }
+  // The family keeps the type it was first registered with, but a
+  // later cross-type registration of the same name must not leave a
+  // null behind either pointer the system dereferences: back-fill the
+  // kind the encoder renders (family.type) and the kind this caller
+  // asked for. The mismatched caller gets a working instrument that
+  // simply is not what the family exports.
+  auto ensure = [](Instrument* inst, MetricType t) {
+    switch (t) {
+      case MetricType::kCounter:
+        if (inst->counter == nullptr) {
+          inst->counter = std::make_unique<Counter>();
+        }
+        break;
+      case MetricType::kGauge:
+        if (inst->gauge == nullptr) {
+          inst->gauge = std::make_unique<Gauge>();
+        }
+        break;
+      case MetricType::kHistogram:
+        if (inst->histogram == nullptr) {
+          inst->histogram = std::make_unique<WindowedHistogram>();
+        }
+        break;
+    }
+  };
+  ensure(it->second.get(), family.type);
+  ensure(it->second.get(), type);
   return it->second.get();
 }
 

@@ -101,8 +101,14 @@ class WindowedHistogram {
   static constexpr int kNumSlots = 13;  // covers 60 s + one spare slot
   static constexpr uint64_t kWindowShortMicros = 10ull * 1000 * 1000;
   static constexpr uint64_t kWindowLongMicros = 60ull * 1000 * 1000;
+  /// Marks a ring slot with no live samples. Epoch 0 is legal (a clock
+  /// starting near zero), so the sentinel must be a value NowMicros()
+  /// can never reach.
+  static constexpr uint64_t kUnusedSlotEpoch = ~0ull;
 
-  WindowedHistogram() = default;
+  WindowedHistogram() {
+    for (auto& e : slot_epoch_) e = kUnusedSlotEpoch;
+  }
 
   void Record(uint64_t value);
 
@@ -119,7 +125,7 @@ class WindowedHistogram {
 
   mutable std::mutex mu_;
   mutable Histogram slots_[kNumSlots];
-  mutable uint64_t slot_epoch_[kNumSlots] = {};  // now / kSlotMicros, 0 = unused
+  mutable uint64_t slot_epoch_[kNumSlots];  // now / kSlotMicros, or kUnusedSlotEpoch
   mutable Histogram ancient_;
 };
 

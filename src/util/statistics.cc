@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 namespace shield {
 
@@ -186,46 +187,61 @@ MetricLabels HistogramLabels(const char* dotted, const std::string& node) {
 void Statistics::AttachRegistry(MetricsRegistry* registry,
                                 const std::string& node) {
   if (registry == nullptr) {
-    registry_.store(nullptr, std::memory_order_release);
+    // Detach: publish the nulls first so no new reader can pick up a
+    // registry-owned pointer, then wait for readers already inside an
+    // adapter use to drain. Once this returns the registry (and every
+    // instrument it owns) may be destroyed.
     for (auto& w : windowed_) {
-      w.store(nullptr, std::memory_order_release);
+      w.store(nullptr);
     }
     for (auto& c : ticker_counters_) {
-      c = nullptr;
+      c.store(nullptr);
+    }
+    registry_.store(nullptr);
+    while (adapter_inflight_.load() != 0) {
+      std::this_thread::yield();
     }
     return;
   }
+  // Attach: instruments before registry_, which gates SyncRegistry.
   for (size_t i = 0; i < kNumTickers; ++i) {
-    ticker_counters_[i] =
+    ticker_counters_[i].store(
         registry->GetCounter(PrometheusMetricName(kTickerNames[i]), "",
-                             TickerLabels(kTickerNames[i], node));
+                             TickerLabels(kTickerNames[i], node)),
+        std::memory_order_release);
   }
-  registry_.store(registry, std::memory_order_release);
   for (size_t i = 0; i < kNumHistograms; ++i) {
     windowed_[i].store(
         registry->GetHistogram(kLatencyFamily, kLatencyHelp,
                                HistogramLabels(kHistogramNames[i], node)),
         std::memory_order_release);
   }
+  registry_.store(registry, std::memory_order_release);
 }
 
 void Statistics::SyncRegistry() const {
-  if (registry_.load(std::memory_order_acquire) == nullptr) {
-    return;
-  }
-  for (size_t i = 0; i < kNumTickers; ++i) {
-    if (ticker_counters_[i] != nullptr) {
-      ticker_counters_[i]->Set(tickers_[i].load(std::memory_order_relaxed));
+  adapter_inflight_.fetch_add(1);
+  if (registry_.load() != nullptr) {
+    for (size_t i = 0; i < kNumTickers; ++i) {
+      Counter* c = ticker_counters_[i].load();
+      if (c != nullptr) {
+        c->Set(tickers_[i].load(std::memory_order_relaxed));
+      }
     }
   }
+  adapter_inflight_.fetch_sub(1);
 }
 
 std::string Statistics::ToPrometheusText() const {
-  MetricsRegistry* attached = registry_.load(std::memory_order_acquire);
+  adapter_inflight_.fetch_add(1);
+  MetricsRegistry* attached = registry_.load();
   if (attached != nullptr) {
     SyncRegistry();
-    return attached->ToPrometheusText();
+    std::string out = attached->ToPrometheusText();
+    adapter_inflight_.fetch_sub(1);
+    return out;
   }
+  adapter_inflight_.fetch_sub(1);
 
   // Standalone rendering: counters through an ephemeral registry (same
   // escaping/_total formatting), then the latency summary family from

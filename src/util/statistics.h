@@ -161,6 +161,9 @@ class Statistics {
  public:
   Statistics() {
     for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+    for (auto& w : windowed_) w.store(nullptr, std::memory_order_relaxed);
+    for (auto& c : ticker_counters_)
+      c.store(nullptr, std::memory_order_relaxed);
   }
 
   void RecordTick(Tickers ticker, uint64_t count = 1) {
@@ -175,11 +178,17 @@ class Statistics {
 
   void MeasureTime(Histograms histogram, uint64_t micros) {
     histograms_[static_cast<size_t>(histogram)].Add(micros);
-    WindowedHistogram* w =
-        windowed_[static_cast<size_t>(histogram)].load(std::memory_order_acquire);
+    // The in-flight guard makes the registry-owned histogram safe to
+    // use: AttachRegistry(nullptr) nulls windowed_ and then waits for
+    // this count to drain, so a pointer loaded inside the guard stays
+    // alive for the duration of Record. Seq_cst on both the counter
+    // and the load keeps the load from moving above the increment.
+    adapter_inflight_.fetch_add(1);
+    WindowedHistogram* w = windowed_[static_cast<size_t>(histogram)].load();
     if (w != nullptr) {
       w->Record(micros);
     }
+    adapter_inflight_.fetch_sub(1);
   }
 
   const Histogram& GetHistogram(Histograms histogram) const {
@@ -207,6 +216,12 @@ class Statistics {
   /// forwards live samples into a `shield_op_latency_micros` windowed
   /// histogram labeled {node, op} — no call site changes. `registry`
   /// must outlive this object or a later AttachRegistry(nullptr, "").
+  /// Detaching (null registry) publishes the null pointers and then
+  /// blocks until every in-flight adapter use (a windowed MeasureTime
+  /// sample, SyncRegistry, an attached ToPrometheusText) has drained,
+  /// so once it returns the registry may be destroyed even while other
+  /// threads keep using this Statistics object (their samples simply
+  /// stop mirroring).
   void AttachRegistry(MetricsRegistry* registry, const std::string& node);
 
   /// Copies current ticker values into the attached registry's
@@ -221,10 +236,15 @@ class Statistics {
   std::atomic<uint64_t> tickers_[kNumTickers];
   Histogram histograms_[kNumHistograms];
 
-  // Adapter state (null/empty until AttachRegistry).
+  // Adapter state (null until AttachRegistry). All pointers are
+  // atomic: detach rewrites them while MeasureTime / SyncRegistry /
+  // ToPrometheusText read them from other threads. adapter_inflight_
+  // counts threads currently dereferencing registry-owned memory;
+  // detach spins on it so the registry can be freed afterwards.
   std::atomic<MetricsRegistry*> registry_{nullptr};
-  std::atomic<WindowedHistogram*> windowed_[kNumHistograms] = {};
-  Counter* ticker_counters_[kNumTickers] = {};
+  std::atomic<WindowedHistogram*> windowed_[kNumHistograms];
+  std::atomic<Counter*> ticker_counters_[kNumTickers];
+  mutable std::atomic<uint64_t> adapter_inflight_{0};
 };
 
 /// Null-safe helpers so call sites do not have to test for a

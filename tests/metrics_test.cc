@@ -18,6 +18,7 @@
 #include "lsm/db.h"
 #include "sim/sim_clock.h"
 #include "util/clock.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/random.h"
 #include "util/statistics.h"
@@ -305,6 +306,39 @@ TEST(PrometheusFormatTest, DbMetricsPropertyValidates) {
   EXPECT_NE(std::string::npos, text.find("shield_health_level{"));
 }
 
+TEST(PrometheusFormatTest, CrossTypeRegistrationIsSafe) {
+  // Registering an existing family name under a different instrument
+  // type must neither hand the caller a null pointer nor leave an
+  // instrument the encoder would null-deref. The family keeps its
+  // first-registered type; mismatched registrations get working (if
+  // unexported) instruments.
+  MetricsRegistry reg;
+  reg.GetCounter("shield_mixed", "first as counter", MetricLabels{})->Add(3);
+  Gauge* g = reg.GetGauge("shield_mixed", "", MetricLabels{});
+  ASSERT_NE(nullptr, g);
+  g->Set(7.5);
+  WindowedHistogram* h = reg.GetHistogram("shield_mixed", "", MetricLabels{});
+  ASSERT_NE(nullptr, h);
+  h->Record(11);
+  // New label set entering through the wrong type still renders as the
+  // family's type.
+  Gauge* g2 =
+      reg.GetGauge("shield_mixed", "", MetricLabels{{"node", "other"}});
+  ASSERT_NE(nullptr, g2);
+
+  const std::string text = reg.ToPrometheusText();
+  ValidatePrometheusText(text);
+  EXPECT_NE(std::string::npos, text.find("shield_mixed_total 3"));
+  EXPECT_NE(std::string::npos, text.find("shield_mixed_total{node=\"other\"}"));
+
+  // And the mirror image: gauge family first, counter second.
+  reg.GetGauge("shield_mixed_g", "as gauge", MetricLabels{})->Set(1);
+  Counter* c = reg.GetCounter("shield_mixed_g", "", MetricLabels{});
+  ASSERT_NE(nullptr, c);
+  c->Add(1);
+  ValidatePrometheusText(reg.ToPrometheusText());
+}
+
 // --- windowed histogram properties -----------------------------------
 
 TEST(WindowedHistogramTest, FullSnapshotMatchesReferenceUnderRotation) {
@@ -367,6 +401,74 @@ TEST(WindowedHistogramTest, SlidingWindowsCoverOnlyRecentTraffic) {
   const HistogramSnapshot full = wh.Snapshot(0);
   EXPECT_EQ(1050u, full.count) << "windowing lost history";
   EXPECT_LT(full.p50, 10000.0) << "full history dominated by era 1";
+}
+
+TEST(WindowedHistogramTest, ClockStartingAtZeroLosesNothing) {
+  // Epoch 0 is a legal slot epoch (a clock that starts near zero), not
+  // an "unused" sentinel: samples recorded then must show up in
+  // sliding windows, and must fold into the ancient accumulator — not
+  // vanish — when their slot is reused a full ring later.
+  sim::SimClock clock(0);
+  ScopedClockOverride override(&clock);
+
+  WindowedHistogram wh;
+  for (int i = 0; i < 100; i++) {
+    wh.Record(42);
+  }
+  EXPECT_EQ(100u, wh.Snapshot(WindowedHistogram::kWindowShortMicros).count)
+      << "epoch-0 samples invisible to the sliding window";
+
+  // Reuse slot 0 (same ring index, kNumSlots epochs later): the old
+  // contents must survive as full history.
+  clock.AdvanceBy(WindowedHistogram::kNumSlots * WindowedHistogram::kSlotMicros);
+  wh.Record(7);
+  const HistogramSnapshot full = wh.Snapshot(0);
+  EXPECT_EQ(101u, full.count) << "slot reuse dropped epoch-0 samples";
+  EXPECT_EQ(1u, wh.Snapshot(WindowedHistogram::kWindowShortMicros).count);
+}
+
+// --- health monitor locking ------------------------------------------
+
+TEST(HealthMonitorTest, StatusReadsDoNotBlockOnSlowDetectors) {
+  // Regression for an ABBA deadlock: a detector taking its owner's
+  // lock (the DB mutex) while a thread holding that same lock reads
+  // monitor state (ExportGauges during a property read). Detectors
+  // must run with the monitor's state lock released, so status reads
+  // complete even while a detector is blocked on the owner lock.
+  HealthMonitor monitor;
+  MetricsRegistry reg;
+  std::mutex owner_mu;
+  std::atomic<bool> in_detector{false};
+  monitor.RegisterDetector("owner.locked", [&] {
+    in_detector.store(true);
+    std::lock_guard<std::mutex> lock(owner_mu);  // blocks until released
+    HealthSample s;
+    s.level = HealthLevel::kWarn;
+    s.detail = "took owner lock";
+    return s;
+  });
+
+  std::unique_lock<std::mutex> owner_lock(owner_mu);
+  std::thread evaluator([&] { monitor.Evaluate(); });
+  while (!in_detector.load()) {
+    std::this_thread::yield();
+  }
+  // The evaluator is now inside the detector, blocked on owner_mu.
+  // Every status read — including the registry export the DB performs
+  // under its own mutex — must return instead of deadlocking.
+  EXPECT_EQ(HealthLevel::kOk, monitor.Overall());
+  EXPECT_FALSE(monitor.CurrentStatus().empty());
+  EXPECT_NE(std::string::npos, monitor.ToJson().find("owner.locked"));
+  monitor.ExportGauges(&reg, MetricLabels{});
+  EXPECT_NE(std::string::npos,
+            reg.ToPrometheusText().find("shield_health_overall"));
+
+  owner_lock.unlock();
+  evaluator.join();
+  EXPECT_EQ(HealthLevel::kWarn, monitor.Overall());
+  // The detector's verdict committed after the unlock.
+  std::vector<HealthTransition> transitions = monitor.Evaluate();
+  EXPECT_TRUE(transitions.empty()) << "level should be stable at warn";
 }
 
 // --- concurrency (TSan) ----------------------------------------------

@@ -95,6 +95,43 @@ TEST(StatisticsTest, ConcurrentTickersLoseNoCounts) {
             stats.GetTickerCount(Tickers::kCryptoBytesEncrypted));
 }
 
+TEST(StatisticsTest, DetachRegistryDrainsConcurrentUse) {
+  // Regression for a use-after-free: AttachRegistry(nullptr) — the
+  // ~DBImpl path when the Statistics object outlives the DB that owns
+  // the registry — must not return while another thread is mid-use of
+  // a registry-owned instrument. The registry here is scoped tighter
+  // than the worker threads, exactly like a DB closing under load;
+  // under TSan/ASan the old code races and touches freed memory.
+  Statistics stats;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; t++) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        stats.MeasureTime(Histograms::kDbGetMicros, 10);
+        stats.RecordTick(Tickers::kKdsRequests, 1);
+        stats.SyncRegistry();
+      }
+    });
+  }
+  for (int round = 0; round < 50; round++) {
+    MetricsRegistry registry;
+    stats.AttachRegistry(&registry, "node");
+    for (int i = 0; i < 100; i++) {
+      stats.MeasureTime(Histograms::kDbWriteMicros, 5);
+    }
+    (void)stats.ToPrometheusText();
+    stats.AttachRegistry(nullptr, std::string());
+    // registry destroyed here; no worker may still hold its pointers.
+  }
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  // Detached: samples still land in the cumulative histograms.
+  EXPECT_GT(stats.GetHistogram(Histograms::kDbGetMicros).Count(), 0u);
+}
+
 // --- Histogram properties ------------------------------------------------
 
 TEST(HistogramTest, PercentileMonotoneInP) {
